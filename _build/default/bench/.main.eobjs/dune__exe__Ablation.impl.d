@@ -1,0 +1,1 @@
+bench/ablation.ml: Bench_common Cluster_sim Config Layers List Machine Models Net Pipeline Printf

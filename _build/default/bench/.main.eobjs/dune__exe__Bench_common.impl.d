@@ -1,0 +1,1 @@
+bench/bench_common.ml: Caffe_like Config Cost_model Ensemble Executor List Mocha_like Models Net Pipeline Printf Rng String Tensor

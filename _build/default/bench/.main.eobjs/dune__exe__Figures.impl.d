@@ -1,0 +1,1 @@
+bench/figures.ml: Accel_sim Bench_common Caffe_like Cluster_sim Config Cost_model Data_parallel Executor List Lr_policy Machine Models Pipeline Printf Program Rng Shape Solver String Synthetic Tensor

@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Array Figures List Micro Printf String Sys

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Blas Config Executor Hashtbl Im2col Instance Layers List Measure Net Pipeline Printf Rng Shape Staged Tensor Test Time Toolkit

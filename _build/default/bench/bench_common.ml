@@ -1,0 +1,56 @@
+let bench_scale = { Models.image = 32; width_div = 8; fc_div = 32 }
+let model_scale = { Models.image = 64; width_div = 2; fc_div = 4 }
+
+type measured = { fwd : float; bwd : float }
+
+let both m = m.fwd +. m.bwd
+
+let fill_random lookup net =
+  let rng = Rng.create 4242 in
+  (* Fill every Data ensemble's value buffer and the label buffer. *)
+  List.iter
+    (fun (e : Ensemble.t) ->
+      match e.kind with
+      | Ensemble.Data ->
+          Tensor.fill_uniform rng (lookup (e.name ^ ".value")) ~lo:0.0 ~hi:1.0
+      | _ -> ())
+    (Net.ensembles net);
+  let labels = lookup "label" in
+  for i = 0 to Tensor.numel labels - 1 do
+    Tensor.set1 labels i 0.0
+  done
+
+let measure_latte ?(config = Config.default) ?(iters = 3) net =
+  let prog = Pipeline.compile ~seed:1 config net in
+  let exec = Executor.prepare prog in
+  fill_random (Executor.lookup exec) net;
+  let fwd = Executor.time_forward ~warmup:1 ~iters exec in
+  let bwd = Executor.time_backward ~warmup:1 ~iters exec in
+  ({ fwd; bwd }, exec)
+
+let measure_caffe ?(iters = 3) ~params_from net =
+  let c = Caffe_like.of_net ~params_from net in
+  fill_random (Caffe_like.lookup c) net;
+  let fwd = Caffe_like.time_forward ~warmup:1 ~iters c in
+  let bwd = Caffe_like.time_backward ~warmup:1 ~iters c in
+  { fwd; bwd }
+
+let measure_mocha ?(iters = 2) ~params_from net =
+  let m = Mocha_like.of_net ~params_from net in
+  fill_random (Mocha_like.lookup m) net;
+  let fwd = Mocha_like.time_forward ~warmup:1 ~iters m in
+  let bwd = Mocha_like.time_backward ~warmup:1 ~iters m in
+  { fwd; bwd }
+
+let modeled_time ?vectorized cpu config net dir =
+  let prog = Pipeline.compile ~seed:1 config net in
+  Cost_model.program_time ?vectorized cpu prog dir
+
+let header title =
+  Printf.printf "\n=== %s ===\n" title
+
+let row label cols =
+  Printf.printf "  %-38s %s\n" label
+    (String.concat "  " (List.map (Printf.sprintf "%10.3g") cols))
+
+let note s = Printf.printf "  # %s\n" s

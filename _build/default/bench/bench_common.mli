@@ -1,0 +1,37 @@
+(** Shared infrastructure for the figure-reproduction benchmarks. *)
+
+val bench_scale : Models.scale
+(** Reduced model scale measured for real on this container's single
+    core (documented in EXPERIMENTS.md). *)
+
+val model_scale : Models.scale
+(** Larger scale used by the analytical cost model for paper-scale
+    projections. *)
+
+type measured = {
+  fwd : float;
+  bwd : float;  (** Seconds per batch (median of repeats). *)
+}
+
+val both : measured -> float
+
+val measure_latte :
+  ?config:Config.t -> ?iters:int -> Net.t -> measured * Executor.t
+(** Compile + run with random inputs. *)
+
+val measure_caffe : ?iters:int -> params_from:Executor.t -> Net.t -> measured
+val measure_mocha : ?iters:int -> params_from:Executor.t -> Net.t -> measured
+
+val modeled_time :
+  ?vectorized:bool -> Machine.cpu -> Config.t -> Net.t ->
+  [ `Forward | `Backward | `Both ] -> float
+(** Compile under the config and cost the program on the machine. *)
+
+val header : string -> unit
+(** Print a figure banner. *)
+
+val row : string -> float list -> unit
+(** Aligned table row: label then numeric columns (printed with %g
+    precision appropriate for speedups/throughputs). *)
+
+val note : string -> unit

@@ -1,0 +1,83 @@
+(* Bechamel statistical micro-benchmarks of the core kernels: one
+   Test.make per experiment family. Run with `bench/main.exe --bechamel`. *)
+
+open Bechamel
+open Toolkit
+
+let gemm_test =
+  let m = 64 and n = 64 and k = 64 in
+  let rng = Rng.create 1 in
+  let mk sz =
+    let t = Tensor.create (Shape.create [ sz ]) in
+    Tensor.fill_uniform rng t ~lo:(-1.0) ~hi:1.0;
+    Tensor.data t
+  in
+  let a = mk (m * k) and b = mk (k * n) and c = mk (m * n) in
+  Test.make ~name:"gemm 64x64x64"
+    (Staged.stage (fun () ->
+         Blas.gemm ~transa:false ~transb:false ~m ~n ~k ~beta:0.0 ~a ~b ~c ()))
+
+let im2col_test =
+  let spec = { Im2col.channels = 8; height = 32; width = 32; kernel = 3; stride = 1; pad = 1 } in
+  let rng = Rng.create 2 in
+  let src = Tensor.create (Shape.create [ 32; 32; 8 ]) in
+  Tensor.fill_uniform rng src ~lo:0.0 ~hi:1.0;
+  let dst = Tensor.create (Im2col.col_shape_pm spec) in
+  Test.make ~name:"im2col 32x32x8 k3"
+    (Staged.stage (fun () -> Im2col.im2col_pm spec ~src ~dst))
+
+let make_block config =
+  let net = Net.create ~batch_size:1 in
+  Net.add_external net ~name:"label" ~item_shape:[];
+  Net.add_external net ~name:"loss" ~item_shape:[];
+  let data = Layers.data_layer net ~name:"data" ~shape:[ 32; 32; 3 ] in
+  let conv =
+    Layers.convolution net ~name:"conv" ~input:data ~n_filters:8 ~kernel:3
+      ~stride:1 ~pad:1 ()
+  in
+  let r = Layers.relu net ~name:"r" ~input:conv in
+  let pool = Layers.max_pooling net ~name:"pool" ~input:r ~kernel:2 () in
+  let fc = Layers.fully_connected net ~name:"fc" ~input:pool ~n_outputs:10 in
+  ignore
+    (Layers.softmax_loss net ~name:"sl" ~input:fc ~label_buf:"label"
+       ~loss_buf:"loss");
+  let exec = Executor.prepare (Pipeline.compile ~seed:1 config net) in
+  Tensor.fill_uniform (Rng.create 3) (Executor.lookup exec "data.value") ~lo:0.0
+    ~hi:1.0;
+  exec
+
+let fused_block_test =
+  let exec = make_block Config.default in
+  Test.make ~name:"conv block fwd (latte fused)"
+    (Staged.stage (fun () -> Executor.forward exec))
+
+let unfused_block_test =
+  let exec = make_block (Config.with_flags ~fusion:false ~tiling:false Config.default) in
+  Test.make ~name:"conv block fwd (latte unfused)"
+    (Staged.stage (fun () -> Executor.forward exec))
+
+let run () =
+  let tests =
+    [ gemm_test; im2col_test; fused_block_test; unfused_block_test ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) () in
+  let raw =
+    List.map
+      (fun test -> Benchmark.all cfg instances test)
+      (List.map (fun t -> t) tests)
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  List.iter2
+    (fun test results ->
+      Printf.printf "  %s:\n" (Test.name test);
+      let analyzed = Analyze.all ols (Instance.monotonic_clock :> Measure.witness) results in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ t ] -> Printf.printf "    %-40s %10.1f ns/run\n" name t
+          | _ -> ())
+        analyzed)
+    tests raw

@@ -1,0 +1,223 @@
+(* latte: command-line driver for the Latte reproduction.
+
+   Subcommands:
+     dump-ir   — compile a model and print the optimized IR per section
+     train     — train a model on a synthetic dataset and report accuracy
+     bench     — time one model against the Caffe-like baseline
+     models    — list available model architectures
+     machines  — list the machine models used by the cost model *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let model_names = [ "mlp"; "lenet"; "vgg-block"; "alexnet"; "vgg"; "overfeat" ]
+
+let build_model name ~batch ~image ~width_div ~fc_div =
+  let scale = { Models.image; width_div; fc_div } in
+  match name with
+  | "mlp" -> Models.mlp ~batch ~n_inputs:(image * image) ~hidden:[ 64 ] ~n_classes:10
+  | "lenet" -> Models.lenet ~batch ~image ~n_classes:10 ()
+  | "vgg-block" -> Models.vgg_first_block ~batch ~scale
+  | "alexnet" -> Models.alexnet ~batch ~scale ()
+  | "vgg" -> Models.vgg ~batch ~scale
+  | "overfeat" -> Models.overfeat ~batch ~scale
+  | other -> failwith (Printf.sprintf "unknown model %s (try: %s)" other
+                         (String.concat ", " model_names))
+
+let model_arg =
+  let doc = "Model architecture: " ^ String.concat ", " model_names ^ "." in
+  Arg.(value & opt string "lenet" & info [ "m"; "model" ] ~docv:"MODEL" ~doc)
+
+let batch_arg =
+  Arg.(value & opt int 4 & info [ "b"; "batch" ] ~docv:"N" ~doc:"Batch size.")
+
+let image_arg =
+  Arg.(value & opt int 32 & info [ "image" ] ~docv:"PX" ~doc:"Input spatial size.")
+
+let width_div_arg =
+  Arg.(value & opt int 8 & info [ "width-div" ] ~docv:"D"
+         ~doc:"Divide channel counts by D (reduced-scale runs).")
+
+let fc_div_arg =
+  Arg.(value & opt int 32 & info [ "fc-div" ] ~docv:"D"
+         ~doc:"Divide fully-connected widths by D.")
+
+let config_term =
+  let flag name doc = Arg.(value & flag & info [ name ] ~doc) in
+  let mk no_gemm no_tiling no_fusion no_parallel no_inplace tile_size =
+    Config.with_flags ~pattern_match:(not no_gemm)
+      ~tiling:(not no_tiling)
+      ~fusion:(not no_fusion)
+      ~parallelize:(not no_parallel)
+      ~inplace_activation:(not no_inplace)
+      ~batch_gemm:(not no_gemm) ~tile_size Config.default
+  in
+  Term.(
+    const mk
+    $ flag "no-gemm" "Disable GEMM pattern matching."
+    $ flag "no-tiling" "Disable loop tiling."
+    $ flag "no-fusion" "Disable cross-layer fusion."
+    $ flag "no-parallel" "Disable parallel annotations."
+    $ flag "no-inplace" "Disable in-place activations."
+    $ Arg.(value & opt int 4 & info [ "tile-size" ] ~docv:"ROWS"
+             ~doc:"Rows of the last fused layer per tile."))
+
+(* ------------------------------------------------------------------ *)
+(* dump-ir                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let dump_ir model batch image width_div fc_div config =
+  let spec = build_model model ~batch ~image ~width_div ~fc_div in
+  let prog = Pipeline.compile config spec.Models.net in
+  print_string (Pipeline.dump prog)
+
+let dump_ir_cmd =
+  Cmd.v
+    (Cmd.info "dump-ir" ~doc:"Compile a model and print the optimized IR.")
+    Term.(const dump_ir $ model_arg $ batch_arg $ image_arg $ width_div_arg
+          $ fc_div_arg $ config_term)
+
+(* ------------------------------------------------------------------ *)
+(* train                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let train model batch image width_div fc_div config iters lr =
+  let spec = build_model model ~batch ~image ~width_div ~fc_div in
+  let exec = Executor.prepare (Pipeline.compile config spec.Models.net) in
+  let flat = String.equal model "mlp" in
+  let all = Synthetic.mnist_like ~image ~seed:11 ~n:768 () in
+  let all =
+    if flat then
+      { all with
+        Synthetic.features =
+          Tensor.reshape all.Synthetic.features
+            (Shape.create [ 768; image * image ]) }
+    else all
+  in
+  let train_set, eval_set = Synthetic.split all ~at:512 in
+  let params =
+    { Solver.lr_policy = Lr_policy.Inv { base = lr; gamma = 1e-3; power = 0.75 };
+      momentum = 0.9; weight_decay = 0.0 }
+  in
+  let solver = Solver.create ~params Solver.Sgd exec in
+  ignore
+    (Training.fit
+       ~log:(fun ~iter ~loss -> Printf.printf "iter %4d  loss %.4f\n%!" iter loss)
+       ~solver ~exec ~data:train_set
+       ~data_buf:(spec.Models.data_ens ^ ".value")
+       ~label_buf:spec.Models.label_buf ~loss_buf:spec.Models.loss_buf ~iters ());
+  let acc =
+    Training.accuracy ~exec ~data:eval_set
+      ~data_buf:(spec.Models.data_ens ^ ".value")
+      ~label_buf:spec.Models.label_buf
+      ~output_buf:(spec.Models.output_ens ^ ".value")
+  in
+  Printf.printf "held-out top-1 accuracy: %.1f%%\n" (acc *. 100.0)
+
+let train_cmd =
+  let iters =
+    Arg.(value & opt int 200 & info [ "iters" ] ~docv:"N" ~doc:"Training iterations.")
+  in
+  let lr =
+    Arg.(value & opt float 0.01 & info [ "lr" ] ~docv:"LR" ~doc:"Base learning rate.")
+  in
+  Cmd.v
+    (Cmd.info "train"
+       ~doc:"Train a model on a synthetic MNIST-like dataset and report accuracy.")
+    Term.(const train $ model_arg $ batch_arg $ image_arg $ width_div_arg
+          $ fc_div_arg $ config_term $ iters $ lr)
+
+(* ------------------------------------------------------------------ *)
+(* bench                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let bench model batch image width_div fc_div config =
+  let fresh () = (build_model model ~batch ~image ~width_div ~fc_div).Models.net in
+  let net = fresh () in
+  let prog = Pipeline.compile config net in
+  let exec = Executor.prepare prog in
+  let rng = Rng.create 7 in
+  List.iter
+    (fun (e : Ensemble.t) ->
+      match e.kind with
+      | Ensemble.Data ->
+          Tensor.fill_uniform rng
+            (Executor.lookup exec (e.name ^ ".value"))
+            ~lo:0.0 ~hi:1.0
+      | _ -> ())
+    (Net.ensembles net);
+  Tensor.fill (Executor.lookup exec "label") 0.0;
+  let lf = Executor.time_forward ~warmup:1 ~iters:3 exec in
+  let lb = Executor.time_backward ~warmup:1 ~iters:3 exec in
+  let caffe_net = fresh () in
+  let caffe = Caffe_like.of_net ~params_from:exec caffe_net in
+  Tensor.fill_uniform rng (Caffe_like.lookup caffe "data.value") ~lo:0.0 ~hi:1.0;
+  Tensor.fill (Caffe_like.lookup caffe "label") 0.0;
+  let cf = Caffe_like.time_forward ~warmup:1 ~iters:3 caffe in
+  let cb = Caffe_like.time_backward ~warmup:1 ~iters:3 caffe in
+  Printf.printf "%-14s %12s %12s\n" "" "forward" "backward";
+  Printf.printf "%-14s %10.2f ms %10.2f ms\n" "latte" (lf *. 1e3) (lb *. 1e3);
+  Printf.printf "%-14s %10.2f ms %10.2f ms\n" "caffe-like" (cf *. 1e3) (cb *. 1e3);
+  Printf.printf "%-14s %11.2fx %11.2fx\n" "speedup" (cf /. lf) (cb /. lb);
+  let m = Machine.xeon_e5_2699v3 in
+  Printf.printf "modeled on %s: %.2f img/s (training)\n" m.Machine.cpu_name
+    (Cost_model.images_per_second m prog)
+
+let bench_cmd =
+  Cmd.v
+    (Cmd.info "bench" ~doc:"Time a model against the Caffe-like baseline.")
+    Term.(const bench $ model_arg $ batch_arg $ image_arg $ width_div_arg
+          $ fc_div_arg $ config_term)
+
+(* ------------------------------------------------------------------ *)
+(* models / machines                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let graph model batch image width_div fc_div out =
+  let spec = build_model model ~batch ~image ~width_div ~fc_div in
+  match out with
+  | None -> print_string (Net_dot.to_dot spec.Models.net)
+  | Some path ->
+      Net_dot.write spec.Models.net path;
+      Printf.printf "wrote %s\n" path
+
+let graph_cmd =
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write the DOT document to FILE instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "graph" ~doc:"Export a model's ensemble graph as Graphviz DOT.")
+    Term.(const graph $ model_arg $ batch_arg $ image_arg $ width_div_arg
+          $ fc_div_arg $ out)
+
+let models_cmd =
+  Cmd.v
+    (Cmd.info "models" ~doc:"List available model architectures.")
+    Term.(const (fun () -> List.iter print_endline model_names) $ const ())
+
+let machines_cmd =
+  let show () =
+    List.iter
+      (fun m -> print_endline (Machine.describe m))
+      [
+        Machine.xeon_e5_2699v3;
+        Machine.xeon_e5_2699v3_1core;
+        Machine.xeon_phi_7110p.Machine.acc_cpu;
+        Machine.cori_node;
+        Machine.commodity_node;
+      ]
+  in
+  Cmd.v
+    (Cmd.info "machines" ~doc:"List the machine models used by the cost model.")
+    Term.(const show $ const ())
+
+let () =
+  let info =
+    Cmd.info "latte" ~version:"1.0.0"
+      ~doc:"Latte DNN DSL/compiler/runtime reproduction (PLDI 2016)."
+  in
+  exit (Cmd.eval (Cmd.group info [ dump_ir_cmd; train_cmd; bench_cmd; graph_cmd; models_cmd; machines_cmd ]))

@@ -1,0 +1,1 @@
+examples/compiler_tour.ml: Config Ir_printer Layers List Net Pipeline Printf Program

@@ -1,0 +1,1 @@
+examples/convnet.ml: Config Executor List Lr_policy Models Pipeline Printf Program Solver Synthetic Training

@@ -1,0 +1,1 @@
+examples/custom_layer.ml: Array Config Ensemble Executor Float Ir Kernel Layers Mapping Net Neuron Pipeline Printf Rng Shape Tensor

@@ -1,0 +1,1 @@
+examples/lstm.ml: Config Executor Layers List Net Pipeline Printf Program Rng Rnn Shape Tensor

@@ -1,0 +1,1 @@
+examples/lstm.mli:

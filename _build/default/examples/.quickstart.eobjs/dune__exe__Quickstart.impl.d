@@ -1,0 +1,1 @@
+examples/quickstart.ml: Buffer_pool Config Executor Layers List Lr_policy Net Pipeline Printf Program Solver Synthetic Training

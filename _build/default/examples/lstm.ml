@@ -1,0 +1,52 @@
+(* LSTM example — the Figure 6 recurrent unit built from the same
+   neuron/ensemble/connection vocabulary as the feed-forward layers.
+
+   Runs the cell over two different input sequences and shows that the
+   memory cell carries information across time steps: the final hidden
+   states differ, and resetting the state makes runs reproducible.
+
+   Run with: dune exec examples/lstm.exe *)
+
+let () =
+  let batch = 1 in
+  let n_in = 8 and n_out = 16 in
+  let net = Net.create ~batch_size:batch in
+  let data = Layers.data_layer net ~name:"x" ~shape:[ n_in ] in
+  let cell = Rnn.lstm_layer net ~name:"lstm" ~input:data ~n_outputs:n_out in
+  let prog = Pipeline.compile Config.default net in
+  Printf.printf "LSTM cell compiled: %d ensembles, %d sections, %d parameter buffers\n"
+    (List.length (Net.ensembles net))
+    (List.length prog.Program.forward)
+    (List.length prog.Program.params);
+  let exec = Executor.prepare prog in
+
+  let run_sequence seed steps =
+    Rnn.reset_state exec [ cell.Rnn.h_ens; cell.Rnn.c_ens ];
+    let rng = Rng.create seed in
+    for _ = 1 to steps do
+      let input = Tensor.create (Shape.create [ batch; n_in ]) in
+      Tensor.fill_uniform rng input ~lo:(-1.0) ~hi:1.0;
+      Rnn.step exec ~input_ens:cell.Rnn.input_ens ~input
+    done;
+    Tensor.copy (Executor.lookup exec (cell.Rnn.h_ens ^ ".value"))
+  in
+
+  let h_a = run_sequence 1 10 in
+  let h_b = run_sequence 2 10 in
+  let h_a_again = run_sequence 1 10 in
+  Printf.printf "||h(seq A) - h(seq B)|| = %.4f (sequences are distinguished)\n"
+    (Tensor.max_abs_diff h_a h_b);
+  Printf.printf "||h(seq A) - h(seq A replay)|| = %.4f (reset is exact)\n"
+    (Tensor.max_abs_diff h_a h_a_again);
+
+  (* The memory cell integrates history: feeding the same input at every
+     step still moves the state, step after step. *)
+  Rnn.reset_state exec [ cell.Rnn.h_ens; cell.Rnn.c_ens ];
+  let constant = Tensor.create (Shape.create [ batch; n_in ]) in
+  Tensor.fill constant 0.5;
+  Printf.printf "state trajectory under constant input:\n";
+  for t = 1 to 5 do
+    Rnn.step exec ~input_ens:cell.Rnn.input_ens ~input:constant;
+    let c = Executor.lookup exec (cell.Rnn.c_ens ^ ".value") in
+    Printf.printf "  step %d: ||C|| = %.4f\n" t (Tensor.l2_norm c)
+  done

@@ -1,0 +1,1 @@
+lib/baselines/baseline_desc.ml: Array Connection Ensemble List Mapping Net Neuron Printf String

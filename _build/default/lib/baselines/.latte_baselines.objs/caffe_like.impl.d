@@ -1,0 +1,1 @@
+lib/baselines/caffe_like.ml: Array Baseline_desc Blas Buffer_pool Ensemble Executor Hashtbl Im2col Layout List Net Option Rng Shape String Tensor Unix

@@ -1,0 +1,1 @@
+lib/baselines/caffe_like.mli: Executor Net Tensor

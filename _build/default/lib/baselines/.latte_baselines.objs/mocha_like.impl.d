@@ -1,0 +1,1 @@
+lib/baselines/mocha_like.ml: Array Baseline_desc Blas Buffer_pool Ensemble Executor Layout List Net Option Shape Tensor Unix

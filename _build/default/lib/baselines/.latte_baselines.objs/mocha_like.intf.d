@@ -1,0 +1,1 @@
+lib/baselines/mocha_like.mli: Executor Net Tensor

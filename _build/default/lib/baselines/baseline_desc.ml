@@ -1,0 +1,124 @@
+type conv_spec = {
+  kernel : int;
+  stride : int;
+  pad : int;
+  filters : int;
+  in_h : int;
+  in_w : int;
+  in_c : int;
+  out_h : int;
+  out_w : int;
+}
+
+type pool_spec = {
+  pkind : [ `Max | `Avg ];
+  pkernel : int;
+  pstride : int;
+  ph : int;
+  pw : int;
+  pc : int;
+  poh : int;
+  pow_ : int;
+}
+
+type desc =
+  | Ldata
+  | Lconv of conv_spec
+  | Lfc of { n_in : int; n_out : int }
+  | Lact of [ `Relu | `Sigmoid | `Tanh ]
+  | Lpool of pool_spec
+  | Lnorm of Ensemble.norm_ops
+
+type layer = {
+  ens : Ensemble.t;
+  source : Ensemble.t option;
+  desc : desc;
+}
+
+let window_of specs what ens =
+  match (specs.(0), specs.(1)) with
+  | ( Mapping.Window { stride = s0; offset = o0; size = k0; sink_dim = 0 },
+      Mapping.Window { stride = s1; offset = o1; size = k1; sink_dim = 1 } )
+    when s0 = s1 && o0 = o1 && k0 = k1 ->
+      (k0, s0, -o0)
+  | _ ->
+      failwith
+        (Printf.sprintf "Baseline: %s ensemble %s has a non-2D-window mapping" what
+           ens)
+
+let classify net =
+  let classify_one (e : Ensemble.t) =
+    let source, mapping =
+      match e.connections with
+      | [] -> (None, None)
+      | [ (c : Connection.t) ] -> (Some (Net.source_of net c), Some c.mapping)
+      | _ ->
+          failwith
+            (Printf.sprintf "Baseline: ensemble %s has multiple inputs" e.name)
+    in
+    let desc =
+      match e.kind with
+      | Ensemble.Data -> Ldata
+      | Ensemble.Concat ->
+          failwith (Printf.sprintf "Baseline: concat ensemble %s unsupported" e.name)
+      | Ensemble.Normalization ops -> Lnorm ops
+      | Ensemble.Activation nt -> (
+          match nt.Neuron.type_name with
+          | "ReLUNeuron" -> Lact `Relu
+          | "SigmoidNeuron" -> Lact `Sigmoid
+          | "TanhNeuron" -> Lact `Tanh
+          | other ->
+              failwith
+                (Printf.sprintf "Baseline: unsupported activation %s (%s)" other
+                   e.name))
+      | Ensemble.Compute nt -> (
+          let src =
+            match source with
+            | Some s -> s
+            | None -> failwith (Printf.sprintf "Baseline: %s has no input" e.name)
+          in
+          match (nt.Neuron.type_name, mapping) with
+          | "WeightedNeuron", Some (Mapping.Structured specs)
+            when Array.for_all (fun s -> s = Mapping.All) specs ->
+              Lfc { n_in = Ensemble.size src; n_out = Ensemble.size e }
+          | "WeightedNeuron", Some (Mapping.Structured specs)
+            when Array.length specs = 3 ->
+              let kernel, stride, pad = window_of specs "conv" e.name in
+              Lconv
+                {
+                  kernel;
+                  stride;
+                  pad;
+                  filters = e.shape.(2);
+                  in_h = src.shape.(0);
+                  in_w = src.shape.(1);
+                  in_c = src.shape.(2);
+                  out_h = e.shape.(0);
+                  out_w = e.shape.(1);
+                }
+          | ("MaxNeuron" | "AvgNeuron"), Some (Mapping.Structured specs)
+            when Array.length specs = 3 ->
+              let kernel, stride, pad = window_of specs "pool" e.name in
+              if pad <> 0 then
+                failwith (Printf.sprintf "Baseline: padded pooling %s" e.name);
+              Lpool
+                {
+                  pkind =
+                    (if String.equal nt.Neuron.type_name "MaxNeuron" then `Max
+                     else `Avg);
+                  pkernel = kernel;
+                  pstride = stride;
+                  ph = src.shape.(0);
+                  pw = src.shape.(1);
+                  pc = src.shape.(2);
+                  poh = e.shape.(0);
+                  pow_ = e.shape.(1);
+                }
+          | other, _ ->
+              failwith
+                (Printf.sprintf "Baseline: unsupported compute ensemble %s (%s)"
+                   e.name other))
+    in
+    { ens = e; source; desc }
+  in
+  List.map classify_one (Net.topo_order net)

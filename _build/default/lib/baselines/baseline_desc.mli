@@ -1,0 +1,49 @@
+(** Classification of a Latte network into the static layer vocabulary
+    of the baseline frameworks.
+
+    Both baselines (the Caffe-like static layer library and the
+    Mocha-like naive executor) interpret the same ensemble graph the
+    Latte compiler consumes, so all three systems run identical
+    topologies with identical parameters — any measured difference is
+    execution strategy, not model drift. *)
+
+type conv_spec = {
+  kernel : int;
+  stride : int;
+  pad : int;
+  filters : int;
+  in_h : int;
+  in_w : int;
+  in_c : int;
+  out_h : int;
+  out_w : int;
+}
+
+type pool_spec = {
+  pkind : [ `Max | `Avg ];
+  pkernel : int;
+  pstride : int;
+  ph : int;  (** input height *)
+  pw : int;
+  pc : int;
+  poh : int;
+  pow_ : int;
+}
+
+type desc =
+  | Ldata
+  | Lconv of conv_spec
+  | Lfc of { n_in : int; n_out : int }
+  | Lact of [ `Relu | `Sigmoid | `Tanh ]
+  | Lpool of pool_spec
+  | Lnorm of Ensemble.norm_ops
+
+type layer = {
+  ens : Ensemble.t;
+  source : Ensemble.t option;  (** Single input, None for data layers. *)
+  desc : desc;
+}
+
+val classify : Net.t -> layer list
+(** Topological order. Raises [Failure] on ensembles outside the
+    baseline vocabulary (custom neuron types, multi-input ensembles). *)

@@ -1,0 +1,1 @@
+lib/compiler/fusion.ml: Config Ir List Option Program String Synthesis Tiling

@@ -1,0 +1,1 @@
+lib/compiler/fusion.mli: Config Program Synthesis

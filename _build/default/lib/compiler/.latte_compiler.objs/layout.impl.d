@@ -1,0 +1,1 @@
+lib/compiler/layout.ml: Array Connection Fun List Mapping Neuron Printf Shape

@@ -1,0 +1,1 @@
+lib/compiler/pattern_match.ml: Ir Ir_analysis List Option

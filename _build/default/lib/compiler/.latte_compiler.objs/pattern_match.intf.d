@@ -1,0 +1,1 @@
+lib/compiler/pattern_match.mli: Ir Shape

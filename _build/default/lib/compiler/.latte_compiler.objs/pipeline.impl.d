@@ -1,0 +1,1 @@
+lib/compiler/pipeline.ml: Buffer Buffer_pool Config Fusion Ir Ir_printer List Net Option Pattern_match Printf Program Synthesis Tensor

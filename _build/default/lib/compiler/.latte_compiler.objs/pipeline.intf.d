@@ -1,0 +1,1 @@
+lib/compiler/pipeline.mli: Config Net Program

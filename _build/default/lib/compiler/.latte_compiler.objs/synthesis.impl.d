@@ -1,0 +1,1 @@
+lib/compiler/synthesis.ml: Array Buffer_pool Config Connection Dataflow Ensemble Fun Hashtbl Ir Ir_printer Kernel Layout Lazy List Mapping Net Neuron Option Printf Program Rng Shape String Tensor

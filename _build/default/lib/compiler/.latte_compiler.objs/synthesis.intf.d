@@ -1,0 +1,1 @@
+lib/compiler/synthesis.mli: Buffer_pool Config Ir Net Program

@@ -1,0 +1,1 @@
+lib/compiler/tiling.ml: Ir List String

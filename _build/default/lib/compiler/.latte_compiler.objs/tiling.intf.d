@@ -1,0 +1,1 @@
+lib/compiler/tiling.mli: Ir

@@ -1,0 +1,53 @@
+type t = {
+  pattern_match : bool;
+  tiling : bool;
+  fusion : bool;
+  parallelize : bool;
+  tile_size : int;
+  batch_gemm : bool;
+  inplace_activation : bool;
+}
+
+let default =
+  {
+    pattern_match = true;
+    tiling = true;
+    fusion = true;
+    parallelize = true;
+    tile_size = 4;
+    batch_gemm = true;
+    inplace_activation = true;
+  }
+
+let unoptimized =
+  {
+    pattern_match = false;
+    tiling = false;
+    fusion = false;
+    parallelize = false;
+    tile_size = 4;
+    batch_gemm = false;
+    inplace_activation = false;
+  }
+
+let with_flags ?pattern_match ?tiling ?fusion ?parallelize ?tile_size ?batch_gemm
+    ?inplace_activation t =
+  {
+    pattern_match = Option.value ~default:t.pattern_match pattern_match;
+    tiling = Option.value ~default:t.tiling tiling;
+    fusion = Option.value ~default:t.fusion fusion;
+    parallelize = Option.value ~default:t.parallelize parallelize;
+    tile_size = Option.value ~default:t.tile_size tile_size;
+    batch_gemm = Option.value ~default:t.batch_gemm batch_gemm;
+    inplace_activation = Option.value ~default:t.inplace_activation inplace_activation;
+  }
+
+let describe t =
+  let flag name b = if b then [ name ] else [] in
+  let parts =
+    flag "gemm" t.pattern_match @ flag "tiling" t.tiling @ flag "fusion" t.fusion
+    @ flag "parallel" t.parallelize
+    @ flag "batch-gemm" t.batch_gemm
+    @ flag "inplace" t.inplace_activation
+  in
+  if parts = [] then "none" else String.concat "+" parts

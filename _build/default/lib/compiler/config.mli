@@ -1,0 +1,32 @@
+(** Compiler optimization flags, the knobs behind the Figure 13
+    ablation. [default] enables everything; [unoptimized] is the plain
+    synthesized code. *)
+
+type t = {
+  pattern_match : bool;  (** Rewrite dot-product nests to GEMM (§5.4.1). *)
+  tiling : bool;  (** Loop tiling with dependence metadata (§5.4.1). *)
+  fusion : bool;  (** Cross-layer fusion of tiled loops (§5.4.2). *)
+  parallelize : bool;  (** Batch × tile parallel annotations (§5.4.3). *)
+  tile_size : int;  (** Target rows of the *last* layer per tile. *)
+  batch_gemm : bool;
+      (** Hoist per-item GEMV/rank-1 calls to whole-batch GEMMs. *)
+  inplace_activation : bool;
+      (** Run ActivationEnsembles in place when the source has a single
+          consumer (§3.2). *)
+}
+
+val default : t
+val unoptimized : t
+
+val with_flags :
+  ?pattern_match:bool ->
+  ?tiling:bool ->
+  ?fusion:bool ->
+  ?parallelize:bool ->
+  ?tile_size:int ->
+  ?batch_gemm:bool ->
+  ?inplace_activation:bool ->
+  t ->
+  t
+
+val describe : t -> string

@@ -1,0 +1,141 @@
+open Ir
+
+type direction = Fwd | Bwd
+
+let fusable_pair dir ~(prev : Synthesis.unit_code) ~(cur : Synthesis.unit_code) =
+  let link (consumer : Synthesis.unit_code) (producer : Synthesis.unit_code) =
+    match consumer.fuse with
+    | Some f -> f.exact && String.equal f.fuse_source producer.ens
+    | None -> false
+  in
+  (not prev.barrier) && (not cur.barrier)
+  && Option.is_some prev.spatial
+  && Option.is_some cur.spatial
+  && match dir with Fwd -> link cur prev | Bwd -> link prev cur
+
+let make_groups ?(enabled = true) dir units =
+  let fusable_pair dir ~prev ~cur = enabled && fusable_pair dir ~prev ~cur in
+  let rec go current acc = function
+    | [] -> List.rev (List.rev current :: acc)
+    | u :: rest -> (
+        match current with
+        | [] -> go [ u ] acc rest
+        | prev :: _ when fusable_pair dir ~prev ~cur:u -> go (u :: current) acc rest
+        | _ -> go [ u ] (List.rev current :: acc) rest)
+  in
+  match units with [] -> [] | u :: rest -> go [ u ] [] rest
+
+let dep_of (u : Synthesis.unit_code) =
+  match u.fuse with Some f -> f.dep_y | None -> 1
+
+let rows_per_unit dir units ~tile_rows =
+  (* Accumulate scale factors walking from the anchor (most downstream
+     unit) towards producers; each consumer's dependence distance scales
+     everything upstream of it (Figure 11). *)
+  let walk us =
+    fst
+      (List.fold_left
+         (fun (acc, scale) u -> ((tile_rows * scale) :: acc, scale * dep_of u))
+         ([], 1) us)
+  in
+  match dir with
+  | Fwd ->
+      (* Anchor is last: walking the reversed list leaves the result in
+         forward order. *)
+      walk (List.rev units)
+  | Bwd ->
+      (* Anchor is first. *)
+      List.rev (walk units)
+
+let anchor_extent dir units =
+  let anchor = match dir with Fwd -> List.nth units (List.length units - 1)
+                            | Bwd -> List.hd units in
+  match anchor.Synthesis.spatial with
+  | Some s -> Some s.y_extent
+  | None -> None
+
+let mk_for ?(parallel = false) ?tile var lo hi body =
+  For { var; lo; hi; body; parallel; tile; vectorize = false }
+
+let group_section (config : Config.t) ~batch dir units =
+  let label = String.concat "+" (List.map (fun u -> u.Synthesis.ens) units) in
+  let ensembles = List.map (fun u -> u.Synthesis.ens) units in
+  let pre = List.concat_map (fun u -> u.Synthesis.pre) units in
+  let tile_var = "t~" ^ label in
+  let tiled_body =
+    (* Barrier/global units contain opaque whole-ensemble operations
+       (gathers, normalization externs) that cannot be restricted to a
+       row band — tiling would replay them once per tile. *)
+    if
+      (not config.tiling)
+      || List.exists (fun u -> u.Synthesis.barrier || u.Synthesis.global) units
+    then None
+    else
+      match anchor_extent dir units with
+      | None -> None
+      | Some extent ->
+          let tile_rows = Tiling.choose_tile_rows ~extent ~target:config.tile_size in
+          let n_tiles = extent / tile_rows in
+          if n_tiles <= 1 && List.length units = 1 then None
+          else begin
+            let rows = rows_per_unit dir units ~tile_rows in
+            (* Weight-gradient GEMMs reduce over the tiled dimension
+               (Rows_k): restricting them would re-touch the full
+               parameter-gradient matrix once per tile. They only read
+               values the tile loop has finished producing, so hoist
+               them after it and run each once at full extent. *)
+            let split_rows_k stmts =
+              List.partition
+                (fun stmt ->
+                  match stmt with
+                  | Gemm { gemm_tile = Some { role = Rows_k; _ }; _ } -> false
+                  | _ -> true)
+                stmts
+            in
+            let restricted, hoisted =
+              List.split
+                (List.map2
+                   (fun (u : Synthesis.unit_code) r ->
+                     let body, rows_k = split_rows_k u.body in
+                     let body =
+                       match u.spatial with
+                       | Some sp ->
+                           let y0 = Imul (Ivar tile_var, Iconst r) in
+                           let y1 = Imul (Iadd (Ivar tile_var, Iconst 1), Iconst r) in
+                           Tiling.restrict ~y_var:sp.y_var ~y0 ~y1 body
+                       | None -> body
+                     in
+                     (body, rows_k))
+                   units rows)
+            in
+            let body = List.concat restricted in
+            let after_tiles = List.concat hoisted in
+            let dep =
+              match (List.hd (match dir with Fwd -> List.rev units | Bwd -> units)).fuse
+              with
+              | Some f -> f.dep_y
+              | None -> 1
+            in
+            Some
+              (mk_for ~parallel:config.parallelize
+                 ~tile:{ tile_size = tile_rows; dep_distance = dep }
+                 tile_var (Iconst 0) (Iconst n_tiles) body
+              :: after_tiles)
+          end
+  in
+  let body =
+    match tiled_body with
+    | Some b -> b
+    | None -> List.concat_map (fun u -> u.Synthesis.body) units
+  in
+  let global = List.exists (fun u -> u.Synthesis.global) units in
+  let stmts =
+    if global then pre @ body
+    else
+      pre
+      @ [
+          mk_for ~parallel:config.parallelize Synthesis.batch_var (Iconst 0)
+            (Iconst batch) body;
+        ]
+  in
+  Program.section ~label ~ensembles (simplify_stmts stmts)

@@ -1,0 +1,36 @@
+(** Cross-layer fusion of tiled loops (§5.4.2) and section assembly.
+
+    Consecutive units fuse when the consumer's connection to the
+    producer has an exactly-tiling window along y: the dependence
+    distance equals the window extent with no padding (ReLU: 1/1,
+    2x2-stride-2 pooling: 2/2). The producer's tile is scaled by the
+    dependence distance — Figure 11's "factor 2 larger tile". Overlapping
+    windows (stride-1 convolutions) or barriers (normalization, gathers)
+    start a new group, matching the paper's observation that consecutive
+    convolution layers cannot be fused. *)
+
+type direction = Fwd | Bwd
+
+val make_groups :
+  ?enabled:bool ->
+  direction ->
+  Synthesis.unit_code list ->
+  Synthesis.unit_code list list
+(** Partition units (in execution order) into fusion groups; singleton
+    groups are unfused units. *)
+
+val rows_per_unit :
+  direction -> Synthesis.unit_code list -> tile_rows:int -> int list
+(** Rows of each unit's y dimension per tile, anchored at the most
+    downstream unit's [tile_rows] and scaled through the dependence
+    distances. *)
+
+val group_section :
+  Config.t ->
+  batch:int ->
+  direction ->
+  Synthesis.unit_code list ->
+  Program.section
+(** Emit one section for the group: batch loop, optional tile loop, and
+    the (restricted) unit bodies, with parallel annotations when
+    enabled. *)

@@ -1,0 +1,52 @@
+let value_buf e = e ^ ".value"
+let grad_buf e = e ^ ".grad"
+let input_buf e g = Printf.sprintf "%s.in%d" e g
+let grad_input_buf e g = Printf.sprintf "%s.gin%d" e g
+let field_buf e f = Printf.sprintf "%s.%s" e f
+let grad_field_buf e f = Printf.sprintf "%s.%s.grad" e f
+
+let kept_dims mapping ~sink_rank =
+  List.filter
+    (fun d -> Mapping.depends_on_sink_dim mapping d)
+    (List.init sink_rank Fun.id)
+
+let input_buf_shape ~batch ~sink_shape ~src_shape mapping =
+  let kept = kept_dims mapping ~sink_rank:(Shape.rank sink_shape) in
+  let window = Mapping.window_size mapping ~src_shape in
+  Shape.create ((batch :: List.map (fun d -> sink_shape.(d)) kept) @ [ window ])
+
+let field_buf_shape ~sink_shape (f : Neuron.field) =
+  Shape.create (List.map (fun d -> sink_shape.(d)) f.varies_along @ f.shape)
+
+let field_index ~sink_shape:_ (f : Neuron.field) ~dim_vars ~field_idx =
+  List.map (fun d -> dim_vars.(d)) f.varies_along @ field_idx
+
+type access_mode = Alias_flat | Alias_identity | Copy | Direct | Gather
+
+let structured_auto specs ~src_shape ~sink_shape mapping =
+  if Mapping.is_identity mapping ~src_shape ~sink_shape then Alias_identity
+  else if Array.for_all (fun s -> s = Mapping.All) specs then Alias_flat
+  else
+    (* Windows with padding read out of bounds; a copy task zero-fills
+       them. Pure in-bounds windows can be read in place. *)
+    let padded =
+      Array.exists
+        (fun s ->
+          match s with
+          | Mapping.Window { offset; _ } -> offset < 0
+          | Mapping.All | Mapping.Eq _ | Mapping.Fixed _ | Mapping.Slice _ ->
+              false)
+        specs
+    in
+    if padded then Copy else Direct
+
+let access_mode (c : Connection.t) ~src_shape ~sink_shape =
+  match (c.access, c.mapping) with
+  | Connection.Copy_task, Mapping.General _ -> Gather
+  | Connection.Copy_task, Mapping.Structured _ -> Copy
+  | Connection.Direct_index, Mapping.Structured _ -> Direct
+  | Connection.Direct_index, Mapping.General _ ->
+      invalid_arg "Layout.access_mode: Direct_index with a General mapping"
+  | Connection.Auto, Mapping.General _ -> Gather
+  | Connection.Auto, Mapping.Structured specs ->
+      structured_auto specs ~src_shape ~sink_shape c.mapping

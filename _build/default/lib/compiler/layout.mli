@@ -1,0 +1,68 @@
+(** Shared-variable analysis and buffer layout (§5.2).
+
+    Decides, for every ensemble, which buffers exist, their shapes, and
+    which ensemble dimensions are *dropped* because the values are
+    uniform along them — the paper's shared-variable analysis. Inputs
+    are shared along a sink dimension when the connection mapping does
+    not depend on it; fields are shared along the dimensions absent from
+    the field's [varies_along] declaration. *)
+
+(** {2 Buffer naming conventions} *)
+
+val value_buf : string -> string
+(** ["E.value"], shape [batch; ensemble dims...]. *)
+
+val grad_buf : string -> string
+
+val input_buf : string -> int -> string
+(** ["E.in<g>"], shape [batch; kept sink dims...; window]. *)
+
+val grad_input_buf : string -> int -> string
+
+val field_buf : string -> string -> string
+(** ["E.<field>"], shape [varying sink dims...; field shape...]. *)
+
+val grad_field_buf : string -> string -> string
+
+(** {2 Analysis} *)
+
+val kept_dims : Mapping.t -> sink_rank:int -> int list
+(** Sink dimensions the mapping depends on, ascending — the dimensions
+    that index the input buffer. All other dimensions are dropped:
+    neurons along them share the same inputs. *)
+
+val input_buf_shape :
+  batch:int ->
+  sink_shape:Shape.t ->
+  src_shape:Shape.t ->
+  Mapping.t ->
+  Shape.t
+(** [batch; sink dims in kept_dims...; window_size]. *)
+
+val field_buf_shape : sink_shape:Shape.t -> Neuron.field -> Shape.t
+(** Varying dims of the ensemble followed by the field's own shape. *)
+
+val field_index :
+  sink_shape:Shape.t ->
+  Neuron.field ->
+  dim_vars:Ir.iexpr array ->
+  field_idx:Ir.iexpr list ->
+  Ir.iexpr list
+(** Full index into the field buffer for the neuron at [dim_vars]. *)
+
+type access_mode =
+  | Alias_flat
+      (** Input vector is the flattened source value buffer; no copy
+          (fully-connected layers). *)
+  | Alias_identity  (** One-to-one; element [0] of the window is the
+                        source neuron at the same index. *)
+  | Copy  (** Materialize a per-neuron input buffer via a data-copy
+              task (convolution). *)
+  | Direct  (** Read the source buffer in place through affine window
+                indices (pooling). *)
+  | Gather  (** General mapping: copy through a materialized adjacency
+                table (an opaque runtime task). *)
+
+val access_mode :
+  Connection.t -> src_shape:Shape.t -> sink_shape:Shape.t -> access_mode
+(** Resolves the connection's [access] hint. *)

@@ -1,0 +1,305 @@
+open Ir
+
+(* A loop of the candidate nest after flattening. *)
+type nest_var = {
+  name : string;
+  extent : int;
+  s_c : int;  (* stride in the accumulation target *)
+  s_a : int;
+  s_b : int;
+  has_y : bool;
+  y_leading : bool;  (* y is the leading var of this (merged) group *)
+  y_rows : int;  (* group elements per unit of y *)
+}
+
+let const_of e = match simplify_iexpr e with Iconst n -> Some n | _ -> None
+
+(* Collect a perfect nest ending in [C[..] += A[..] * B[..]]. *)
+let rec collect_nest s acc =
+  match s with
+  | For { var; lo; hi; body = [ inner ]; _ } -> (
+      match (const_of lo, const_of hi) with
+      | Some 0, Some e when e > 0 -> collect_nest inner ((var, e) :: acc)
+      | _ -> None)
+  | Accum { op = Acc_sum; buf; idx; value = Fbinop (Fmul, Load (a, ia), Load (b, ib)) }
+    ->
+      Some (List.rev acc, (buf, idx), (a, ia), (b, ib))
+  | _ -> None
+
+let strides_of ~shape_of vars (buf, idx) =
+  let flat = Ir_analysis.flat_index ~shape:(shape_of buf) idx in
+  let strides =
+    List.map
+      (fun (v, _) ->
+        match Ir_analysis.stride_of ~var:v flat with
+        | Some s -> Some s
+        | None -> None)
+      vars
+  in
+  if List.exists Option.is_none strides then None
+  else
+    let base =
+      List.fold_left (fun e (v, _) -> subst_iexpr v (Iconst 0) e) flat vars
+    in
+    Some (List.map Option.get strides, simplify_iexpr base)
+
+(* Merge adjacent nest vars whose strides compose contiguously in all
+   three access functions: s_outer = extent_inner * s_inner. *)
+let collapse vars =
+  let merge u v =
+    let ok s_u s_v = s_u = v.extent * s_v in
+    if ok u.s_c v.s_c && ok u.s_a v.s_a && ok u.s_b v.s_b then
+      Some
+        {
+          name = u.name ^ "*" ^ v.name;
+          extent = u.extent * v.extent;
+          s_c = v.s_c;
+          s_a = v.s_a;
+          s_b = v.s_b;
+          has_y = u.has_y || v.has_y;
+          y_leading = u.y_leading;
+          y_rows = (if u.has_y then u.y_rows * v.extent else v.y_rows);
+        }
+    else None
+  in
+  let rec go = function
+    | u :: v :: rest -> (
+        match merge u v with
+        | Some m -> go (m :: rest)
+        | None -> u :: go (v :: rest))
+    | l -> l
+  in
+  go vars
+
+
+exception No_match
+
+let check cond = if not cond then raise No_match
+
+(* Try to interpret collapsed vars as GEMM roles with A = [abuf] and
+   B = [bbuf]; returns the Gemm record on success. *)
+let assign ~y_extent (cbuf, cbase) (abuf, abase) (bbuf, bbase) vars =
+  let k_vars = List.filter (fun v -> v.s_c = 0 && v.s_a <> 0 && v.s_b <> 0) vars in
+  let c_vars = List.filter (fun v -> v.s_c <> 0) vars in
+  check (List.length k_vars <= 1);
+  check (List.length vars = List.length k_vars + List.length c_vars);
+  let m_vars = List.filter (fun v -> v.s_a <> 0 && v.s_b = 0) c_vars in
+  let n_vars = List.filter (fun v -> v.s_b <> 0 && v.s_a = 0) c_vars in
+  check (List.length m_vars + List.length n_vars = List.length c_vars);
+  check (List.length m_vars <= 1 && List.length n_vars <= 1);
+  let m_ext = match m_vars with [ v ] -> v.extent | _ -> 1 in
+  let n_ext = match n_vars with [ v ] -> v.extent | _ -> 1 in
+  let k_ext = match k_vars with [ v ] -> v.extent | _ -> 1 in
+  (* C layout: packed row-major [m x n]. *)
+  (match (m_vars, n_vars) with
+  | [ m ], [ n ] -> check (n.s_c = 1 && m.s_c = n_ext)
+  | [ m ], [] -> check (m.s_c = 1)
+  | [], [ n ] -> check (n.s_c = 1)
+  | [], [] -> raise No_match
+  | _ -> raise No_match);
+  (* A layout. *)
+  let am = match m_vars with [ v ] -> v.s_a | _ -> 0 in
+  let ak = match k_vars with [ v ] -> v.s_a | _ -> 0 in
+  let transa =
+    match (m_vars, k_vars) with
+    | [ _ ], [ _ ] ->
+        if am = k_ext && ak = 1 then false
+        else if ak = m_ext && am = 1 then true
+        else raise No_match
+    | [ _ ], [] ->
+        check (am = 1);
+        false
+    | [], [ _ ] ->
+        check (ak = 1);
+        false
+    | _ -> raise No_match
+  in
+  (* B layout. *)
+  let bn = match n_vars with [ v ] -> v.s_b | _ -> 0 in
+  let bk = match k_vars with [ v ] -> v.s_b | _ -> 0 in
+  let transb =
+    match (n_vars, k_vars) with
+    | [ _ ], [ _ ] ->
+        if bk = n_ext && bn = 1 then false
+        else if bn = k_ext && bk = 1 then true
+        else raise No_match
+    | [ _ ], [] ->
+        check (bn = 1);
+        false
+    | [], [ _ ] ->
+        check (bk = 1);
+        false
+    | _ -> raise No_match
+  in
+  (* Tiling metadata: which role carries the y axis? Only layouts whose
+     row blocks stay contiguous can be restricted. *)
+  let gemm_tile =
+    match y_extent with
+    | None -> None
+    | Some y_ext ->
+        let role_of vs role =
+          match vs with
+          | [ v ] when v.has_y && v.y_leading -> Some (role, v.y_rows)
+          | _ -> None
+        in
+        let m_role = role_of m_vars Rows_m and k_role = role_of k_vars Rows_k in
+        let candidate = match m_role with Some r -> Some r | None -> k_role in
+        (match candidate with
+        | Some (Rows_m, rows) when not transa ->
+            Some { role = Rows_m; rows_per_y = rows; y_extent = y_ext }
+        | Some (Rows_k, rows) when transa && not transb ->
+            Some { role = Rows_k; rows_per_y = rows; y_extent = y_ext }
+        | _ -> None)
+  in
+  Gemm
+    {
+      transa;
+      transb;
+      m = Iconst m_ext;
+      n = Iconst n_ext;
+      k = Iconst k_ext;
+      a = abuf;
+      off_a = abase;
+      b = bbuf;
+      off_b = bbase;
+      c = cbuf;
+      off_c = cbase;
+      alpha = 1.0;
+      beta = 1.0;
+      gemm_tile;
+    }
+
+let match_nest ~shape_of ~y_info s =
+  match collect_nest s [] with
+  | None -> None
+  | Some (vars, c_acc, a_acc, b_acc) -> (
+      let sc = strides_of ~shape_of vars c_acc in
+      let sa = strides_of ~shape_of vars a_acc in
+      let sb = strides_of ~shape_of vars b_acc in
+      match (sc, sa, sb) with
+      | Some (sc, cbase), Some (sa, abase), Some (sb, bbase) ->
+          let y_var = Option.map fst y_info in
+          let y_extent = Option.map snd y_info in
+          let nest_vars =
+            List.map2
+              (fun (name, extent) (s_c, (s_a, s_b)) ->
+                let has_y = y_var = Some name in
+                { name; extent; s_c; s_a; s_b; has_y; y_leading = has_y; y_rows = 1 })
+              vars
+              (List.map2 (fun c (a, b) -> (c, (a, b))) sc
+                 (List.map2 (fun a b -> (a, b)) sa sb))
+          in
+          let collapsed = collapse nest_vars in
+          let cbuf = fst c_acc in
+          let abuf = fst a_acc and bbuf = fst b_acc in
+          let try_assign (a, ab) (b, bb) vars =
+            try Some (assign ~y_extent (cbuf, cbase) (a, ab) (b, bb) vars)
+            with No_match -> None
+          in
+          let swap v = { v with s_a = v.s_b; s_b = v.s_a } in
+          (match try_assign (abuf, abase) (bbuf, bbase) collapsed with
+          | Some g -> Some g
+          | None ->
+              try_assign (bbuf, bbase) (abuf, abase) (List.map swap collapsed))
+      | _ -> None)
+
+let rewrite ~shape_of ~y_info stmts =
+  let rec go s =
+    match match_nest ~shape_of ~y_info s with
+    | Some g -> g
+    | None -> (
+        match s with
+        | For l -> For { l with body = List.map go l.body }
+        | If (c, t, e) -> If (c, List.map go t, List.map go e)
+        | Store _ | Accum _ | Memset _ | Gemm _ | Fusion_barrier _ | Extern _ -> s)
+  in
+  List.map go stmts
+
+(* ------------------------------------------------------------------ *)
+(* Whole-batch hoisting of per-item GEMV / rank-1 calls                 *)
+(* ------------------------------------------------------------------ *)
+
+type segment = Per_item of Ir.stmt list | Global of Ir.stmt list
+
+let stride_wrt v e = Ir_analysis.stride_of ~var:v e
+
+let at_zero v e = simplify_iexpr (subst_iexpr v (Iconst 0) e)
+
+let hoist_one ~batch_var ~batch (g : gemm) : stmt option =
+  let closed e = const_of e in
+  match (closed g.m, closed g.n, closed g.k) with
+  | Some m, Some 1, Some k
+    when Ir_analysis.is_free_of batch_var g.off_a
+         && stride_wrt batch_var g.off_b = Some k
+         && stride_wrt batch_var g.off_c = Some m ->
+      (* Stack per-item GEMVs: C'[batch, m] = Bstack[batch, k] x op(A)^T. *)
+      if g.transb then None
+      else
+        Some
+          (Gemm
+             {
+               transa = false;
+               transb = not g.transa;
+               m = Iconst batch;
+               n = Iconst m;
+               k = Iconst k;
+               a = g.b;
+               off_a = at_zero batch_var g.off_b;
+               b = g.a;
+               off_b = g.off_a;
+               c = g.c;
+               off_c = at_zero batch_var g.off_c;
+               alpha = g.alpha;
+               beta = g.beta;
+               gemm_tile = None;
+             })
+  | Some m, Some n, Some 1
+    when Ir_analysis.is_free_of batch_var g.off_c
+         && stride_wrt batch_var g.off_a = Some m
+         && stride_wrt batch_var g.off_b = Some n
+         && (not g.transa) && not g.transb ->
+      (* Stack per-item rank-1 updates: C[m, n] += A'[batch, m]^T x B'[batch, n]. *)
+      Some
+        (Gemm
+           {
+             transa = true;
+             transb = false;
+             m = Iconst m;
+             n = Iconst n;
+             k = Iconst batch;
+             a = g.a;
+             off_a = at_zero batch_var g.off_a;
+             b = g.b;
+             off_b = at_zero batch_var g.off_b;
+             c = g.c;
+             off_c = g.off_c;
+             alpha = g.alpha;
+             beta = g.beta;
+             gemm_tile = None;
+           })
+  | _ -> None
+
+let hoist_batch ~batch_var ~batch stmts =
+  let hoisted = ref false in
+  let segments = ref [] in
+  let pending = ref [] in
+  let flush () =
+    if !pending <> [] then begin
+      segments := Per_item (List.rev !pending) :: !segments;
+      pending := []
+    end
+  in
+  List.iter
+    (fun s ->
+      match s with
+      | Gemm g -> (
+          match hoist_one ~batch_var ~batch g with
+          | Some global ->
+              hoisted := true;
+              flush ();
+              segments := Global [ global ] :: !segments
+          | None -> pending := s :: !pending)
+      | _ -> pending := s :: !pending)
+    stmts;
+  flush ();
+  if !hoisted then Some (List.rev !segments) else None

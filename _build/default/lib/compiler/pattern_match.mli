@@ -1,0 +1,29 @@
+(** Library-kernel pattern matching (§5.4.1).
+
+    Rewrites synthesized dot-product loop nests into {!Ir.stmt.Gemm}
+    library calls, "flattening the x and y loops" by collapsing adjacent
+    loop variables whose strides compose contiguously. Handles the
+    matrix-matrix form (convolution), the matrix-vector form
+    (fully-connected layers, which {!hoist_batch} then stacks into one
+    whole-batch GEMM), and rank-1 updates (weight gradients, stacked
+    into a [k = batch] GEMM).
+
+    A matched GEMM records which of its dimensions tracks the spatial y
+    axis ({!Ir.gemm_tile}) so the tiling phase can restrict it. *)
+
+val rewrite :
+  shape_of:(string -> Shape.t) ->
+  y_info:(string * int) option ->
+  Ir.stmt list ->
+  Ir.stmt list
+(** Replace every matching nest. [y_info] is the spatial loop variable
+    and its extent for the unit being rewritten, if any. *)
+
+type segment = Per_item of Ir.stmt list | Global of Ir.stmt list
+
+val hoist_batch :
+  batch_var:string -> batch:int -> Ir.stmt list -> segment list option
+(** Given a per-item statement sequence, lift per-item GEMV ([n = 1])
+    and rank-1 ([k = 1]) GEMM calls whose offsets step contiguously with
+    the batch index into single whole-batch GEMMs. Returns [None] when
+    no call qualifies. *)

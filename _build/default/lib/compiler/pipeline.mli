@@ -1,0 +1,20 @@
+(** The compiler driver: analysis → synthesis → optimization → code
+    assembly (§5).
+
+    [compile] runs the full phase sequence under a {!Config.t} and
+    returns an executable {!Program.t}:
+
+    + {!Synthesis} builds per-ensemble loop nests, data-copy tasks and
+      the buffer plan (shared-variable analysis included);
+    + {!Pattern_match} rewrites dot-product nests into GEMM calls and
+      hoists per-item GEMV/rank-1 calls into whole-batch GEMMs;
+    + {!Fusion} (with {!Tiling}) groups fusable units, tiles the y
+      dimension and emits parallel-annotated sections.
+
+    The resulting sections are what {!Executor.prepare} code-generates. *)
+
+val compile : ?seed:int -> Config.t -> Net.t -> Program.t
+
+val dump : Program.t -> string
+(** Human-readable listing of every section's IR (the [--dump-ir]
+    output of the CLI). *)

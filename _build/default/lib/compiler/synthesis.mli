@@ -1,0 +1,68 @@
+(** Program synthesis (§5.3).
+
+    Walks the data-flow graph in topological order and, for every
+    ensemble, synthesizes per-item loop nests from its neuron kernels:
+
+    - kernel references are rewritten from the per-neuron (AoS) view to
+      the struct-of-arrays buffer layout chosen by {!Layout};
+    - data-copy tasks are generated for connections that materialize
+      input buffers (convolution windows, general gathers), guided by
+      shared-variable analysis which drops uniform dimensions;
+    - direct-access connections (pooling, activations) are expanded into
+      affine window loops over the source buffers;
+    - whole-buffer initialization (Memset) is hoisted out of the batch
+      loop.
+
+    The result is a list of per-ensemble {!unit_code}s for each
+    direction plus the fully allocated buffer pool. Later phases
+    (pattern matching, tiling, fusion, parallelization) transform these
+    units before they are assembled into a {!Program.t}. *)
+
+type spatial = {
+  y_var : string;  (** Loop variable of ensemble dimension 0. *)
+  y_extent : int;
+}
+
+type fuse_meta = {
+  fuse_source : string;  (** The single input ensemble. *)
+  dep_y : int;  (** Dependence distance along y (§5.4.2). *)
+  window_y : int;  (** Window extent along y. *)
+  exact : bool;
+      (** Windows tile the source exactly (distance = extent, no
+          padding) and the access is in-place/direct — the precondition
+          for fusing this unit onto its producer. *)
+}
+
+type unit_code = {
+  ens : string;
+  pre : Ir.stmt list;  (** Whole-buffer statements, outside the batch loop. *)
+  body : Ir.stmt list;  (** Per-item statements; batch index = {!batch_var}. *)
+  spatial : spatial option;
+  fuse : fuse_meta option;
+  barrier : bool;  (** Unfuseable (NormalizationEnsembles, gathers). *)
+  global : bool;
+      (** Body runs once per pass, not under the batch loop (whole-batch
+          normalization operations). *)
+}
+
+type plan = {
+  net : Net.t;
+  config : Config.t;
+  buffers : Buffer_pool.t;
+  fwd_units : unit_code list;
+  bwd_units : unit_code list;  (** Reverse topological order. *)
+  zero_grads : Ir.stmt list;
+      (** Memsets clearing every gradient accumulator, run at the start
+          of each backward pass. *)
+  params : Program.param list;
+  grad_sizes : (string * int) list;
+}
+
+val batch_var : string
+(** The loop variable of the outermost per-item loop (["n"]). *)
+
+val dim_var : string -> int -> string
+(** [dim_var ens j] names the loop variable of ensemble dimension [j]. *)
+
+val run : ?seed:int -> Config.t -> Net.t -> plan
+(** Synthesize and allocate. [seed] drives parameter initialization. *)

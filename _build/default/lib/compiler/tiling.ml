@@ -1,0 +1,56 @@
+open Ir
+
+let restrict_gemm ~y0 ~y1 (g : gemm) =
+  match g.gemm_tile with
+  | None -> Gemm g
+  | Some { role; rows_per_y; y_extent = _ } ->
+      let rows = Imul (Isub (y1, y0), Iconst rows_per_y) in
+      let start = Imul (y0, Iconst rows_per_y) in
+      let shift off per_row = simplify_iexpr (Iadd (off, Imul (start, per_row))) in
+      (match role with
+      | Rows_m ->
+          (* A row block of op(A) and C (transa = false guaranteed by the
+             matcher when this role is recorded). *)
+          Gemm
+            {
+              g with
+              m = simplify_iexpr rows;
+              off_a = shift g.off_a g.k;
+              off_c = shift g.off_c g.n;
+            }
+      | Rows_k ->
+          (* A row block of the k dimension: partial sums accumulate into
+             the full C (transa = true, transb = false guaranteed). *)
+          Gemm
+            {
+              g with
+              k = simplify_iexpr rows;
+              off_a = shift g.off_a g.m;
+              off_b = shift g.off_b g.n;
+            })
+
+let restrict ~y_var ~y0 ~y1 stmts =
+  let rec go s =
+    match s with
+    | For l when String.equal l.var y_var ->
+        (* Intersect with existing bounds: copy tasks clamp their y
+           loops against the source extent (padding), and restriction
+           must preserve that. *)
+        For
+          {
+            l with
+            lo = simplify_iexpr (Imax (l.lo, y0));
+            hi = simplify_iexpr (Imin (l.hi, y1));
+            body = List.map go l.body;
+          }
+    | For l -> For { l with body = List.map go l.body }
+    | If (c, t, e) -> If (c, List.map go t, List.map go e)
+    | Gemm g -> restrict_gemm ~y0 ~y1 g
+    | Store _ | Accum _ | Memset _ | Fusion_barrier _ | Extern _ -> s
+  in
+  List.map go stmts
+
+let choose_tile_rows ~extent ~target =
+  let target = max 1 (min target extent) in
+  let rec search t = if t >= 1 && extent mod t = 0 then t else search (t - 1) in
+  search target

@@ -1,0 +1,14 @@
+(** Loop tiling support (§5.4.1).
+
+    A unit's body is *restricted* to a band of its spatial y dimension:
+    loops over the unit's y variable get clamped bounds, and GEMM calls
+    carrying {!Ir.gemm_tile} metadata are narrowed to the corresponding
+    contiguous row block (partial-k accumulation for weight-gradient
+    GEMMs). Restriction is the primitive both standalone tiling and
+    cross-layer fusion are built from. *)
+
+val restrict :
+  y_var:string -> y0:Ir.iexpr -> y1:Ir.iexpr -> Ir.stmt list -> Ir.stmt list
+
+val choose_tile_rows : extent:int -> target:int -> int
+(** Largest divisor of [extent] that is at most [target] (at least 1). *)

@@ -1,0 +1,1 @@
+lib/core/ensemble.ml: Connection Neuron Shape Tensor

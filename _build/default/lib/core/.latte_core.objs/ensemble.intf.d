@@ -1,0 +1,1 @@
+lib/core/ensemble.mli: Connection Neuron Shape Tensor

@@ -1,0 +1,1 @@
+lib/core/net.ml: Connection Dataflow Ensemble Hashtbl List Mapping Printf

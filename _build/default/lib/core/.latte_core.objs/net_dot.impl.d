@@ -1,0 +1,1 @@
+lib/core/net_dot.ml: Buffer Connection Ensemble Fun List Mapping Net Neuron Printf Shape

@@ -1,0 +1,1 @@
+lib/core/neuron.ml: Ir Kernel List Printf String

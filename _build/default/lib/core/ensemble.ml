@@ -1,0 +1,42 @@
+type norm_bufs = {
+  value : string;
+  grad : string;
+  src_value : string;
+  src_grad : string option;
+}
+
+type norm_fn = bufs:norm_bufs -> lookup:(string -> Tensor.t) -> item:int -> unit
+
+type norm_ops = {
+  fwd : norm_fn;
+  bwd : norm_fn option;
+  extra_reads : string list;
+  extra_writes : string list;
+  per_item : bool;
+}
+
+type kind =
+  | Data
+  | Compute of Neuron.t
+  | Activation of Neuron.t
+  | Normalization of norm_ops
+  | Concat
+
+type t = {
+  name : string;
+  shape : Shape.t;
+  kind : kind;
+  mutable connections : Connection.t list;
+}
+
+let create ~name ~shape kind =
+  { name; shape = Shape.create shape; kind; connections = [] }
+
+let neuron t =
+  match t.kind with
+  | Compute n | Activation n -> Some n
+  | Data | Normalization _ | Concat -> None
+
+let size t = Shape.numel t.shape
+
+let needs_grad t = match t.kind with Data -> false | _ -> true

@@ -1,0 +1,59 @@
+(** Ensembles: homogeneous n-dimensional collections of neurons (§3.2).
+
+    Alongside the fundamental compute ensemble, Latte provides
+    [ActivationEnsemble] (one-to-one, executed in place) and
+    [NormalizationEnsemble] (array-style operations such as softmax that
+    the compiler treats as opaque, unfuseable calls). *)
+
+type norm_bufs = {
+  value : string;  (** This ensemble's value buffer name. *)
+  grad : string;
+  src_value : string;  (** The (single) input ensemble's value buffer. *)
+  src_grad : string option;  (** None when the source needs no gradient. *)
+}
+
+type norm_fn = bufs:norm_bufs -> lookup:(string -> Tensor.t) -> item:int -> unit
+
+type norm_ops = {
+  fwd : norm_fn;
+  bwd : norm_fn option;
+  extra_reads : string list;
+      (** External buffers consumed (e.g. a label buffer). *)
+  extra_writes : string list;  (** External buffers produced (e.g. loss). *)
+  per_item : bool;
+      (** When true (the common case) the operation runs once per batch
+          item under the batch loop; when false it runs once per pass
+          over the whole batch (batch normalization). *)
+}
+
+type kind =
+  | Data  (** Holds network inputs; no synthesized computation. *)
+  | Compute of Neuron.t
+  | Activation of Neuron.t
+      (** One-to-one with its input and computed in place: value and
+          gradient buffers alias the source's (§3.2). *)
+  | Normalization of norm_ops
+  | Concat
+      (** Concatenates its input ensembles along the last (channel)
+          dimension, in connection order; all inputs share the leading
+          dimensions. Used to reassemble grouped convolutions. *)
+
+type t = {
+  name : string;
+  shape : Shape.t;  (** Extents of the neuron array. *)
+  kind : kind;
+  mutable connections : Connection.t list;
+      (** Input connections, in group order (group [g] of the neuron
+          kernel refers to the [g]-th element). *)
+}
+
+val create : name:string -> shape:int list -> kind -> t
+
+val neuron : t -> Neuron.t option
+(** The neuron type for [Compute]/[Activation] ensembles. *)
+
+val size : t -> int
+(** Number of neurons. *)
+
+val needs_grad : t -> bool
+(** False for [Data] ensembles: nothing upstream learns from them. *)

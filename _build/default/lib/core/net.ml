@@ -1,0 +1,65 @@
+type t = {
+  batch_size : int;
+  graph : Dataflow.t;
+  tbl : (string, Ensemble.t) Hashtbl.t;
+  mutable rev_order : string list;
+  mutable externals : (string * int list) list;
+}
+
+let create ~batch_size =
+  if batch_size <= 0 then invalid_arg "Net.create: batch_size must be positive";
+  {
+    batch_size;
+    graph = Dataflow.create ();
+    tbl = Hashtbl.create 16;
+    rev_order = [];
+    externals = [];
+  }
+
+let batch_size t = t.batch_size
+
+let add t (e : Ensemble.t) =
+  if Hashtbl.mem t.tbl e.name then
+    invalid_arg (Printf.sprintf "Net.add: duplicate ensemble %s" e.name);
+  Hashtbl.replace t.tbl e.name e;
+  t.rev_order <- e.name :: t.rev_order;
+  Dataflow.add_node t.graph e.name;
+  e
+
+let find t name = Hashtbl.find t.tbl name
+let find_opt t name = Hashtbl.find_opt t.tbl name
+
+let add_connections t ~(source : Ensemble.t) ~(sink : Ensemble.t)
+    ?(recurrent = false) ?(access = Connection.Auto) mapping =
+  if not (Hashtbl.mem t.tbl source.name) then
+    invalid_arg (Printf.sprintf "Net.add_connections: unknown source %s" source.name);
+  if not (Hashtbl.mem t.tbl sink.name) then
+    invalid_arg (Printf.sprintf "Net.add_connections: unknown sink %s" sink.name);
+  (match Mapping.validate mapping ~src_shape:source.shape ~sink_shape:sink.shape with
+  | Ok () -> ()
+  | Error msg ->
+      invalid_arg
+        (Printf.sprintf "Net.add_connections %s -> %s: %s" source.name sink.name msg));
+  sink.connections <-
+    sink.connections @ [ Connection.create ~recurrent ~access ~source:source.name mapping ];
+  if not recurrent then Dataflow.add_edge t.graph ~src:source.name ~dst:sink.name
+
+let add_external t ~name ~item_shape =
+  if List.mem_assoc name t.externals then
+    invalid_arg (Printf.sprintf "Net.add_external: duplicate buffer %s" name);
+  t.externals <- t.externals @ [ (name, item_shape) ]
+
+let ensembles t = List.rev_map (find t) t.rev_order
+
+let externals t = t.externals
+
+let topo_order t =
+  match Dataflow.topo_sort t.graph with
+  | Ok names -> List.map (find t) names
+  | Error n ->
+      failwith
+        (Printf.sprintf "Net.topo_order: non-recurrent cycle through ensemble %s" n)
+
+let graph t = t.graph
+
+let source_of t (c : Connection.t) = find t c.source

@@ -1,0 +1,52 @@
+(** The network: a collection of connected ensembles (§3.4).
+
+    Construction mirrors the paper's API: create a [Net] with a batch
+    size, add ensembles, connect them with [add_connections], then hand
+    the net to the compiler ([Latte_compiler.Pipeline.compile]) and a
+    solver. *)
+
+type t
+
+val create : batch_size:int -> t
+
+val batch_size : t -> int
+
+val add : t -> Ensemble.t -> Ensemble.t
+(** Registers the ensemble; returns it for chaining. Raises
+    [Invalid_argument] on duplicate names. *)
+
+val add_connections :
+  t ->
+  source:Ensemble.t ->
+  sink:Ensemble.t ->
+  ?recurrent:bool ->
+  ?access:Connection.access_hint ->
+  Mapping.t ->
+  unit
+(** Connects every neuron of [sink] to the neurons of [source] selected
+    by the mapping function (§3.3). Validates the mapping against both
+    shapes. Non-recurrent connections contribute a data-flow edge. *)
+
+val add_external : t -> name:string -> item_shape:int list -> unit
+(** Registers an auxiliary per-item buffer (labels, loss outputs) that
+    data layers and normalization ensembles may read or write. The
+    runtime allocates it with shape [batch; item_shape...]. *)
+
+val find : t -> string -> Ensemble.t
+(** Raises [Not_found]. *)
+
+val find_opt : t -> string -> Ensemble.t option
+
+val ensembles : t -> Ensemble.t list
+(** In insertion order. *)
+
+val externals : t -> (string * int list) list
+
+val topo_order : t -> Ensemble.t list
+(** Topological order of the (non-recurrent) data-flow graph; raises
+    [Failure] on a non-recurrent cycle. *)
+
+val graph : t -> Dataflow.t
+
+val source_of : t -> Connection.t -> Ensemble.t
+(** Resolve a connection's source ensemble. *)

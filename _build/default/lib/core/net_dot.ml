@@ -1,0 +1,56 @@
+let kind_label (e : Ensemble.t) =
+  match e.kind with
+  | Ensemble.Data -> "data"
+  | Ensemble.Compute n -> n.Neuron.type_name
+  | Ensemble.Activation n -> n.Neuron.type_name ^ " (act)"
+  | Ensemble.Normalization _ -> "normalization"
+  | Ensemble.Concat -> "concat"
+
+let kind_color (e : Ensemble.t) =
+  match e.kind with
+  | Ensemble.Data -> "lightgray"
+  | Ensemble.Compute _ -> "lightblue"
+  | Ensemble.Activation _ -> "palegreen"
+  | Ensemble.Normalization _ -> "khaki"
+  | Ensemble.Concat -> "plum"
+
+let edge_label (c : Connection.t) (src : Ensemble.t) =
+  match c.mapping with
+  | Mapping.General _ -> "general"
+  | Mapping.Structured _ ->
+      if Mapping.is_identity c.mapping ~src_shape:src.Ensemble.shape
+           ~sink_shape:src.Ensemble.shape
+      then "1:1"
+      else
+        Printf.sprintf "win %d"
+          (Mapping.window_size c.mapping ~src_shape:src.Ensemble.shape)
+
+let to_dot net =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph latte {\n  rankdir=TB;\n  node [shape=box, style=filled];\n";
+  List.iter
+    (fun (e : Ensemble.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  \"%s\" [label=\"%s\\n%s %s\", fillcolor=%s];\n" e.name
+           e.name (kind_label e)
+           (Shape.to_string e.shape)
+           (kind_color e)))
+    (Net.ensembles net);
+  List.iter
+    (fun (e : Ensemble.t) ->
+      List.iter
+        (fun (c : Connection.t) ->
+          let src = Net.source_of net c in
+          Buffer.add_string buf
+            (Printf.sprintf "  \"%s\" -> \"%s\" [label=\"%s\"%s];\n" c.source
+               e.name (edge_label c src)
+               (if c.recurrent then ", style=dashed, constraint=false" else "")))
+        e.connections)
+    (Net.ensembles net);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write net path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc (to_dot net))

@@ -1,0 +1,9 @@
+(** Graphviz export of the ensemble graph — a quick way to see the
+    network structure the compiler consumes (ensembles as nodes,
+    connections as edges, recurrent edges dashed). *)
+
+val to_dot : Net.t -> string
+(** A complete [digraph] document. *)
+
+val write : Net.t -> string -> unit
+(** Write {!to_dot} to a file. *)

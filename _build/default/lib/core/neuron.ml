@@ -1,0 +1,177 @@
+type init =
+  | Zeros
+  | Const of float
+  | Xavier of { fan_in : int; fan_out : int }
+  | Gaussian of { mean : float; sigma : float }
+  | Uniform of { lo : float; hi : float }
+
+type field = {
+  name : string;
+  shape : int list;
+  varies_along : int list;
+  init : init;
+  learnable : bool;
+  lr_mult : float;
+}
+
+type t = {
+  type_name : string;
+  fields : field list;
+  forward : Ir.stmt list;
+  backward : Ir.stmt list;
+}
+
+let make_field ?(varies_along = []) ?(init = Zeros) ?(learnable = true)
+    ?(lr_mult = 1.0) ~name ~shape () =
+  { name; shape; varies_along; init; learnable; lr_mult }
+
+let create ~type_name ?(fields = []) ~forward ~backward () =
+  let names = List.map (fun f -> f.name) fields in
+  if List.length (List.sort_uniq String.compare names) <> List.length names then
+    invalid_arg (Printf.sprintf "Neuron.create %s: duplicate field names" type_name);
+  List.iter
+    (fun f ->
+      if List.sort compare f.varies_along <> f.varies_along then
+        invalid_arg
+          (Printf.sprintf "Neuron.create %s: field %s varies_along not sorted"
+             type_name f.name);
+      List.iter
+        (fun d ->
+          if d < 0 then
+            invalid_arg
+              (Printf.sprintf "Neuron.create %s: field %s negative dim" type_name
+                 f.name))
+        f.varies_along)
+    fields;
+  { type_name; fields; forward; backward }
+
+let find_field t name = List.find_opt (fun f -> String.equal f.name name) t.fields
+
+(* ------------------------------------------------------------------ *)
+(* Standard library neuron types                                       *)
+(* ------------------------------------------------------------------ *)
+
+open Kernel
+
+let fmul a b = Ir.Fbinop (Fmul, a, b)
+let fadd a b = Ir.Fbinop (Fadd, a, b)
+let fsub a b = Ir.Fbinop (Fsub, a, b)
+let fdiv a b = Ir.Fbinop (Fdiv, a, b)
+let fmax a b = Ir.Fbinop (Fmax, a, b)
+
+let weighted ~n_inputs ~varies_along ~fan_out =
+  let fields =
+    [
+      make_field ~name:"weights" ~shape:[ n_inputs ] ~varies_along
+        ~init:(Xavier { fan_in = n_inputs; fan_out })
+        ~lr_mult:1.0 ();
+      make_field ~name:"bias" ~shape:[ 1 ] ~varies_along ~init:Zeros
+        ~lr_mult:2.0 ();
+    ]
+  in
+  let forward =
+    [
+      (* Dot product of weights and inputs (Figure 3, lines 8-16). *)
+      for_inputs (fun i -> [ accum_value (fmul (field "weights" [ i ]) (input i)) ]);
+      accum_value (field "bias" [ Ir.int_ 0 ]);
+    ]
+  in
+  let backward =
+    [
+      (* Back-propagated gradient. *)
+      for_inputs (fun i ->
+          [ accum_grad_input i (fmul (field "weights" [ i ]) grad) ]);
+      (* Weight gradient. *)
+      for_inputs (fun i -> [ accum_grad_field "weights" [ i ] (fmul (input i) grad) ]);
+      (* Bias gradient. *)
+      accum_grad_field "bias" [ Ir.int_ 0 ] grad;
+    ]
+  in
+  create ~type_name:"WeightedNeuron" ~fields ~forward ~backward ()
+
+let max_pool =
+  let forward =
+    [
+      set_value (Ir.f neg_infinity);
+      for_inputs (fun i -> [ accum_value_max (input i) ]);
+    ]
+  in
+  let backward =
+    [
+      (* Route the gradient to the input(s) equal to the max. *)
+      for_inputs (fun i ->
+          [
+            accum_grad_input i
+              (Ir.Select (Ir.Fcmp (Ceq, input i, value), grad, Ir.f 0.0));
+          ]);
+    ]
+  in
+  create ~type_name:"MaxNeuron" ~forward ~backward ()
+
+let avg_pool =
+  let len_f = Ir.Float_of_int (input_len ()) in
+  let forward =
+    [
+      set_value (Ir.f 0.0);
+      for_inputs (fun i -> [ accum_value (input i) ]);
+      set_value (fdiv value len_f);
+    ]
+  in
+  let backward =
+    [ for_inputs (fun i -> [ accum_grad_input i (fdiv grad len_f) ]) ]
+  in
+  create ~type_name:"AvgNeuron" ~forward ~backward ()
+
+let relu =
+  let forward = [ set_value (fmax (input (Ir.int_ 0)) (Ir.f 0.0)) ] in
+  let backward =
+    [
+      accum_grad_input (Ir.int_ 0)
+        (Ir.Select (Ir.Fcmp (Cgt, value, Ir.f 0.0), grad, Ir.f 0.0));
+    ]
+  in
+  create ~type_name:"ReLUNeuron" ~forward ~backward ()
+
+let sigmoid =
+  let forward = [ set_value (Ir.Funop (Sigmoid, input (Ir.int_ 0))) ] in
+  let backward =
+    [
+      accum_grad_input (Ir.int_ 0)
+        (fmul grad (fmul value (fsub (Ir.f 1.0) value)));
+    ]
+  in
+  create ~type_name:"SigmoidNeuron" ~forward ~backward ()
+
+let tanh_ =
+  let forward = [ set_value (Ir.Funop (Tanh, input (Ir.int_ 0))) ] in
+  let backward =
+    [
+      accum_grad_input (Ir.int_ 0)
+        (fmul grad (fsub (Ir.f 1.0) (fmul value value)));
+    ]
+  in
+  create ~type_name:"TanhNeuron" ~forward ~backward ()
+
+let add2 =
+  let forward =
+    [ set_value (fadd (input ~group:0 (Ir.int_ 0)) (input ~group:1 (Ir.int_ 0))) ]
+  in
+  let backward =
+    [
+      accum_grad_input ~group:0 (Ir.int_ 0) grad;
+      accum_grad_input ~group:1 (Ir.int_ 0) grad;
+    ]
+  in
+  create ~type_name:"AddNeuron" ~forward ~backward ()
+
+let mul2 =
+  let forward =
+    [ set_value (fmul (input ~group:0 (Ir.int_ 0)) (input ~group:1 (Ir.int_ 0))) ]
+  in
+  let backward =
+    [
+      accum_grad_input ~group:0 (Ir.int_ 0) (fmul grad (input ~group:1 (Ir.int_ 0)));
+      accum_grad_input ~group:1 (Ir.int_ 0) (fmul grad (input ~group:0 (Ir.int_ 0)));
+    ]
+  in
+  create ~type_name:"MulNeuron" ~forward ~backward ()

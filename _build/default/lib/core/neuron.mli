@@ -1,0 +1,85 @@
+(** Neuron type descriptors — the paper's [@neuron type] declarations.
+
+    A neuron type bundles the extra per-neuron state (fields such as
+    weights and biases, §3.1) with forward and backward kernels written
+    in the {!Latte_kernel.Kernel} language. All neurons of an ensemble
+    share one type, which is what lets the compiler synthesize a single
+    loop nest for the whole ensemble (§5.3). *)
+
+type init =
+  | Zeros
+  | Const of float
+  | Xavier of { fan_in : int; fan_out : int }
+  | Gaussian of { mean : float; sigma : float }
+  | Uniform of { lo : float; hi : float }
+
+type field = {
+  name : string;
+  shape : int list;  (** Per-neuron shape of the field. *)
+  varies_along : int list;
+      (** Ensemble dimensions along which neurons have *distinct* field
+          values. Dimensions absent from this list share one copy — how
+          we express the aliasing that the paper's shared-variable
+          analysis discovers (conv filters: [varies_along = [2]] for an
+          [h; w; f] ensemble). Must be sorted ascending. *)
+  init : init;
+  learnable : bool;  (** Learnable fields get a gradient buffer and
+                         participate in solver updates. *)
+  lr_mult : float;  (** Per-parameter learning-rate multiplier
+                        ([Param(:weights, 1.0)] in Figure 4). *)
+}
+
+type t = {
+  type_name : string;
+  fields : field list;
+  forward : Ir.stmt list;  (** Kernel computing [value]. *)
+  backward : Ir.stmt list;
+      (** Kernel accumulating into [grad_input]s and field gradients. *)
+}
+
+val create :
+  type_name:string ->
+  ?fields:field list ->
+  forward:Ir.stmt list ->
+  backward:Ir.stmt list ->
+  unit ->
+  t
+(** Validates that field names are distinct and [varies_along] sorted. *)
+
+val make_field :
+  ?varies_along:int list ->
+  ?init:init ->
+  ?learnable:bool ->
+  ?lr_mult:float ->
+  name:string ->
+  shape:int list ->
+  unit ->
+  field
+
+val find_field : t -> string -> field option
+
+(** {2 Standard library neuron types} *)
+
+val weighted : n_inputs:int -> varies_along:int list -> fan_out:int -> t
+(** The WeightedNeuron of Figure 3: dot product of the input vector with
+    a [weights] field plus a [bias]. [varies_along] positions the
+    weights in the ensemble (FC: every dim; conv: channel dim only). *)
+
+val max_pool : t
+(** Computes the max of its inputs; backward routes the gradient to the
+    arg-max input(s). *)
+
+val avg_pool : t
+
+val relu : t
+(** For use in ActivationEnsembles: value = max(input, 0). *)
+
+val sigmoid : t
+val tanh_ : t
+
+val add2 : t
+(** value = input0 + input1 (element of each group), the [+] ensemble of
+    the LSTM example (Figure 6). *)
+
+val mul2 : t
+(** value = input0 * input1. *)

@@ -1,0 +1,1 @@
+lib/distributed/accel_sim.ml: Cost_model Float Machine Program

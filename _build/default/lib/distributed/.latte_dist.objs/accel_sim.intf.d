@@ -1,0 +1,1 @@
+lib/distributed/accel_sim.mli: Machine Program

@@ -1,0 +1,1 @@
+lib/distributed/cluster_sim.ml: Cost_model Float List Machine Program

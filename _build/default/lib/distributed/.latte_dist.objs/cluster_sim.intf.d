@@ -1,0 +1,1 @@
+lib/distributed/cluster_sim.mli: Machine Program

@@ -1,0 +1,1 @@
+lib/distributed/data_parallel.ml: Array Executor List Models Pipeline Program Solver Synthetic Tensor Training

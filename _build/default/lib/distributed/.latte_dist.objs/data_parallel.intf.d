@@ -1,0 +1,1 @@
+lib/distributed/data_parallel.mli: Config Executor Models Solver Synthetic

@@ -1,0 +1,67 @@
+type result = {
+  n_accelerators : int;
+  chunk : int;
+  host_items : int;
+  step_seconds : float;
+  images_per_second : float;
+}
+
+let item_seconds cpu (prog : Program.t) =
+  Cost_model.program_time cpu prog `Both /. float_of_int prog.Program.batch_size
+
+let simulate ~host ~(accel : Machine.accelerator) ~n_accel ~prog ~batch
+    ~bytes_per_item ~grad_bytes =
+  let t_host_item = item_seconds host prog in
+  let t_acc_item = item_seconds accel.acc_cpu prog in
+  let pcie = accel.pcie_gbs *. 1e9 in
+  let transfer_item = bytes_per_item /. pcie in
+  let grad_return = (grad_bytes /. pcie) +. (accel.pcie_latency_us *. 1e-6) in
+  let acc_time chunk =
+    (* Input transfers are double-buffered behind compute; the gradient
+       return at the chunk boundary is exposed. *)
+    Float.max
+      (float_of_int chunk *. t_acc_item)
+      (float_of_int chunk *. transfer_item)
+    +. grad_return
+  in
+  let host_time items = float_of_int items *. t_host_item in
+  if n_accel = 0 then
+    {
+      n_accelerators = 0;
+      chunk = 0;
+      host_items = batch;
+      step_seconds = host_time batch;
+      images_per_second = float_of_int batch /. host_time batch;
+    }
+  else begin
+    (* §6.1: start accelerator chunks at 16 and grow until the chunk
+       time matches the host's time on the remainder. *)
+    let best = ref None in
+    let chunk = ref 16 in
+    let continue_ = ref true in
+    while !continue_ do
+      let c = !chunk in
+      let host_items = batch - (n_accel * c) in
+      if host_items < 0 then continue_ := false
+      else begin
+        let step = Float.max (host_time host_items) (acc_time c) in
+        (match !best with
+        | Some (_, s) when s <= step -> ()
+        | _ -> best := Some (c, step));
+        if acc_time c >= host_time host_items then continue_ := false
+        else chunk := c + 16
+      end
+    done;
+    let c, step =
+      match !best with
+      | Some r -> r
+      | None -> (0, host_time batch)
+    in
+    {
+      n_accelerators = n_accel;
+      chunk = c;
+      host_items = batch - (n_accel * c);
+      step_seconds = step;
+      images_per_second = float_of_int batch /. step;
+    }
+  end

@@ -1,0 +1,33 @@
+(** Intra-node heterogeneous scheduling simulator (§6.1, Figure 17).
+
+    Models the runtime's two techniques: input double buffering (input
+    transfer hidden behind compute after the first chunk) and
+    host/accelerator work splitting with the one-time linear chunk-size
+    search that balances accelerator chunk time against host time for
+    the rest of the batch. Gradient return from the card at each chunk
+    boundary is not overlapped, which the paper identifies as the
+    throughput limiter. *)
+
+type result = {
+  n_accelerators : int;
+  chunk : int;  (** Chosen accelerator chunk size. *)
+  host_items : int;
+  step_seconds : float;
+  images_per_second : float;
+}
+
+val item_seconds : Machine.cpu -> Program.t -> float
+(** Modeled training time per image on the given compute device. *)
+
+val simulate :
+  host:Machine.cpu ->
+  accel:Machine.accelerator ->
+  n_accel:int ->
+  prog:Program.t ->
+  batch:int ->
+  bytes_per_item:float ->
+  grad_bytes:float ->
+  result
+(** [prog] provides per-item costs (scaled from its batch size);
+    [bytes_per_item] is the input transfer per image and [grad_bytes]
+    the gradients returned per chunk. *)

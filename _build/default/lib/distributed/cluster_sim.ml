@@ -1,0 +1,79 @@
+type result = {
+  nodes : int;
+  local_batch : int;
+  compute_seconds : float;
+  step_seconds : float;
+  comm_seconds : float;
+  exposed_comm_seconds : float;
+  images_per_second : float;
+}
+
+let allreduce_seconds (nic : Machine.nic) ~nodes ~bytes =
+  if nodes <= 1 then 0.0
+  else
+    let stages = float_of_int (2 * (nodes - 1)) in
+    let chunk = bytes /. float_of_int nodes in
+    stages *. ((nic.latency_us *. 1e-6) +. (chunk /. (nic.bw_gbs *. 1e9)))
+
+(* Gradient bytes released by a backward section: 4 bytes per learnable
+   element of each of its ensembles. *)
+let grad_bytes_of (prog : Program.t) (s : Program.section) =
+  List.fold_left
+    (fun acc ens ->
+      match List.assoc_opt ens prog.grad_sizes with
+      | Some n -> acc +. (4.0 *. float_of_int n)
+      | None -> acc)
+    0.0 s.Program.ensembles
+
+let simulate_step ~cpu ~nic ~nodes ~local_batch ~(prog : Program.t)
+    ?(overlap = true) () =
+  let replicate = float_of_int local_batch /. float_of_int prog.batch_size in
+  let buf_bytes = Cost_model.buf_bytes_of prog in
+  let est dirs = Cost_model.estimate_sections ~replicate cpu ~buf_bytes dirs in
+  let fwd = est prog.forward in
+  let bwd = est prog.backward in
+  let compute_seconds = fwd.total_seconds +. bwd.total_seconds in
+  (* Timeline: backward sections complete in order; each releases its
+     gradients to the NIC, which serializes reductions. *)
+  let t = ref fwd.total_seconds in
+  let nic_free = ref fwd.total_seconds in
+  let comm = ref 0.0 in
+  List.iter2
+    (fun (sec : Program.section) (e : Cost_model.section_estimate) ->
+      t := !t +. e.seconds;
+      let bytes = grad_bytes_of prog sec in
+      if bytes > 0.0 && nodes > 1 then begin
+        let dur = allreduce_seconds nic ~nodes ~bytes in
+        comm := !comm +. dur;
+        let start = Float.max !t !nic_free in
+        nic_free := start +. dur
+      end)
+    prog.backward bwd.sections;
+  let step_seconds =
+    if overlap then Float.max !t !nic_free
+    else
+      (* Synchronize everything after backward completes. *)
+      !t +. !comm
+  in
+  let exposed = step_seconds -. !t in
+  {
+    nodes;
+    local_batch;
+    compute_seconds;
+    step_seconds;
+    comm_seconds = !comm;
+    exposed_comm_seconds = Float.max 0.0 exposed;
+    images_per_second = float_of_int (nodes * local_batch) /. step_seconds;
+  }
+
+let strong_scaling ~cpu ~nic ~prog ~global_batch ~nodes_list =
+  List.map
+    (fun nodes ->
+      let local_batch = max 1 (global_batch / nodes) in
+      simulate_step ~cpu ~nic ~nodes ~local_batch ~prog ())
+    nodes_list
+
+let weak_scaling ~cpu ~nic ~prog ~per_node_batch ~nodes_list =
+  List.map
+    (fun nodes -> simulate_step ~cpu ~nic ~nodes ~local_batch:per_node_batch ~prog ())
+    nodes_list

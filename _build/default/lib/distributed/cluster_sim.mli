@@ -1,0 +1,55 @@
+(** Cluster-level data parallelism simulator (§5.3, §6, Figures 18-19).
+
+    Replays the runtime's execution strategy on an analytical timeline:
+    each node computes forward then backward over its local batch; as
+    each ensemble's backward section completes, its parameter gradients
+    are handed to an asynchronous allreduce (MPI 3 Iallreduce in the
+    paper) that proceeds concurrently with the remaining backward
+    compute, serialized on the NIC. The step ends when both compute and
+    the last reduction finish — reproducing the overlap that gives the
+    paper its near-linear scaling. *)
+
+type result = {
+  nodes : int;
+  local_batch : int;
+  compute_seconds : float;
+  step_seconds : float;
+  comm_seconds : float;  (** Total wire time of the reductions. *)
+  exposed_comm_seconds : float;  (** Portion not hidden by compute. *)
+  images_per_second : float;
+}
+
+val allreduce_seconds : Machine.nic -> nodes:int -> bytes:float -> float
+(** Ring allreduce: 2(n-1) stages of [bytes/n] each. *)
+
+val simulate_step :
+  cpu:Machine.cpu ->
+  nic:Machine.nic ->
+  nodes:int ->
+  local_batch:int ->
+  prog:Program.t ->
+  ?overlap:bool ->
+  unit ->
+  result
+(** [prog] must be compiled at batch size 1 (or any reference size); its
+    section costs are scaled to [local_batch]. [overlap:false] models a
+    runtime that synchronizes gradients only after backward completes
+    (the ablation of the §5.3 design choice). *)
+
+val strong_scaling :
+  cpu:Machine.cpu ->
+  nic:Machine.nic ->
+  prog:Program.t ->
+  global_batch:int ->
+  nodes_list:int list ->
+  result list
+(** Figure 18: fixed global batch split across nodes. *)
+
+val weak_scaling :
+  cpu:Machine.cpu ->
+  nic:Machine.nic ->
+  prog:Program.t ->
+  per_node_batch:int ->
+  nodes_list:int list ->
+  result list
+(** Figure 19: fixed batch per node. *)

@@ -1,0 +1,92 @@
+type mode = Synchronized | Lossy
+
+type worker = { spec : Models.spec; exec : Executor.t }
+
+type t = {
+  workers : worker array;
+  solver : Solver.t;  (** Owns optimizer state, bound to worker 0. *)
+  mode : mode;
+}
+
+let create ?(seed = 42) ~workers ~config ~build ~solver_method ~solver_params mode =
+  if workers < 1 then invalid_arg "Data_parallel.create: workers >= 1";
+  let mk () =
+    let spec = build () in
+    let prog = Pipeline.compile ~seed config spec.Models.net in
+    { spec; exec = Executor.prepare prog }
+  in
+  let workers = Array.init workers (fun _ -> mk ()) in
+  let solver = Solver.create ~params:solver_params solver_method workers.(0).exec in
+  { workers; solver; mode }
+
+let params_of w = (Executor.program w.exec).Program.params
+
+let iter_params t f =
+  List.iter f (params_of t.workers.(0))
+
+let broadcast t =
+  let w0 = t.workers.(0) in
+  iter_params t (fun (p : Program.param) ->
+      let src = Executor.lookup w0.exec p.value_buf in
+      Array.iteri
+        (fun k w ->
+          if k > 0 then Tensor.blit ~src ~dst:(Executor.lookup w.exec p.value_buf))
+        t.workers)
+
+let step t ~data ~batch_index =
+  let nw = Array.length t.workers in
+  let losses = ref 0.0 in
+  Array.iteri
+    (fun k w ->
+      let data_t = Executor.lookup w.exec (w.spec.Models.data_ens ^ ".value") in
+      let labels_t = Executor.lookup w.exec w.spec.Models.label_buf in
+      Synthetic.fill_batch data ~batch_index:((batch_index * nw) + k) ~data:data_t
+        ~labels:labels_t;
+      Executor.forward w.exec;
+      Executor.backward w.exec;
+      let loss = Executor.lookup w.exec w.spec.Models.loss_buf in
+      losses := !losses +. (Tensor.sum loss /. float_of_int (Tensor.numel loss)))
+    t.workers;
+  let w0 = t.workers.(0) in
+  (match t.mode with
+  | Synchronized ->
+      (* Gradient summation (§5.3), one optimizer step, broadcast. *)
+      iter_params t (fun (p : Program.param) ->
+          let dst = Executor.lookup w0.exec p.grad_buf in
+          Array.iteri
+            (fun k w ->
+              if k > 0 then
+                Tensor.add_inplace dst (Executor.lookup w.exec p.grad_buf))
+            t.workers);
+      Solver.update t.solver
+  | Lossy ->
+      (* Apply every worker's (stale) gradient as its own update, in
+         arrival order — the unsynchronized ∇-field semantics. *)
+      Array.iteri
+        (fun k w ->
+          if k > 0 then
+            iter_params t (fun (p : Program.param) ->
+                Tensor.blit
+                  ~src:(Executor.lookup w.exec p.grad_buf)
+                  ~dst:(Executor.lookup w0.exec p.grad_buf));
+          Solver.update t.solver)
+        t.workers);
+  broadcast t;
+  !losses /. float_of_int nw
+
+let train t ~data ~iters ?log () =
+  for it = 0 to iters - 1 do
+    let loss = step t ~data ~batch_index:it in
+    match log with
+    | Some f when it mod 20 = 0 || it = iters - 1 -> f ~iter:it ~loss
+    | _ -> ()
+  done
+
+let accuracy t ~data =
+  let w0 = t.workers.(0) in
+  Training.accuracy ~exec:w0.exec ~data
+    ~data_buf:(w0.spec.Models.data_ens ^ ".value")
+    ~label_buf:w0.spec.Models.label_buf
+    ~output_buf:(w0.spec.Models.output_ens ^ ".value")
+
+let primary t = t.workers.(0).exec

@@ -1,0 +1,45 @@
+(** In-process data-parallel training with synchronized or lossy
+    gradients (§3.1, §7.3 / Figure 20).
+
+    Instantiates one compiled replica per worker (identical initial
+    parameters). Each step, workers compute gradients on disjoint batch
+    shards; then either
+
+    - [Synchronized]: gradients are summed (the runtime's gradient
+      summation) and one update is applied, after which parameters are
+      broadcast back — semantically one large-batch SGD step; or
+    - [Lossy]: every worker's gradient — all computed from the *same
+      stale* parameters — is applied as its own update in sequence,
+      reproducing the unsynchronized in-place updates Project Adam and
+      Latte's ∇-field mode allow.
+
+    Figure 20's claim is that the two reach the same accuracy. *)
+
+type mode = Synchronized | Lossy
+
+type t
+
+val create :
+  ?seed:int ->
+  workers:int ->
+  config:Config.t ->
+  build:(unit -> Models.spec) ->
+  solver_method:Solver.method_ ->
+  solver_params:Solver.params ->
+  mode ->
+  t
+
+val step : t -> data:Synthetic.dataset -> batch_index:int -> float
+(** One data-parallel step over [workers] consecutive batch shards;
+    returns the mean loss across workers. *)
+
+val train :
+  t -> data:Synthetic.dataset -> iters:int ->
+  ?log:(iter:int -> loss:float -> unit) -> unit -> unit
+
+val accuracy : t -> data:Synthetic.dataset -> float
+(** Top-1 accuracy of worker 0's replica (all replicas agree after a
+    synchronized step; in lossy mode replicas share the final merged
+    parameters). *)
+
+val primary : t -> Executor.t

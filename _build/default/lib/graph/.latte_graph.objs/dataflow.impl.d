@@ -1,0 +1,1 @@
+lib/graph/dataflow.ml: Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/graph/mapping.ml: Array Fun Printf Shape

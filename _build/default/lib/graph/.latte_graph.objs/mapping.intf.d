@@ -1,0 +1,1 @@
+lib/graph/mapping.mli: Shape

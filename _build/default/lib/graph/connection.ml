@@ -1,0 +1,11 @@
+type access_hint = Auto | Copy_task | Direct_index
+
+type t = {
+  source : string;
+  mapping : Mapping.t;
+  recurrent : bool;
+  access : access_hint;
+}
+
+let create ?(recurrent = false) ?(access = Auto) ~source mapping =
+  { source; mapping; recurrent; access }

@@ -1,0 +1,25 @@
+(** A connection between two ensembles: the paper's
+    [add_connections(net, source, sink, mapping)]. *)
+
+type access_hint =
+  | Auto
+      (** Let synthesis choose: alias for [All]/identity mappings, a
+          data-copy task for padded windows, direct indexing otherwise. *)
+  | Copy_task
+      (** Force materialization of a per-neuron input buffer (what conv
+          layers want so the compute can pattern-match to GEMM). *)
+  | Direct_index
+      (** Force reading the source's value buffer in place through
+          affine indices (what pooling wants). *)
+
+type t = {
+  source : string;  (** Source ensemble name. *)
+  mapping : Mapping.t;
+  recurrent : bool;
+      (** Recurrent edges carry values from the previous time step and
+          are excluded from the topological order. *)
+  access : access_hint;
+}
+
+val create :
+  ?recurrent:bool -> ?access:access_hint -> source:string -> Mapping.t -> t

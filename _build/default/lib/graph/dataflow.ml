@@ -1,0 +1,69 @@
+type t = {
+  mutable order : string list;  (* reverse insertion order *)
+  preds : (string, string list) Hashtbl.t;
+  succs : (string, string list) Hashtbl.t;
+}
+
+let create () = { order = []; preds = Hashtbl.create 16; succs = Hashtbl.create 16 }
+
+let mem t n = Hashtbl.mem t.preds n
+
+let add_node t n =
+  if not (mem t n) then begin
+    t.order <- n :: t.order;
+    Hashtbl.replace t.preds n [];
+    Hashtbl.replace t.succs n []
+  end
+
+let add_edge t ~src ~dst =
+  add_node t src;
+  add_node t dst;
+  Hashtbl.replace t.preds dst (src :: Hashtbl.find t.preds dst);
+  Hashtbl.replace t.succs src (dst :: Hashtbl.find t.succs src)
+
+let nodes t = List.rev t.order
+
+let predecessors t n =
+  match Hashtbl.find_opt t.preds n with
+  | Some l -> List.rev l
+  | None -> failwith (Printf.sprintf "Dataflow: unknown node %s" n)
+
+let successors t n =
+  match Hashtbl.find_opt t.succs n with
+  | Some l -> List.rev l
+  | None -> failwith (Printf.sprintf "Dataflow: unknown node %s" n)
+
+let topo_sort t =
+  let indeg = Hashtbl.create 16 in
+  let all = nodes t in
+  List.iter (fun n -> Hashtbl.replace indeg n (List.length (predecessors t n))) all;
+  (* Stable Kahn: repeatedly take the first insertion-order node with
+     in-degree zero. Quadratic, but ensemble counts are tiny. *)
+  let result = ref [] in
+  let remaining = ref all in
+  let progress = ref true in
+  while !remaining <> [] && !progress do
+    match List.find_opt (fun n -> Hashtbl.find indeg n = 0) !remaining with
+    | None -> progress := false
+    | Some n ->
+        result := n :: !result;
+        remaining := List.filter (fun m -> not (String.equal m n)) !remaining;
+        List.iter
+          (fun s -> Hashtbl.replace indeg s (Hashtbl.find indeg s - 1))
+          (successors t n)
+  done;
+  match !remaining with
+  | [] -> Ok (List.rev !result)
+  | n :: _ -> Error n
+
+let has_path t ~src ~dst =
+  let visited = Hashtbl.create 16 in
+  let rec go n =
+    String.equal n dst
+    || (not (Hashtbl.mem visited n))
+       && begin
+            Hashtbl.replace visited n ();
+            List.exists go (successors t n)
+          end
+  in
+  if not (mem t src) then false else go src

@@ -1,0 +1,28 @@
+(** The ensemble-level data-flow graph.
+
+    Nodes are ensemble names; a (non-recurrent) connection from [a] to
+    [b] is an edge [a -> b]. The compiler synthesizes code in a
+    topological order of this graph; recurrent edges are ignored for
+    ordering (they read the previous time step). *)
+
+type t
+
+val create : unit -> t
+
+val add_node : t -> string -> unit
+(** Idempotent. *)
+
+val add_edge : t -> src:string -> dst:string -> unit
+(** Adds both endpoints as needed. *)
+
+val nodes : t -> string list
+(** In insertion order. *)
+
+val predecessors : t -> string -> string list
+val successors : t -> string -> string list
+
+val topo_sort : t -> (string list, string) result
+(** Kahn's algorithm, stable with respect to insertion order. Returns
+    [Error cycle_member] when the graph has a cycle. *)
+
+val has_path : t -> src:string -> dst:string -> bool

@@ -1,0 +1,146 @@
+
+type dim_spec =
+  | All
+  | Eq of int
+  | Window of { sink_dim : int; stride : int; offset : int; size : int }
+  | Fixed of int
+  | Slice of { lo : int; size : int }
+
+type t =
+  | Structured of dim_spec array
+  | General of (int array -> (int * int) array)
+
+let one_to_one ~rank = Structured (Array.init rank (fun i -> Eq i))
+let all ~rank = Structured (Array.make rank All)
+
+let window2d ?(channel_dims = 1) ~kernel ~stride ~pad () =
+  let spatial d = Window { sink_dim = d; stride; offset = -pad; size = kernel } in
+  Structured
+    (Array.init (2 + channel_dims) (fun d -> if d < 2 then spatial d else All))
+
+let spec_range spec ~sink_idx ~extent =
+  match spec with
+  | All -> (0, extent)
+  | Eq d -> (sink_idx.(d), sink_idx.(d) + 1)
+  | Fixed k -> (k, k + 1)
+  | Slice { lo; size } -> (lo, lo + size)
+  | Window { sink_dim; stride; offset; size } ->
+      let lo = (stride * sink_idx.(sink_dim)) + offset in
+      (lo, lo + size)
+
+let ranges t ~sink_idx ~src_shape =
+  match t with
+  | General f -> f sink_idx
+  | Structured specs ->
+      if Array.length specs <> Shape.rank src_shape then
+        invalid_arg "Mapping.ranges: rank mismatch with source shape";
+      Array.mapi
+        (fun i spec -> spec_range spec ~sink_idx ~extent:src_shape.(i))
+        specs
+
+let window_extents t ~src_shape =
+  match t with
+  | General f ->
+      let probe = f (Array.make 8 0) in
+      Array.map (fun (lo, hi) -> hi - lo) probe
+  | Structured specs ->
+      Array.mapi
+        (fun i spec ->
+          match spec with
+          | All -> src_shape.(i)
+          | Eq _ | Fixed _ -> 1
+          | Slice { size; _ } -> size
+          | Window { size; _ } -> size)
+        specs
+
+let window_size t ~src_shape =
+  Array.fold_left ( * ) 1 (window_extents t ~src_shape)
+
+let depends_on_sink_dim t d =
+  match t with
+  | General _ -> true
+  | Structured specs ->
+      Array.exists
+        (fun spec ->
+          match spec with
+          | All | Fixed _ | Slice _ -> false
+          | Eq d' -> d' = d
+          | Window { sink_dim; _ } -> sink_dim = d)
+        specs
+
+let dep_distance t ~sink_dim =
+  match t with
+  | General _ -> None
+  | Structured specs ->
+      (* The distance is determined by the spec driven by [sink_dim];
+         if no spec is driven by it the window never moves (distance 0).
+         An [All] spec anywhere makes the layer's input dependence total
+         in that source dim but does not affect movement along
+         [sink_dim]. *)
+      let moved = ref (Some 0) in
+      Array.iter
+        (fun spec ->
+          match spec with
+          | All | Fixed _ | Slice _ -> ()
+          | Eq d -> if d = sink_dim then moved := Some 1
+          | Window { sink_dim = d; stride; _ } ->
+              if d = sink_dim then moved := Some stride)
+        specs;
+      !moved
+
+let is_identity t ~src_shape ~sink_shape =
+  match t with
+  | General _ -> false
+  | Structured specs ->
+      Shape.equal src_shape sink_shape
+      && Array.length specs = Shape.rank src_shape
+      && Array.for_all2
+           (fun spec d ->
+             match spec with
+             | Eq d' -> d' = d
+             | Window { sink_dim; stride; offset; size } ->
+                 sink_dim = d && stride = 1 && offset = 0 && size = 1
+             | All | Fixed _ | Slice _ -> false)
+           specs
+           (Array.init (Array.length specs) Fun.id)
+
+let validate t ~src_shape ~sink_shape =
+  match t with
+  | General _ -> Ok ()
+  | Structured specs ->
+      if Array.length specs <> Shape.rank src_shape then
+        Error
+          (Printf.sprintf "mapping has %d dim specs but source has rank %d"
+             (Array.length specs) (Shape.rank src_shape))
+      else begin
+        let sink_rank = Shape.rank sink_shape in
+        let err = ref None in
+        Array.iteri
+          (fun i spec ->
+            let check_sink d =
+              if d < 0 || d >= sink_rank then
+                err :=
+                  Some
+                    (Printf.sprintf
+                       "dim spec %d references sink dim %d (sink rank %d)" i d
+                       sink_rank)
+            in
+            match spec with
+            | All -> ()
+            | Eq d -> check_sink d
+            | Window { sink_dim; stride; size; _ } ->
+                check_sink sink_dim;
+                if stride <= 0 || size <= 0 then
+                  err := Some (Printf.sprintf "dim spec %d: non-positive stride/size" i)
+            | Fixed k ->
+                if k < 0 || k >= src_shape.(i) then
+                  err := Some (Printf.sprintf "dim spec %d: fixed index %d out of range" i k)
+            | Slice { lo; size } ->
+                if lo < 0 || size <= 0 || lo + size > src_shape.(i) then
+                  err :=
+                    Some
+                      (Printf.sprintf "dim spec %d: slice [%d,%d) out of range" i lo
+                         (lo + size)))
+          specs;
+        match !err with Some e -> Error e | None -> Ok ()
+      end

@@ -1,0 +1,69 @@
+(** Connection mapping functions.
+
+    In the paper a mapping is an arbitrary Julia function from a sink
+    neuron's index to a range of source neuron indices (Figure 5). We
+    represent the mappings that occur in practice *structurally*, one
+    {!dim_spec} per source-ensemble dimension, so that the compiler can
+    (a) decide uniformity for shared-variable analysis without
+    enumerating adjacency lists and (b) synthesize affine loop bounds.
+    An escape hatch ({!constructor:t.General}) keeps the full generality
+    of the paper at the cost of materialized index tables. *)
+
+type dim_spec =
+  | All  (** The full source dimension (fully-connected style). *)
+  | Eq of int  (** Source index equals sink dimension [i] (one-to-one). *)
+  | Window of { sink_dim : int; stride : int; offset : int; size : int }
+      (** Source range
+          [stride*sink.(sink_dim) + offset, ... + size), the
+          convolution/pooling pattern of Figure 5. May extend outside
+          the source extent (padding); consumers treat out-of-range taps
+          as zero. *)
+  | Fixed of int  (** A single constant source index. *)
+  | Slice of { lo : int; size : int }
+      (** A constant sub-range [lo, lo+size) of the source dimension —
+          grouped convolutions read a channel slice of their input. *)
+
+type t =
+  | Structured of dim_spec array
+  | General of (int array -> (int * int) array)
+      (** [f sink_idx] returns one half-open range per source dim. *)
+
+val one_to_one : rank:int -> t
+(** [Eq i] on every dimension. *)
+
+val all : rank:int -> t
+
+val window2d :
+  ?channel_dims:int -> kernel:int -> stride:int -> pad:int -> unit -> t
+(** The convolution/pooling mapping for a source of shape
+    [h; w; c(, ...)]: spatial windows on dims 0 and 1 driven by sink
+    dims 0 and 1, [All] on the trailing [channel_dims] dims. *)
+
+val ranges : t -> sink_idx:int array -> src_shape:Shape.t -> (int * int) array
+(** Concrete (unclipped) half-open ranges per source dimension. *)
+
+val window_extents : t -> src_shape:Shape.t -> int array
+(** Number of source elements selected per dimension (independent of the
+    sink index for structured mappings; for [General] it is probed at
+    the zero index). *)
+
+val window_size : t -> src_shape:Shape.t -> int
+(** Flattened input-vector length seen by each sink neuron. *)
+
+val depends_on_sink_dim : t -> int -> bool
+(** Shared-variable analysis: does the selected source range vary along
+    sink dimension [d]? [General] answers [true] conservatively. *)
+
+val dep_distance : t -> sink_dim:int -> int option
+(** Input dependence distance along [sink_dim]: how far the source
+    window moves per unit step of the sink index (§5.4.2). [Some 1] for
+    one-to-one, [Some stride] for windows, [None] when the dependence is
+    total ([All]) or unknown. *)
+
+val is_identity : t -> src_shape:Shape.t -> sink_shape:Shape.t -> bool
+(** True when the mapping connects each sink neuron to exactly the
+    source neuron with the same index (enables in-place execution of
+    ActivationEnsembles). *)
+
+val validate : t -> src_shape:Shape.t -> sink_shape:Shape.t -> (unit, string) result
+(** Checks rank agreement and that [Eq]/[Window] sink dims exist. *)

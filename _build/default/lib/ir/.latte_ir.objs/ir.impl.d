@@ -1,0 +1,1 @@
+lib/ir/ir.ml: Hashtbl List String Tensor

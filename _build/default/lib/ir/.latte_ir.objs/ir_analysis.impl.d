@@ -1,0 +1,1 @@
+lib/ir/ir_analysis.ml: Array Float Hashtbl Ir List Printf Shape String

@@ -1,0 +1,1 @@
+lib/ir/ir_compile.ml: Array Bigarray Blas Float Hashtbl Ir Ir_analysis Ir_eval List Option Printf Tensor

@@ -1,0 +1,1 @@
+lib/ir/ir_eval.ml: Array Blas Float Hashtbl Ir List Printf Shape Tensor

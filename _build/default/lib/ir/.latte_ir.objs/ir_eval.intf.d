@@ -1,0 +1,1 @@
+lib/ir/ir_eval.mli: Ir Tensor

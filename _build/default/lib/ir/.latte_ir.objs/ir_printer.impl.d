@@ -1,0 +1,1 @@
+lib/ir/ir_printer.ml: Buffer Format Ir List Printf String

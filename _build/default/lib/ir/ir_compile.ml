@@ -1,0 +1,647 @@
+open Ir
+
+let ug = Bigarray.Array1.unsafe_get
+let us = Bigarray.Array1.unsafe_set
+
+type ctx = {
+  lookup : string -> Tensor.t;
+  slots : (string, int) Hashtbl.t;
+  regs : int array;
+  stats : (string, int) Hashtbl.t;
+}
+
+type compiled = { entry : unit -> unit; ctx : ctx }
+
+let bump_stat ctx kind =
+  let n = Option.value ~default:0 (Hashtbl.find_opt ctx.stats kind) in
+  Hashtbl.replace ctx.stats kind (n + 1)
+
+(* ------------------------------------------------------------------ *)
+(* Variable slots                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let collect_vars free_vars stmts =
+  let tbl = Hashtbl.create 32 in
+  let order = ref [] in
+  let add v =
+    if not (Hashtbl.mem tbl v) then begin
+      Hashtbl.replace tbl v (Hashtbl.length tbl);
+      order := v :: !order
+    end
+  in
+  List.iter add free_vars;
+  let rec go s =
+    match s with
+    | For l ->
+        add l.var;
+        List.iter go l.body
+    | If (_, t, e) ->
+        List.iter go t;
+        List.iter go e
+    | Store _ | Accum _ | Memset _ | Gemm _ | Fusion_barrier _ | Extern _ -> ()
+  in
+  List.iter go stmts;
+  tbl
+
+let slot ctx v =
+  match Hashtbl.find_opt ctx.slots v with
+  | Some s -> s
+  | None -> failwith (Printf.sprintf "Ir_compile: unbound variable %s" v)
+
+(* ------------------------------------------------------------------ *)
+(* Generic expression compilation (closure per node)                   *)
+(* ------------------------------------------------------------------ *)
+
+let rec compile_i ctx e : unit -> int =
+  match simplify_iexpr e with
+  | Iconst n -> fun () -> n
+  | Ivar v ->
+      let s = slot ctx v in
+      let regs = ctx.regs in
+      fun () -> Array.unsafe_get regs s
+  | Iadd (a, b) ->
+      let ca = compile_i ctx a and cb = compile_i ctx b in
+      fun () -> ca () + cb ()
+  | Isub (a, b) ->
+      let ca = compile_i ctx a and cb = compile_i ctx b in
+      fun () -> ca () - cb ()
+  | Imul (a, b) ->
+      let ca = compile_i ctx a and cb = compile_i ctx b in
+      fun () -> ca () * cb ()
+  | Idiv (a, b) ->
+      let ca = compile_i ctx a and cb = compile_i ctx b in
+      fun () -> ca () / cb ()
+  | Imod (a, b) ->
+      let ca = compile_i ctx a and cb = compile_i ctx b in
+      fun () -> ca () mod cb ()
+  | Imin (a, b) ->
+      let ca = compile_i ctx a and cb = compile_i ctx b in
+      fun () -> min (ca ()) (cb ())
+  | Imax (a, b) ->
+      let ca = compile_i ctx a and cb = compile_i ctx b in
+      fun () -> max (ca ()) (cb ())
+
+let flat_of ctx buf idx =
+  let t = ctx.lookup buf in
+  let shape = Tensor.shape t in
+  (t, Ir_analysis.flat_index ~shape idx)
+
+let apply_unop = Ir_eval.apply_unop
+let apply_binop = Ir_eval.apply_binop
+
+let rec compile_f ctx e : unit -> float =
+  match e with
+  | Fconst x -> fun () -> x
+  | Float_of_int a ->
+      let ca = compile_i ctx a in
+      fun () -> float_of_int (ca ())
+  | Load (buf, idx) ->
+      let t, flat = flat_of ctx buf idx in
+      let data = Tensor.data t in
+      let ci = compile_i ctx flat in
+      fun () -> ug data (ci ())
+  | Funop (Neg, a) ->
+      let ca = compile_f ctx a in
+      fun () -> -.ca ()
+  | Funop (op, a) ->
+      let ca = compile_f ctx a in
+      let g = apply_unop op in
+      fun () -> g (ca ())
+  | Fbinop (Fadd, a, b) ->
+      let ca = compile_f ctx a and cb = compile_f ctx b in
+      fun () -> ca () +. cb ()
+  | Fbinop (Fmul, a, b) ->
+      let ca = compile_f ctx a and cb = compile_f ctx b in
+      fun () -> ca () *. cb ()
+  | Fbinop (op, a, b) ->
+      let ca = compile_f ctx a and cb = compile_f ctx b in
+      let g = apply_binop op in
+      fun () -> g (ca ()) (cb ())
+  | Select (c, a, b) ->
+      let cc = compile_c ctx c and ca = compile_f ctx a and cb = compile_f ctx b in
+      fun () -> if cc () then ca () else cb ()
+
+and compile_c ctx c : unit -> bool =
+  match c with
+  | Icmp (op, a, b) ->
+      let ca = compile_i ctx a and cb = compile_i ctx b in
+      let g : int -> int -> bool = Ir_eval.apply_cmp op in
+      fun () -> g (ca ()) (cb ())
+  | Fcmp (op, a, b) ->
+      let ca = compile_f ctx a and cb = compile_f ctx b in
+      let g : float -> float -> bool = Ir_eval.apply_cmp op in
+      fun () -> g (ca ()) (cb ())
+  | Cand (a, b) ->
+      let ca = compile_c ctx a and cb = compile_c ctx b in
+      fun () -> ca () && cb ()
+  | Cor (a, b) ->
+      let ca = compile_c ctx a and cb = compile_c ctx b in
+      fun () -> ca () || cb ()
+  | Cnot a ->
+      let ca = compile_c ctx a in
+      fun () -> not (ca ())
+
+(* ------------------------------------------------------------------ *)
+(* Specialized innermost-loop kernels                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* A strided access: flat index = base + i * stride, with [base] free of
+   the loop variable. [b] caches the resolved base on loop entry. *)
+type saccess = {
+  data : Tensor.buffer;
+  base : unit -> int;
+  stride : int;
+  mutable b : int;
+}
+
+type sval =
+  | Sconst of float
+  | Sload of saccess
+  | Sunop of funop * sval
+  | Sbinop of fbinop * sval * sval
+  | Sselect of scond * sval * sval
+
+and scond =
+  | Sicmp of cmp * sidx * sidx
+  | Sfcmp of cmp * sval * sval
+  | Sand of scond * scond
+  | Sor of scond * scond
+  | Snot of scond
+
+and sidx = { ibase : unit -> int; istride : int; mutable ib : int }
+
+exception Not_fast
+
+let rec to_sval ctx var e =
+  match e with
+  | Fconst x -> Sconst x
+  | Float_of_int a -> (
+      match simplify_iexpr a with
+      | Iconst n -> Sconst (float_of_int n)
+      | _ -> raise Not_fast)
+  | Load (buf, idx) ->
+      let t, flat = flat_of ctx buf idx in
+      let stride =
+        match Ir_analysis.stride_of ~var flat with
+        | Some s -> s
+        | None -> raise Not_fast
+      in
+      let base_e = subst_iexpr var (Iconst 0) flat in
+      Sload { data = Tensor.data t; base = compile_i ctx base_e; stride; b = 0 }
+  | Funop (op, a) -> Sunop (op, to_sval ctx var a)
+  | Fbinop (op, a, b) -> Sbinop (op, to_sval ctx var a, to_sval ctx var b)
+  | Select (c, a, b) ->
+      Sselect (to_scond ctx var c, to_sval ctx var a, to_sval ctx var b)
+
+and to_scond ctx var c =
+  match c with
+  | Icmp (op, a, b) -> Sicmp (op, to_sidx ctx var a, to_sidx ctx var b)
+  | Fcmp (op, a, b) -> Sfcmp (op, to_sval ctx var a, to_sval ctx var b)
+  | Cand (a, b) -> Sand (to_scond ctx var a, to_scond ctx var b)
+  | Cor (a, b) -> Sor (to_scond ctx var a, to_scond ctx var b)
+  | Cnot a -> Snot (to_scond ctx var a)
+
+and to_sidx ctx var e =
+  match Ir_analysis.stride_of ~var e with
+  | Some istride ->
+      let base_e = subst_iexpr var (Iconst 0) e in
+      { ibase = compile_i ctx base_e; istride; ib = 0 }
+  | None -> raise Not_fast
+
+let rec resolve_sval v =
+  match v with
+  | Sconst _ -> ()
+  | Sload a -> a.b <- a.base ()
+  | Sunop (_, a) -> resolve_sval a
+  | Sbinop (_, a, b) ->
+      resolve_sval a;
+      resolve_sval b
+  | Sselect (c, a, b) ->
+      resolve_scond c;
+      resolve_sval a;
+      resolve_sval b
+
+and resolve_scond c =
+  match c with
+  | Sicmp (_, a, b) ->
+      a.ib <- a.ibase ();
+      b.ib <- b.ibase ()
+  | Sfcmp (_, a, b) ->
+      resolve_sval a;
+      resolve_sval b
+  | Sand (a, b) | Sor (a, b) ->
+      resolve_scond a;
+      resolve_scond b
+  | Snot a -> resolve_scond a
+
+let rec eval_sval v i =
+  match v with
+  | Sconst x -> x
+  | Sload a -> ug a.data (a.b + (i * a.stride))
+  | Sunop (op, a) -> apply_unop op (eval_sval a i)
+  | Sbinop (Fadd, a, b) -> eval_sval a i +. eval_sval b i
+  | Sbinop (Fmul, a, b) -> eval_sval a i *. eval_sval b i
+  | Sbinop (op, a, b) -> apply_binop op (eval_sval a i) (eval_sval b i)
+  | Sselect (c, a, b) -> if eval_scond c i then eval_sval a i else eval_sval b i
+
+and eval_scond c i =
+  match c with
+  | Sicmp (op, a, b) ->
+      (Ir_eval.apply_cmp op : int -> int -> bool)
+        (a.ib + (i * a.istride))
+        (b.ib + (i * b.istride))
+  | Sfcmp (op, a, b) ->
+      (Ir_eval.apply_cmp op : float -> float -> bool) (eval_sval a i)
+        (eval_sval b i)
+  | Sand (a, b) -> eval_scond a i && eval_scond b i
+  | Sor (a, b) -> eval_scond a i || eval_scond b i
+  | Snot a -> not (eval_scond a i)
+
+type dst_kind = Dstore | Dsum | Dmax
+
+(* ------------------------------------------------------------------ *)
+(* Loop collapsing: merge [for v1 in 0..E1 { for v2 in 0..E2 { s } }]
+   into a single loop when every buffer access steps contiguously
+   across the pair (stride(v1) = E2 * stride(v2)) — the codegen-side
+   counterpart of the pattern matcher's loop flattening, which is what
+   turns synthesized elementwise nests into single long vectorizable
+   loops. *)
+
+let collapse_strides ctx ~v1 ~v2 ~e2 stmt =
+  let ok = ref true in
+  let check_idx buf idx =
+    let _, flat = flat_of ctx buf idx in
+    match (Ir_analysis.stride_of ~var:v1 flat, Ir_analysis.stride_of ~var:v2 flat) with
+    | Some s1, Some s2 -> if s1 <> e2 * s2 then ok := false
+    | _ -> ok := false
+  in
+  let rec go_f e =
+    match e with
+    | Fconst _ -> ()
+    | Float_of_int a -> go_i a
+    | Load (b, idx) -> check_idx b idx
+    | Funop (_, a) -> go_f a
+    | Fbinop (_, a, b) -> go_f a; go_f b
+    | Select (c, a, b) -> go_c c; go_f a; go_f b
+  and go_i e =
+    if not (Ir_analysis.is_free_of v1 e && Ir_analysis.is_free_of v2 e) then
+      ok := false
+  and go_c c =
+    match c with
+    | Icmp (_, a, b) ->
+        (* Conditions rarely collapse cleanly; require independence. *)
+        go_i a; go_i b
+    | Fcmp (_, a, b) -> go_f a; go_f b
+    | Cand (a, b) | Cor (a, b) -> go_c a; go_c b
+    | Cnot a -> go_c a
+  in
+  (match stmt with
+  | Store { buf; idx; value } -> check_idx buf idx; go_f value
+  | Accum { buf; idx; value; _ } -> check_idx buf idx; go_f value
+  | For _ | If _ | Memset _ | Gemm _ | Fusion_barrier _ | Extern _ -> ok := false);
+  !ok
+
+let rec collapse_loop ctx (l : loop) =
+  match (l.body, simplify_iexpr l.lo, simplify_iexpr l.hi) with
+  | [ For inner ], Iconst 0, Iconst e1 -> (
+      let inner = collapse_loop ctx inner in
+      match (inner.body, simplify_iexpr inner.lo, simplify_iexpr inner.hi) with
+      | [ stmt ], Iconst 0, Iconst e2
+        when collapse_strides ctx ~v1:l.var ~v2:inner.var ~e2 stmt ->
+          (* flat = base + s2 * (E2*v1 + v2): substituting v1 -> 0 and
+             v2 -> v gives the collapsed access directly. *)
+          let v = l.var ^ "*" ^ inner.var in
+          Hashtbl.replace ctx.slots v (Hashtbl.length ctx.slots);
+          let stmt = subst_stmt l.var (Iconst 0) stmt in
+          let stmt = subst_stmt inner.var (Ivar v) stmt in
+          {
+            l with
+            var = v;
+            lo = Iconst 0;
+            hi = Iconst (e1 * e2);
+            body = [ stmt ];
+          }
+      | _ -> { l with body = [ For inner ] })
+  | _ -> l
+
+(* Compile an innermost loop [for var = lo..hi) { dst[..] op= value }]
+   into a specialized kernel. Raises [Not_fast] if the shape is not
+   recognized. *)
+let compile_fast_loop ctx (l : loop) =
+  let l = collapse_loop ctx l in
+  let body_stmt = match l.body with [ s ] -> s | _ -> raise Not_fast in
+  let kind, buf, idx, value =
+    match body_stmt with
+    | Store { buf; idx; value } -> (Dstore, buf, idx, value)
+    | Accum { op = Acc_sum; buf; idx; value } -> (Dsum, buf, idx, value)
+    | Accum { op = Acc_max; buf; idx; value } -> (Dmax, buf, idx, value)
+    | For _ | If _ | Memset _ | Gemm _ | Fusion_barrier _ | Extern _ ->
+        raise Not_fast
+  in
+  let var = l.var in
+  let t, flat = flat_of ctx buf idx in
+  let dstride =
+    match Ir_analysis.stride_of ~var flat with
+    | Some s -> s
+    | None -> raise Not_fast
+  in
+  let dbase = compile_i ctx (subst_iexpr var (Iconst 0) flat) in
+  let ddata = Tensor.data t in
+  let sv = to_sval ctx var value in
+  let clo = compile_i ctx l.lo and chi = compile_i ctx l.hi in
+  (* Writing through a register slot keeps [var] visible to any Extern
+     or diagnostic that might read it; cheap enough to do always. *)
+  let vslot = slot ctx var in
+  let regs = ctx.regs in
+  let generic () =
+    let lo = clo () and hi = chi () in
+    let db = dbase () in
+    resolve_sval sv;
+    match kind with
+    | Dstore ->
+        for i = lo to hi - 1 do
+          Array.unsafe_set regs vslot i;
+          us ddata (db + (i * dstride)) (eval_sval sv i)
+        done
+    | Dsum ->
+        for i = lo to hi - 1 do
+          Array.unsafe_set regs vslot i;
+          let j = db + (i * dstride) in
+          us ddata j (ug ddata j +. eval_sval sv i)
+        done
+    | Dmax ->
+        for i = lo to hi - 1 do
+          Array.unsafe_set regs vslot i;
+          let j = db + (i * dstride) in
+          us ddata j (Float.max (ug ddata j) (eval_sval sv i))
+        done
+  in
+  (* Pattern-match the statically known tree shape and emit a dedicated
+     tight loop for the hot kernels. *)
+  match (kind, dstride, sv) with
+  | Dstore, 1, Sconst c ->
+      bump_stat ctx "fill";
+      fun () ->
+        let lo = clo () and hi = chi () in
+        let db = dbase () in
+        for i = lo to hi - 1 do
+          us ddata (db + i) c
+        done
+  | Dstore, 1, Sload s when s.stride = 1 ->
+      bump_stat ctx "copy";
+      let sdata = s.data in
+      fun () ->
+        let lo = clo () and hi = chi () in
+        let db = dbase () and sb = s.base () in
+        let n = hi - lo in
+        (* Bigarray.sub allocates; only worth it for long runs. *)
+        if n >= 64 then
+          Bigarray.Array1.blit
+            (Bigarray.Array1.sub sdata (sb + lo) n)
+            (Bigarray.Array1.sub ddata (db + lo) n)
+        else
+          for i = lo to hi - 1 do
+            us ddata (db + i) (ug sdata (sb + i))
+          done
+  | Dstore, _, Sload s ->
+      bump_stat ctx "copy_strided";
+      let sd = s.stride in
+      fun () ->
+        let lo = clo () and hi = chi () in
+        let db = dbase () and sb = s.base () in
+        for i = lo to hi - 1 do
+          us ddata (db + (i * dstride)) (ug s.data (sb + (i * sd)))
+        done
+  | Dsum, _, Sbinop (Fmul, Sload a, Sload b) when dstride = 0 ->
+      bump_stat ctx "dot";
+      let sa = a.stride and sb_ = b.stride in
+      fun () ->
+        let lo = clo () and hi = chi () in
+        let db = dbase () in
+        let ab = a.base () and bb = b.base () in
+        let acc = ref 0.0 in
+        if sa = 1 && sb_ = 1 then begin
+          let i = ref lo in
+          while !i + 3 < hi do
+            let i0 = !i in
+            acc :=
+              !acc
+              +. (ug a.data (ab + i0) *. ug b.data (bb + i0))
+              +. (ug a.data (ab + i0 + 1) *. ug b.data (bb + i0 + 1))
+              +. (ug a.data (ab + i0 + 2) *. ug b.data (bb + i0 + 2))
+              +. (ug a.data (ab + i0 + 3) *. ug b.data (bb + i0 + 3));
+            i := i0 + 4
+          done;
+          while !i < hi do
+            acc := !acc +. (ug a.data (ab + !i) *. ug b.data (bb + !i));
+            incr i
+          done
+        end
+        else
+          for i = lo to hi - 1 do
+            acc :=
+              !acc +. (ug a.data (ab + (i * sa)) *. ug b.data (bb + (i * sb_)))
+          done;
+        us ddata db (ug ddata db +. !acc)
+  | Dsum, _, Sbinop (Fmul, Sload a, Sload b) ->
+      bump_stat ctx "fma";
+      let sa = a.stride and sb_ = b.stride in
+      fun () ->
+        let lo = clo () and hi = chi () in
+        let db = dbase () in
+        let ab = a.base () and bb = b.base () in
+        for i = lo to hi - 1 do
+          let j = db + (i * dstride) in
+          us ddata j
+            (ug ddata j +. (ug a.data (ab + (i * sa)) *. ug b.data (bb + (i * sb_))))
+        done
+  | Dsum, _, Sload s ->
+      bump_stat ctx "acc_add";
+      let ss = s.stride in
+      fun () ->
+        let lo = clo () and hi = chi () in
+        let db = dbase () and sb = s.base () in
+        for i = lo to hi - 1 do
+          let j = db + (i * dstride) in
+          us ddata j (ug ddata j +. ug s.data (sb + (i * ss)))
+        done
+  | Dmax, _, Sload s ->
+      bump_stat ctx "acc_max";
+      let ss = s.stride in
+      fun () ->
+        let lo = clo () and hi = chi () in
+        let db = dbase () and sb = s.base () in
+        for i = lo to hi - 1 do
+          let j = db + (i * dstride) in
+          us ddata j (Float.max (ug ddata j) (ug s.data (sb + (i * ss))))
+        done
+  | Dstore, _, Sbinop (Fmax, Sload s, Sconst c) when dstride = s.stride ->
+      bump_stat ctx "relu";
+      let ss = s.stride in
+      fun () ->
+        let lo = clo () and hi = chi () in
+        let db = dbase () and sb = s.base () in
+        for i = lo to hi - 1 do
+          let v = ug s.data (sb + (i * ss)) in
+          us ddata (db + (i * dstride)) (if v > c then v else c)
+        done
+  | Dstore, _, Sselect (c, Sload s, Sconst z) ->
+      (* Padded data-copy tasks: guarded gather with zero fill. *)
+      bump_stat ctx "copy_guarded";
+      let ss = s.stride in
+      fun () ->
+        let lo = clo () and hi = chi () in
+        let db = dbase () and sb = s.base () in
+        resolve_scond c;
+        for i = lo to hi - 1 do
+          us ddata
+            (db + (i * dstride))
+            (if eval_scond c i then ug s.data (sb + (i * ss)) else z)
+        done
+  | Dstore, _, Sbinop (op, Sload a, Sload b) ->
+      bump_stat ctx "zip";
+      let g = apply_binop op in
+      let sa = a.stride and sb_ = b.stride in
+      fun () ->
+        let lo = clo () and hi = chi () in
+        let db = dbase () in
+        let ab = a.base () and bb = b.base () in
+        for i = lo to hi - 1 do
+          us ddata
+            (db + (i * dstride))
+            (g (ug a.data (ab + (i * sa))) (ug b.data (bb + (i * sb_))))
+        done
+  | Dstore, _, Sunop (op, Sload s) ->
+      bump_stat ctx "map";
+      let g = apply_unop op in
+      let ss = s.stride in
+      fun () ->
+        let lo = clo () and hi = chi () in
+        let db = dbase () and sb = s.base () in
+        for i = lo to hi - 1 do
+          us ddata (db + (i * dstride)) (g (ug s.data (sb + (i * ss))))
+        done
+  | _ ->
+      bump_stat ctx "generic";
+      generic
+
+(* ------------------------------------------------------------------ *)
+(* Statement compilation                                               *)
+(* ------------------------------------------------------------------ *)
+
+let rec compile_stmt ctx s : unit -> unit =
+  match s with
+  | Store { buf; idx; value } ->
+      let t, flat = flat_of ctx buf idx in
+      let data = Tensor.data t in
+      let ci = compile_i ctx flat and cv = compile_f ctx value in
+      fun () -> us data (ci ()) (cv ())
+  | Accum { op = Acc_sum; buf; idx; value } ->
+      let t, flat = flat_of ctx buf idx in
+      let data = Tensor.data t in
+      let ci = compile_i ctx flat and cv = compile_f ctx value in
+      fun () ->
+        let i = ci () in
+        us data i (ug data i +. cv ())
+  | Accum { op = Acc_max; buf; idx; value } ->
+      let t, flat = flat_of ctx buf idx in
+      let data = Tensor.data t in
+      let ci = compile_i ctx flat and cv = compile_f ctx value in
+      fun () ->
+        let i = ci () in
+        us data i (Float.max (ug data i) (cv ()))
+  | Memset { buf; value } ->
+      let data = Tensor.data (ctx.lookup buf) in
+      fun () -> Bigarray.Array1.fill data value
+  | Fusion_barrier _ -> fun () -> ()
+  | Extern e ->
+      let lookup = ctx.lookup in
+      let get_item =
+        match e.item_var with
+        | Some v ->
+            let s = slot ctx v in
+            let regs = ctx.regs in
+            fun () -> Array.unsafe_get regs s
+        | None -> fun () -> 0
+      in
+      fun () -> e.run ~lookup ~item:(get_item ())
+  | Gemm g ->
+      let a = Tensor.data (ctx.lookup g.a) in
+      let b = Tensor.data (ctx.lookup g.b) in
+      let c = Tensor.data (ctx.lookup g.c) in
+      let cm = compile_i ctx g.m
+      and cn = compile_i ctx g.n
+      and ck = compile_i ctx g.k
+      and coa = compile_i ctx g.off_a
+      and cob = compile_i ctx g.off_b
+      and coc = compile_i ctx g.off_c in
+      fun () ->
+        Blas.gemm ~alpha:g.alpha ~beta:g.beta ~transa:g.transa ~transb:g.transb
+          ~m:(cm ()) ~n:(cn ()) ~k:(ck ()) ~a ~off_a:(coa ()) ~b
+          ~off_b:(cob ()) ~c ~off_c:(coc ()) ()
+  | If (c, t, e) ->
+      let cc = compile_c ctx c in
+      let ct = compile_stmts ctx t and ce = compile_stmts ctx e in
+      fun () -> if cc () then ct () else ce ()
+  | For l -> (
+      try compile_fast_loop ctx l
+      with Not_fast ->
+        let clo = compile_i ctx l.lo and chi = compile_i ctx l.hi in
+        let body = compile_stmts ctx l.body in
+        let vslot = slot ctx l.var in
+        let regs = ctx.regs in
+        fun () ->
+          let lo = clo () and hi = chi () in
+          for i = lo to hi - 1 do
+            Array.unsafe_set regs vslot i;
+            body ()
+          done)
+
+and compile_stmts ctx ss =
+  match List.map (compile_stmt ctx) ss with
+  | [] -> fun () -> ()
+  | [ f ] -> f
+  | [ f; g ] -> fun () -> f (); g ()
+  | fs ->
+      let arr = Array.of_list fs in
+      fun () ->
+        for i = 0 to Array.length arr - 1 do
+          (Array.unsafe_get arr i) ()
+        done
+
+let count_loops stmts =
+  let n = ref 0 in
+  let rec go s =
+    match s with
+    | For l -> incr n; List.iter go l.body
+    | If (_, t, e) -> List.iter go t; List.iter go e
+    | Store _ | Accum _ | Memset _ | Gemm _ | Fusion_barrier _ | Extern _ -> ()
+  in
+  List.iter go stmts;
+  !n
+
+let compile ~lookup ?(free_vars = []) stmts =
+  let stmts = simplify_stmts stmts in
+  let slots = collect_vars free_vars stmts in
+  (* Loop collapsing allocates one fresh register per merged pair, at
+     most one per For node. *)
+  let headroom = count_loops stmts + 1 in
+  let ctx =
+    {
+      lookup;
+      slots;
+      regs = Array.make (Hashtbl.length slots + headroom) 0;
+      stats = Hashtbl.create 8;
+    }
+  in
+  let entry = compile_stmts ctx stmts in
+  { entry; ctx }
+
+let run c ?(bindings = []) () =
+  List.iter
+    (fun (v, n) -> c.ctx.regs.(slot c.ctx v) <- n)
+    bindings;
+  c.entry ()
+
+let kernel_stats c =
+  List.sort compare (Hashtbl.fold (fun k v l -> (k, v) :: l) c.ctx.stats [])

@@ -1,0 +1,30 @@
+(** Code generation: loop IR → directly executable OCaml closures.
+
+    This stands in for the paper's ParallelAccelerator.jl → ICC pipeline.
+    Loops compile to closures over a register file of loop variables;
+    innermost loops whose accesses are affine in the loop variable are
+    recognized and emitted as specialized tight kernels (contiguous
+    copy, strided copy, saxpy/FMA, dot-product reduction, ReLU map,
+    max-accumulate, ...), which is the moral equivalent of the
+    vectorization pragmas Latte attaches for the C++ compiler.
+
+    Semantics are validated against {!Ir_eval} by the test suite. *)
+
+type compiled
+
+val compile :
+  lookup:(string -> Tensor.t) ->
+  ?free_vars:string list ->
+  Ir.stmt list ->
+  compiled
+(** Buffers are resolved eagerly: every buffer named in the program must
+    already exist in [lookup], and the compiled code reads/writes those
+    exact tensors. [free_vars] declares variables bound at run time. *)
+
+val run : compiled -> ?bindings:(string * int) list -> unit -> unit
+(** Execute. [bindings] gives values for the [free_vars]. *)
+
+val kernel_stats : compiled -> (string * int) list
+(** How many innermost loops were emitted as each specialized kernel
+    kind (including ["generic"]); used by tests to pin down that the
+    recognizer fired. *)

@@ -1,0 +1,121 @@
+open Ir
+
+type env = { lookup : string -> Tensor.t; vars : (string, int) Hashtbl.t }
+
+let eval_var env v =
+  match Hashtbl.find_opt env.vars v with
+  | Some n -> n
+  | None -> failwith (Printf.sprintf "Ir_eval: unbound loop variable %s" v)
+
+let rec eval_i env e =
+  match e with
+  | Iconst n -> n
+  | Ivar v -> eval_var env v
+  | Iadd (a, b) -> eval_i env a + eval_i env b
+  | Isub (a, b) -> eval_i env a - eval_i env b
+  | Imul (a, b) -> eval_i env a * eval_i env b
+  | Idiv (a, b) -> eval_i env a / eval_i env b
+  | Imod (a, b) -> eval_i env a mod eval_i env b
+  | Imin (a, b) -> min (eval_i env a) (eval_i env b)
+  | Imax (a, b) -> max (eval_i env a) (eval_i env b)
+
+let flat env buf idx =
+  let t = env.lookup buf in
+  let shape = Tensor.shape t in
+  let vals = Array.of_list (List.map (eval_i env) idx) in
+  (t, Shape.ravel shape vals)
+
+let apply_unop op x =
+  match op with
+  | Neg -> -.x
+  | Exp -> exp x
+  | Log -> log x
+  | Sqrt -> sqrt x
+  | Tanh -> tanh x
+  | Sigmoid -> 1.0 /. (1.0 +. exp (-.x))
+  | Abs -> Float.abs x
+
+let apply_binop op a b =
+  match op with
+  | Fadd -> a +. b
+  | Fsub -> a -. b
+  | Fmul -> a *. b
+  | Fdiv -> a /. b
+  | Fmin -> Float.min a b
+  | Fmax -> Float.max a b
+
+let apply_cmp : type a. cmp -> a -> a -> bool =
+ fun op a b ->
+  match op with
+  | Ceq -> a = b
+  | Cne -> a <> b
+  | Clt -> a < b
+  | Cle -> a <= b
+  | Cgt -> a > b
+  | Cge -> a >= b
+
+let rec eval_f env e =
+  match e with
+  | Fconst x -> x
+  | Float_of_int a -> float_of_int (eval_i env a)
+  | Load (buf, idx) ->
+      let t, i = flat env buf idx in
+      Tensor.get1 t i
+  | Funop (op, a) -> apply_unop op (eval_f env a)
+  | Fbinop (op, a, b) -> apply_binop op (eval_f env a) (eval_f env b)
+  | Select (c, a, b) -> if eval_c env c then eval_f env a else eval_f env b
+
+and eval_c env c =
+  match c with
+  | Icmp (op, a, b) -> apply_cmp op (eval_i env a) (eval_i env b)
+  | Fcmp (op, a, b) -> apply_cmp op (eval_f env a) (eval_f env b)
+  | Cand (a, b) -> eval_c env a && eval_c env b
+  | Cor (a, b) -> eval_c env a || eval_c env b
+  | Cnot a -> not (eval_c env a)
+
+let rec exec env s =
+  match s with
+  | Store { buf; idx; value } ->
+      let v = eval_f env value in
+      let t, i = flat env buf idx in
+      Tensor.set1 t i v
+  | Accum { op; buf; idx; value } ->
+      let v = eval_f env value in
+      let t, i = flat env buf idx in
+      let old = Tensor.get1 t i in
+      let v' = match op with Acc_sum -> old +. v | Acc_max -> Float.max old v in
+      Tensor.set1 t i v'
+  | Memset { buf; value } -> Tensor.fill (env.lookup buf) value
+  | Fusion_barrier _ -> ()
+  | Extern e ->
+      let item =
+        match e.item_var with Some v -> eval_var env v | None -> 0
+      in
+      e.run ~lookup:env.lookup ~item
+  | Gemm g ->
+      Blas.gemm_naive ~alpha:g.alpha ~beta:g.beta ~transa:g.transa
+        ~transb:g.transb ~m:(eval_i env g.m) ~n:(eval_i env g.n)
+        ~k:(eval_i env g.k)
+        ~a:(Tensor.data (env.lookup g.a))
+        ~off_a:(eval_i env g.off_a)
+        ~b:(Tensor.data (env.lookup g.b))
+        ~off_b:(eval_i env g.off_b)
+        ~c:(Tensor.data (env.lookup g.c))
+        ~off_c:(eval_i env g.off_c) ()
+  | If (c, t, e) -> List.iter (exec env) (if eval_c env c then t else e)
+  | For l ->
+      let lo = eval_i env l.lo and hi = eval_i env l.hi in
+      let saved = Hashtbl.find_opt env.vars l.var in
+      for i = lo to hi - 1 do
+        Hashtbl.replace env.vars l.var i;
+        List.iter (exec env) l.body
+      done;
+      (match saved with
+      | Some v -> Hashtbl.replace env.vars l.var v
+      | None -> Hashtbl.remove env.vars l.var)
+
+let run ~lookup ?(bindings = []) stmts =
+  let vars = Hashtbl.create 16 in
+  List.iter (fun (v, n) -> Hashtbl.replace vars v n) bindings;
+  let env = { lookup; vars } in
+  List.iter (exec env) stmts

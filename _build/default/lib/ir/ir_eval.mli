@@ -1,0 +1,20 @@
+(** Reference interpreter for the loop IR.
+
+    Deliberately simple and bounds-checked: the test suite uses it as
+    the semantic oracle against which {!Ir_compile}'s optimized code is
+    validated, so it favors obvious correctness over speed. *)
+
+val apply_unop : Ir.funop -> float -> float
+val apply_binop : Ir.fbinop -> float -> float -> float
+
+val apply_cmp : Ir.cmp -> 'a -> 'a -> bool
+(** Polymorphic comparison semantics shared with {!Ir_compile}. *)
+
+val run :
+  lookup:(string -> Tensor.t) ->
+  ?bindings:(string * int) list ->
+  Ir.stmt list ->
+  unit
+(** Execute the statements against the given buffer environment.
+    Raises [Failure] on unbound variables/buffers and
+    [Invalid_argument] on out-of-bounds accesses. *)

@@ -1,0 +1,66 @@
+module Names = struct
+  let value = "@value"
+  let grad = "@grad"
+  let input g = Printf.sprintf "@input%d" g
+  let grad_input g = Printf.sprintf "@ginput%d" g
+  let input_len_var g = Printf.sprintf "@len%d" g
+  let input_loop_var g = Printf.sprintf "@i%d" g
+  let field name = "$" ^ name
+  let grad_field name = "$" ^ name ^ "!grad"
+
+  type kind =
+    | Value
+    | Grad
+    | Input of int
+    | Grad_input of int
+    | Field of string
+    | Grad_field of string
+    | Concrete
+
+  let strip_prefix ~prefix s =
+    if String.length s >= String.length prefix
+       && String.sub s 0 (String.length prefix) = prefix
+    then Some (String.sub s (String.length prefix) (String.length s - String.length prefix))
+    else None
+
+  let strip_suffix ~suffix s =
+    let ls = String.length s and lx = String.length suffix in
+    if ls >= lx && String.sub s (ls - lx) lx = suffix then
+      Some (String.sub s 0 (ls - lx))
+    else None
+
+  let classify name =
+    match strip_prefix ~prefix:"@input" name with
+    | Some g -> ( match int_of_string_opt g with Some g -> Input g | None -> Concrete)
+    | None -> (
+        match strip_prefix ~prefix:"@ginput" name with
+        | Some g -> (
+            match int_of_string_opt g with Some g -> Grad_input g | None -> Concrete)
+        | None ->
+            if String.equal name value then Value
+            else if String.equal name grad then Grad
+            else (
+              match strip_prefix ~prefix:"$" name with
+              | Some rest -> (
+                  match strip_suffix ~suffix:"!grad" rest with
+                  | Some f -> Grad_field f
+                  | None -> Field rest)
+              | None -> Concrete))
+end
+
+let value = Ir.Load (Names.value, [])
+let grad = Ir.Load (Names.grad, [])
+let input ?(group = 0) i = Ir.Load (Names.input group, [ i ])
+let field name idx = Ir.Load (Names.field name, idx)
+let grad_field name idx = Ir.Load (Names.grad_field name, idx)
+let input_len ?(group = 0) () = Ir.Ivar (Names.input_len_var group)
+
+let set_value e = Ir.store Names.value [] e
+let accum_value e = Ir.accum Names.value [] e
+let accum_value_max e = Ir.accum_max Names.value [] e
+let accum_grad_input ?(group = 0) i e = Ir.accum (Names.grad_input group) [ i ] e
+let accum_grad_field name idx e = Ir.accum (Names.grad_field name) idx e
+
+let for_inputs ?(group = 0) f =
+  let v = Names.input_loop_var group in
+  Ir.loop v (Ir.int_ 0) (input_len ~group ()) (f (Ir.var v))

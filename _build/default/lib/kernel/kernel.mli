@@ -1,0 +1,74 @@
+(** The neuron kernel language: what the body of a [@neuron forward] /
+    [@neuron backward] definition (paper Figure 3) is written in.
+
+    A kernel is an {!Ir.stmt} list over *symbolic* buffers that refer to
+    the current neuron's state: its output [value], gradient [grad],
+    flattened per-connection input vectors, and named fields. The
+    compiler's synthesis phase rewrites these symbolic references into
+    concrete buffer accesses, appending ensemble and batch indices
+    according to shared-variable analysis — the AoS→SoA transformation
+    of §5.3.
+
+    Symbolic names all start with ['@'] (neuron state) or ['$'] (fields)
+    so they can never collide with concrete buffer names. *)
+
+(** {2 Expressions} *)
+
+val value : Ir.fexpr
+(** The neuron's output activation. *)
+
+val grad : Ir.fexpr
+(** The gradient flowing into this neuron (∇ in the paper). *)
+
+val input : ?group:int -> Ir.iexpr -> Ir.fexpr
+(** [input i] is element [i] of the flattened input vector from
+    connection [group] (default 0). *)
+
+val field : string -> Ir.iexpr list -> Ir.fexpr
+(** A named neuron field (e.g. weights), indexed within the field's
+    per-neuron shape. *)
+
+val grad_field : string -> Ir.iexpr list -> Ir.fexpr
+
+val input_len : ?group:int -> unit -> Ir.iexpr
+(** The length of the flattened input vector; synthesis substitutes the
+    concrete window size. *)
+
+(** {2 Statements} *)
+
+val set_value : Ir.fexpr -> Ir.stmt
+val accum_value : Ir.fexpr -> Ir.stmt
+val accum_value_max : Ir.fexpr -> Ir.stmt
+val accum_grad_input : ?group:int -> Ir.iexpr -> Ir.fexpr -> Ir.stmt
+val accum_grad_field : string -> Ir.iexpr list -> Ir.fexpr -> Ir.stmt
+
+val for_inputs : ?group:int -> (Ir.iexpr -> Ir.stmt list) -> Ir.stmt
+(** [for_inputs f] loops over the flattened input vector of the group;
+    [f] receives the loop index. Synthesis recognizes this loop
+    specially: in direct-access mode it is re-expanded into nested
+    window loops over the source ensemble. *)
+
+(** {2 Name conventions (used by the compiler and tests)} *)
+
+module Names : sig
+  val value : string
+  val grad : string
+  val input : int -> string
+  val grad_input : int -> string
+  val input_len_var : int -> string
+  val input_loop_var : int -> string
+  val field : string -> string
+  val grad_field : string -> string
+
+  type kind =
+    | Value
+    | Grad
+    | Input of int
+    | Grad_input of int
+    | Field of string
+    | Grad_field of string
+    | Concrete  (** Not a kernel-symbolic name. *)
+
+  val classify : string -> kind
+  (** Decode a symbolic buffer name. *)
+end

@@ -1,0 +1,1 @@
+lib/machine/cost_model.ml: Buffer_pool Float Hashtbl Ir Ir_analysis List Machine Program String Tensor

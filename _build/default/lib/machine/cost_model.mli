@@ -1,0 +1,50 @@
+(** Analytical execution-time model for compiled programs.
+
+    Costs a {!Program.t} section by section against a {!Machine.cpu}
+    using a roofline-style model: GEMM flops run at the machine's GEMM
+    efficiency, synthesized loops at the (scalar or SIMD) loop
+    efficiency, memory traffic at the sustainable bandwidth with a
+    cache-reuse discount when a parallel task's working set fits its
+    cache share (which is how tiling and fusion show up in the model),
+    plus a per-section parallel-region overhead. Parallel sections use
+    [min(cores, parallel iterations)] cores. *)
+
+type section_estimate = {
+  label : string;
+  gemm_flops : float;
+  loop_flops : float;
+  bytes : float;
+  cores_used : float;
+  seconds : float;
+}
+
+type estimate = {
+  sections : section_estimate list;
+  total_seconds : float;
+}
+
+val estimate_sections :
+  ?vectorized:bool ->
+  ?replicate:float ->
+  Machine.cpu ->
+  buf_bytes:(string -> float) ->
+  Program.section list ->
+  estimate
+(** [replicate] scales per-batch work (flops, bytes, available parallel
+    iterations) by a factor, so a program compiled at batch 1 can be
+    costed for any local batch without allocating its buffers. *)
+
+val buf_bytes_of : Program.t -> string -> float
+(** Byte size of a named buffer in the program's pool. *)
+
+val program_time :
+  ?vectorized:bool ->
+  Machine.cpu ->
+  Program.t ->
+  [ `Forward | `Backward | `Both ] ->
+  float
+(** Modeled seconds for one pass over the batch. *)
+
+val images_per_second :
+  ?vectorized:bool -> Machine.cpu -> Program.t -> float
+(** Modeled training throughput: batch / (forward + backward time). *)

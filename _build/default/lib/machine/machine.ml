@@ -1,0 +1,110 @@
+type cpu = {
+  cpu_name : string;
+  cores : int;
+  freq_ghz : float;
+  flops_per_cycle : float;
+  mem_bw_gbs : float;
+  core_bw_gbs : float;
+  cache_per_core_mb : float;
+  gemm_efficiency : float;
+  loop_efficiency_simd : float;
+  loop_efficiency_scalar : float;
+  sync_overhead_us : float;
+}
+
+type accelerator = {
+  acc_name : string;
+  acc_cpu : cpu;
+  pcie_gbs : float;
+  pcie_latency_us : float;
+}
+
+type nic = { nic_name : string; latency_us : float; bw_gbs : float }
+
+(* Haswell-EP: AVX2, 2 FMA ports => 32 SP flops/cycle/core. *)
+let xeon_e5_2699v3 =
+  {
+    cpu_name = "2x Intel Xeon E5-2699 v3 (36 cores)";
+    core_bw_gbs = 14.0;
+    cores = 36;
+    freq_ghz = 2.3;
+    flops_per_cycle = 32.0;
+    mem_bw_gbs = 120.0;
+    cache_per_core_mb = 1.25;
+    gemm_efficiency = 0.75;
+    loop_efficiency_simd = 0.12;
+    loop_efficiency_scalar = 0.02;
+    sync_overhead_us = 15.0;
+  }
+
+let xeon_e5_2699v3_1core =
+  {
+    xeon_e5_2699v3 with
+    cpu_name = "Xeon E5-2699 v3 (1 core)";
+    cores = 1;
+    mem_bw_gbs = 18.0;
+    core_bw_gbs = 18.0;
+    sync_overhead_us = 0.0;
+  }
+
+(* Knights Corner: 61 cores, 512-bit vectors, 16 SP lanes x FMA. *)
+let xeon_phi_7110p =
+  {
+    acc_name = "Intel Xeon Phi 7110P";
+    acc_cpu =
+      {
+        cpu_name = "Xeon Phi 7110P (61 cores)";
+        core_bw_gbs = 5.0;
+        cores = 61;
+        freq_ghz = 1.1;
+        flops_per_cycle = 32.0;
+        mem_bw_gbs = 180.0;
+        cache_per_core_mb = 0.5;
+        (* KNC sustains a much lower fraction of peak than the host. *)
+        gemm_efficiency = 0.45;
+        loop_efficiency_simd = 0.06;
+        loop_efficiency_scalar = 0.01;
+        sync_overhead_us = 40.0;
+      };
+    pcie_gbs = 6.0;
+    pcie_latency_us = 10.0;
+  }
+
+let cori_node =
+  {
+    cpu_name = "Cori Phase 1 node (2x16-core E5-2698 v3)";
+    core_bw_gbs = 13.0;
+    cores = 32;
+    freq_ghz = 2.3;
+    flops_per_cycle = 32.0;
+    mem_bw_gbs = 110.0;
+    cache_per_core_mb = 1.25;
+    gemm_efficiency = 0.75;
+    loop_efficiency_simd = 0.12;
+    loop_efficiency_scalar = 0.02;
+    sync_overhead_us = 15.0;
+  }
+
+let commodity_node =
+  {
+    cpu_name = "Commodity node (14-core E5-2697 v3)";
+    core_bw_gbs = 14.0;
+    cores = 14;
+    freq_ghz = 2.6;
+    flops_per_cycle = 32.0;
+    mem_bw_gbs = 60.0;
+    cache_per_core_mb = 2.5;
+    gemm_efficiency = 0.75;
+    loop_efficiency_simd = 0.12;
+    loop_efficiency_scalar = 0.02;
+    sync_overhead_us = 15.0;
+  }
+
+let aries = { nic_name = "Cray Aries"; latency_us = 1.5; bw_gbs = 10.0 }
+let infiniband = { nic_name = "FDR InfiniBand"; latency_us = 2.0; bw_gbs = 6.0 }
+
+let peak_gflops c = float_of_int c.cores *. c.freq_ghz *. c.flops_per_cycle
+
+let describe c =
+  Printf.sprintf "%s: %.0f GFLOP/s peak, %.0f GB/s" c.cpu_name (peak_gflops c)
+    c.mem_bw_gbs

@@ -1,0 +1,58 @@
+(** Hardware descriptions for the analytical performance model.
+
+    This container exposes one CPU core and no accelerators or fabric,
+    so the paper's parallel-hardware results (36-core Xeon, Xeon Phi
+    cards, Cori, the commodity cluster — Figures 13-19) are reproduced
+    in shape by costing the compiler's schedules against these specs
+    (see DESIGN.md, substitutions table). Peak numbers follow the
+    published specifications of the parts used in §7. *)
+
+type cpu = {
+  cpu_name : string;
+  cores : int;
+  freq_ghz : float;
+  flops_per_cycle : float;  (** SP flops/cycle/core (vector FMA). *)
+  mem_bw_gbs : float;  (** Sustainable memory bandwidth, GB/s. *)
+  core_bw_gbs : float;  (** Streaming bandwidth available to one core. *)
+  cache_per_core_mb : float;  (** Effective LLC share per core. *)
+  gemm_efficiency : float;  (** Fraction of peak achieved by GEMM. *)
+  loop_efficiency_simd : float;
+      (** Fraction of peak for vectorized synthesized loops. *)
+  loop_efficiency_scalar : float;  (** ... when vectorization is off. *)
+  sync_overhead_us : float;
+      (** Per-parallel-region fork/join + barrier cost. *)
+}
+
+type accelerator = {
+  acc_name : string;
+  acc_cpu : cpu;  (** Compute capability of the card. *)
+  pcie_gbs : float;  (** Host link bandwidth. *)
+  pcie_latency_us : float;
+}
+
+type nic = { nic_name : string; latency_us : float; bw_gbs : float }
+
+val xeon_e5_2699v3 : cpu
+(** Dual-socket 36-core Haswell host of §7.1. *)
+
+val xeon_e5_2699v3_1core : cpu
+(** Same part restricted to one core (what this container measures). *)
+
+val xeon_phi_7110p : accelerator
+(** §7.1.4 coprocessor. *)
+
+val cori_node : cpu
+(** Cori Phase 1: 2x16-core E5-2698 v3 (§7.2.1). *)
+
+val commodity_node : cpu
+(** 14-core E5-2697 v3 (§7.2.2). *)
+
+val aries : nic
+(** Cray Aries dragonfly. *)
+
+val infiniband : nic
+(** FDR InfiniBand. *)
+
+val peak_gflops : cpu -> float
+
+val describe : cpu -> string

@@ -1,0 +1,1 @@
+lib/nn/layers.ml: Array Connection Ensemble Float Ir Kernel List Mapping Net Neuron Option Printf Rng Shape Tensor

@@ -1,0 +1,1 @@
+lib/nn/layers.mli: Ensemble Net

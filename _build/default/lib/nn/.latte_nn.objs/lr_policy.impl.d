@@ -1,0 +1,1 @@
+lib/nn/lr_policy.ml:

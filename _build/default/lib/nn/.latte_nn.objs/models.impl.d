@@ -1,0 +1,1 @@
+lib/nn/models.ml: Ensemble Layers List Net Printf

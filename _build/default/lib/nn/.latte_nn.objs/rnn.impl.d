@@ -1,0 +1,1 @@
+lib/nn/rnn.ml: Ensemble Executor Ir Kernel Layers List Mapping Net Neuron Printf Tensor

@@ -1,0 +1,1 @@
+lib/nn/rnn.mli: Ensemble Executor Net Tensor

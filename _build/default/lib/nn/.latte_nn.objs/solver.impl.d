@@ -1,0 +1,1 @@
+lib/nn/solver.ml: Executor List Lr_policy Option Program Tensor

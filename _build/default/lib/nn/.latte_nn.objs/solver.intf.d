@@ -1,0 +1,1 @@
+lib/nn/solver.mli: Executor Lr_policy

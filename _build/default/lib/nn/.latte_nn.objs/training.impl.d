@@ -1,0 +1,1 @@
+lib/nn/training.ml: Array Executor List Solver Synthetic Tensor

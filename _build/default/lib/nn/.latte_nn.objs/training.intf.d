@@ -1,0 +1,1 @@
+lib/nn/training.mli: Executor Solver Synthetic

@@ -1,0 +1,134 @@
+(** The Latte standard library of layers (§4).
+
+    Each function builds an ensemble (or a small group of ensembles)
+    from the DSL's primitives — neuron types, mapping functions and
+    connections — and registers it in the net, mirroring the paper's
+    standard library ([FullyConnectedLayer], [ConvolutionLayer], ...).
+
+    Spatial ensembles use the [h; w; c] dimension order (channels
+    innermost), which is the layout the compiler's GEMM pattern matching
+    and y-tiling assume. *)
+
+val data_layer : Net.t -> name:string -> shape:int list -> Ensemble.t
+(** An input ensemble; its value buffer is filled by the caller (or a
+    {!Data_feed}) before each pass. *)
+
+val fully_connected :
+  Net.t -> name:string -> input:Ensemble.t -> n_outputs:int -> Ensemble.t
+(** Figure 4: a 1-D ensemble of WeightedNeurons, each connected to every
+    input neuron; weights are per-output, the input vector is shared. *)
+
+val convolution :
+  Net.t ->
+  name:string ->
+  input:Ensemble.t ->
+  n_filters:int ->
+  kernel:int ->
+  ?stride:int ->
+  ?pad:int ->
+  ?groups:int ->
+  unit ->
+  Ensemble.t
+(** Figure 5: WeightedNeurons on an [oh; ow; f] grid with a sparse
+    spatially-local connection structure; filter weights are shared
+    across the spatial dimensions ([varies_along] the channel dim only).
+    The input must have shape [h; w; c].
+
+    With [groups > 1] (AlexNet's two-GPU grouping), input channels and
+    filters are split into [groups] independent convolutions — each
+    group's mapping takes a channel {!Mapping.dim_spec.Slice} of the
+    input — whose outputs are reassembled by a {!concat_channels}
+    ensemble named [name]. *)
+
+val concat_channels :
+  Net.t -> name:string -> inputs:Ensemble.t list -> Ensemble.t
+(** Concatenate ensembles along their last dimension (all leading
+    dimensions must agree). *)
+
+val max_pooling :
+  Net.t ->
+  name:string ->
+  input:Ensemble.t ->
+  kernel:int ->
+  ?stride:int ->
+  unit ->
+  Ensemble.t
+(** Non-overlapping when [stride = kernel] (the default), which is the
+    configuration cross-layer fusion can absorb. *)
+
+val avg_pooling :
+  Net.t ->
+  name:string ->
+  input:Ensemble.t ->
+  kernel:int ->
+  ?stride:int ->
+  unit ->
+  Ensemble.t
+
+val relu : Net.t -> name:string -> input:Ensemble.t -> Ensemble.t
+(** ActivationEnsemble; runs in place when the compiler proves the
+    source has a single consumer. *)
+
+val sigmoid : Net.t -> name:string -> input:Ensemble.t -> Ensemble.t
+val tanh_layer : Net.t -> name:string -> input:Ensemble.t -> Ensemble.t
+
+val softmax : Net.t -> name:string -> input:Ensemble.t -> Ensemble.t
+(** NormalizationEnsemble computing a numerically-stable softmax over
+    the (flattened) input of each item. Forward only. *)
+
+val softmax_loss :
+  Net.t ->
+  name:string ->
+  input:Ensemble.t ->
+  label_buf:string ->
+  loss_buf:string ->
+  Ensemble.t
+(** Softmax + cross-entropy loss against integer class labels read from
+    the external buffer [label_buf] (shape [batch]); writes the
+    per-item loss to [loss_buf] and seeds the backward pass with
+    [(softmax - onehot) / batch]. The caller must have registered both
+    external buffers. *)
+
+val lrn :
+  Net.t ->
+  name:string ->
+  input:Ensemble.t ->
+  ?size:int ->
+  ?alpha:float ->
+  ?beta:float ->
+  ?k:float ->
+  unit ->
+  Ensemble.t
+(** Cross-channel local response normalization (AlexNet §3.3), as a
+    NormalizationEnsemble with exact forward and backward. *)
+
+val batch_norm :
+  Net.t ->
+  name:string ->
+  input:Ensemble.t ->
+  ?epsilon:float ->
+  unit ->
+  Ensemble.t
+(** Whole-batch per-channel standardization (Ioffe & Szegedy), as a
+    global NormalizationEnsemble using batch statistics; exact backward
+    through mean and variance. Without learned scale/shift. *)
+
+val scale :
+  Net.t -> name:string -> input:Ensemble.t -> Ensemble.t
+(** Learned per-channel affine y = gamma * x + beta (the Caffe "Scale"
+    layer that usually follows {!batch_norm}); gamma and beta vary along
+    the last dimension and are shared across the rest, like convolution
+    filters. *)
+
+val eltwise_add :
+  Net.t -> name:string -> a:Ensemble.t -> b:Ensemble.t -> Ensemble.t
+(** Elementwise sum of two same-shape ensembles — residual (shortcut)
+    connections. *)
+
+val eltwise_mul :
+  Net.t -> name:string -> a:Ensemble.t -> b:Ensemble.t -> Ensemble.t
+
+val dropout :
+  Net.t -> name:string -> input:Ensemble.t -> ?ratio:float -> ?seed:int ->
+  unit -> Ensemble.t
+(** Inverted dropout with a fresh mask each forward pass. *)

@@ -1,0 +1,14 @@
+type t =
+  | Fixed of float
+  | Step of { base : float; gamma : float; step_size : int }
+  | Inv of { base : float; gamma : float; power : float }
+  | Exp_decay of { base : float; gamma : float }
+
+let at t ~iter =
+  match t with
+  | Fixed lr -> lr
+  | Step { base; gamma; step_size } ->
+      base *. (gamma ** float_of_int (iter / step_size))
+  | Inv { base; gamma; power } ->
+      base *. (((1.0 +. (gamma *. float_of_int iter)) ** power) ** -1.0)
+  | Exp_decay { base; gamma } -> base *. (gamma ** float_of_int iter)

@@ -1,0 +1,11 @@
+(** Learning-rate schedules ([LRPolicy] in Figure 7). *)
+
+type t =
+  | Fixed of float
+  | Step of { base : float; gamma : float; step_size : int }
+      (** base * gamma^(iter / step_size). *)
+  | Inv of { base : float; gamma : float; power : float }
+      (** base * (1 + gamma * iter)^(-power), the policy of Figure 7. *)
+  | Exp_decay of { base : float; gamma : float }  (** base * gamma^iter. *)
+
+val at : t -> iter:int -> float

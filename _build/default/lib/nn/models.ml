@@ -1,0 +1,261 @@
+type scale = { image : int; width_div : int; fc_div : int }
+
+let paper_scale = { image = 224; width_div = 1; fc_div = 1 }
+let bench_scale = { image = 32; width_div = 8; fc_div = 32 }
+
+type spec = {
+  net : Net.t;
+  data_ens : string;
+  label_buf : string;
+  loss_buf : string;
+  output_ens : string;
+  groups : (string * string list) list;
+}
+
+(* Builder state threading the current ensemble and group bookkeeping. *)
+type builder = {
+  net : Net.t;
+  mutable cur : Ensemble.t;
+  mutable groups : (string * string list) list;  (* reverse order *)
+  mutable current_group : string list;  (* reverse order *)
+  mutable group_name : string;
+}
+
+let start_builder net data =
+  { net; cur = data; groups = []; current_group = []; group_name = "input" }
+
+let new_group b name =
+  if b.current_group <> [] then
+    b.groups <- (b.group_name, List.rev b.current_group) :: b.groups;
+  b.current_group <- [];
+  b.group_name <- name
+
+let track b (e : Ensemble.t) =
+  b.current_group <- e.name :: b.current_group;
+  b.cur <- e
+
+let finish_groups b =
+  new_group b "";
+  List.rev b.groups
+
+let conv ?(groups = 1) b name filters kernel stride pad =
+  track b
+    (Layers.convolution b.net ~name ~input:b.cur ~n_filters:filters ~kernel ~stride
+       ~pad ~groups ())
+
+let relu b name = track b (Layers.relu b.net ~name ~input:b.cur)
+
+let pool b name kernel stride =
+  track b (Layers.max_pooling b.net ~name ~input:b.cur ~kernel ~stride ())
+
+let fc b name n = track b (Layers.fully_connected b.net ~name ~input:b.cur ~n_outputs:n)
+
+let lrn b name = track b (Layers.lrn b.net ~name ~input:b.cur ())
+
+let finish b ~data_ens ~n_classes:_ =
+  let label_buf = "label" and loss_buf = "loss" in
+  let loss_ens =
+    Layers.softmax_loss b.net ~name:"softmax_loss" ~input:b.cur ~label_buf ~loss_buf
+  in
+  {
+    net = b.net;
+    data_ens;
+    label_buf;
+    loss_buf;
+    output_ens = loss_ens.Ensemble.name;
+    groups = finish_groups b;
+  }
+
+let make_net ~batch =
+  let net = Net.create ~batch_size:batch in
+  Net.add_external net ~name:"label" ~item_shape:[];
+  Net.add_external net ~name:"loss" ~item_shape:[];
+  net
+
+let mlp ~batch ~n_inputs ~hidden ~n_classes =
+  let net = make_net ~batch in
+  let data = Layers.data_layer net ~name:"data" ~shape:[ n_inputs ] in
+  let b = start_builder net data in
+  new_group b "hidden";
+  List.iteri
+    (fun i h ->
+      fc b (Printf.sprintf "ip%d" (i + 1)) h;
+      relu b (Printf.sprintf "relu%d" (i + 1)))
+    hidden;
+  fc b "ip_out" n_classes;
+  finish b ~data_ens:"data" ~n_classes
+
+let lenet ~batch ?(image = 28) ?(channels = 1) ~n_classes () =
+  let net = make_net ~batch in
+  let data = Layers.data_layer net ~name:"data" ~shape:[ image; image; channels ] in
+  let b = start_builder net data in
+  new_group b "conv1";
+  conv b "conv1" 20 5 1 0;
+  pool b "pool1" 2 2;
+  new_group b "conv2";
+  conv b "conv2" 50 5 1 0;
+  pool b "pool2" 2 2;
+  new_group b "fc";
+  fc b "ip1" 500;
+  relu b "relu_ip1";
+  fc b "ip2" n_classes;
+  finish b ~data_ens:"data" ~n_classes
+
+let div x d = max 1 (x / d)
+
+let vgg_first_block ~batch ~scale =
+  let net = make_net ~batch in
+  let data =
+    Layers.data_layer net ~name:"data" ~shape:[ scale.image; scale.image; 3 ]
+  in
+  let b = start_builder net data in
+  new_group b "group1";
+  conv b "conv1_1" (div 64 scale.width_div) 3 1 1;
+  relu b "relu1_1";
+  pool b "pool1" 2 2;
+  new_group b "fc";
+  fc b "ip_out" (div 1000 scale.fc_div);
+  finish b ~data_ens:"data" ~n_classes:(div 1000 scale.fc_div)
+
+let resnet_tiny ~batch ?(image = 16) ~n_classes () =
+  let net = make_net ~batch in
+  let data = Layers.data_layer net ~name:"data" ~shape:[ image; image; 3 ] in
+  let b = start_builder net data in
+  new_group b "stem";
+  conv b "conv0" 8 3 1 1;
+  relu b "relu0";
+  let residual_block i input =
+    let n s = Printf.sprintf "res%d_%s" i s in
+    let c1 =
+      Layers.convolution net ~name:(n "conv1") ~input ~n_filters:8 ~kernel:3
+        ~stride:1 ~pad:1 ()
+    in
+    let bn1 = Layers.batch_norm net ~name:(n "bn1") ~input:c1 () in
+    let s1 = Layers.scale net ~name:(n "scale1") ~input:bn1 in
+    let r1 = Layers.relu net ~name:(n "relu1") ~input:s1 in
+    let c2 =
+      Layers.convolution net ~name:(n "conv2") ~input:r1 ~n_filters:8 ~kernel:3
+        ~stride:1 ~pad:1 ()
+    in
+    (* Identity shortcut: out = relu(conv2(...) + input). *)
+    let sum = Layers.eltwise_add net ~name:(n "sum") ~a:c2 ~b:input in
+    Layers.relu net ~name:(n "relu2") ~input:sum
+  in
+  new_group b "res1";
+  track b (residual_block 1 b.cur);
+  new_group b "res2";
+  track b (residual_block 2 b.cur);
+  new_group b "classifier";
+  track b (Layers.avg_pooling net ~name:"gap" ~input:b.cur ~kernel:2 ());
+  fc b "fc" n_classes;
+  finish b ~data_ens:"data" ~n_classes
+
+(* VGG model A (Simonyan & Zisserman table 1, column A). *)
+let vgg ~batch ~scale =
+  let net = make_net ~batch in
+  let d = scale.width_div in
+  let data =
+    Layers.data_layer net ~name:"data" ~shape:[ scale.image; scale.image; 3 ]
+  in
+  let b = start_builder net data in
+  new_group b "group1";
+  conv b "conv1_1" (div 64 d) 3 1 1;
+  relu b "relu1_1";
+  pool b "pool1" 2 2;
+  new_group b "group2";
+  conv b "conv2_1" (div 128 d) 3 1 1;
+  relu b "relu2_1";
+  pool b "pool2" 2 2;
+  new_group b "group3";
+  conv b "conv3_1" (div 256 d) 3 1 1;
+  relu b "relu3_1";
+  conv b "conv3_2" (div 256 d) 3 1 1;
+  relu b "relu3_2";
+  pool b "pool3" 2 2;
+  new_group b "group4";
+  conv b "conv4_1" (div 512 d) 3 1 1;
+  relu b "relu4_1";
+  conv b "conv4_2" (div 512 d) 3 1 1;
+  relu b "relu4_2";
+  pool b "pool4" 2 2;
+  new_group b "group5";
+  conv b "conv5_1" (div 512 d) 3 1 1;
+  relu b "relu5_1";
+  conv b "conv5_2" (div 512 d) 3 1 1;
+  relu b "relu5_2";
+  pool b "pool5" 2 2;
+  new_group b "classifier";
+  fc b "fc6" (div 4096 scale.fc_div);
+  relu b "relu6";
+  fc b "fc7" (div 4096 scale.fc_div);
+  relu b "relu7";
+  fc b "fc8" (div 1000 scale.fc_div);
+  finish b ~data_ens:"data" ~n_classes:(div 1000 scale.fc_div)
+
+let alexnet ~batch ~scale ?(with_lrn = true) ?(groups = 1) () =
+  let net = make_net ~batch in
+  let d = scale.width_div in
+  let data =
+    Layers.data_layer net ~name:"data" ~shape:[ scale.image; scale.image; 3 ]
+  in
+  let b = start_builder net data in
+  (* Kernel/stride shrink with the image so layer counts survive small
+     inputs. *)
+  let k1, s1 = if scale.image >= 128 then (11, 4) else (5, 2) in
+  new_group b "group1";
+  conv b "conv1" (div 96 d) k1 s1 (k1 / 4);
+  relu b "relu1";
+  if with_lrn then lrn b "norm1";
+  pool b "pool1" 2 2;
+  new_group b "group2";
+  conv ~groups b "conv2" (div 256 d) 5 1 2;
+  relu b "relu2";
+  if with_lrn then lrn b "norm2";
+  pool b "pool2" 2 2;
+  new_group b "group3";
+  conv b "conv3" (div 384 d) 3 1 1;
+  relu b "relu3";
+  conv ~groups b "conv4" (div 384 d) 3 1 1;
+  relu b "relu4";
+  conv ~groups b "conv5" (div 256 d) 3 1 1;
+  relu b "relu5";
+  pool b "pool5" 2 2;
+  new_group b "classifier";
+  fc b "fc6" (div 4096 scale.fc_div);
+  relu b "relu6";
+  fc b "fc7" (div 4096 scale.fc_div);
+  relu b "relu7";
+  fc b "fc8" (div 1000 scale.fc_div);
+  finish b ~data_ens:"data" ~n_classes:(div 1000 scale.fc_div)
+
+let overfeat ~batch ~scale =
+  let net = make_net ~batch in
+  let d = scale.width_div in
+  let data =
+    Layers.data_layer net ~name:"data" ~shape:[ scale.image; scale.image; 3 ]
+  in
+  let b = start_builder net data in
+  let k1, s1 = if scale.image >= 128 then (11, 4) else (5, 2) in
+  new_group b "group1";
+  conv b "conv1" (div 96 d) k1 s1 (k1 / 4);
+  relu b "relu1";
+  pool b "pool1" 2 2;
+  new_group b "group2";
+  conv b "conv2" (div 256 d) 5 1 2;
+  relu b "relu2";
+  pool b "pool2" 2 2;
+  new_group b "group3";
+  conv b "conv3" (div 512 d) 3 1 1;
+  relu b "relu3";
+  conv b "conv4" (div 1024 d) 3 1 1;
+  relu b "relu4";
+  conv b "conv5" (div 1024 d) 3 1 1;
+  relu b "relu5";
+  pool b "pool5" 2 2;
+  new_group b "classifier";
+  fc b "fc6" (div 3072 scale.fc_div);
+  relu b "relu6";
+  fc b "fc7" (div 4096 scale.fc_div);
+  relu b "relu7";
+  fc b "fc8" (div 1000 scale.fc_div);
+  finish b ~data_ens:"data" ~n_classes:(div 1000 scale.fc_div)

@@ -1,0 +1,53 @@
+(** Standard network architectures, built from the layer library.
+
+    The three ImageNet models of the paper's evaluation (AlexNet, VGG-A,
+    OverFeat-fast, §7.1.2) plus MLP and LeNet. Every model takes a
+    {!scale} so the benchmarks can run the paper's 224x224 topologies at
+    a spatial/width scale a single host core can measure; [paper_scale]
+    is the full-size configuration used by the analytical cost model. *)
+
+type scale = {
+  image : int;  (** Input spatial size (paper: 224). *)
+  width_div : int;  (** Divide every channel count by this. *)
+  fc_div : int;  (** Divide fully-connected widths by this. *)
+}
+
+val paper_scale : scale
+val bench_scale : scale
+(** Reduced configuration for wall-clock measurement on one core. *)
+
+type spec = {
+  net : Net.t;
+  data_ens : string;  (** Input ensemble name (buffer ["<name>.value"]). *)
+  label_buf : string;
+  loss_buf : string;
+  output_ens : string;  (** Final (softmax) ensemble. *)
+  groups : (string * string list) list;
+      (** Named layer groups in network order — the conv/relu/pool
+          groups Figure 15 breaks out — mapping group label to the
+          ensembles it contains. *)
+}
+
+val mlp :
+  batch:int -> n_inputs:int -> hidden:int list -> n_classes:int -> spec
+(** The Figure 7 multi-layer perceptron generalized to any depth. *)
+
+val lenet : batch:int -> ?image:int -> ?channels:int -> n_classes:int -> unit -> spec
+
+val vgg_first_block : batch:int -> scale:scale -> spec
+(** Only the first conv+relu+pool group of VGG — the §7.1.1 cross-layer
+    fusion microbenchmark. *)
+
+val alexnet :
+  batch:int -> scale:scale -> ?with_lrn:bool -> ?groups:int -> unit -> spec
+(** [groups] applies the paper AlexNet's 2-way grouping to conv2/4/5
+    (default 1, which the baseline frameworks can also execute). *)
+
+val resnet_tiny : batch:int -> ?image:int -> n_classes:int -> unit -> spec
+(** A small residual network (two conv+bn+scale+relu residual blocks
+    with identity shortcuts) — an extension beyond the paper's models
+    showing that non-linear (diamond) data-flow graphs compile and
+    train; shortcuts are {!Layers.eltwise_add} ensembles. *)
+
+val vgg : batch:int -> scale:scale -> spec
+val overfeat : batch:int -> scale:scale -> spec

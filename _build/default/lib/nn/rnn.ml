@@ -1,0 +1,132 @@
+type lstm = {
+  input_ens : string;
+  h_ens : string;
+  c_ens : string;
+  gate_ens : string list;
+}
+
+type gru = { g_input_ens : string; g_h_ens : string }
+
+(* A WeightedNeuron ensemble whose (single) input connection is added
+   later — used for the recurrent projections of the previous output. *)
+let deferred_fc net ~name ~n_inputs ~n_outputs =
+  let neuron = Neuron.weighted ~n_inputs ~varies_along:[ 0 ] ~fan_out:n_outputs in
+  Net.add net (Ensemble.create ~name ~shape:[ n_outputs ] (Ensemble.Compute neuron))
+
+let binary net ~name ~a ~b neuron =
+  let e = Net.add net (Ensemble.create ~name ~shape:[ Ensemble.size a ] (Ensemble.Compute neuron)) in
+  Net.add_connections net ~source:a ~sink:e (Mapping.one_to_one ~rank:1);
+  Net.add_connections net ~source:b ~sink:e (Mapping.one_to_one ~rank:1);
+  e
+
+let add_ens net ~name ~a ~b = binary net ~name ~a ~b Neuron.add2
+let mul_ens net ~name ~a ~b = binary net ~name ~a ~b Neuron.mul2
+
+(* Elementwise binary ensemble whose second operand is a recurrent edge
+   added later. *)
+let deferred_mul net ~name ~a ~size =
+  let e = Net.add net (Ensemble.create ~name ~shape:[ size ] (Ensemble.Compute Neuron.mul2)) in
+  Net.add_connections net ~source:a ~sink:e (Mapping.one_to_one ~rank:1);
+  e
+
+let lstm_layer net ~name ~input:(input : Ensemble.t) ~n_outputs =
+  let n = Printf.sprintf "%s_%s" name in
+  let n_inputs = Ensemble.size input in
+  ignore n_inputs;
+  (* Split the input into the four gate signals (Figure 6 line 4). *)
+  let gate_x g = Layers.fully_connected net ~name:(n (g ^ "x")) ~input ~n_outputs in
+  let ix = gate_x "i" and fx = gate_x "f" and ox = gate_x "o" and gx = gate_x "g" in
+  (* Split the previous output into four gate signals (line 9); the
+     connections from h are recurrent and added at the end. *)
+  let gate_h g = deferred_fc net ~name:(n (g ^ "h")) ~n_inputs:n_outputs ~n_outputs in
+  let ih = gate_h "i" and fh = gate_h "f" and oh = gate_h "o" and gh = gate_h "g" in
+  (* i = sigmoid(ih + ix), etc. (lines 12-15). *)
+  let gate g x h act =
+    let s = add_ens net ~name:(n (g ^ "_sum")) ~a:x ~b:h in
+    act net ~name:(n g) ~input:s
+  in
+  let i = gate "i" ix ih Layers.sigmoid in
+  let f = gate "f" fx fh Layers.sigmoid in
+  let o = gate "o" ox oh Layers.sigmoid in
+  let g = gate "g" gx gh Layers.tanh_layer in
+  (* C = i * C̃ + f * C_prev (lines 16-20): f_C's second operand is the
+     previous memory-cell value, a recurrent edge. *)
+  let ig = mul_ens net ~name:(n "ig") ~a:i ~b:g in
+  let f_c = deferred_mul net ~name:(n "fC") ~a:f ~size:n_outputs in
+  let c = add_ens net ~name:(n "C") ~a:ig ~b:f_c in
+  (* h = o * tanh(C) (line 24). *)
+  let t_c = Layers.tanh_layer net ~name:(n "tanhC") ~input:c in
+  let h = mul_ens net ~name:(n "h") ~a:o ~b:t_c in
+  (* Close the recurrences (lines 19-20 and 26-29). *)
+  Net.add_connections net ~source:c ~sink:f_c ~recurrent:true
+    (Mapping.one_to_one ~rank:1);
+  List.iter
+    (fun gate ->
+      Net.add_connections net ~source:h ~sink:gate ~recurrent:true
+        (Mapping.all ~rank:1))
+    [ ih; fh; oh; gh ];
+  {
+    input_ens = input.Ensemble.name;
+    h_ens = h.Ensemble.name;
+    c_ens = c.Ensemble.name;
+    gate_ens =
+      List.map (fun (e : Ensemble.t) -> e.Ensemble.name)
+        [ ix; fx; ox; gx; ih; fh; oh; gh; i; f; o; g ];
+  }
+
+let one_minus =
+  let open Kernel in
+  Neuron.create ~type_name:"OneMinusNeuron"
+    ~forward:[ set_value (Ir.Fbinop (Fsub, Ir.f 1.0, input (Ir.int_ 0))) ]
+    ~backward:
+      [ accum_grad_input (Ir.int_ 0) (Ir.Fbinop (Fmul, Ir.f (-1.0), grad)) ]
+    ()
+
+let gru_layer net ~name ~input:(input : Ensemble.t) ~n_outputs =
+  let n = Printf.sprintf "%s_%s" name in
+  let gate_x g = Layers.fully_connected net ~name:(n (g ^ "x")) ~input ~n_outputs in
+  let zx = gate_x "z" and rx = gate_x "r" and hx = gate_x "h" in
+  let gate_h g = deferred_fc net ~name:(n (g ^ "h")) ~n_inputs:n_outputs ~n_outputs in
+  let zh = gate_h "z" and rh = gate_h "r" in
+  let z =
+    Layers.sigmoid net ~name:(n "z") ~input:(add_ens net ~name:(n "z_sum") ~a:zx ~b:zh)
+  in
+  let r =
+    Layers.sigmoid net ~name:(n "r") ~input:(add_ens net ~name:(n "r_sum") ~a:rx ~b:rh)
+  in
+  (* Candidate: h̃ = tanh(Wx + U(r * h_prev)). *)
+  let r_h = deferred_mul net ~name:(n "r_mul_h") ~a:r ~size:n_outputs in
+  let u_rh = Layers.fully_connected net ~name:(n "Urh") ~input:r_h ~n_outputs in
+  let cand =
+    Layers.tanh_layer net ~name:(n "cand")
+      ~input:(add_ens net ~name:(n "cand_sum") ~a:hx ~b:u_rh)
+  in
+  (* h' = (1 - z) * h_prev + z * h̃. *)
+  let one_minus_z =
+    let e = Net.add net (Ensemble.create ~name:(n "omz") ~shape:[ n_outputs ] (Ensemble.Compute one_minus)) in
+    Net.add_connections net ~source:z ~sink:e (Mapping.one_to_one ~rank:1);
+    e
+  in
+  let keep = deferred_mul net ~name:(n "keep") ~a:one_minus_z ~size:n_outputs in
+  let update = mul_ens net ~name:(n "update") ~a:z ~b:cand in
+  let h = add_ens net ~name:(n "h") ~a:keep ~b:update in
+  List.iter
+    (fun (sink, mapping) ->
+      Net.add_connections net ~source:h ~sink ~recurrent:true mapping)
+    [
+      (zh, Mapping.all ~rank:1);
+      (rh, Mapping.all ~rank:1);
+      (r_h, Mapping.one_to_one ~rank:1);
+      (keep, Mapping.one_to_one ~rank:1);
+    ];
+  { g_input_ens = input.Ensemble.name; g_h_ens = h.Ensemble.name }
+
+let reset_state exec ens_names =
+  List.iter
+    (fun ens -> Tensor.fill (Executor.lookup exec (ens ^ ".value")) 0.0)
+    ens_names
+
+let step exec ~input_ens ~input =
+  let dst = Executor.lookup exec (input_ens ^ ".value") in
+  Tensor.blit ~src:input ~dst;
+  Executor.forward exec

@@ -1,0 +1,44 @@
+(** Recurrent building blocks: the LSTM and GRU units of §4 (Figure 6).
+
+    Recurrent connections ([add_connections ~recurrent:true]) read the
+    source ensemble's value buffer as left by the *previous* forward
+    pass, so a step of the recurrence is one ordinary forward pass: the
+    runtime keeps the state (h, C) in the ensembles' buffers between
+    calls. {!step} runs one time step after loading the input;
+    {!reset_state} zeroes the state buffers between sequences.
+
+    Backward passes compute gradients with the recurrent inputs treated
+    as constants (truncation to one step); full BPTT is out of scope, as
+    in the paper, which evaluates feed-forward models. *)
+
+type lstm = {
+  input_ens : string;  (** Where to write the per-step input. *)
+  h_ens : string;  (** Hidden state / output ensemble. *)
+  c_ens : string;  (** Memory cell ensemble. *)
+  gate_ens : string list;  (** All gate ensembles (for inspection). *)
+}
+
+val lstm_layer :
+  Net.t -> name:string -> input:Ensemble.t -> n_outputs:int -> lstm
+(** Figure 6: splits the input and the recurrent output into four gate
+    signals (i, f, o and the candidate C̃), combines them through
+    sigmoid/tanh/add/mul ensembles, and wires h and C back through
+    recurrent connections. *)
+
+type gru = {
+  g_input_ens : string;
+  g_h_ens : string;
+}
+
+val gru_layer :
+  Net.t -> name:string -> input:Ensemble.t -> n_outputs:int -> gru
+(** A gated recurrent unit from the same vocabulary: update gate z,
+    reset gate r, candidate h̃ = tanh(Wx + U(r*h)), and
+    h' = (1-z)*h + z*h̃. *)
+
+val reset_state : Executor.t -> string list -> unit
+(** Zero the value buffers of the given state ensembles. *)
+
+val step : Executor.t -> input_ens:string -> input:Tensor.t -> unit
+(** Copy one time step of input ([batch; features]) into the input
+    ensemble's buffer and run one forward pass. *)

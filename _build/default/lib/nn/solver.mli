@@ -1,0 +1,47 @@
+(** Solvers (§2.5): coordinate forward, backward and weight update.
+
+    A solver owns per-parameter optimizer state (momentum, second
+    moments) keyed on the program's learnable parameters and applies one
+    update per {!step}, honoring each parameter's learning-rate
+    multiplier ([Param(:bias, 2.0)] in Figure 4). *)
+
+type method_ =
+  | Sgd  (** Momentum SGD (Caffe-style: v := mom·v + lr·g; w := w − v). *)
+  | Rmsprop of { decay : float; epsilon : float }
+  | Adagrad of { epsilon : float }
+  | Adam of { beta1 : float; beta2 : float; epsilon : float }
+
+type params = {
+  lr_policy : Lr_policy.t;
+  momentum : float;  (** Used by {!constructor:method_.Sgd}. *)
+  weight_decay : float;  (** L2 regularization coefficient. *)
+}
+
+val default_params : params
+
+type t
+
+val create :
+  ?params:params ->
+  ?clip_norm:float ->
+  ?nesterov:bool ->
+  method_ ->
+  Executor.t ->
+  t
+(** [clip_norm] rescales the gradients when their global L2 norm
+    exceeds it (before the update). [nesterov] switches SGD to
+    Nesterov's accelerated form; ignored by the other methods. *)
+
+val iter : t -> int
+(** Number of updates applied so far. *)
+
+val update : t -> unit
+(** Apply one parameter update from the gradients currently in the
+    program's gradient buffers, then advance the iteration counter. *)
+
+val train_step : t -> unit
+(** forward → backward → update. The caller fills data/label buffers
+    beforehand. *)
+
+val learning_rate : t -> float
+(** The rate the next {!update} will use. *)

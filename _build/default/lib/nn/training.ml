@@ -1,0 +1,49 @@
+type history = { iters : int list; losses : float list }
+
+let mean_loss exec ~loss_buf =
+  let loss = Executor.lookup exec loss_buf in
+  Tensor.sum loss /. float_of_int (Tensor.numel loss)
+
+let fit ?(log_every = 50) ?log ~solver ~exec ~data ~data_buf ~label_buf ~loss_buf
+    ~iters () =
+  let data_t = Executor.lookup exec data_buf in
+  let labels_t = Executor.lookup exec label_buf in
+  let iters_log = ref [] and losses = ref [] in
+  for it = 0 to iters - 1 do
+    Synthetic.fill_batch data ~batch_index:it ~data:data_t ~labels:labels_t;
+    Solver.train_step solver;
+    if it mod log_every = 0 || it = iters - 1 then begin
+      let l = mean_loss exec ~loss_buf in
+      iters_log := it :: !iters_log;
+      losses := l :: !losses;
+      match log with Some f -> f ~iter:it ~loss:l | None -> ()
+    end
+  done;
+  { iters = List.rev !iters_log; losses = List.rev !losses }
+
+let accuracy ~exec ~data ~data_buf ~label_buf ~output_buf =
+  let data_t = Executor.lookup exec data_buf in
+  let labels_t = Executor.lookup exec label_buf in
+  let output = Executor.lookup exec output_buf in
+  let batch = (Tensor.shape data_t).(0) in
+  let n = (Tensor.shape data.Synthetic.features).(0) in
+  let classes = Tensor.numel output / batch in
+  let n_batches = n / batch in
+  let correct = ref 0 and total = ref 0 in
+  for b = 0 to n_batches - 1 do
+    Synthetic.fill_batch data ~batch_index:b ~data:data_t ~labels:labels_t;
+    Executor.forward exec;
+    for i = 0 to batch - 1 do
+      let best = ref 0 and best_v = ref neg_infinity in
+      for c = 0 to classes - 1 do
+        let v = Tensor.get1 output ((i * classes) + c) in
+        if v > !best_v then begin
+          best_v := v;
+          best := c
+        end
+      done;
+      if !best = int_of_float (Tensor.get1 labels_t i) then incr correct;
+      incr total
+    done
+  done;
+  float_of_int !correct /. float_of_int (max 1 !total)

@@ -1,0 +1,33 @@
+(** Training and evaluation drivers: the [solve(sgd, net)] loop of
+    Figure 7. *)
+
+type history = { iters : int list; losses : float list }
+
+val fit :
+  ?log_every:int ->
+  ?log:(iter:int -> loss:float -> unit) ->
+  solver:Solver.t ->
+  exec:Executor.t ->
+  data:Synthetic.dataset ->
+  data_buf:string ->
+  label_buf:string ->
+  loss_buf:string ->
+  iters:int ->
+  unit ->
+  history
+(** Streams mini-batches from the dataset (wrapping around), runs
+    forward/backward/update per iteration, and records the mean batch
+    loss every [log_every] iterations. *)
+
+val mean_loss : Executor.t -> loss_buf:string -> float
+
+val accuracy :
+  exec:Executor.t ->
+  data:Synthetic.dataset ->
+  data_buf:string ->
+  label_buf:string ->
+  output_buf:string ->
+  float
+(** Top-1 accuracy over the whole dataset, evaluated in batches with
+    forward passes only. [output_buf] holds per-item class scores
+    (e.g. the softmax ensemble's value buffer). *)

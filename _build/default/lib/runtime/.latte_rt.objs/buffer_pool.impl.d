@@ -1,0 +1,1 @@
+lib/runtime/buffer_pool.ml: Hashtbl List Printf String Tensor

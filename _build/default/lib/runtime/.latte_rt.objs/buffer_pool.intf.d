@@ -1,0 +1,1 @@
+lib/runtime/buffer_pool.mli: Shape Tensor

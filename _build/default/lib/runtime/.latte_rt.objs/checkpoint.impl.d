@@ -1,0 +1,1 @@
+lib/runtime/checkpoint.ml: Array Bytes Executor Fun Int32 List Printf Program Shape String Tensor

@@ -1,0 +1,1 @@
+lib/runtime/executor.ml: Array Buffer_pool Hashtbl Ir_compile List Option Program Unix

@@ -1,0 +1,1 @@
+lib/runtime/program.ml: Buffer_pool Ir Ir_analysis List

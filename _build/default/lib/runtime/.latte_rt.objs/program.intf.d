@@ -1,0 +1,1 @@
+lib/runtime/program.mli: Buffer_pool Ir Ir_analysis

@@ -1,0 +1,45 @@
+type entry = { tensor : Tensor.t; physical : string }
+
+type t = { tbl : (string, entry) Hashtbl.t; mutable order : string list }
+
+let create () = { tbl = Hashtbl.create 64; order = [] }
+
+let register t name entry =
+  if Hashtbl.mem t.tbl name then
+    invalid_arg (Printf.sprintf "Buffer_pool: duplicate buffer %s" name);
+  Hashtbl.replace t.tbl name entry;
+  t.order <- name :: t.order
+
+let alloc t name shape =
+  let tensor = Tensor.create shape in
+  register t name { tensor; physical = name };
+  tensor
+
+let adopt t name tensor = register t name { tensor; physical = name }
+
+let find t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some e -> e
+  | None -> failwith (Printf.sprintf "Buffer_pool: unknown buffer %s" name)
+
+let alias t name ~target ~shape =
+  let e = find t target in
+  let tensor = Tensor.reshape e.tensor shape in
+  register t name { tensor; physical = e.physical };
+  tensor
+
+let lookup t name = (find t name).tensor
+
+let mem t name = Hashtbl.mem t.tbl name
+
+let names t = List.rev t.order
+
+let physical t name = (find t name).physical
+
+let total_bytes t =
+  List.fold_left
+    (fun acc name ->
+      let e = find t name in
+      if String.equal e.physical name then acc + (4 * Tensor.numel e.tensor)
+      else acc)
+    0 (names t)

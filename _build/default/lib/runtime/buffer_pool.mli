@@ -1,0 +1,36 @@
+(** Named tensor buffers for a compiled network.
+
+    The compiler plans buffers (§5.3: "the runtime has allocated a
+    buffer for the input values of each neuron"); this pool realizes the
+    plan. Aliases implement the shared-buffer optimizations: an
+    ActivationEnsemble's value buffer aliasing its source, or a
+    fully-connected layer's input vector aliasing the flattened source
+    values. *)
+
+type t
+
+val create : unit -> t
+
+val alloc : t -> string -> Shape.t -> Tensor.t
+(** Allocate a zero-filled buffer. Raises on duplicates. *)
+
+val adopt : t -> string -> Tensor.t -> unit
+(** Register an externally created tensor under [name]. *)
+
+val alias : t -> string -> target:string -> shape:Shape.t -> Tensor.t
+(** Register [name] as a reshaped view of [target]'s storage; element
+    counts must agree. *)
+
+val lookup : t -> string -> Tensor.t
+(** Raises [Failure] with the buffer name when missing. *)
+
+val mem : t -> string -> bool
+
+val names : t -> string list
+(** All registered names, allocation order. *)
+
+val physical : t -> string -> string
+(** Follow alias links to the owning allocation. *)
+
+val total_bytes : t -> int
+(** Bytes of real storage (aliases not double-counted). *)

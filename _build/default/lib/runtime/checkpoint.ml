@@ -1,0 +1,74 @@
+let magic = "LATTECKPT1"
+
+let write_string oc s =
+  output_binary_int oc (String.length s);
+  output_string oc s
+
+let read_string ic =
+  let n = input_binary_int ic in
+  really_input_string ic n
+
+let write_tensor oc name t =
+  write_string oc name;
+  let shape = Tensor.shape t in
+  output_binary_int oc (Shape.rank shape);
+  Array.iter (output_binary_int oc) shape;
+  let n = Tensor.numel t in
+  let bytes = Bytes.create (4 * n) in
+  for i = 0 to n - 1 do
+    Bytes.set_int32_le bytes (4 * i) (Int32.bits_of_float (Tensor.get1 t i))
+  done;
+  output_bytes oc bytes
+
+let read_tensor ic lookup =
+  let name = read_string ic in
+  let rank = input_binary_int ic in
+  let dims = Array.init rank (fun _ -> input_binary_int ic) in
+  let t = lookup name in
+  if not (Shape.equal (Tensor.shape t) dims) then
+    failwith
+      (Printf.sprintf "Checkpoint: buffer %s has shape %s, file has %s" name
+         (Shape.to_string (Tensor.shape t))
+         (Shape.to_string dims));
+  let n = Shape.numel dims in
+  let bytes = Bytes.create (4 * n) in
+  really_input ic bytes 0 (4 * n);
+  for i = 0 to n - 1 do
+    Tensor.set1 t i (Int32.float_of_bits (Bytes.get_int32_le bytes (4 * i)))
+  done;
+  name
+
+let save_buffers ~lookup ~names path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc magic;
+      output_binary_int oc (List.length names);
+      List.iter (fun name -> write_tensor oc name (lookup name)) names)
+
+let load_buffers ~lookup path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let m = really_input_string ic (String.length magic) in
+      if not (String.equal m magic) then
+        failwith (Printf.sprintf "Checkpoint: %s is not a Latte checkpoint" path);
+      let count = input_binary_int ic in
+      List.init count (fun _ -> read_tensor ic lookup))
+
+let param_names exec =
+  List.map
+    (fun (p : Program.param) -> p.Program.value_buf)
+    (Executor.program exec).Program.params
+
+let save exec path =
+  save_buffers ~lookup:(Executor.lookup exec) ~names:(param_names exec) path
+
+let load exec path =
+  let restored = load_buffers ~lookup:(Executor.lookup exec) path in
+  let expected = List.sort_uniq String.compare (param_names exec) in
+  let got = List.sort_uniq String.compare restored in
+  if expected <> got then
+    failwith "Checkpoint: parameter set does not match this program"

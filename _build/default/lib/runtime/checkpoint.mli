@@ -1,0 +1,22 @@
+(** Parameter checkpointing.
+
+    Saves and restores the learnable parameters of a compiled program
+    in a small self-describing binary format (name, shape, float32
+    payload per buffer), so training can resume and trained models can
+    be shared between program instances — including instances compiled
+    under *different* optimization configurations, since parameter
+    buffer names and layouts depend only on the network description. *)
+
+val save : Executor.t -> string -> unit
+(** Write every learnable parameter buffer to [path]. *)
+
+val load : Executor.t -> string -> unit
+(** Restore parameters from [path] into the program's buffers. Raises
+    [Failure] on magic/shape/name mismatches (a checkpoint from a
+    different architecture). *)
+
+val save_buffers : lookup:(string -> Tensor.t) -> names:string list -> string -> unit
+(** Lower-level entry point: write the given buffers. *)
+
+val load_buffers : lookup:(string -> Tensor.t) -> string -> string list
+(** Restore every buffer recorded in the file; returns their names. *)

@@ -1,0 +1,70 @@
+type compiled_section = { label : string; code : Ir_compile.compiled }
+
+type t = {
+  prog : Program.t;
+  fwd : compiled_section list;
+  bwd : compiled_section list;
+}
+
+let compile_section buffers (s : Program.section) =
+  {
+    label = s.Program.label;
+    code = Ir_compile.compile ~lookup:(Buffer_pool.lookup buffers) s.Program.stmts;
+  }
+
+let prepare (prog : Program.t) =
+  let cs = compile_section prog.buffers in
+  { prog; fwd = List.map cs prog.forward; bwd = List.map cs prog.backward }
+
+let program t = t.prog
+
+let run_sections sections =
+  List.iter (fun s -> Ir_compile.run s.code ()) sections
+
+let forward t = run_sections t.fwd
+let backward t = run_sections t.bwd
+
+let timed_sections sections =
+  List.map
+    (fun s ->
+      let t0 = Unix.gettimeofday () in
+      Ir_compile.run s.code ();
+      let t1 = Unix.gettimeofday () in
+      (s.label, t1 -. t0))
+    sections
+
+let forward_timed t = timed_sections t.fwd
+let backward_timed t = timed_sections t.bwd
+
+let median a =
+  let a = Array.copy a in
+  Array.sort compare a;
+  a.(Array.length a / 2)
+
+let time_run ?(warmup = 1) ?(iters = 3) f =
+  for _ = 1 to warmup do
+    f ()
+  done;
+  let samples =
+    Array.init iters (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        f ();
+        Unix.gettimeofday () -. t0)
+  in
+  median samples
+
+let time_forward ?warmup ?iters t = time_run ?warmup ?iters (fun () -> forward t)
+let time_backward ?warmup ?iters t = time_run ?warmup ?iters (fun () -> backward t)
+
+let lookup t name = Buffer_pool.lookup t.prog.buffers name
+
+let kernel_stats t =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun (k, v) ->
+          Hashtbl.replace tbl k (v + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+        (Ir_compile.kernel_stats s.code))
+    (t.fwd @ t.bwd);
+  List.sort compare (Hashtbl.fold (fun k v l -> (k, v) :: l) tbl [])

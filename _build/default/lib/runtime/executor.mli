@@ -1,0 +1,30 @@
+(** Executes compiled programs on the host, with per-section timing.
+
+    Sections are code-generated once ({!Ir_compile}) at preparation time
+    and then run repeatedly — the paper's [init] step that "compiles the
+    network to an executable and allocates required memory buffers". *)
+
+type t
+
+val prepare : Program.t -> t
+
+val program : t -> Program.t
+
+val forward : t -> unit
+val backward : t -> unit
+
+val forward_timed : t -> (string * float) list
+(** Runs forward once, returning (section label, seconds) pairs. *)
+
+val backward_timed : t -> (string * float) list
+
+val time_forward : ?warmup:int -> ?iters:int -> t -> float
+(** Median-of-iters wall-clock seconds for a full forward pass. *)
+
+val time_backward : ?warmup:int -> ?iters:int -> t -> float
+
+val lookup : t -> string -> Tensor.t
+(** Access a buffer by name (for data layers, tests, solvers). *)
+
+val kernel_stats : t -> (string * int) list
+(** Aggregated code-generation kernel statistics over all sections. *)

@@ -1,0 +1,31 @@
+type section = {
+  label : string;
+  ensembles : string list;
+  stmts : Ir.stmt list;
+}
+
+type param = {
+  param_name : string;
+  value_buf : string;
+  grad_buf : string;
+  lr_mult : float;
+}
+
+type t = {
+  batch_size : int;
+  buffers : Buffer_pool.t;
+  forward : section list;
+  backward : section list;
+  params : param list;
+  grad_sizes : (string * int) list;
+}
+
+let section ~label ~ensembles stmts = { label; ensembles; stmts }
+
+let section_cost s = Ir_analysis.cost_of_stmts s.stmts
+
+let flops t dir =
+  let sections = match dir with `Forward -> t.forward | `Backward -> t.backward in
+  List.fold_left
+    (fun acc s -> acc +. (section_cost s).Ir_analysis.flops)
+    0.0 sections

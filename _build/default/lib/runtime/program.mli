@@ -1,0 +1,40 @@
+(** The compiled form of a network: what the Latte compiler emits and
+    the executor runs.
+
+    A program is a list of {!section}s for each direction. Sections are
+    the unit of timing and of scheduling: a fused group of layers is one
+    section, an unfused layer is its own section. Each section's
+    statements are complete (they include their own batch loop when the
+    work is per-item). *)
+
+type section = {
+  label : string;  (** e.g. ["conv1_1+relu1_1+pool1"]. *)
+  ensembles : string list;  (** Contributing ensembles, topo order. *)
+  stmts : Ir.stmt list;
+}
+
+type param = {
+  param_name : string;
+  value_buf : string;
+  grad_buf : string;
+  lr_mult : float;
+}
+
+type t = {
+  batch_size : int;
+  buffers : Buffer_pool.t;
+  forward : section list;
+  backward : section list;
+  params : param list;  (** Learnable parameters, for solvers. *)
+  grad_sizes : (string * int) list;
+      (** Per-ensemble learnable-gradient element counts in backward
+          completion order — what the distributed runtime synchronizes,
+          in the order the asynchronous reductions are issued (§5.3). *)
+}
+
+val section : label:string -> ensembles:string list -> Ir.stmt list -> section
+
+val flops : t -> [ `Forward | `Backward ] -> float
+(** Static flop count of one execution, from {!Ir_analysis}. *)
+
+val section_cost : section -> Ir_analysis.cost

@@ -1,0 +1,1 @@
+lib/tensor/im2col.mli: Shape Tensor

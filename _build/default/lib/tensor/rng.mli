@@ -1,0 +1,36 @@
+(** Deterministic pseudo-random number generation.
+
+    A self-contained xoshiro256** generator so every experiment is
+    reproducible independently of the OCaml stdlib [Random] state. All
+    layer initializers and synthetic data generators thread one of these
+    explicitly. *)
+
+type t
+
+val create : int -> t
+(** [create seed] builds a generator from a 63-bit seed via splitmix64. *)
+
+val copy : t -> t
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [0, bound). Requires [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] draws uniformly from [0, bound). *)
+
+val uniform : t -> lo:float -> hi:float -> float
+
+val gaussian : t -> float
+(** Standard normal draw (Box–Muller). *)
+
+val gaussian_scaled : t -> mean:float -> sigma:float -> float
+
+val xavier : t -> fan_in:int -> fan_out:int -> float
+(** One draw from the Xavier/Glorot uniform initializer
+    U(-sqrt(6/(fan_in+fan_out)), +sqrt(6/(fan_in+fan_out))). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val split : t -> t
+(** Derive an independent generator (for parallel workers). *)

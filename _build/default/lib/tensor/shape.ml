@@ -1,0 +1,88 @@
+type t = int array
+
+let create dims =
+  let s = Array.of_list dims in
+  Array.iteri
+    (fun i d ->
+      if d < 0 then
+        invalid_arg
+          (Printf.sprintf "Shape.create: negative extent %d at dim %d" d i))
+    s;
+  s
+
+let rank = Array.length
+
+let numel s = Array.fold_left ( * ) 1 s
+
+let strides s =
+  let n = rank s in
+  let st = Array.make n 1 in
+  for i = n - 2 downto 0 do
+    st.(i) <- st.(i + 1) * s.(i + 1)
+  done;
+  st
+
+let ravel s idx =
+  let n = rank s in
+  if Array.length idx <> n then
+    invalid_arg
+      (Printf.sprintf "Shape.ravel: index rank %d <> shape rank %d"
+         (Array.length idx) n);
+  let off = ref 0 in
+  for i = 0 to n - 1 do
+    let j = idx.(i) in
+    if j < 0 || j >= s.(i) then
+      invalid_arg
+        (Printf.sprintf "Shape.ravel: index %d out of bounds [0,%d) at dim %d"
+           j s.(i) i);
+    off := (!off * s.(i)) + j
+  done;
+  !off
+
+let unravel s off =
+  let n = rank s in
+  let idx = Array.make n 0 in
+  let rem = ref off in
+  for i = n - 1 downto 0 do
+    idx.(i) <- !rem mod s.(i);
+    rem := !rem / s.(i)
+  done;
+  idx
+
+let equal a b = a = b
+
+let to_string s =
+  if rank s = 0 then "scalar"
+  else String.concat "x" (Array.to_list (Array.map string_of_int s))
+
+let concat a b = Array.append a b
+
+let drop_dim s i =
+  if i < 0 || i >= rank s then
+    invalid_arg (Printf.sprintf "Shape.drop_dim: dim %d of %s" i (to_string s));
+  Array.init (rank s - 1) (fun j -> if j < i then s.(j) else s.(j + 1))
+
+let broadcastable a b =
+  let ra = rank a and rb = rank b in
+  let r = min ra rb in
+  let ok = ref true in
+  for i = 1 to r do
+    let da = a.(ra - i) and db = b.(rb - i) in
+    if not (da = db || da = 1 || db = 1) then ok := false
+  done;
+  !ok
+
+let iter s f =
+  let n = rank s in
+  if numel s > 0 then begin
+    let idx = Array.make n 0 in
+    let rec loop d =
+      if d = n then f idx
+      else
+        for i = 0 to s.(d) - 1 do
+          idx.(d) <- i;
+          loop (d + 1)
+        done
+    in
+    loop 0
+  end

@@ -1,0 +1,47 @@
+(** N-dimensional shapes and row-major stride arithmetic.
+
+    A shape is an array of non-negative dimension extents. Indexing is
+    row-major (C order): the last dimension varies fastest. All functions
+    raise [Invalid_argument] on malformed input rather than returning
+    garbage, since shape errors are programming errors in the compiler. *)
+
+type t = int array
+
+val create : int list -> t
+(** [create dims] validates that every extent is non-negative. *)
+
+val rank : t -> int
+
+val numel : t -> int
+(** Total number of elements, the product of all extents. [numel [||] = 1]
+    (a scalar). *)
+
+val strides : t -> int array
+(** Row-major strides: [strides s].(i) is the flat-index step of one unit
+    along dimension [i]. *)
+
+val ravel : t -> int array -> int
+(** [ravel shape idx] flattens a multi-index to a flat offset. Raises
+    [Invalid_argument] if [idx] has wrong rank or is out of bounds. *)
+
+val unravel : t -> int -> int array
+(** Inverse of {!ravel}. *)
+
+val equal : t -> t -> bool
+
+val to_string : t -> string
+(** e.g. ["3x224x224"]. *)
+
+val concat : t -> t -> t
+(** [concat a b] appends the dims of [b] after those of [a]. *)
+
+val drop_dim : t -> int -> t
+(** [drop_dim s i] removes dimension [i]. *)
+
+val broadcastable : t -> t -> bool
+(** True when the two shapes agree in every dimension or one of the pair
+    is 1, aligning from the trailing dimension (NumPy rules). *)
+
+val iter : t -> (int array -> unit) -> unit
+(** Iterate over all multi-indices in row-major order. The callback
+    receives a buffer that is reused between calls; copy it if retained. *)

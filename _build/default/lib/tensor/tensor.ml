@@ -1,0 +1,213 @@
+type buffer =
+  (float, Bigarray.float32_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = { data : buffer; shape : Shape.t }
+
+let create shape =
+  let n = Shape.numel shape in
+  let data = Bigarray.Array1.create Bigarray.float32 Bigarray.c_layout n in
+  Bigarray.Array1.fill data 0.0;
+  { data; shape }
+
+let of_buffer data shape =
+  if Bigarray.Array1.dim data <> Shape.numel shape then
+    invalid_arg
+      (Printf.sprintf "Tensor.of_buffer: buffer size %d <> shape %s"
+         (Bigarray.Array1.dim data) (Shape.to_string shape));
+  { data; shape }
+
+let scalar v =
+  let t = create [||] in
+  Bigarray.Array1.set t.data 0 v;
+  t
+
+let shape t = t.shape
+let numel t = Shape.numel t.shape
+let data t = t.data
+
+let of_array shape a =
+  if Array.length a <> Shape.numel shape then
+    invalid_arg "Tensor.of_array: element count mismatch";
+  let t = create shape in
+  Array.iteri (fun i v -> Bigarray.Array1.set t.data i v) a;
+  t
+
+let to_array t = Array.init (numel t) (fun i -> Bigarray.Array1.get t.data i)
+
+let get t idx = Bigarray.Array1.get t.data (Shape.ravel t.shape idx)
+let set t idx v = Bigarray.Array1.set t.data (Shape.ravel t.shape idx) v
+
+let get1 t i =
+  if i < 0 || i >= numel t then invalid_arg "Tensor.get1: out of bounds";
+  Bigarray.Array1.get t.data i
+
+let set1 t i v =
+  if i < 0 || i >= numel t then invalid_arg "Tensor.set1: out of bounds";
+  Bigarray.Array1.set t.data i v
+
+let unsafe_get t i = Bigarray.Array1.unsafe_get t.data i
+let unsafe_set t i v = Bigarray.Array1.unsafe_set t.data i v
+
+let fill t v = Bigarray.Array1.fill t.data v
+
+let copy t =
+  let t' = create t.shape in
+  Bigarray.Array1.blit t.data t'.data;
+  t'
+
+let blit ~src ~dst =
+  if not (Shape.equal src.shape dst.shape) then
+    invalid_arg "Tensor.blit: shape mismatch";
+  Bigarray.Array1.blit src.data dst.data
+
+let reshape t shape =
+  if Shape.numel shape <> numel t then
+    invalid_arg
+      (Printf.sprintf "Tensor.reshape: %s -> %s changes element count"
+         (Shape.to_string t.shape) (Shape.to_string shape));
+  { data = t.data; shape }
+
+let sub_left t i =
+  if Shape.rank t.shape = 0 then invalid_arg "Tensor.sub_left: scalar";
+  let d0 = t.shape.(0) in
+  if i < 0 || i >= d0 then invalid_arg "Tensor.sub_left: out of bounds";
+  let rest = Shape.drop_dim t.shape 0 in
+  let n = Shape.numel rest in
+  { data = Bigarray.Array1.sub t.data (i * n) n; shape = rest }
+
+let init shape f =
+  let t = create shape in
+  Shape.iter shape (fun idx -> set t idx (f idx));
+  t
+
+let map f t =
+  let t' = create t.shape in
+  for i = 0 to numel t - 1 do
+    unsafe_set t' i (f (unsafe_get t i))
+  done;
+  t'
+
+let map_inplace f t =
+  for i = 0 to numel t - 1 do
+    unsafe_set t i (f (unsafe_get t i))
+  done
+
+let map2 f a b =
+  if not (Shape.equal a.shape b.shape) then
+    invalid_arg "Tensor.map2: shape mismatch";
+  let t' = create a.shape in
+  for i = 0 to numel a - 1 do
+    unsafe_set t' i (f (unsafe_get a i) (unsafe_get b i))
+  done;
+  t'
+
+let iteri f t =
+  for i = 0 to numel t - 1 do
+    f i (unsafe_get t i)
+  done
+
+let add_inplace dst src =
+  if not (Shape.equal dst.shape src.shape) then
+    invalid_arg "Tensor.add_inplace: shape mismatch";
+  for i = 0 to numel dst - 1 do
+    unsafe_set dst i (unsafe_get dst i +. unsafe_get src i)
+  done
+
+let scale_inplace t alpha =
+  for i = 0 to numel t - 1 do
+    unsafe_set t i (alpha *. unsafe_get t i)
+  done
+
+let axpy ~alpha ~x ~y =
+  if not (Shape.equal x.shape y.shape) then
+    invalid_arg "Tensor.axpy: shape mismatch";
+  for i = 0 to numel x - 1 do
+    unsafe_set y i ((alpha *. unsafe_get x i) +. unsafe_get y i)
+  done
+
+let sum t =
+  let acc = ref 0.0 in
+  for i = 0 to numel t - 1 do
+    acc := !acc +. unsafe_get t i
+  done;
+  !acc
+
+let max_value t =
+  if numel t = 0 then invalid_arg "Tensor.max_value: empty tensor";
+  let m = ref (unsafe_get t 0) in
+  for i = 1 to numel t - 1 do
+    let v = unsafe_get t i in
+    if v > !m then m := v
+  done;
+  !m
+
+let argmax t =
+  if numel t = 0 then invalid_arg "Tensor.argmax: empty tensor";
+  let m = ref (unsafe_get t 0) and mi = ref 0 in
+  for i = 1 to numel t - 1 do
+    let v = unsafe_get t i in
+    if v > !m then begin
+      m := v;
+      mi := i
+    end
+  done;
+  !mi
+
+let dot a b =
+  if not (Shape.equal a.shape b.shape) then
+    invalid_arg "Tensor.dot: shape mismatch";
+  let acc = ref 0.0 in
+  for i = 0 to numel a - 1 do
+    acc := !acc +. (unsafe_get a i *. unsafe_get b i)
+  done;
+  !acc
+
+let l2_norm t = sqrt (dot t t)
+
+let max_abs_diff a b =
+  if not (Shape.equal a.shape b.shape) then
+    invalid_arg "Tensor.max_abs_diff: shape mismatch";
+  let m = ref 0.0 in
+  for i = 0 to numel a - 1 do
+    let d = Float.abs (unsafe_get a i -. unsafe_get b i) in
+    if d > !m then m := d
+  done;
+  !m
+
+let approx_equal ?(tol = 1e-5) a b =
+  if not (Shape.equal a.shape b.shape) then false
+  else begin
+    let ok = ref true in
+    for i = 0 to numel a - 1 do
+      let x = unsafe_get a i and y = unsafe_get b i in
+      let scale = Float.max 1.0 (Float.max (Float.abs x) (Float.abs y)) in
+      if Float.abs (x -. y) > tol *. scale then ok := false
+    done;
+    !ok
+  end
+
+let fill_uniform rng t ~lo ~hi =
+  for i = 0 to numel t - 1 do
+    unsafe_set t i (Rng.uniform rng ~lo ~hi)
+  done
+
+let fill_gaussian rng t ~mean ~sigma =
+  for i = 0 to numel t - 1 do
+    unsafe_set t i (Rng.gaussian_scaled rng ~mean ~sigma)
+  done
+
+let fill_xavier rng t ~fan_in ~fan_out =
+  for i = 0 to numel t - 1 do
+    unsafe_set t i (Rng.xavier rng ~fan_in ~fan_out)
+  done
+
+let pp fmt t =
+  let n = numel t in
+  let shown = min n 8 in
+  Format.fprintf fmt "Tensor<%s>[" (Shape.to_string t.shape);
+  for i = 0 to shown - 1 do
+    if i > 0 then Format.fprintf fmt "; ";
+    Format.fprintf fmt "%g" (unsafe_get t i)
+  done;
+  if n > shown then Format.fprintf fmt "; ...";
+  Format.fprintf fmt "]"

@@ -1,0 +1,85 @@
+(** Dense Float32 tensors backed by [Bigarray].
+
+    The data buffer is a flat, C-layout [Bigarray.Array1]; [shape] gives
+    its logical n-dimensional extents in row-major order. Views created
+    by {!reshape} and {!sub_left} share storage with their parent. *)
+
+type buffer =
+  (float, Bigarray.float32_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = private { data : buffer; shape : Shape.t }
+
+val create : Shape.t -> t
+(** Zero-initialized tensor. *)
+
+val of_buffer : buffer -> Shape.t -> t
+(** Wrap an existing buffer; raises [Invalid_argument] if sizes disagree. *)
+
+val scalar : float -> t
+
+val of_array : Shape.t -> float array -> t
+
+val to_array : t -> float array
+
+val shape : t -> Shape.t
+val numel : t -> int
+val data : t -> buffer
+
+val get : t -> int array -> float
+val set : t -> int array -> float -> unit
+
+val get1 : t -> int -> float
+(** Flat access with bounds checking. *)
+
+val set1 : t -> int -> float -> unit
+
+val unsafe_get : t -> int -> float
+val unsafe_set : t -> int -> float -> unit
+
+val fill : t -> float -> unit
+val copy : t -> t
+val blit : src:t -> dst:t -> unit
+
+val reshape : t -> Shape.t -> t
+(** Shares storage; element count must match. *)
+
+val sub_left : t -> int -> t
+(** [sub_left t i] is the [i]-th slice along dimension 0, as a view. *)
+
+val init : Shape.t -> (int array -> float) -> t
+
+val map : (float -> float) -> t -> t
+val map_inplace : (float -> float) -> t -> unit
+val map2 : (float -> float -> float) -> t -> t -> t
+
+val iteri : (int -> float -> unit) -> t -> unit
+
+val add_inplace : t -> t -> unit
+(** [add_inplace dst src] accumulates [src] into [dst] elementwise. *)
+
+val scale_inplace : t -> float -> unit
+
+val axpy : alpha:float -> x:t -> y:t -> unit
+(** y := alpha * x + y. *)
+
+val sum : t -> float
+val max_value : t -> float
+val argmax : t -> int
+(** Flat index of the maximum element; first occurrence wins. *)
+
+val dot : t -> t -> float
+
+val l2_norm : t -> float
+
+val approx_equal : ?tol:float -> t -> t -> bool
+(** Elementwise comparison with mixed absolute/relative tolerance; shapes
+    must be equal. *)
+
+val max_abs_diff : t -> t -> float
+
+val fill_uniform : Rng.t -> t -> lo:float -> hi:float -> unit
+val fill_gaussian : Rng.t -> t -> mean:float -> sigma:float -> unit
+val fill_xavier : Rng.t -> t -> fan_in:int -> fan_out:int -> unit
+
+val pp : Format.formatter -> t -> unit
+(** Prints the shape and first few elements; for debugging and tests. *)

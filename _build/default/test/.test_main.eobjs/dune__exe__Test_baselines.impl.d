@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Baseline_desc Caffe_like Ensemble Executor Layers List Mapping Mocha_like Net Neuron Printf Program Rng Tensor Test_util

@@ -1,0 +1,1 @@
+test/test_blas.ml: Alcotest Array Bigarray Blas Float List Printf QCheck QCheck_alcotest Rng Shape Tensor

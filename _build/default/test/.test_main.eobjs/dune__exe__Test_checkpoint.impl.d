@@ -1,0 +1,1 @@
+test/test_checkpoint.ml: Alcotest Checkpoint Config Executor Filename Layers Sys Tensor Test_util

@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Buffer_pool Config Connection Ir Ir_eval Ir_printer Layers Layout List Mapping Net Pattern_match Pipeline Program Rng Shape String Tensor Tiling

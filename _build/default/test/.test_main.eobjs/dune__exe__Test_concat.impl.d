@@ -1,0 +1,1 @@
+test/test_concat.ml: Alcotest Array Config Ensemble Executor Float Layers List Printf Rng Shape Tensor Test_util

@@ -1,0 +1,1 @@
+test/test_data.ml: Alcotest Executor Float List Models Rng Shape Synthetic Tensor Test_util

@@ -1,0 +1,1 @@
+test/test_distributed.ml: Alcotest Config Data_parallel Float Lazy Lr_policy Models Printf Solver Synthetic

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Buffer_pool Config Executor Float Layers List Lr_policy Models Pipeline Printf Program Rng Shape Solver Synthetic Tensor Test_util Training

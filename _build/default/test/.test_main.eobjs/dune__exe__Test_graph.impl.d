@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Dataflow Layers List Mapping Net Net_dot QCheck QCheck_alcotest Rnn Shape String

@@ -1,0 +1,1 @@
+test/test_im2col.ml: Alcotest Float Im2col List Rng Shape Tensor

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Ir Ir_analysis Ir_printer List String

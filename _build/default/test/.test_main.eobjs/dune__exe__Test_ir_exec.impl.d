@@ -1,0 +1,1 @@
+test/test_ir_exec.ml: Alcotest Array Buffer_pool Ir Ir_compile Ir_eval List Printf QCheck QCheck_alcotest Rng Shape Tensor

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Ir Ir_printer Kernel Layout List Neuron

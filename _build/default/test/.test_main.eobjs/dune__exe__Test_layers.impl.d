@@ -1,0 +1,1 @@
+test/test_layers.ml: Alcotest Buffer_pool Config Ensemble Executor Float Layers Pipeline Printf Program Rng Shape Tensor Test_util

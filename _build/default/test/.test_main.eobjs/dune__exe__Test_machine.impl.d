@@ -1,0 +1,1 @@
+test/test_machine.ml: Accel_sim Alcotest Cluster_sim Config Cost_model Float Layers Lazy List Machine Models Pipeline Printf Program Test_util

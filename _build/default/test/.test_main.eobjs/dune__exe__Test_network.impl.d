@@ -1,0 +1,1 @@
+test/test_network.ml: Alcotest Array Config Ensemble Executor Float Layers List Mapping Net Neuron Printf Tensor Test_util

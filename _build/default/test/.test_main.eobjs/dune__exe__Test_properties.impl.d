@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Caffe_like Config Ensemble Executor Layers List Net Pipeline Printf QCheck QCheck_alcotest Rng Tensor

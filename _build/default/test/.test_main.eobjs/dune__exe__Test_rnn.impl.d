@@ -1,0 +1,1 @@
+test/test_rnn.ml: Alcotest Array Buffer_pool Config Executor Float Layers Net Pipeline Printf Program Rng Rnn Shape Tensor

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Buffer_pool Config Executor Layers List Pipeline Printf Program Shape Tensor Test_util

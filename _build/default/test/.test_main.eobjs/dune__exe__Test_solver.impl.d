@@ -1,0 +1,1 @@
+test/test_solver.ml: Alcotest Executor Float Layers List Lr_policy Models Printf Solver Synthetic Tensor Test_util Training

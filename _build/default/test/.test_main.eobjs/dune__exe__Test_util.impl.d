@@ -1,0 +1,1 @@
+test/test_util.ml: Config Executor Float Layers List Net Pipeline Rng Tensor

@@ -1,0 +1,114 @@
+(* Cross-system agreement: Latte vs the Caffe-like and Mocha-like
+   baselines must produce identical values and gradients when given
+   identical parameters and inputs. *)
+
+let fill_all ~batch ~n_classes lookup =
+  let rng = Rng.create 2024 in
+  let data = lookup "data.value" in
+  Tensor.fill_uniform rng data ~lo:(-1.0) ~hi:1.0;
+  let labels = lookup "label" in
+  for b = 0 to batch - 1 do
+    Tensor.set1 labels b (float_of_int (b mod n_classes))
+  done
+
+let convnet ~batch =
+  let net = Test_util.base_net ~batch in
+  let data = Layers.data_layer net ~name:"data" ~shape:[ 8; 8; 2 ] in
+  let conv1 =
+    Layers.convolution net ~name:"conv1" ~input:data ~n_filters:4 ~kernel:3
+      ~stride:1 ~pad:1 ()
+  in
+  let r1 = Layers.relu net ~name:"relu1" ~input:conv1 in
+  let pool1 = Layers.max_pooling net ~name:"pool1" ~input:r1 ~kernel:2 () in
+  let fc = Layers.fully_connected net ~name:"fc" ~input:pool1 ~n_outputs:3 in
+  Test_util.attach_loss net fc;
+  (net, 3)
+
+let lenet_like ~batch =
+  let net = Test_util.base_net ~batch in
+  let data = Layers.data_layer net ~name:"data" ~shape:[ 12; 12; 1 ] in
+  let conv1 =
+    Layers.convolution net ~name:"conv1" ~input:data ~n_filters:4 ~kernel:5
+      ~stride:1 ~pad:0 ()
+  in
+  let pool1 = Layers.max_pooling net ~name:"pool1" ~input:conv1 ~kernel:2 () in
+  let fc1 = Layers.fully_connected net ~name:"fc1" ~input:pool1 ~n_outputs:10 in
+  let r = Layers.relu net ~name:"relu_fc" ~input:fc1 in
+  let fc2 = Layers.fully_connected net ~name:"fc2" ~input:r ~n_outputs:4 in
+  Test_util.attach_loss net fc2;
+  (net, 4)
+
+let check_system_agreement name build =
+  let batch = 3 in
+  let net, n_classes = build ~batch in
+  let exec = Test_util.prepare net in
+  let caffe = Caffe_like.of_net ~params_from:exec net in
+  let mocha = Mocha_like.of_net ~params_from:exec net in
+  fill_all ~batch ~n_classes (Executor.lookup exec);
+  fill_all ~batch ~n_classes (Caffe_like.lookup caffe);
+  fill_all ~batch ~n_classes (Mocha_like.lookup mocha);
+  Executor.forward exec;
+  Executor.backward exec;
+  Caffe_like.forward caffe;
+  Caffe_like.backward caffe;
+  Mocha_like.forward mocha;
+  Mocha_like.backward mocha;
+  let check what a b =
+    let d = Tensor.max_abs_diff a b in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s %s (diff %g)" name what d)
+      true (d < 1e-3)
+  in
+  (* Loss values, probabilities and every learnable gradient. *)
+  check "caffe loss" (Executor.lookup exec "loss") (Caffe_like.lookup caffe "loss");
+  check "mocha loss" (Executor.lookup exec "loss") (Mocha_like.lookup mocha "loss");
+  check "caffe probs" (Executor.lookup exec "sl.value")
+    (Caffe_like.lookup caffe "sl.value");
+  check "mocha probs" (Executor.lookup exec "sl.value")
+    (Mocha_like.lookup mocha "sl.value");
+  List.iter
+    (fun (p : Program.param) ->
+      check ("caffe " ^ p.Program.param_name)
+        (Executor.lookup exec p.Program.grad_buf)
+        (Caffe_like.lookup caffe p.Program.grad_buf);
+      check ("mocha " ^ p.Program.param_name)
+        (Executor.lookup exec p.Program.grad_buf)
+        (Mocha_like.lookup mocha p.Program.grad_buf))
+    (Executor.program exec).Program.params
+
+let test_convnet_agreement () = check_system_agreement "convnet" convnet
+let test_lenet_agreement () = check_system_agreement "lenet" lenet_like
+
+let test_mlp_agreement () =
+  check_system_agreement "mlp" (fun ~batch ->
+      let net = Test_util.base_net ~batch in
+      let data = Layers.data_layer net ~name:"data" ~shape:[ 10 ] in
+      let fc1 = Layers.fully_connected net ~name:"fc1" ~input:data ~n_outputs:8 in
+      let s = Layers.sigmoid net ~name:"sig" ~input:fc1 in
+      let fc2 = Layers.fully_connected net ~name:"fc2" ~input:s ~n_outputs:3 in
+      Test_util.attach_loss net fc2;
+      (net, 3))
+
+let test_classify_rejects_multi_input () =
+  let net = Test_util.base_net ~batch:1 in
+  let d = Layers.data_layer net ~name:"data" ~shape:[ 4 ] in
+  let a = Layers.fully_connected net ~name:"a" ~input:d ~n_outputs:4 in
+  let b = Layers.fully_connected net ~name:"b" ~input:d ~n_outputs:4 in
+  let sum =
+    Net.add net (Ensemble.create ~name:"sum" ~shape:[ 4 ] (Ensemble.Compute Neuron.add2))
+  in
+  Net.add_connections net ~source:a ~sink:sum (Mapping.one_to_one ~rank:1);
+  Net.add_connections net ~source:b ~sink:sum (Mapping.one_to_one ~rank:1);
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Baseline_desc.classify net);
+       false
+     with Failure _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "convnet agreement" `Quick test_convnet_agreement;
+    Alcotest.test_case "lenet agreement" `Quick test_lenet_agreement;
+    Alcotest.test_case "mlp agreement" `Quick test_mlp_agreement;
+    Alcotest.test_case "multi-input rejected" `Quick test_classify_rejects_multi_input;
+  ]

@@ -1,0 +1,126 @@
+(* GEMM and BLAS kernel tests: the blocked kernels must agree with the
+   triple-loop reference for every transpose combination, size and
+   offset. *)
+
+let buffer_of_array a =
+  let t = Tensor.of_array (Shape.create [ Array.length a ]) a in
+  Tensor.data t
+
+let random_buf rng n = buffer_of_array (Array.init n (fun _ -> Rng.uniform rng ~lo:(-1.0) ~hi:1.0))
+
+let buf_to_array b = Array.init (Bigarray.Array1.dim b) (Bigarray.Array1.get b)
+
+let check_gemm ?(alpha = 1.0) ?(beta = 1.0) ~transa ~transb ~m ~n ~k () =
+  let rng = Rng.create (m + (31 * n) + (97 * k) + if transa then 7 else 0) in
+  let a = random_buf rng (m * k) in
+  let b = random_buf rng (k * n) in
+  let c1 = random_buf rng (m * n) in
+  let c2 = buffer_of_array (buf_to_array c1) in
+  Blas.gemm ~alpha ~beta ~transa ~transb ~m ~n ~k ~a ~b ~c:c1 ();
+  Blas.gemm_naive ~alpha ~beta ~transa ~transb ~m ~n ~k ~a ~b ~c:c2 ();
+  let d = ref 0.0 in
+  for i = 0 to (m * n) - 1 do
+    d := Float.max !d (Float.abs (Bigarray.Array1.get c1 i -. Bigarray.Array1.get c2 i))
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "gemm %c%c %dx%dx%d agrees (max diff %g)"
+       (if transa then 'T' else 'N') (if transb then 'T' else 'N') m n k !d)
+    true (!d < 1e-3)
+
+let test_gemm_all_trans () =
+  List.iter
+    (fun (transa, transb) ->
+      List.iter
+        (fun (m, n, k) -> check_gemm ~transa ~transb ~m ~n ~k ())
+        [ (1, 1, 1); (3, 4, 5); (8, 8, 8); (17, 13, 9); (32, 1, 64); (1, 32, 64) ])
+    [ (false, false); (true, false); (false, true); (true, true) ]
+
+let test_gemm_alpha_beta () =
+  check_gemm ~alpha:2.5 ~beta:0.0 ~transa:false ~transb:false ~m:5 ~n:6 ~k:7 ();
+  check_gemm ~alpha:(-1.0) ~beta:3.0 ~transa:true ~transb:false ~m:5 ~n:6 ~k:7 ()
+
+let test_gemm_offsets () =
+  let rng = Rng.create 42 in
+  let m = 4 and n = 3 and k = 5 in
+  let pad = 11 in
+  let a = random_buf rng ((m * k) + pad) in
+  let b = random_buf rng ((k * n) + pad) in
+  let c1 = random_buf rng ((m * n) + pad) in
+  let c2 = buffer_of_array (buf_to_array c1) in
+  Blas.gemm ~transa:false ~transb:false ~m ~n ~k ~a ~off_a:pad ~b ~off_b:pad ~c:c1
+    ~off_c:pad ();
+  Blas.gemm_naive ~transa:false ~transb:false ~m ~n ~k ~a ~off_a:pad ~b ~off_b:pad
+    ~c:c2 ~off_c:pad ();
+  for i = 0 to (m * n) + pad - 1 do
+    Alcotest.(check (float 1e-4)) "offset gemm"
+      (Bigarray.Array1.get c2 i) (Bigarray.Array1.get c1 i)
+  done
+
+let test_gemm_beta_zero_clears () =
+  (* beta = 0 must overwrite garbage, including NaN. *)
+  let a = buffer_of_array [| 1.0 |] in
+  let b = buffer_of_array [| 2.0 |] in
+  let c = buffer_of_array [| Float.nan |] in
+  Blas.gemm ~beta:0.0 ~transa:false ~transb:false ~m:1 ~n:1 ~k:1 ~a ~b ~c ();
+  Alcotest.(check (float 1e-6)) "cleared" 2.0 (Bigarray.Array1.get c 0)
+
+let test_gemv () =
+  let rng = Rng.create 5 in
+  let m = 6 and n = 4 in
+  let a = random_buf rng (m * n) in
+  let x = random_buf rng n in
+  let y = buffer_of_array (Array.make m 0.0) in
+  Blas.gemv ~transa:false ~m ~n ~a ~x ~y;
+  (* Reference via gemm with n=1. *)
+  let y2 = buffer_of_array (Array.make m 0.0) in
+  Blas.gemm_naive ~transa:false ~transb:false ~m ~n:1 ~k:n ~a ~b:x ~c:y2 ();
+  for i = 0 to m - 1 do
+    Alcotest.(check (float 1e-4)) "gemv" (Bigarray.Array1.get y2 i)
+      (Bigarray.Array1.get y i)
+  done
+
+let test_axpy_dot_scal () =
+  let x = buffer_of_array [| 1.0; 2.0; 3.0 |] in
+  let y = buffer_of_array [| 1.0; 1.0; 1.0 |] in
+  Blas.axpy ~alpha:2.0 ~n:3 ~x ~y;
+  Alcotest.(check (float 1e-6)) "axpy" 7.0 (Bigarray.Array1.get y 2);
+  Alcotest.(check (float 1e-4)) "dot" 34.0 (Blas.dot ~n:3 ~x ~y);
+  Blas.scal ~alpha:0.5 ~n:3 ~x;
+  Alcotest.(check (float 1e-6)) "scal" 1.5 (Bigarray.Array1.get x 2)
+
+let test_flops () =
+  Alcotest.(check (float 0.0)) "2mnk" 24.0 (Blas.gemm_flops ~m:2 ~n:2 ~k:3)
+
+let size_gen = QCheck.Gen.int_range 1 24
+
+let prop_gemm_random =
+  QCheck.Test.make ~count:60 ~name:"blocked gemm = naive gemm (random sizes)"
+    (QCheck.make
+       QCheck.Gen.(
+         tup5 size_gen size_gen size_gen bool bool))
+    (fun (m, n, k, transa, transb) ->
+      let rng = Rng.create ((m * 1000) + (n * 100) + k) in
+      let a = random_buf rng (m * k) in
+      let b = random_buf rng (k * n) in
+      let c1 = random_buf rng (m * n) in
+      let c2 = buffer_of_array (buf_to_array c1) in
+      Blas.gemm ~transa ~transb ~m ~n ~k ~a ~b ~c:c1 ();
+      Blas.gemm_naive ~transa ~transb ~m ~n ~k ~a ~b ~c:c2 ();
+      let ok = ref true in
+      for i = 0 to (m * n) - 1 do
+        if Float.abs (Bigarray.Array1.get c1 i -. Bigarray.Array1.get c2 i) > 1e-3
+        then ok := false
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "gemm all transposes" `Quick test_gemm_all_trans;
+    Alcotest.test_case "gemm alpha/beta" `Quick test_gemm_alpha_beta;
+    Alcotest.test_case "gemm offsets" `Quick test_gemm_offsets;
+    Alcotest.test_case "gemm beta=0 clears" `Quick test_gemm_beta_zero_clears;
+    Alcotest.test_case "gemv" `Quick test_gemv;
+    Alcotest.test_case "axpy/dot/scal" `Quick test_axpy_dot_scal;
+    Alcotest.test_case "gemm_flops" `Quick test_flops;
+    QCheck_alcotest.to_alcotest prop_gemm_random;
+  ]

@@ -1,0 +1,103 @@
+(* Synthetic dataset generators and models. *)
+
+let test_gaussian_shapes () =
+  let ds =
+    Synthetic.gaussian_classes ~seed:1 ~n:32 ~n_classes:4 ~item_shape:[ 3; 3 ]
+      ~separation:1.0
+  in
+  Alcotest.(check string) "features" "32x3x3"
+    (Shape.to_string (Tensor.shape ds.Synthetic.features));
+  Alcotest.(check string) "labels" "32" (Shape.to_string (Tensor.shape ds.Synthetic.labels));
+  Tensor.iteri
+    (fun _ l ->
+      Alcotest.(check bool) "label range" true (l >= 0.0 && l < 4.0))
+    ds.Synthetic.labels
+
+let test_gaussian_determinism () =
+  let a = Synthetic.gaussian_classes ~seed:9 ~n:16 ~n_classes:3 ~item_shape:[ 4 ] ~separation:1.0 in
+  let b = Synthetic.gaussian_classes ~seed:9 ~n:16 ~n_classes:3 ~item_shape:[ 4 ] ~separation:1.0 in
+  Alcotest.(check bool) "same features" true
+    (Tensor.approx_equal a.Synthetic.features b.Synthetic.features)
+
+let test_mnist_like () =
+  let ds = Synthetic.mnist_like ~seed:3 ~n:20 () in
+  Alcotest.(check string) "shape" "20x28x28x1"
+    (Shape.to_string (Tensor.shape ds.Synthetic.features));
+  Alcotest.(check int) "classes" 10 ds.Synthetic.n_classes
+
+let test_fill_batch_wraps () =
+  let ds =
+    Synthetic.gaussian_classes ~seed:2 ~n:6 ~n_classes:2 ~item_shape:[ 2 ]
+      ~separation:1.0
+  in
+  let data = Tensor.create (Shape.create [ 4; 2 ]) in
+  let labels = Tensor.create (Shape.create [ 4 ]) in
+  (* Batch 2 starts at item 8 mod 6 = 2. *)
+  Synthetic.fill_batch ds ~batch_index:2 ~data ~labels;
+  Alcotest.(check (float 0.0)) "wrapped item"
+    (Tensor.get ds.Synthetic.features [| 2; 0 |])
+    (Tensor.get data [| 0; 0 |]);
+  Alcotest.(check (float 0.0)) "wrapped label"
+    (Tensor.get1 ds.Synthetic.labels 2)
+    (Tensor.get1 labels 0)
+
+let test_models_build () =
+  (* Every model must construct, compile and run a forward pass at bench
+     scale. *)
+  let batch = 1 in
+  let scale = { Models.image = 32; width_div = 16; fc_div = 64 } in
+  List.iter
+    (fun (name, spec) ->
+      let exec = Test_util.prepare spec.Models.net in
+      let data = Executor.lookup exec (spec.Models.data_ens ^ ".value") in
+      let labels = Executor.lookup exec spec.Models.label_buf in
+      Tensor.fill_uniform (Rng.create 4) data ~lo:0.0 ~hi:1.0;
+      Tensor.fill labels 0.0;
+      Executor.forward exec;
+      let loss = Executor.lookup exec spec.Models.loss_buf in
+      Alcotest.(check bool) (name ^ " finite loss") true
+        (Float.is_finite (Tensor.get1 loss 0)))
+    [
+      ("mlp", Models.mlp ~batch ~n_inputs:12 ~hidden:[ 8 ] ~n_classes:4);
+      ("lenet", Models.lenet ~batch ~image:16 ~n_classes:4 ());
+      ("vgg_block", Models.vgg_first_block ~batch ~scale);
+      ("alexnet", Models.alexnet ~batch ~scale ());
+      ("vgg", Models.vgg ~batch ~scale);
+      ("overfeat", Models.overfeat ~batch ~scale);
+    ]
+
+let test_grouped_alexnet_builds () =
+  let spec =
+    Models.alexnet ~batch:1
+      ~scale:{ Models.image = 32; width_div = 8; fc_div = 64 }
+      ~groups:2 ()
+  in
+  let exec = Test_util.prepare spec.Models.net in
+  Tensor.fill_uniform (Rng.create 6)
+    (Executor.lookup exec "data.value") ~lo:0.0 ~hi:1.0;
+  Tensor.fill (Executor.lookup exec "label") 0.0;
+  Executor.forward exec;
+  Executor.backward exec;
+  Alcotest.(check bool) "finite loss" true
+    (Float.is_finite (Tensor.get1 (Executor.lookup exec "loss") 0))
+
+let test_vgg_groups () =
+  let spec = Models.vgg ~batch:1 ~scale:{ Models.image = 32; width_div = 16; fc_div = 64 } in
+  let group_names = List.map fst spec.Models.groups in
+  Alcotest.(check (list string)) "five conv groups + classifier"
+    [ "group1"; "group2"; "group3"; "group4"; "group5"; "classifier" ]
+    group_names;
+  Alcotest.(check (list string)) "group1 members"
+    [ "conv1_1"; "relu1_1"; "pool1" ]
+    (List.assoc "group1" spec.Models.groups)
+
+let suite =
+  [
+    Alcotest.test_case "gaussian shapes" `Quick test_gaussian_shapes;
+    Alcotest.test_case "gaussian determinism" `Quick test_gaussian_determinism;
+    Alcotest.test_case "mnist like" `Quick test_mnist_like;
+    Alcotest.test_case "fill batch wraps" `Quick test_fill_batch_wraps;
+    Alcotest.test_case "models build+run" `Slow test_models_build;
+    Alcotest.test_case "grouped alexnet" `Quick test_grouped_alexnet_builds;
+    Alcotest.test_case "vgg groups" `Quick test_vgg_groups;
+  ]

@@ -1,0 +1,68 @@
+(* Data-parallel training with synchronized vs lossy gradients
+   (Figure 20 machinery). *)
+
+let build () = Models.mlp ~batch:8 ~n_inputs:8 ~hidden:[ 12 ] ~n_classes:3
+
+let dataset =
+  lazy
+    (Synthetic.gaussian_classes ~seed:21 ~n:240 ~n_classes:3 ~item_shape:[ 8 ]
+       ~separation:2.0)
+
+let solver_params =
+  { Solver.lr_policy = Lr_policy.Fixed 0.05; momentum = 0.9; weight_decay = 0.0 }
+
+let train_mode mode =
+  let dp =
+    Data_parallel.create ~seed:3 ~workers:3 ~config:Config.default ~build
+      ~solver_method:Solver.Sgd ~solver_params mode
+  in
+  let data = Lazy.force dataset in
+  Data_parallel.train dp ~data ~iters:120 ();
+  Data_parallel.accuracy dp ~data
+
+let test_synchronized_trains () =
+  let acc = train_mode Data_parallel.Synchronized in
+  Alcotest.(check bool) (Printf.sprintf "sync accuracy %.2f" acc) true (acc > 0.85)
+
+let test_lossy_trains () =
+  let acc = train_mode Data_parallel.Lossy in
+  Alcotest.(check bool) (Printf.sprintf "lossy accuracy %.2f" acc) true (acc > 0.85)
+
+let test_lossy_matches_sync () =
+  (* The Figure 20 claim: no accuracy degradation from lossy updates. *)
+  let sync = train_mode Data_parallel.Synchronized in
+  let lossy = train_mode Data_parallel.Lossy in
+  Alcotest.(check bool)
+    (Printf.sprintf "lossy %.3f within 5%% of sync %.3f" lossy sync)
+    true
+    (Float.abs (sync -. lossy) < 0.05)
+
+let test_replicas_agree_after_step () =
+  let dp =
+    Data_parallel.create ~seed:3 ~workers:2 ~config:Config.default ~build
+      ~solver_method:Solver.Sgd ~solver_params Data_parallel.Synchronized
+  in
+  let data = Lazy.force dataset in
+  ignore (Data_parallel.step dp ~data ~batch_index:0);
+  (* After broadcast all replicas hold the same parameters; run a second
+     step and check the loss is finite (replicas were coherent). *)
+  let loss = Data_parallel.step dp ~data ~batch_index:1 in
+  Alcotest.(check bool) "finite loss" true (Float.is_finite loss)
+
+let test_step_returns_mean_loss () =
+  let dp =
+    Data_parallel.create ~seed:3 ~workers:2 ~config:Config.default ~build
+      ~solver_method:Solver.Sgd ~solver_params Data_parallel.Synchronized
+  in
+  let data = Lazy.force dataset in
+  let loss = Data_parallel.step dp ~data ~batch_index:0 in
+  Alcotest.(check bool) "positive" true (loss > 0.0 && loss < 10.0)
+
+let suite =
+  [
+    Alcotest.test_case "synchronized trains" `Slow test_synchronized_trains;
+    Alcotest.test_case "lossy trains" `Slow test_lossy_trains;
+    Alcotest.test_case "lossy matches sync" `Slow test_lossy_matches_sync;
+    Alcotest.test_case "replicas coherent" `Quick test_replicas_agree_after_step;
+    Alcotest.test_case "step mean loss" `Quick test_step_returns_mean_loss;
+  ]

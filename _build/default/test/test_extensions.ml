@@ -1,0 +1,245 @@
+(* Extensions beyond the paper's layer set: Scale, elementwise
+   combinations, residual topologies, Nesterov momentum, gradient
+   clipping. *)
+
+let test_scale_gradients () =
+  let build ~batch =
+    let net = Test_util.base_net ~batch in
+    let data = Layers.data_layer net ~name:"data" ~shape:[ 4; 4; 3 ] in
+    let conv =
+      Layers.convolution net ~name:"conv" ~input:data ~n_filters:3 ~kernel:3
+        ~stride:1 ~pad:1 ()
+    in
+    let s = Layers.scale net ~name:"sc" ~input:conv in
+    let fc = Layers.fully_connected net ~name:"fc" ~input:s ~n_outputs:3 in
+    Test_util.attach_loss net fc;
+    (net, 3)
+  in
+  let net, n_classes = build ~batch:2 in
+  let exec = Test_util.prepare net in
+  Test_util.fill_inputs exec ~batch:2 ~n_classes;
+  (* Perturb gamma away from its identity initialization so the check
+     has signal. *)
+  Tensor.fill_uniform (Rng.create 8) (Executor.lookup exec "sc.gamma") ~lo:0.5 ~hi:1.5;
+  let rel =
+    Test_util.gradient_check exec ~params:[ "sc.gamma"; "sc.beta"; "conv.weights" ]
+  in
+  Alcotest.(check bool) (Printf.sprintf "rel %g" rel) true (rel < 0.05)
+
+let test_scale_param_shapes () =
+  let net = Test_util.base_net ~batch:1 in
+  let data = Layers.data_layer net ~name:"data" ~shape:[ 4; 4; 5 ] in
+  let _ = Layers.scale net ~name:"sc" ~input:data in
+  let prog = Pipeline.compile Config.default net in
+  Alcotest.(check string) "gamma per channel" "5x1"
+    (Shape.to_string (Tensor.shape (Buffer_pool.lookup prog.Program.buffers "sc.gamma")))
+
+let test_eltwise_add_values () =
+  let net = Test_util.base_net ~batch:1 in
+  let a = Layers.data_layer net ~name:"a" ~shape:[ 3 ] in
+  let b = Layers.data_layer net ~name:"b" ~shape:[ 3 ] in
+  let _ = Layers.eltwise_add net ~name:"sum" ~a ~b in
+  let exec = Test_util.prepare net in
+  let ta = Executor.lookup exec "a.value" and tb = Executor.lookup exec "b.value" in
+  Tensor.set1 ta 0 1.0;
+  Tensor.set1 ta 1 2.0;
+  Tensor.set1 tb 0 10.0;
+  Tensor.set1 tb 2 30.0;
+  Executor.forward exec;
+  let out = Executor.lookup exec "sum.value" in
+  Alcotest.(check (float 1e-6)) "0" 11.0 (Tensor.get1 out 0);
+  Alcotest.(check (float 1e-6)) "1" 2.0 (Tensor.get1 out 1);
+  Alcotest.(check (float 1e-6)) "2" 30.0 (Tensor.get1 out 2)
+
+let test_eltwise_shape_mismatch () =
+  let net = Test_util.base_net ~batch:1 in
+  let a = Layers.data_layer net ~name:"a" ~shape:[ 3 ] in
+  let b = Layers.data_layer net ~name:"b" ~shape:[ 4 ] in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Layers.eltwise_mul net ~name:"m" ~a ~b);
+       false
+     with Invalid_argument _ -> true)
+
+let test_resnet_builds_and_descends () =
+  let spec = Models.resnet_tiny ~batch:4 ~image:8 ~n_classes:3 () in
+  let exec = Test_util.prepare spec.Models.net in
+  let data =
+    Synthetic.gaussian_classes ~seed:12 ~n:64 ~n_classes:3 ~item_shape:[ 8; 8; 3 ]
+      ~separation:2.0
+  in
+  let solver =
+    Solver.create
+      ~params:
+        { Solver.lr_policy = Lr_policy.Fixed 0.01; momentum = 0.9; weight_decay = 0.0 }
+      Solver.Sgd exec
+  in
+  let history =
+    Training.fit ~log_every:10 ~solver ~exec ~data ~data_buf:"data.value"
+      ~label_buf:"label" ~loss_buf:"loss" ~iters:40 ()
+  in
+  let first = List.hd history.Training.losses in
+  let last = List.nth history.Training.losses (List.length history.Training.losses - 1) in
+  Alcotest.(check bool)
+    (Printf.sprintf "loss descends (%.3f -> %.3f)" first last)
+    true (last < first)
+
+let test_resnet_shortcut_gradients () =
+  (* The shortcut makes the data-flow graph a diamond: the input of each
+     block receives gradients from two paths. Central differences across
+     ReLU kinks are unreliable in float32 on a deep net, so the check
+     uses the same topology with smooth (tanh) activations. *)
+  let net = Test_util.base_net ~batch:2 in
+  let data = Layers.data_layer net ~name:"data" ~shape:[ 8; 8; 3 ] in
+  let conv0 =
+    Layers.convolution net ~name:"conv0" ~input:data ~n_filters:8 ~kernel:3
+      ~stride:1 ~pad:1 ()
+  in
+  let cur = ref (Layers.tanh_layer net ~name:"t0" ~input:conv0) in
+  List.iter
+    (fun i ->
+      let n s = Printf.sprintf "res%d_%s" i s in
+      let c1 =
+        Layers.convolution net ~name:(n "conv1") ~input:!cur ~n_filters:8
+          ~kernel:3 ~stride:1 ~pad:1 ()
+      in
+      let b = Layers.batch_norm net ~name:(n "bn1") ~input:c1 () in
+      let sc = Layers.scale net ~name:(n "scale1") ~input:b in
+      let a1 = Layers.tanh_layer net ~name:(n "act1") ~input:sc in
+      let c2 =
+        Layers.convolution net ~name:(n "conv2") ~input:a1 ~n_filters:8
+          ~kernel:3 ~stride:1 ~pad:1 ()
+      in
+      let sum = Layers.eltwise_add net ~name:(n "sum") ~a:c2 ~b:!cur in
+      cur := Layers.tanh_layer net ~name:(n "act2") ~input:sum)
+    [ 1; 2 ];
+  let gap = Layers.avg_pooling net ~name:"gap" ~input:!cur ~kernel:2 () in
+  let fc = Layers.fully_connected net ~name:"fc" ~input:gap ~n_outputs:3 in
+  Test_util.attach_loss net fc;
+  let exec = Test_util.prepare net in
+  Test_util.fill_inputs exec ~batch:2 ~n_classes:3;
+  let rel =
+    Test_util.gradient_check exec
+      ~params:[ "conv0.weights"; "res1_conv1.weights"; "res2_scale1.gamma" ]
+  in
+  Alcotest.(check bool) (Printf.sprintf "rel %g" rel) true (rel < 0.05)
+
+(* Regression: an activation may not run in place on a source whose
+   backward pass reads its own value (batch norm's normalized outputs,
+   pooling's max comparisons, sigmoid/tanh derivatives). The compiler
+   overwrote batch-norm outputs through in-place ReLU and corrupted the
+   gradients in diamond topologies. *)
+let test_inplace_respects_backward_reads () =
+  let build ~batch =
+    let net = Test_util.base_net ~batch in
+    let data = Layers.data_layer net ~name:"data" ~shape:[ 6; 6; 3 ] in
+    let conv0 =
+      Layers.convolution net ~name:"conv0" ~input:data ~n_filters:4 ~kernel:3
+        ~stride:1 ~pad:1 ()
+    in
+    let r0 = Layers.relu net ~name:"r0" ~input:conv0 in
+    let c1 =
+      Layers.convolution net ~name:"c1" ~input:r0 ~n_filters:4 ~kernel:3
+        ~stride:1 ~pad:1 ()
+    in
+    let bn = Layers.batch_norm net ~name:"bn" ~input:c1 () in
+    (* ReLU directly on batch norm: must NOT alias bn's value. *)
+    let r1 = Layers.relu net ~name:"r1" ~input:bn in
+    let c2 =
+      Layers.convolution net ~name:"c2" ~input:r1 ~n_filters:4 ~kernel:3
+        ~stride:1 ~pad:1 ()
+    in
+    let sum = Layers.eltwise_add net ~name:"sum" ~a:c2 ~b:r0 in
+    let fc = Layers.fully_connected net ~name:"fc" ~input:sum ~n_outputs:3 in
+    Test_util.attach_loss net fc;
+    (net, 3)
+  in
+  let net, n_classes = build ~batch:2 in
+  let prog = Pipeline.compile ~seed:1 Config.default net in
+  Alcotest.(check string) "relu after bn keeps its own buffer" "r1.value"
+    (Buffer_pool.physical prog.Program.buffers "r1.value");
+  (* ... while relu after conv still aliases. *)
+  Alcotest.(check string) "relu after conv aliases" "conv0.value"
+    (Buffer_pool.physical prog.Program.buffers "r0.value");
+  let exec = Executor.prepare prog in
+  Test_util.fill_inputs exec ~batch:2 ~n_classes;
+  let rel = Test_util.gradient_check exec ~params:[ "conv0.weights"; "c1.weights" ] in
+  Alcotest.(check bool) (Printf.sprintf "gradients correct (rel %g)" rel) true
+    (rel < 0.05)
+
+let tiny_exec () =
+  let net = Test_util.base_net ~batch:1 in
+  let data = Layers.data_layer net ~name:"data" ~shape:[ 1 ] in
+  let fc = Layers.fully_connected net ~name:"fc" ~input:data ~n_outputs:2 in
+  Test_util.attach_loss net fc;
+  Test_util.prepare net
+
+let test_nesterov_differs_from_plain () =
+  let run nesterov =
+    let exec = tiny_exec () in
+    let solver =
+      Solver.create
+        ~params:{ Solver.lr_policy = Lr_policy.Fixed 0.1; momentum = 0.9; weight_decay = 0.0 }
+        ~nesterov Solver.Sgd exec
+    in
+    let w = Executor.lookup exec "fc.weights" in
+    let g = Executor.lookup exec "fc.weights.grad" in
+    Tensor.fill w 1.0;
+    Tensor.fill g 1.0;
+    Solver.update solver;
+    Tensor.fill g 1.0;
+    Solver.update solver;
+    Tensor.get1 w 0
+  in
+  let plain = run false and nesterov = run true in
+  (* Plain: steps 0.1 then 0.19 -> w = 0.71.
+     Nesterov: steps 0.1 + 0.09 = 0.19 then 0.1 + 0.171 = 0.271 -> 0.539. *)
+  Alcotest.(check (float 1e-4)) "plain" 0.71 plain;
+  Alcotest.(check (float 1e-4)) "nesterov" 0.539 nesterov
+
+let test_gradient_clipping () =
+  let exec = tiny_exec () in
+  let solver =
+    Solver.create
+      ~params:{ Solver.lr_policy = Lr_policy.Fixed 1.0; momentum = 0.0; weight_decay = 0.0 }
+      ~clip_norm:1.0 Solver.Sgd exec
+  in
+  let w = Executor.lookup exec "fc.weights" in
+  let g = Executor.lookup exec "fc.weights.grad" in
+  Tensor.fill w 0.0;
+  Tensor.fill (Executor.lookup exec "fc.bias.grad") 0.0;
+  Tensor.fill g 100.0;
+  Solver.update solver;
+  (* ||g|| = 100*sqrt(2) across 2 weights; clipped to 1 -> each component
+     1/sqrt(2); w = -lr * that. *)
+  Alcotest.(check bool) "clipped" true
+    (Float.abs (Tensor.get1 w 0 +. (1.0 /. sqrt 2.0)) < 1e-4)
+
+let test_clipping_noop_below_limit () =
+  let exec = tiny_exec () in
+  let solver =
+    Solver.create
+      ~params:{ Solver.lr_policy = Lr_policy.Fixed 1.0; momentum = 0.0; weight_decay = 0.0 }
+      ~clip_norm:1e9 Solver.Sgd exec
+  in
+  let w = Executor.lookup exec "fc.weights" in
+  let g = Executor.lookup exec "fc.weights.grad" in
+  Tensor.fill w 0.0;
+  Tensor.fill g 0.5;
+  Solver.update solver;
+  Alcotest.(check (float 1e-5)) "untouched" (-0.5) (Tensor.get1 w 0)
+
+let suite =
+  [
+    Alcotest.test_case "scale gradients" `Quick test_scale_gradients;
+    Alcotest.test_case "scale param shapes" `Quick test_scale_param_shapes;
+    Alcotest.test_case "eltwise add values" `Quick test_eltwise_add_values;
+    Alcotest.test_case "eltwise shape mismatch" `Quick test_eltwise_shape_mismatch;
+    Alcotest.test_case "resnet trains" `Slow test_resnet_builds_and_descends;
+    Alcotest.test_case "resnet shortcut gradients" `Quick test_resnet_shortcut_gradients;
+    Alcotest.test_case "inplace respects backward reads" `Quick
+      test_inplace_respects_backward_reads;
+    Alcotest.test_case "nesterov" `Quick test_nesterov_differs_from_plain;
+    Alcotest.test_case "gradient clipping" `Quick test_gradient_clipping;
+    Alcotest.test_case "clipping noop" `Quick test_clipping_noop_below_limit;
+  ]

@@ -1,0 +1,172 @@
+(* Mapping functions and the data-flow graph. *)
+
+let s3 = Shape.create [ 8; 8; 3 ]
+
+let test_one_to_one () =
+  let m = Mapping.one_to_one ~rank:3 in
+  Alcotest.(check bool) "identity" true
+    (Mapping.is_identity m ~src_shape:s3 ~sink_shape:s3);
+  Alcotest.(check int) "window 1" 1 (Mapping.window_size m ~src_shape:s3);
+  Alcotest.(check bool) "depends d0" true (Mapping.depends_on_sink_dim m 0);
+  Alcotest.(check (option int)) "dep distance" (Some 1)
+    (Mapping.dep_distance m ~sink_dim:0)
+
+let test_all () =
+  let m = Mapping.all ~rank:3 in
+  Alcotest.(check int) "window" (8 * 8 * 3) (Mapping.window_size m ~src_shape:s3);
+  Alcotest.(check bool) "no sink dep" false (Mapping.depends_on_sink_dim m 0);
+  Alcotest.(check (option int)) "distance 0" (Some 0)
+    (Mapping.dep_distance m ~sink_dim:0);
+  Alcotest.(check bool) "not identity" false
+    (Mapping.is_identity m ~src_shape:s3 ~sink_shape:s3)
+
+let test_window2d_conv () =
+  let m = Mapping.window2d ~kernel:3 ~stride:1 ~pad:1 () in
+  Alcotest.(check int) "window" (3 * 3 * 3) (Mapping.window_size m ~src_shape:s3);
+  let r = Mapping.ranges m ~sink_idx:[| 0; 4; 0 |] ~src_shape:s3 in
+  Alcotest.(check (pair int int)) "y range at 0 (padded)" (-1, 2) r.(0);
+  Alcotest.(check (pair int int)) "x range at 4" (3, 6) r.(1);
+  Alcotest.(check (pair int int)) "channels all" (0, 3) r.(2);
+  Alcotest.(check (option int)) "distance = stride" (Some 1)
+    (Mapping.dep_distance m ~sink_dim:0)
+
+let test_pool_mapping () =
+  let m =
+    Mapping.Structured
+      [|
+        Mapping.Window { sink_dim = 0; stride = 2; offset = 0; size = 2 };
+        Mapping.Window { sink_dim = 1; stride = 2; offset = 0; size = 2 };
+        Mapping.Eq 2;
+      |]
+  in
+  Alcotest.(check int) "window" 4 (Mapping.window_size m ~src_shape:s3);
+  Alcotest.(check (option int)) "distance 2" (Some 2)
+    (Mapping.dep_distance m ~sink_dim:0);
+  let r = Mapping.ranges m ~sink_idx:[| 2; 1; 1 |] ~src_shape:s3 in
+  Alcotest.(check (pair int int)) "y" (4, 6) r.(0);
+  Alcotest.(check (pair int int)) "x" (2, 4) r.(1);
+  Alcotest.(check (pair int int)) "c" (1, 2) r.(2)
+
+let test_validate () =
+  let bad = Mapping.Structured [| Mapping.Eq 5; Mapping.All; Mapping.All |] in
+  (match Mapping.validate bad ~src_shape:s3 ~sink_shape:s3 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "expected invalid sink dim");
+  let wrong_rank = Mapping.Structured [| Mapping.All |] in
+  (match Mapping.validate wrong_rank ~src_shape:s3 ~sink_shape:s3 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "expected rank mismatch");
+  match
+    Mapping.validate (Mapping.one_to_one ~rank:3) ~src_shape:s3 ~sink_shape:s3
+  with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_general_mapping () =
+  (* Figure 5 written as an opaque function. *)
+  let f sink = [| ((sink.(0) * 2), (sink.(0) * 2) + 2); (0, 3) |] in
+  let m = Mapping.General f in
+  Alcotest.(check bool) "conservative dependence" true
+    (Mapping.depends_on_sink_dim m 1);
+  Alcotest.(check (option int)) "no distance" None (Mapping.dep_distance m ~sink_dim:0);
+  let r = Mapping.ranges m ~sink_idx:[| 3; 0 |] ~src_shape:(Shape.create [ 16; 3 ]) in
+  Alcotest.(check (pair int int)) "range" (6, 8) r.(0)
+
+let test_topo_sort () =
+  let g = Dataflow.create () in
+  Dataflow.add_edge g ~src:"a" ~dst:"b";
+  Dataflow.add_edge g ~src:"b" ~dst:"c";
+  Dataflow.add_edge g ~src:"a" ~dst:"c";
+  (match Dataflow.topo_sort g with
+  | Ok order -> Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ] order
+  | Error n -> Alcotest.fail ("cycle: " ^ n));
+  Alcotest.(check (list string)) "preds of c" [ "b"; "a" ]
+    (List.sort (fun x y -> compare y x) (Dataflow.predecessors g "c"))
+
+let test_cycle_detected () =
+  let g = Dataflow.create () in
+  Dataflow.add_edge g ~src:"a" ~dst:"b";
+  Dataflow.add_edge g ~src:"b" ~dst:"a";
+  match Dataflow.topo_sort g with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected cycle"
+
+let test_has_path () =
+  let g = Dataflow.create () in
+  Dataflow.add_edge g ~src:"a" ~dst:"b";
+  Dataflow.add_edge g ~src:"b" ~dst:"c";
+  Dataflow.add_node g "d";
+  Alcotest.(check bool) "a->c" true (Dataflow.has_path g ~src:"a" ~dst:"c");
+  Alcotest.(check bool) "c->a" false (Dataflow.has_path g ~src:"c" ~dst:"a");
+  Alcotest.(check bool) "a->d" false (Dataflow.has_path g ~src:"a" ~dst:"d")
+
+let test_stable_topo () =
+  (* Independent nodes keep insertion order. *)
+  let g = Dataflow.create () in
+  List.iter (Dataflow.add_node g) [ "n3"; "n1"; "n2" ];
+  match Dataflow.topo_sort g with
+  | Ok order -> Alcotest.(check (list string)) "stable" [ "n3"; "n1"; "n2" ] order
+  | Error _ -> Alcotest.fail "unexpected cycle"
+
+let prop_window_ranges_sized =
+  QCheck.Test.make ~count:100 ~name:"window range size = kernel"
+    QCheck.(tup3 (int_range 1 4) (int_range 1 3) (int_range 0 2))
+    (fun (kernel, stride, pad) ->
+      let m = Mapping.window2d ~kernel ~stride ~pad () in
+      let src = Shape.create [ 32; 32; 4 ] in
+      let r = Mapping.ranges m ~sink_idx:[| 3; 5; 0 |] ~src_shape:src in
+      let lo0, hi0 = r.(0) and lo1, hi1 = r.(1) in
+      hi0 - lo0 = kernel && hi1 - lo1 = kernel
+      && Mapping.window_size m ~src_shape:src = kernel * kernel * 4)
+
+let test_dot_export () =
+  let net = Net.create ~batch_size:1 in
+  let data = Layers.data_layer net ~name:"d" ~shape:[ 4 ] in
+  let cell = Rnn.lstm_layer net ~name:"cell" ~input:data ~n_outputs:3 in
+  ignore cell;
+  let dot = Net_dot.to_dot net in
+  let contains sub =
+    let n = String.length dot and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub dot i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "digraph" true (contains "digraph latte");
+  Alcotest.(check bool) "data node" true (contains "\"d\" [label=");
+  Alcotest.(check bool) "edge" true (contains "\"d\" -> ");
+  Alcotest.(check bool) "recurrent dashed" true (contains "style=dashed")
+
+let test_slice_mapping () =
+  let src = Shape.create [ 4; 4; 8 ] in
+  let m =
+    Mapping.Structured
+      [| Mapping.Eq 0; Mapping.Eq 1; Mapping.Slice { lo = 2; size = 3 } |]
+  in
+  Alcotest.(check int) "window" 3 (Mapping.window_size m ~src_shape:src);
+  let r = Mapping.ranges m ~sink_idx:[| 1; 2; 0 |] ~src_shape:src in
+  Alcotest.(check (pair int int)) "slice range" (2, 5) r.(2);
+  Alcotest.(check bool) "no sink dep" false (Mapping.depends_on_sink_dim m 2);
+  (match
+     Mapping.validate
+       (Mapping.Structured
+          [| Mapping.Eq 0; Mapping.Eq 1; Mapping.Slice { lo = 6; size = 3 } |])
+       ~src_shape:src ~sink_shape:src
+   with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "out-of-range slice accepted")
+
+let suite =
+  [
+    Alcotest.test_case "dot export" `Quick test_dot_export;
+    Alcotest.test_case "slice mapping" `Quick test_slice_mapping;
+    Alcotest.test_case "one_to_one" `Quick test_one_to_one;
+    Alcotest.test_case "all" `Quick test_all;
+    Alcotest.test_case "window2d conv" `Quick test_window2d_conv;
+    Alcotest.test_case "pool mapping" `Quick test_pool_mapping;
+    Alcotest.test_case "validate" `Quick test_validate;
+    Alcotest.test_case "general mapping" `Quick test_general_mapping;
+    Alcotest.test_case "topo sort" `Quick test_topo_sort;
+    Alcotest.test_case "cycle detected" `Quick test_cycle_detected;
+    Alcotest.test_case "has_path" `Quick test_has_path;
+    Alcotest.test_case "stable topo" `Quick test_stable_topo;
+    QCheck_alcotest.to_alcotest prop_window_ranges_sized;
+  ]

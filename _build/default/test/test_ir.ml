@@ -1,0 +1,175 @@
+(* IR construction, simplification, substitution and analysis tests. *)
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+open Ir
+
+let v = var
+let i = int_
+
+let test_simplify_iexpr () =
+  let open Ir.Infix in
+  let cases =
+    [
+      (i 2 +! i 3, Iconst 5);
+      (v "x" +! i 0, Ivar "x");
+      (i 0 +! v "x", Ivar "x");
+      (v "x" *! i 1, Ivar "x");
+      (v "x" *! i 0, Iconst 0);
+      (v "x" -! i 0, Ivar "x");
+      (Idiv (i 7, i 2), Iconst 3);
+      (Imod (v "x", i 1), Iconst 0);
+      (Imin (v "x", v "x"), Ivar "x");
+      (Imax (i 3, i 9), Iconst 9);
+    ]
+  in
+  List.iter
+    (fun (e, expect) ->
+      Alcotest.(check string)
+        (Ir_printer.iexpr_to_string e)
+        (Ir_printer.iexpr_to_string expect)
+        (Ir_printer.iexpr_to_string (simplify_iexpr e)))
+    cases
+
+let test_subst () =
+  let open Ir.Infix in
+  let e = (v "x" *! i 4) +! v "y" in
+  let e' = subst_iexpr "x" (i 2) e in
+  Alcotest.(check string) "subst" "(8 + y)"
+    (Ir_printer.iexpr_to_string (simplify_iexpr e'))
+
+let test_subst_shadowing () =
+  (* Substitution must stop at a shadowing loop binder. *)
+  let body = [ store "b" [ v "x" ] (f 1.0) ] in
+  let s = loop "x" (i 0) (v "x") body in
+  let s' = subst_stmt "x" (i 5) s in
+  match s' with
+  | For l ->
+      Alcotest.(check string) "bound updated" "5" (Ir_printer.iexpr_to_string l.hi);
+      Alcotest.(check string) "body untouched" "b[x] = 1\n"
+        (Ir_printer.stmts_to_string l.body)
+  | _ -> Alcotest.fail "expected a loop"
+
+let test_buffers_read_written () =
+  let stmts =
+    [
+      loop "j" (i 0) (i 4)
+        [ accum "out" [ v "j" ] (Fbinop (Fmul, load "a" [ v "j" ], load "b" [ v "j" ])) ];
+      Memset { buf = "z"; value = 0.0 };
+    ]
+  in
+  Alcotest.(check (list string)) "reads" [ "a"; "b"; "out" ] (buffers_read stmts);
+  Alcotest.(check (list string)) "writes" [ "out"; "z" ] (buffers_written stmts)
+
+let test_rename_vars () =
+  let s = loop "x" (i 0) (i 4) [ loop "y" (i 0) (v "x") [ store "b" [ v "x"; v "y" ] (f 0.0) ] ] in
+  let s' = rename_vars ~suffix:"!1" s in
+  let printed = Ir_printer.stmt_to_string s' in
+  Alcotest.(check bool) "renamed x" true (contains ~sub:"x!1" printed)
+
+let test_stride_of () =
+  let open Ir.Infix in
+  let e = (v "x" *! i 12) +! ((v "y" *! i 3) +! i 7) in
+  Alcotest.(check (option int)) "x" (Some 12) (Ir_analysis.stride_of ~var:"x" e);
+  Alcotest.(check (option int)) "y" (Some 3) (Ir_analysis.stride_of ~var:"y" e);
+  Alcotest.(check (option int)) "z" (Some 0) (Ir_analysis.stride_of ~var:"z" e);
+  Alcotest.(check (option int)) "nonaffine" None
+    (Ir_analysis.stride_of ~var:"x" (Imul (v "x", v "y")));
+  Alcotest.(check (option int)) "div" None
+    (Ir_analysis.stride_of ~var:"x" (Idiv (v "x", i 2)))
+
+let test_flat_index () =
+  let flat = Ir_analysis.flat_index ~shape:[| 2; 3; 4 |] [ v "a"; v "b"; v "c" ] in
+  Alcotest.(check (option int)) "a stride" (Some 12)
+    (Ir_analysis.stride_of ~var:"a" flat);
+  Alcotest.(check (option int)) "b stride" (Some 4)
+    (Ir_analysis.stride_of ~var:"b" flat);
+  Alcotest.(check (option int)) "c stride" (Some 1)
+    (Ir_analysis.stride_of ~var:"c" flat)
+
+let test_cost_of_stmts () =
+  (* for j in 0..4: out[j] += a[j] * b[j]  => 4 * (1 mul + 1 add) flops *)
+  let stmts =
+    [
+      loop "j" (i 0) (i 4)
+        [ accum "out" [ v "j" ] (Fbinop (Fmul, load "a" [ v "j" ], load "b" [ v "j" ])) ];
+    ]
+  in
+  let c = Ir_analysis.cost_of_stmts stmts in
+  Alcotest.(check (float 0.0)) "flops" 8.0 c.Ir_analysis.flops;
+  (* 2 loads + 1 read-modify-write (2 accesses) per iteration. *)
+  Alcotest.(check (float 0.0)) "bytes" (4.0 *. 4.0 *. 4.0) c.Ir_analysis.bytes
+
+let test_cost_parallel_iters () =
+  let inner = [ store "b" [ v "t"; v "j" ] (f 0.0) ] in
+  let stmts =
+    [
+      For
+        {
+          var = "t";
+          lo = i 0;
+          hi = i 8;
+          body = [ loop "j" (i 0) (i 3) inner ];
+          parallel = true;
+          tile = None;
+          vectorize = false;
+        };
+    ]
+  in
+  let c = Ir_analysis.cost_of_stmts stmts in
+  Alcotest.(check (float 0.0)) "parallel iters" 8.0 c.Ir_analysis.parallel_iters
+
+let test_gemm_cost () =
+  let g =
+    Gemm
+      {
+        transa = false;
+        transb = false;
+        m = i 4;
+        n = i 5;
+        k = i 6;
+        a = "a";
+        off_a = i 0;
+        b = "b";
+        off_b = i 0;
+        c = "c";
+        off_c = i 0;
+        alpha = 1.0;
+        beta = 1.0;
+        gemm_tile = None;
+      }
+  in
+  let c = Ir_analysis.cost_of_stmts [ g ] in
+  Alcotest.(check (float 0.0)) "2mnk" 240.0 c.Ir_analysis.flops
+
+let test_printer_roundtrip_smoke () =
+  let s =
+    loop "x" (i 0) (i 4) ~parallel:true
+      [
+        If
+          ( Icmp (Clt, v "x", i 2),
+            [ store "b" [ v "x" ] (Funop (Exp, load "a" [ v "x" ])) ],
+            [ accum_max "b" [ v "x" ] (f 0.0) ] );
+      ]
+  in
+  let printed = Ir_printer.stmt_to_string s in
+  Alcotest.(check bool) "mentions exp" true (contains ~sub:"exp(a[x])" printed);
+  Alcotest.(check bool) "parallel annotation" true (contains ~sub:"@parallel" printed)
+
+let suite =
+  [
+    Alcotest.test_case "simplify iexpr" `Quick test_simplify_iexpr;
+    Alcotest.test_case "subst" `Quick test_subst;
+    Alcotest.test_case "subst shadowing" `Quick test_subst_shadowing;
+    Alcotest.test_case "buffers read/written" `Quick test_buffers_read_written;
+    Alcotest.test_case "rename vars" `Quick test_rename_vars;
+    Alcotest.test_case "stride_of" `Quick test_stride_of;
+    Alcotest.test_case "flat_index" `Quick test_flat_index;
+    Alcotest.test_case "cost of stmts" `Quick test_cost_of_stmts;
+    Alcotest.test_case "parallel iters" `Quick test_cost_parallel_iters;
+    Alcotest.test_case "gemm cost" `Quick test_gemm_cost;
+    Alcotest.test_case "printer smoke" `Quick test_printer_roundtrip_smoke;
+  ]

@@ -1,0 +1,295 @@
+(* Semantic equivalence of the code generator against the reference
+   interpreter, on hand-written kernels and on randomly generated loop
+   nests (this is the test that pins down the specialized innermost-loop
+   kernels in Ir_compile). *)
+
+open Ir
+
+let v = var
+let i = int_
+
+let dims = [| 4; 5; 6 |]
+
+let make_env seed =
+  let pool = Buffer_pool.create () in
+  let rng = Rng.create seed in
+  let mk name shape =
+    let t = Buffer_pool.alloc pool name (Shape.create shape) in
+    Tensor.fill_uniform rng t ~lo:(-2.0) ~hi:2.0
+  in
+  mk "src" [ dims.(0); dims.(1); dims.(2) ];
+  mk "src2" [ dims.(0); dims.(1); dims.(2) ];
+  mk "dst" [ dims.(0); dims.(1); dims.(2) ];
+  mk "acc" [ dims.(0) ];
+  pool
+
+let clone_env pool =
+  let pool' = Buffer_pool.create () in
+  List.iter
+    (fun name ->
+      let t = Buffer_pool.lookup pool name in
+      let t' = Buffer_pool.alloc pool' name (Tensor.shape t) in
+      Tensor.blit ~src:t ~dst:t')
+    (Buffer_pool.names pool);
+  pool'
+
+let run_both ?(seed = 1) stmts =
+  let env1 = make_env seed in
+  let env2 = clone_env env1 in
+  Ir_eval.run ~lookup:(Buffer_pool.lookup env1) stmts;
+  let compiled = Ir_compile.compile ~lookup:(Buffer_pool.lookup env2) stmts in
+  Ir_compile.run compiled ();
+  (env1, env2, compiled)
+
+let check_agree ?(bufs = [ "src"; "src2"; "dst"; "acc" ]) (env1, env2, _) =
+  List.iter
+    (fun b ->
+      let d =
+        Tensor.max_abs_diff (Buffer_pool.lookup env1 b) (Buffer_pool.lookup env2 b)
+      in
+      Alcotest.(check bool) (Printf.sprintf "%s agrees (diff %g)" b d) true (d < 1e-5))
+    bufs
+
+let nest3 body =
+  [
+    loop "x" (i 0) (i dims.(0))
+      [ loop "y" (i 0) (i dims.(1)) [ loop "z" (i 0) (i dims.(2)) body ] ];
+  ]
+
+let test_copy_kernel () =
+  let r = run_both (nest3 [ store "dst" [ v "x"; v "y"; v "z" ] (load "src" [ v "x"; v "y"; v "z" ]) ]) in
+  check_agree r;
+  let _, _, compiled = r in
+  Alcotest.(check bool) "copy kernel fired" true
+    (List.mem_assoc "copy" (Ir_compile.kernel_stats compiled))
+
+let test_relu_kernel () =
+  let r =
+    run_both
+      (nest3
+         [ store "dst" [ v "x"; v "y"; v "z" ]
+             (Fbinop (Fmax, load "src" [ v "x"; v "y"; v "z" ], f 0.0)) ])
+  in
+  check_agree r;
+  let _, _, compiled = r in
+  Alcotest.(check bool) "relu kernel fired" true
+    (List.mem_assoc "relu" (Ir_compile.kernel_stats compiled))
+
+let test_dot_kernel () =
+  let stmts =
+    [
+      loop "x" (i 0) (i dims.(0))
+        [
+          loop "y" (i 0) (i dims.(1))
+            [
+              loop "z" (i 0) (i dims.(2))
+                [
+                  accum "acc" [ v "x" ]
+                    (Fbinop
+                       ( Fmul,
+                         load "src" [ v "x"; v "y"; v "z" ],
+                         load "src2" [ v "x"; v "y"; v "z" ] ));
+                ];
+            ];
+        ];
+    ]
+  in
+  let r = run_both stmts in
+  check_agree r;
+  let _, _, compiled = r in
+  Alcotest.(check bool) "dot kernel fired" true
+    (List.mem_assoc "dot" (Ir_compile.kernel_stats compiled))
+
+let test_maxacc_strided () =
+  (* Max-accumulate with a non-unit stride source access. *)
+  let stmts =
+    [
+      loop "x" (i 0) (i dims.(0))
+        [
+          loop "y" (i 0) (i dims.(1))
+            [ accum_max "acc" [ v "x" ] (load "src" [ v "x"; v "y"; i 3 ]) ];
+        ];
+    ]
+  in
+  check_agree (run_both stmts)
+
+let test_select_guard () =
+  (* Bounds-check Select like the padded copy tasks emit. *)
+  let open Ir.Infix in
+  let stmts =
+    nest3
+      [
+        store "dst" [ v "x"; v "y"; v "z" ]
+          (Select
+             ( Cand
+                 ( Icmp (Cge, (v "z" -! i 1), i 0),
+                   Icmp (Clt, (v "z" -! i 1), i dims.(2)) ),
+               load "src" [ v "x"; v "y"; v "z" -! i 1 ],
+               f 0.0 ));
+      ]
+  in
+  check_agree (run_both stmts)
+
+let test_if_stmt () =
+  let stmts =
+    nest3
+      [
+        If
+          ( Fcmp (Cgt, load "src" [ v "x"; v "y"; v "z" ], f 0.0),
+            [ accum "dst" [ v "x"; v "y"; v "z" ] (f 1.0) ],
+            [ accum "dst" [ v "x"; v "y"; v "z" ] (f (-1.0)) ] );
+      ]
+  in
+  check_agree (run_both stmts)
+
+let test_gemm_stmt () =
+  let g =
+    Gemm
+      {
+        transa = false;
+        transb = false;
+        m = i 4;
+        n = i 6;
+        k = i 5;
+        a = "src";
+        off_a = i 0;
+        b = "src2";
+        off_b = i 0;
+        c = "dst";
+        off_c = i 0;
+        alpha = 1.0;
+        beta = 1.0;
+        gemm_tile = None;
+      }
+  in
+  check_agree (run_both [ g ])
+
+let test_memset () =
+  check_agree (run_both [ Memset { buf = "dst"; value = 3.5 } ])
+
+let test_dynamic_bounds () =
+  (* Triangular loop: inner bound depends on the outer variable. *)
+  let stmts =
+    [
+      loop "x" (i 0) (i dims.(0))
+        [ loop "y" (i 0) (Imin (v "x", i dims.(1)))
+            [ accum "acc" [ v "x" ] (load "src" [ v "x"; v "y"; i 0 ]) ] ];
+    ]
+  in
+  check_agree (run_both stmts)
+
+let test_float_of_int () =
+  let stmts =
+    [ loop "x" (i 0) (i dims.(0)) [ store "acc" [ v "x" ] (Float_of_int (v "x")) ] ]
+  in
+  check_agree (run_both stmts)
+
+(* Random program generation. *)
+let gen_program =
+  let open QCheck.Gen in
+  let gen_idx var_exts =
+    (* Affine index within [0, ext): var, constant, or clamped var+c. *)
+    let* kind = int_range 0 2 in
+    match (kind, var_exts) with
+    | 0, (vname, _) :: _ -> return (Ir.var vname)
+    | 1, _ ->
+        let* c = int_range 0 2 in
+        return (Ir.int_ c)
+    | _, (vname, ext) :: _ ->
+        let* c = int_range 0 1 in
+        return (Imin (Iadd (Ir.var vname, Iconst c), Iconst (ext - 1)))
+    | _, [] -> return (Ir.int_ 0)
+  in
+  let gen_idx3 vars =
+    let pick d =
+      let avail = List.filteri (fun k _ -> k <= d) [ ("x", dims.(0)); ("y", dims.(1)); ("z", dims.(2)) ] in
+      gen_idx (List.rev (List.filter (fun (n, _) -> List.mem_assoc n vars) avail))
+    in
+    let* a = pick 0 and* b = pick 1 and* c = pick 2 in
+    return [ a; b; c ]
+  in
+  let rec gen_fexpr vars depth =
+    if depth = 0 then
+      QCheck.Gen.oneof
+        [
+          QCheck.Gen.map Ir.f (float_range (-2.0) 2.0);
+          (let* idx = gen_idx3 vars in
+           return (Ir.load "src" idx));
+          (let* idx = gen_idx3 vars in
+           return (Ir.load "src2" idx));
+        ]
+    else
+      QCheck.Gen.oneof
+        [
+          gen_fexpr vars 0;
+          (let* op = oneofl [ Fadd; Fsub; Fmul; Fmin; Fmax ] in
+           let* a = gen_fexpr vars (depth - 1) and* b = gen_fexpr vars (depth - 1) in
+           return (Fbinop (op, a, b)));
+          (let* op = oneofl [ Neg; Abs; Tanh; Sigmoid ] in
+           let* a = gen_fexpr vars (depth - 1) in
+           return (Funop (op, a)));
+          (let* a = gen_fexpr vars (depth - 1) and* b = gen_fexpr vars (depth - 1) in
+           let* c1 = gen_fexpr vars 0 and* c2 = gen_fexpr vars 0 in
+           return (Select (Fcmp (Cgt, c1, c2), a, b)));
+        ]
+  in
+  let* depth = int_range 1 2 in
+  let vars = [ ("x", dims.(0)); ("y", dims.(1)); ("z", dims.(2)) ] in
+  let* value = gen_fexpr vars depth in
+  let* idx = gen_idx3 vars in
+  let* acc_kind = int_range 0 2 in
+  let body =
+    match acc_kind with
+    | 0 -> Ir.store "dst" idx value
+    | 1 -> Ir.accum "dst" idx value
+    | _ -> Ir.accum_max "dst" idx value
+  in
+  return
+    [
+      Ir.loop "x" (Iconst 0) (Iconst dims.(0))
+        [
+          Ir.loop "y" (Iconst 0) (Iconst dims.(1))
+            [ Ir.loop "z" (Iconst 0) (Iconst dims.(2)) [ body ] ];
+        ];
+    ]
+
+let prop_compiled_matches_interpreted =
+  QCheck.Test.make ~count:150 ~name:"compiled = interpreted on random nests"
+    (QCheck.make gen_program)
+    (fun stmts ->
+      let env1 = make_env 99 in
+      let env2 = clone_env env1 in
+      Ir_eval.run ~lookup:(Buffer_pool.lookup env1) stmts;
+      let compiled = Ir_compile.compile ~lookup:(Buffer_pool.lookup env2) stmts in
+      Ir_compile.run compiled ();
+      List.for_all
+        (fun b ->
+          Tensor.max_abs_diff (Buffer_pool.lookup env1 b) (Buffer_pool.lookup env2 b)
+          < 1e-4)
+        [ "dst"; "acc" ])
+
+let test_free_vars () =
+  let stmts = [ store "acc" [ v "n" ] (f 7.0) ] in
+  let env = make_env 5 in
+  let compiled =
+    Ir_compile.compile ~lookup:(Buffer_pool.lookup env) ~free_vars:[ "n" ] stmts
+  in
+  Ir_compile.run compiled ~bindings:[ ("n", 2) ] ();
+  Alcotest.(check (float 0.0)) "bound var" 7.0
+    (Tensor.get1 (Buffer_pool.lookup env "acc") 2)
+
+let suite =
+  [
+    Alcotest.test_case "copy kernel" `Quick test_copy_kernel;
+    Alcotest.test_case "relu kernel" `Quick test_relu_kernel;
+    Alcotest.test_case "dot kernel" `Quick test_dot_kernel;
+    Alcotest.test_case "maxacc strided" `Quick test_maxacc_strided;
+    Alcotest.test_case "select guard" `Quick test_select_guard;
+    Alcotest.test_case "if stmt" `Quick test_if_stmt;
+    Alcotest.test_case "gemm stmt" `Quick test_gemm_stmt;
+    Alcotest.test_case "memset" `Quick test_memset;
+    Alcotest.test_case "dynamic bounds" `Quick test_dynamic_bounds;
+    Alcotest.test_case "float_of_int" `Quick test_float_of_int;
+    Alcotest.test_case "free vars" `Quick test_free_vars;
+    QCheck_alcotest.to_alcotest prop_compiled_matches_interpreted;
+  ]

@@ -1,0 +1,90 @@
+(* The neuron kernel language: name conventions and combinator
+   structure that synthesis depends on. *)
+
+open Kernel.Names
+
+let test_classify () =
+  let cases =
+    [
+      ("@value", Value);
+      ("@grad", Grad);
+      ("@input0", Input 0);
+      ("@input12", Input 12);
+      ("@ginput3", Grad_input 3);
+      ("$weights", Field "weights");
+      ("$weights!grad", Grad_field "weights");
+      ("$bias!grad", Grad_field "bias");
+      ("conv1.value", Concrete);
+      ("@inputx", Concrete);
+      ("label", Concrete);
+    ]
+  in
+  List.iter
+    (fun (name, expect) ->
+      Alcotest.(check bool) name true (classify name = expect))
+    cases
+
+let test_names_roundtrip () =
+  Alcotest.(check bool) "input" true (classify (input 7) = Input 7);
+  Alcotest.(check bool) "ginput" true (classify (grad_input 2) = Grad_input 2);
+  Alcotest.(check bool) "field" true (classify (field "w") = Field "w");
+  Alcotest.(check bool) "gfield" true (classify (grad_field "w") = Grad_field "w")
+
+let test_for_inputs_structure () =
+  let s =
+    Kernel.for_inputs (fun i -> [ Kernel.accum_value (Kernel.input i) ])
+  in
+  match s with
+  | Ir.For l ->
+      Alcotest.(check string) "loop var" (input_loop_var 0) l.Ir.var;
+      Alcotest.(check string) "bound is the symbolic length"
+        (input_len_var 0)
+        (Ir_printer.iexpr_to_string l.Ir.hi)
+  | _ -> Alcotest.fail "expected a loop"
+
+let test_symbolic_names_never_collide_with_buffers () =
+  (* Synthesis relies on '@'/'$' prefixes being outside the concrete
+     buffer namespace. *)
+  List.iter
+    (fun buf ->
+      Alcotest.(check bool) buf true (classify buf = Concrete))
+    [
+      Layout.value_buf "e";
+      Layout.grad_buf "e";
+      Layout.input_buf "e" 0;
+      Layout.grad_input_buf "e" 1;
+      Layout.field_buf "e" "weights";
+      Layout.grad_field_buf "e" "weights";
+    ]
+
+let test_neuron_validation () =
+  Alcotest.(check bool) "duplicate fields rejected" true
+    (try
+       ignore
+         (Neuron.create ~type_name:"Bad"
+            ~fields:
+              [
+                Neuron.make_field ~name:"w" ~shape:[ 1 ] ();
+                Neuron.make_field ~name:"w" ~shape:[ 2 ] ();
+              ]
+            ~forward:[] ~backward:[] ());
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "unsorted varies_along rejected" true
+    (try
+       ignore
+         (Neuron.create ~type_name:"Bad2"
+            ~fields:[ Neuron.make_field ~name:"w" ~shape:[ 1 ] ~varies_along:[ 2; 0 ] () ]
+            ~forward:[] ~backward:[] ());
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "classify" `Quick test_classify;
+    Alcotest.test_case "names roundtrip" `Quick test_names_roundtrip;
+    Alcotest.test_case "for_inputs structure" `Quick test_for_inputs_structure;
+    Alcotest.test_case "no namespace collision" `Quick
+      test_symbolic_names_never_collide_with_buffers;
+    Alcotest.test_case "neuron validation" `Quick test_neuron_validation;
+  ]

@@ -1,0 +1,163 @@
+(* Layer constructors: shape arithmetic and validation paths. *)
+
+let test_conv_output_shape () =
+  let net = Test_util.base_net ~batch:1 in
+  let data = Layers.data_layer net ~name:"data" ~shape:[ 13; 9; 3 ] in
+  let conv =
+    Layers.convolution net ~name:"c" ~input:data ~n_filters:5 ~kernel:3
+      ~stride:2 ~pad:1 ()
+  in
+  Alcotest.(check string) "shape" "7x5x5" (Shape.to_string conv.Ensemble.shape)
+
+let test_conv_requires_hwc () =
+  let net = Test_util.base_net ~batch:1 in
+  let data = Layers.data_layer net ~name:"data" ~shape:[ 10 ] in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore
+         (Layers.convolution net ~name:"c" ~input:data ~n_filters:2 ~kernel:3 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_conv_empty_output_rejected () =
+  let net = Test_util.base_net ~batch:1 in
+  let data = Layers.data_layer net ~name:"data" ~shape:[ 2; 2; 1 ] in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore
+         (Layers.convolution net ~name:"c" ~input:data ~n_filters:2 ~kernel:5 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_pool_output_shape () =
+  let net = Test_util.base_net ~batch:1 in
+  let data = Layers.data_layer net ~name:"data" ~shape:[ 9; 9; 4 ] in
+  (* Overlapping 3x3 stride-2 pooling (AlexNet style). *)
+  let pool = Layers.max_pooling net ~name:"p" ~input:data ~kernel:3 ~stride:2 () in
+  Alcotest.(check string) "shape" "4x4x4" (Shape.to_string pool.Ensemble.shape)
+
+let test_overlapping_pool_gradients () =
+  (* Overlapping windows scatter gradients into shared inputs — the
+     accumulation semantics must still match finite differences. *)
+  let build ~batch =
+    let net = Test_util.base_net ~batch in
+    let data = Layers.data_layer net ~name:"data" ~shape:[ 7; 7; 2 ] in
+    let pool = Layers.max_pooling net ~name:"p" ~input:data ~kernel:3 ~stride:2 () in
+    let fc = Layers.fully_connected net ~name:"fc" ~input:pool ~n_outputs:3 in
+    Test_util.attach_loss net fc;
+    (net, 3)
+  in
+  let net, n_classes = build ~batch:2 in
+  let exec = Test_util.prepare net in
+  Test_util.fill_inputs exec ~batch:2 ~n_classes;
+  let rel = Test_util.data_gradient_check exec in
+  Alcotest.(check bool) (Printf.sprintf "rel %g" rel) true (rel < 0.05)
+
+let test_duplicate_layer_name_rejected () =
+  let net = Test_util.base_net ~batch:1 in
+  let data = Layers.data_layer net ~name:"data" ~shape:[ 4 ] in
+  ignore (Layers.fully_connected net ~name:"fc" ~input:data ~n_outputs:2);
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Layers.fully_connected net ~name:"fc" ~input:data ~n_outputs:2);
+       false
+     with Invalid_argument _ -> true)
+
+let test_dropout_ratio_validation () =
+  let net = Test_util.base_net ~batch:1 in
+  let data = Layers.data_layer net ~name:"data" ~shape:[ 4 ] in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Layers.dropout net ~name:"d" ~input:data ~ratio:1.0 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_fc_param_shapes () =
+  let net = Test_util.base_net ~batch:1 in
+  let data = Layers.data_layer net ~name:"data" ~shape:[ 5; 5; 2 ] in
+  let _ = Layers.fully_connected net ~name:"fc" ~input:data ~n_outputs:7 in
+  let prog = Pipeline.compile Config.default net in
+  let shape name = Shape.to_string (Tensor.shape (Buffer_pool.lookup prog.Program.buffers name)) in
+  Alcotest.(check string) "weights [out; in]" "7x50" (shape "fc.weights");
+  Alcotest.(check string) "bias" "7x1" (shape "fc.bias")
+
+let test_conv_param_sharing () =
+  (* Filter weights must be shared spatially: the buffer is
+     [filters; window], not [oh; ow; filters; window]. *)
+  let net = Test_util.base_net ~batch:1 in
+  let data = Layers.data_layer net ~name:"data" ~shape:[ 8; 8; 3 ] in
+  let _ =
+    Layers.convolution net ~name:"c" ~input:data ~n_filters:4 ~kernel:3 ~pad:1 ()
+  in
+  let prog = Pipeline.compile Config.default net in
+  Alcotest.(check string) "weights [f; k*k*c]" "4x27"
+    (Shape.to_string (Tensor.shape (Buffer_pool.lookup prog.Program.buffers "c.weights")))
+
+let test_softmax_standalone () =
+  let net = Test_util.base_net ~batch:2 in
+  let data = Layers.data_layer net ~name:"data" ~shape:[ 5 ] in
+  let _ = Layers.softmax net ~name:"sm" ~input:data in
+  let exec = Executor.prepare (Pipeline.compile Config.default net) in
+  let d = Executor.lookup exec "data.value" in
+  Tensor.fill_uniform (Rng.create 1) d ~lo:(-3.0) ~hi:3.0;
+  Executor.forward exec;
+  let out = Executor.lookup exec "sm.value" in
+  for b = 0 to 1 do
+    let s = ref 0.0 in
+    for c = 0 to 4 do
+      s := !s +. Tensor.get out [| b; c |]
+    done;
+    Alcotest.(check (float 1e-4)) "normalized" 1.0 !s
+  done
+
+let test_lrn_identity_when_flat () =
+  (* With alpha = 0 the LRN denominator is k^beta; with k = 1 it is the
+     identity. *)
+  let net = Test_util.base_net ~batch:1 in
+  let data = Layers.data_layer net ~name:"data" ~shape:[ 2; 2; 4 ] in
+  let _ = Layers.lrn net ~name:"l" ~input:data ~alpha:0.0 ~k:1.0 () in
+  let exec = Executor.prepare (Pipeline.compile Config.default net) in
+  let d = Executor.lookup exec "data.value" in
+  Tensor.fill_uniform (Rng.create 2) d ~lo:(-1.0) ~hi:1.0;
+  Executor.forward exec;
+  Alcotest.(check bool) "identity" true
+    (Tensor.approx_equal d (Executor.lookup exec "l.value"))
+
+let test_batchnorm_standardizes () =
+  let net = Test_util.base_net ~batch:8 in
+  let data = Layers.data_layer net ~name:"data" ~shape:[ 3 ] in
+  let _ = Layers.batch_norm net ~name:"bn" ~input:data () in
+  let exec = Executor.prepare (Pipeline.compile Config.default net) in
+  let d = Executor.lookup exec "data.value" in
+  Tensor.fill_uniform (Rng.create 3) d ~lo:2.0 ~hi:9.0;
+  Executor.forward exec;
+  let out = Executor.lookup exec "bn.value" in
+  (* Each channel: mean ~ 0, variance ~ 1 across the batch. *)
+  for c = 0 to 2 do
+    let mean = ref 0.0 and sq = ref 0.0 in
+    for b = 0 to 7 do
+      let v = Tensor.get out [| b; c |] in
+      mean := !mean +. v;
+      sq := !sq +. (v *. v)
+    done;
+    let mean = !mean /. 8.0 in
+    let var = (!sq /. 8.0) -. (mean *. mean) in
+    Alcotest.(check bool) "mean ~ 0" true (Float.abs mean < 1e-4);
+    Alcotest.(check bool) "var ~ 1" true (Float.abs (var -. 1.0) < 0.05)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "conv output shape" `Quick test_conv_output_shape;
+    Alcotest.test_case "conv requires hwc" `Quick test_conv_requires_hwc;
+    Alcotest.test_case "conv empty output" `Quick test_conv_empty_output_rejected;
+    Alcotest.test_case "pool output shape" `Quick test_pool_output_shape;
+    Alcotest.test_case "overlapping pool gradients" `Quick test_overlapping_pool_gradients;
+    Alcotest.test_case "duplicate name" `Quick test_duplicate_layer_name_rejected;
+    Alcotest.test_case "dropout ratio" `Quick test_dropout_ratio_validation;
+    Alcotest.test_case "fc param shapes" `Quick test_fc_param_shapes;
+    Alcotest.test_case "conv param sharing" `Quick test_conv_param_sharing;
+    Alcotest.test_case "softmax standalone" `Quick test_softmax_standalone;
+    Alcotest.test_case "lrn identity" `Quick test_lrn_identity_when_flat;
+    Alcotest.test_case "batchnorm standardizes" `Quick test_batchnorm_standardizes;
+  ]

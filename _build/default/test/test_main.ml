@@ -1,0 +1,27 @@
+let () =
+  Alcotest.run "latte"
+    [
+      ("shape", Test_shape.suite);
+      ("rng", Test_rng.suite);
+      ("tensor", Test_tensor.suite);
+      ("blas", Test_blas.suite);
+      ("im2col", Test_im2col.suite);
+      ("ir", Test_ir.suite);
+      ("ir-exec", Test_ir_exec.suite);
+      ("graph", Test_graph.suite);
+      ("compiler", Test_compiler.suite);
+      ("network", Test_network.suite);
+      ("baselines", Test_baselines.suite);
+      ("solver", Test_solver.suite);
+      ("machine", Test_machine.suite);
+      ("data", Test_data.suite);
+      ("distributed", Test_distributed.suite);
+      ("rnn", Test_rnn.suite);
+      ("runtime", Test_runtime.suite);
+      ("properties", Test_properties.suite);
+      ("checkpoint", Test_checkpoint.suite);
+      ("kernel", Test_kernel.suite);
+      ("layers", Test_layers.suite);
+      ("concat", Test_concat.suite);
+      ("extensions", Test_extensions.suite);
+    ]

@@ -1,0 +1,94 @@
+(* Tests for the deterministic PRNG. *)
+
+let test_determinism () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Rng.int a 1_000_000 = Rng.int b 1_000_000 then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 5)
+
+let test_copy_independent () =
+  let a = Rng.create 3 in
+  ignore (Rng.int a 10);
+  let b = Rng.copy a in
+  Alcotest.(check int) "copy matches" (Rng.int a 1000) (Rng.int b 1000)
+
+let test_int_range () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_uniform_range () =
+  let rng = Rng.create 12 in
+  for _ = 1 to 1000 do
+    let v = Rng.uniform rng ~lo:(-2.0) ~hi:3.0 in
+    Alcotest.(check bool) "in range" true (v >= -2.0 && v < 3.0)
+  done
+
+let test_gaussian_moments () =
+  let rng = Rng.create 13 in
+  let n = 20000 in
+  let sum = ref 0.0 and sq = ref 0.0 in
+  for _ = 1 to n do
+    let v = Rng.gaussian rng in
+    sum := !sum +. v;
+    sq := !sq +. (v *. v)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sq /. float_of_int n) -. (mean *. mean) in
+  Alcotest.(check bool) "mean ~ 0" true (Float.abs mean < 0.05);
+  Alcotest.(check bool) "var ~ 1" true (Float.abs (var -. 1.0) < 0.1)
+
+let test_xavier_bounds () =
+  let rng = Rng.create 14 in
+  let limit = sqrt (6.0 /. float_of_int (10 + 20)) in
+  for _ = 1 to 500 do
+    let v = Rng.xavier rng ~fan_in:10 ~fan_out:20 in
+    Alcotest.(check bool) "bounded" true (Float.abs v <= limit)
+  done
+
+let test_shuffle_permutation () =
+  let rng = Rng.create 15 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let test_split_independent () =
+  let a = Rng.create 16 in
+  let b = Rng.split a in
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Rng.int a 1_000_000 = Rng.int b 1_000_000 then incr same
+  done;
+  Alcotest.(check bool) "split stream differs" true (!same < 5)
+
+let test_int_bad_bound () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "zero bound"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int rng 0))
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seeds differ" `Quick test_seeds_differ;
+    Alcotest.test_case "copy" `Quick test_copy_independent;
+    Alcotest.test_case "int range" `Quick test_int_range;
+    Alcotest.test_case "uniform range" `Quick test_uniform_range;
+    Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+    Alcotest.test_case "xavier bounds" `Quick test_xavier_bounds;
+    Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+    Alcotest.test_case "split" `Quick test_split_independent;
+    Alcotest.test_case "bad bound" `Quick test_int_bad_bound;
+  ]

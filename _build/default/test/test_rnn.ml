@@ -1,0 +1,149 @@
+(* LSTM / GRU: the recurrent units of Figure 6, validated against a
+   plain-OCaml reference implementation of the same recurrence. *)
+
+let batch = 2
+let n_in = 3
+let n_out = 4
+
+let build_lstm () =
+  let net = Net.create ~batch_size:batch in
+  let data = Layers.data_layer net ~name:"x" ~shape:[ n_in ] in
+  let cell = Rnn.lstm_layer net ~name:"lstm" ~input:data ~n_outputs:n_out in
+  (net, cell)
+
+(* Reference LSTM math on plain float arrays, reading the compiled
+   program's weights. *)
+let reference_step exec (cell : Rnn.lstm) ~x ~h ~c =
+  let w name = Executor.lookup exec ("lstm_" ^ name ^ ".weights") in
+  let b name = Executor.lookup exec ("lstm_" ^ name ^ ".bias") in
+  let matvec wt bt v =
+    Array.init n_out (fun o ->
+        let acc = ref (Tensor.get bt [| o; 0 |]) in
+        Array.iteri (fun k xv -> acc := !acc +. (Tensor.get wt [| o; k |] *. xv)) v;
+        !acc)
+  in
+  let sigmoid v = 1.0 /. (1.0 +. exp (-.v)) in
+  let gate gx gh act =
+    let a = matvec (w gx) (b gx) x and bb = matvec (w gh) (b gh) h in
+    Array.init n_out (fun j -> act (a.(j) +. bb.(j)))
+  in
+  ignore cell;
+  let i = gate "ix" "ih" sigmoid in
+  let f = gate "fx" "fh" sigmoid in
+  let o = gate "ox" "oh" sigmoid in
+  let g = gate "gx" "gh" tanh in
+  let c' = Array.init n_out (fun j -> (i.(j) *. g.(j)) +. (f.(j) *. c.(j))) in
+  let h' = Array.init n_out (fun j -> o.(j) *. tanh c'.(j)) in
+  (h', c')
+
+let test_lstm_matches_reference () =
+  let net, cell = build_lstm () in
+  let exec = Executor.prepare (Pipeline.compile ~seed:9 Config.default net) in
+  Rnn.reset_state exec [ cell.h_ens; cell.c_ens ];
+  let rng = Rng.create 17 in
+  (* Per-item reference state. *)
+  let h = Array.make_matrix batch n_out 0.0 in
+  let c = Array.make_matrix batch n_out 0.0 in
+  for step = 1 to 5 do
+    let input = Tensor.create (Shape.create [ batch; n_in ]) in
+    Tensor.fill_uniform rng input ~lo:(-1.0) ~hi:1.0;
+    Rnn.step exec ~input_ens:cell.input_ens ~input;
+    let h_t = Executor.lookup exec (cell.h_ens ^ ".value") in
+    let c_t = Executor.lookup exec (cell.c_ens ^ ".value") in
+    for bi = 0 to batch - 1 do
+      let x = Array.init n_in (fun k -> Tensor.get input [| bi; k |]) in
+      let h', c' = reference_step exec cell ~x ~h:h.(bi) ~c:c.(bi) in
+      h.(bi) <- h';
+      c.(bi) <- c';
+      for j = 0 to n_out - 1 do
+        let dh = Float.abs (Tensor.get h_t [| bi; j |] -. h'.(j)) in
+        let dc = Float.abs (Tensor.get c_t [| bi; j |] -. c'.(j)) in
+        Alcotest.(check bool)
+          (Printf.sprintf "step %d item %d h[%d] (diff %g)" step bi j dh)
+          true (dh < 1e-4);
+        Alcotest.(check bool)
+          (Printf.sprintf "step %d item %d c[%d] (diff %g)" step bi j dc)
+          true (dc < 1e-4)
+      done
+    done
+  done
+
+let test_lstm_reset () =
+  let net, cell = build_lstm () in
+  let exec = Executor.prepare (Pipeline.compile ~seed:9 Config.default net) in
+  let rng = Rng.create 3 in
+  let input = Tensor.create (Shape.create [ batch; n_in ]) in
+  Tensor.fill_uniform rng input ~lo:(-1.0) ~hi:1.0;
+  Rnn.reset_state exec [ cell.h_ens; cell.c_ens ];
+  Rnn.step exec ~input_ens:cell.input_ens ~input;
+  let first = Tensor.to_array (Executor.lookup exec (cell.h_ens ^ ".value")) in
+  Rnn.step exec ~input_ens:cell.input_ens ~input;
+  let second = Tensor.to_array (Executor.lookup exec (cell.h_ens ^ ".value")) in
+  Alcotest.(check bool) "state evolves" true (first <> second);
+  Rnn.reset_state exec [ cell.h_ens; cell.c_ens ];
+  Rnn.step exec ~input_ens:cell.input_ens ~input;
+  let replay = Tensor.to_array (Executor.lookup exec (cell.h_ens ^ ".value")) in
+  Alcotest.(check bool) "reset replays exactly" true (first = replay)
+
+let test_lstm_no_inplace_on_cell () =
+  (* tanh(C) must not run in place: C is needed by the recurrence
+     (Figure 6 passes copy=true for exactly this reason). *)
+  let net, cell = build_lstm () in
+  let prog = Pipeline.compile ~seed:9 Config.default net in
+  Alcotest.(check string) "tanhC has its own storage"
+    ("lstm_tanhC.value")
+    (Buffer_pool.physical prog.Program.buffers "lstm_tanhC.value");
+  ignore cell
+
+let test_gru_evolves_bounded () =
+  let net = Net.create ~batch_size:batch in
+  let data = Layers.data_layer net ~name:"x" ~shape:[ n_in ] in
+  let cell = Rnn.gru_layer net ~name:"gru" ~input:data ~n_outputs:n_out in
+  let exec = Executor.prepare (Pipeline.compile ~seed:4 Config.default net) in
+  Rnn.reset_state exec [ cell.g_h_ens ];
+  let rng = Rng.create 21 in
+  let prev = ref [||] in
+  for step = 1 to 6 do
+    let input = Tensor.create (Shape.create [ batch; n_in ]) in
+    Tensor.fill_uniform rng input ~lo:(-1.0) ~hi:1.0;
+    Rnn.step exec ~input_ens:cell.g_input_ens ~input;
+    let h = Tensor.to_array (Executor.lookup exec (cell.g_h_ens ^ ".value")) in
+    Array.iter
+      (fun v ->
+        Alcotest.(check bool)
+          (Printf.sprintf "step %d bounded" step)
+          true
+          (Float.abs v <= 1.0 +. 1e-5))
+      h;
+    if step > 1 then
+      Alcotest.(check bool) "state changes" true (h <> !prev);
+    prev := h
+  done
+
+let test_gru_convex_combination () =
+  (* With zero input and weights, h' = (1-z)*h: the state must decay
+     towards zero, never grow. *)
+  let net = Net.create ~batch_size:1 in
+  let data = Layers.data_layer net ~name:"x" ~shape:[ n_in ] in
+  let cell = Rnn.gru_layer net ~name:"gru" ~input:data ~n_outputs:n_out in
+  let exec = Executor.prepare (Pipeline.compile ~seed:4 Config.default net) in
+  (* Force a known state, zero input. *)
+  Tensor.fill (Executor.lookup exec (cell.g_h_ens ^ ".value")) 0.8;
+  let input = Tensor.create (Shape.create [ 1; n_in ]) in
+  let prev_norm = ref infinity in
+  for _ = 1 to 3 do
+    Rnn.step exec ~input_ens:cell.g_input_ens ~input;
+    let h = Executor.lookup exec (cell.g_h_ens ^ ".value") in
+    let norm = Tensor.l2_norm h in
+    Alcotest.(check bool) "non-expanding" true (norm <= !prev_norm +. 0.3);
+    prev_norm := norm
+  done
+
+let suite =
+  [
+    Alcotest.test_case "lstm matches reference" `Quick test_lstm_matches_reference;
+    Alcotest.test_case "lstm reset/replay" `Quick test_lstm_reset;
+    Alcotest.test_case "lstm cell not in-place" `Quick test_lstm_no_inplace_on_cell;
+    Alcotest.test_case "gru evolves bounded" `Quick test_gru_evolves_bounded;
+    Alcotest.test_case "gru convex combination" `Quick test_gru_convex_combination;
+  ]

@@ -1,0 +1,101 @@
+(* Unit and property tests for Shape. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_numel () =
+  check_int "scalar" 1 (Shape.numel (Shape.create []));
+  check_int "vector" 7 (Shape.numel (Shape.create [ 7 ]));
+  check_int "3d" 24 (Shape.numel (Shape.create [ 2; 3; 4 ]));
+  check_int "zero dim" 0 (Shape.numel (Shape.create [ 2; 0; 4 ]))
+
+let test_strides () =
+  Alcotest.(check (array int))
+    "row major" [| 12; 4; 1 |]
+    (Shape.strides (Shape.create [ 2; 3; 4 ]))
+
+let test_ravel () =
+  let s = Shape.create [ 2; 3; 4 ] in
+  check_int "origin" 0 (Shape.ravel s [| 0; 0; 0 |]);
+  check_int "last" 23 (Shape.ravel s [| 1; 2; 3 |]);
+  check_int "middle" 13 (Shape.ravel s [| 1; 0; 1 |])
+
+let test_ravel_bounds () =
+  let s = Shape.create [ 2; 3 ] in
+  Alcotest.check_raises "oob" (Invalid_argument
+    "Shape.ravel: index 3 out of bounds [0,3) at dim 1") (fun () ->
+      ignore (Shape.ravel s [| 0; 3 |]));
+  Alcotest.check_raises "rank" (Invalid_argument
+    "Shape.ravel: index rank 1 <> shape rank 2") (fun () ->
+      ignore (Shape.ravel s [| 0 |]))
+
+let test_negative_extent () =
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Shape.create: negative extent -1 at dim 1") (fun () ->
+      ignore (Shape.create [ 2; -1 ]))
+
+let test_drop_dim () =
+  let s = Shape.create [ 2; 3; 4 ] in
+  check_bool "drop0" true (Shape.equal (Shape.drop_dim s 0) (Shape.create [ 3; 4 ]));
+  check_bool "drop1" true (Shape.equal (Shape.drop_dim s 1) (Shape.create [ 2; 4 ]))
+
+let test_concat () =
+  check_bool "concat" true
+    (Shape.equal
+       (Shape.concat (Shape.create [ 2 ]) (Shape.create [ 3; 4 ]))
+       (Shape.create [ 2; 3; 4 ]))
+
+let test_broadcastable () =
+  check_bool "same" true
+    (Shape.broadcastable (Shape.create [ 2; 3 ]) (Shape.create [ 2; 3 ]));
+  check_bool "ones" true
+    (Shape.broadcastable (Shape.create [ 2; 1 ]) (Shape.create [ 2; 3 ]));
+  check_bool "mismatch" false
+    (Shape.broadcastable (Shape.create [ 2; 3 ]) (Shape.create [ 2; 4 ]))
+
+let test_iter_order () =
+  let s = Shape.create [ 2; 2 ] in
+  let seen = ref [] in
+  Shape.iter s (fun idx -> seen := Array.copy idx :: !seen);
+  Alcotest.(check int) "count" 4 (List.length !seen);
+  Alcotest.(check (array int)) "first" [| 0; 0 |] (List.nth (List.rev !seen) 0);
+  Alcotest.(check (array int)) "second" [| 0; 1 |] (List.nth (List.rev !seen) 1)
+
+let small_shape_gen =
+  QCheck.Gen.(list_size (int_range 1 4) (int_range 1 5))
+
+let prop_ravel_unravel =
+  QCheck.Test.make ~count:200 ~name:"ravel/unravel round trip"
+    (QCheck.make small_shape_gen)
+    (fun dims ->
+      let s = Shape.create dims in
+      let n = Shape.numel s in
+      let ok = ref true in
+      for off = 0 to n - 1 do
+        if Shape.ravel s (Shape.unravel s off) <> off then ok := false
+      done;
+      !ok)
+
+let prop_iter_covers =
+  QCheck.Test.make ~count:100 ~name:"iter covers numel distinct indices"
+    (QCheck.make small_shape_gen)
+    (fun dims ->
+      let s = Shape.create dims in
+      let seen = Hashtbl.create 16 in
+      Shape.iter s (fun idx -> Hashtbl.replace seen (Shape.ravel s idx) ());
+      Hashtbl.length seen = Shape.numel s)
+
+let suite =
+  [
+    Alcotest.test_case "numel" `Quick test_numel;
+    Alcotest.test_case "strides" `Quick test_strides;
+    Alcotest.test_case "ravel" `Quick test_ravel;
+    Alcotest.test_case "ravel bounds" `Quick test_ravel_bounds;
+    Alcotest.test_case "negative extent" `Quick test_negative_extent;
+    Alcotest.test_case "drop_dim" `Quick test_drop_dim;
+    Alcotest.test_case "concat" `Quick test_concat;
+    Alcotest.test_case "broadcastable" `Quick test_broadcastable;
+    Alcotest.test_case "iter order" `Quick test_iter_order;
+    QCheck_alcotest.to_alcotest prop_ravel_unravel;
+    QCheck_alcotest.to_alcotest prop_iter_covers;
+  ]

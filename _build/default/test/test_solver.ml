@@ -1,0 +1,158 @@
+(* Solver math, learning-rate policies, and actual training
+   convergence. *)
+
+let test_lr_policies () =
+  Alcotest.(check (float 1e-9)) "fixed" 0.1
+    (Lr_policy.at (Lr_policy.Fixed 0.1) ~iter:100);
+  Alcotest.(check (float 1e-9)) "step before" 0.1
+    (Lr_policy.at (Lr_policy.Step { base = 0.1; gamma = 0.5; step_size = 10 }) ~iter:9);
+  Alcotest.(check (float 1e-9)) "step after" 0.05
+    (Lr_policy.at (Lr_policy.Step { base = 0.1; gamma = 0.5; step_size = 10 }) ~iter:10);
+  let inv = Lr_policy.Inv { base = 0.01; gamma = 0.0001; power = 0.75 } in
+  Alcotest.(check (float 1e-9)) "inv at 0" 0.01 (Lr_policy.at inv ~iter:0);
+  Alcotest.(check bool) "inv decays" true
+    (Lr_policy.at inv ~iter:10000 < Lr_policy.at inv ~iter:0);
+  Alcotest.(check (float 1e-9)) "exp" 0.05
+    (Lr_policy.at (Lr_policy.Exp_decay { base = 0.1; gamma = 0.5 }) ~iter:1)
+
+(* A one-parameter quadratic: fit y = w*x with x=1, target 0 via
+   softmax? Too indirect — instead verify update arithmetic directly on
+   a tiny net by injecting a known gradient. *)
+let tiny_exec () =
+  let net = Test_util.base_net ~batch:1 in
+  let data = Layers.data_layer net ~name:"data" ~shape:[ 1 ] in
+  let fc = Layers.fully_connected net ~name:"fc" ~input:data ~n_outputs:2 in
+  Test_util.attach_loss net fc;
+  Test_util.prepare net
+
+let test_sgd_update_math () =
+  let exec = tiny_exec () in
+  let params =
+    { Solver.lr_policy = Lr_policy.Fixed 0.1; momentum = 0.9; weight_decay = 0.0 }
+  in
+  let solver = Solver.create ~params Solver.Sgd exec in
+  let w = Executor.lookup exec "fc.weights" in
+  let g = Executor.lookup exec "fc.weights.grad" in
+  Tensor.fill w 1.0;
+  Tensor.fill g 2.0;
+  Solver.update solver;
+  (* v = 0.9*0 + 0.1*2 = 0.2; w = 1 - 0.2 = 0.8 *)
+  Alcotest.(check (float 1e-5)) "first step" 0.8 (Tensor.get1 w 0);
+  Tensor.fill g 2.0;
+  Solver.update solver;
+  (* v = 0.9*0.2 + 0.2 = 0.38; w = 0.8 - 0.38 = 0.42 *)
+  Alcotest.(check (float 1e-5)) "momentum accumulates" 0.42 (Tensor.get1 w 0)
+
+let test_weight_decay () =
+  let exec = tiny_exec () in
+  let params =
+    { Solver.lr_policy = Lr_policy.Fixed 0.1; momentum = 0.0; weight_decay = 0.5 }
+  in
+  let solver = Solver.create ~params Solver.Sgd exec in
+  let w = Executor.lookup exec "fc.weights" in
+  let g = Executor.lookup exec "fc.weights.grad" in
+  Tensor.fill w 1.0;
+  Tensor.fill g 0.0;
+  Solver.update solver;
+  (* g_eff = 0 + 0.5*1; w = 1 - 0.1*0.5 = 0.95 *)
+  Alcotest.(check (float 1e-5)) "decay" 0.95 (Tensor.get1 w 0)
+
+let test_lr_mult_bias () =
+  (* Figure 4: bias has lr_mult = 2. *)
+  let exec = tiny_exec () in
+  let params =
+    { Solver.lr_policy = Lr_policy.Fixed 0.1; momentum = 0.0; weight_decay = 0.0 }
+  in
+  let solver = Solver.create ~params Solver.Sgd exec in
+  let w = Executor.lookup exec "fc.weights" in
+  let b = Executor.lookup exec "fc.bias" in
+  Tensor.fill w 1.0;
+  Tensor.fill b 1.0;
+  Tensor.fill (Executor.lookup exec "fc.weights.grad") 1.0;
+  Tensor.fill (Executor.lookup exec "fc.bias.grad") 1.0;
+  Solver.update solver;
+  Alcotest.(check (float 1e-5)) "weights lr x1" 0.9 (Tensor.get1 w 0);
+  Alcotest.(check (float 1e-5)) "bias lr x2" 0.8 (Tensor.get1 b 0)
+
+let test_adam_bias_correction () =
+  let exec = tiny_exec () in
+  let params =
+    { Solver.lr_policy = Lr_policy.Fixed 0.1; momentum = 0.0; weight_decay = 0.0 }
+  in
+  let solver =
+    Solver.create ~params
+      (Solver.Adam { beta1 = 0.9; beta2 = 0.999; epsilon = 1e-8 })
+      exec
+  in
+  let w = Executor.lookup exec "fc.weights" in
+  let g = Executor.lookup exec "fc.weights.grad" in
+  Tensor.fill w 1.0;
+  Tensor.fill g 1.0;
+  Solver.update solver;
+  (* With bias correction the first Adam step is ~ -lr. *)
+  Alcotest.(check bool) "first step ~ lr" true
+    (Float.abs (Tensor.get1 w 0 -. 0.9) < 1e-3)
+
+let test_rmsprop_and_adagrad_run () =
+  List.iter
+    (fun method_ ->
+      let exec = tiny_exec () in
+      let solver = Solver.create method_ exec in
+      let g = Executor.lookup exec "fc.weights.grad" in
+      Tensor.fill g 1.0;
+      let w = Executor.lookup exec "fc.weights" in
+      let before = Tensor.get1 w 0 in
+      Solver.update solver;
+      Alcotest.(check bool) "moved" true (Tensor.get1 w 0 < before))
+    [
+      Solver.Rmsprop { decay = 0.9; epsilon = 1e-8 };
+      Solver.Adagrad { epsilon = 1e-8 };
+    ]
+
+let test_training_converges () =
+  (* Train a small MLP on a separable problem; loss must fall and
+     accuracy must beat chance by a wide margin. *)
+  let batch = 16 in
+  let spec = Models.mlp ~batch ~n_inputs:8 ~hidden:[ 16 ] ~n_classes:4 in
+  let exec = Test_util.prepare spec.Models.net in
+  let data =
+    Synthetic.gaussian_classes ~seed:5 ~n:256 ~n_classes:4 ~item_shape:[ 8 ]
+      ~separation:2.0
+  in
+  let params =
+    { Solver.lr_policy = Lr_policy.Fixed 0.05; momentum = 0.9; weight_decay = 0.0 }
+  in
+  let solver = Solver.create ~params Solver.Sgd exec in
+  let history =
+    Training.fit ~solver ~exec ~data ~data_buf:"data.value" ~label_buf:"label"
+      ~loss_buf:"loss" ~iters:150 ()
+  in
+  let first = List.hd history.Training.losses in
+  let last = List.nth history.Training.losses (List.length history.Training.losses - 1) in
+  Alcotest.(check bool) (Printf.sprintf "loss falls (%.3f -> %.3f)" first last)
+    true (last < first /. 2.0);
+  let acc =
+    Training.accuracy ~exec ~data ~data_buf:"data.value" ~label_buf:"label"
+      ~output_buf:(spec.Models.output_ens ^ ".value")
+  in
+  Alcotest.(check bool) (Printf.sprintf "accuracy %.2f > 0.8" acc) true (acc > 0.8)
+
+let test_solver_iter_counts () =
+  let exec = tiny_exec () in
+  let solver = Solver.create Solver.Sgd exec in
+  Alcotest.(check int) "zero" 0 (Solver.iter solver);
+  Solver.update solver;
+  Solver.update solver;
+  Alcotest.(check int) "two" 2 (Solver.iter solver)
+
+let suite =
+  [
+    Alcotest.test_case "lr policies" `Quick test_lr_policies;
+    Alcotest.test_case "sgd update math" `Quick test_sgd_update_math;
+    Alcotest.test_case "weight decay" `Quick test_weight_decay;
+    Alcotest.test_case "bias lr mult" `Quick test_lr_mult_bias;
+    Alcotest.test_case "adam bias correction" `Quick test_adam_bias_correction;
+    Alcotest.test_case "rmsprop/adagrad run" `Quick test_rmsprop_and_adagrad_run;
+    Alcotest.test_case "training converges" `Slow test_training_converges;
+    Alcotest.test_case "iter counts" `Quick test_solver_iter_counts;
+  ]

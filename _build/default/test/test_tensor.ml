@@ -1,0 +1,111 @@
+(* Tests for the Tensor module. *)
+
+let t_of l = Tensor.of_array (Shape.create [ List.length l ]) (Array.of_list l)
+
+let test_create_zeroed () =
+  let t = Tensor.create (Shape.create [ 3; 3 ]) in
+  Alcotest.(check (float 0.0)) "zero" 0.0 (Tensor.sum t)
+
+let test_get_set () =
+  let t = Tensor.create (Shape.create [ 2; 3 ]) in
+  Tensor.set t [| 1; 2 |] 5.0;
+  Alcotest.(check (float 0.0)) "get" 5.0 (Tensor.get t [| 1; 2 |]);
+  Alcotest.(check (float 0.0)) "flat" 5.0 (Tensor.get1 t 5)
+
+let test_float32_rounding () =
+  let t = Tensor.create (Shape.create [ 1 ]) in
+  Tensor.set1 t 0 0.1;
+  (* Stored as float32: round-trips to the nearest single value. *)
+  Alcotest.(check bool) "f32" true (Float.abs (Tensor.get1 t 0 -. 0.1) < 1e-7)
+
+let test_reshape_shares () =
+  let t = Tensor.create (Shape.create [ 2; 3 ]) in
+  let v = Tensor.reshape t (Shape.create [ 6 ]) in
+  Tensor.set1 v 4 2.0;
+  Alcotest.(check (float 0.0)) "shared" 2.0 (Tensor.get t [| 1; 1 |])
+
+let test_reshape_bad () =
+  let t = Tensor.create (Shape.create [ 2; 3 ]) in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Tensor.reshape t (Shape.create [ 5 ]));
+       false
+     with Invalid_argument _ -> true)
+
+let test_sub_left () =
+  let t = Tensor.init (Shape.create [ 2; 3 ]) (fun i -> float_of_int ((i.(0) * 3) + i.(1))) in
+  let row1 = Tensor.sub_left t 1 in
+  Alcotest.(check (float 0.0)) "row" 4.0 (Tensor.get1 row1 1);
+  Tensor.set1 row1 0 9.0;
+  Alcotest.(check (float 0.0)) "view writes through" 9.0 (Tensor.get t [| 1; 0 |])
+
+let test_arith () =
+  let a = t_of [ 1.0; 2.0; 3.0 ] and b = t_of [ 10.0; 20.0; 30.0 ] in
+  Tensor.add_inplace b a;
+  Alcotest.(check (float 1e-6)) "add" 33.0 (Tensor.get1 b 2);
+  Tensor.scale_inplace b 0.5;
+  Alcotest.(check (float 1e-6)) "scale" 5.5 (Tensor.get1 b 0);
+  Tensor.axpy ~alpha:2.0 ~x:a ~y:b;
+  Alcotest.(check (float 1e-6)) "axpy" 7.5 (Tensor.get1 b 0)
+
+let test_reductions () =
+  let a = t_of [ 3.0; -1.0; 4.0; -1.0; 5.0 ] in
+  Alcotest.(check (float 1e-6)) "sum" 10.0 (Tensor.sum a);
+  Alcotest.(check (float 1e-6)) "max" 5.0 (Tensor.max_value a);
+  Alcotest.(check int) "argmax" 4 (Tensor.argmax a);
+  Alcotest.(check (float 1e-5)) "dot" 52.0 (Tensor.dot a a)
+
+let test_argmax_first () =
+  let a = t_of [ 1.0; 7.0; 7.0 ] in
+  Alcotest.(check int) "first wins" 1 (Tensor.argmax a)
+
+let test_approx_equal () =
+  let a = t_of [ 1.0; 2.0 ] and b = t_of [ 1.0; 2.0000001 ] in
+  Alcotest.(check bool) "close" true (Tensor.approx_equal a b);
+  let c = t_of [ 1.0; 2.5 ] in
+  Alcotest.(check bool) "far" false (Tensor.approx_equal a c);
+  Alcotest.(check bool) "shape mismatch" false
+    (Tensor.approx_equal a (Tensor.create (Shape.create [ 3 ])))
+
+let test_map2_shape_check () =
+  let a = t_of [ 1.0 ] and b = t_of [ 1.0; 2.0 ] in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Tensor.map2 ( +. ) a b);
+       false
+     with Invalid_argument _ -> true)
+
+let prop_axpy_linear =
+  QCheck.Test.make ~count:100 ~name:"axpy(a,x,0) = a*x"
+    QCheck.(pair (float_range (-4.0) 4.0) (list_of_size (QCheck.Gen.int_range 1 20) (float_range (-10.0) 10.0)))
+    (fun (alpha, xs) ->
+      let x = t_of xs in
+      let y = Tensor.create (Tensor.shape x) in
+      Tensor.axpy ~alpha ~x ~y;
+      let expect = Tensor.map (fun v -> alpha *. v) x in
+      Tensor.approx_equal ~tol:1e-4 y expect)
+
+let prop_dot_cauchy =
+  QCheck.Test.make ~count:100 ~name:"dot(x,x) >= 0 and = |x|^2"
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 20) (float_range (-10.0) 10.0))
+    (fun xs ->
+      let x = t_of xs in
+      let d = Tensor.dot x x in
+      d >= 0.0 && Float.abs (sqrt d -. Tensor.l2_norm x) < 1e-3)
+
+let suite =
+  [
+    Alcotest.test_case "create zeroed" `Quick test_create_zeroed;
+    Alcotest.test_case "get/set" `Quick test_get_set;
+    Alcotest.test_case "float32 storage" `Quick test_float32_rounding;
+    Alcotest.test_case "reshape shares" `Quick test_reshape_shares;
+    Alcotest.test_case "reshape bad" `Quick test_reshape_bad;
+    Alcotest.test_case "sub_left" `Quick test_sub_left;
+    Alcotest.test_case "arith" `Quick test_arith;
+    Alcotest.test_case "reductions" `Quick test_reductions;
+    Alcotest.test_case "argmax first" `Quick test_argmax_first;
+    Alcotest.test_case "approx_equal" `Quick test_approx_equal;
+    Alcotest.test_case "map2 shape check" `Quick test_map2_shape_check;
+    QCheck_alcotest.to_alcotest prop_axpy_linear;
+    QCheck_alcotest.to_alcotest prop_dot_cauchy;
+  ]

@@ -1,0 +1,88 @@
+(* Shared helpers for end-to-end network tests. *)
+
+let base_net ~batch =
+  let net = Net.create ~batch_size:batch in
+  Net.add_external net ~name:"label" ~item_shape:[];
+  Net.add_external net ~name:"loss" ~item_shape:[];
+  net
+
+let attach_loss net last =
+  ignore
+    (Layers.softmax_loss net ~name:"sl" ~input:last ~label_buf:"label"
+       ~loss_buf:"loss")
+
+let prepare ?(config = Config.default) ?(seed = 1) net =
+  Executor.prepare (Pipeline.compile ~seed config net)
+
+let fill_inputs ?(seed = 77) exec ~batch ~n_classes =
+  let rng = Rng.create seed in
+  let data = Executor.lookup exec "data.value" in
+  Tensor.fill_uniform rng data ~lo:(-1.0) ~hi:1.0;
+  let labels = Executor.lookup exec "label" in
+  for b = 0 to batch - 1 do
+    Tensor.set1 labels b (float_of_int (b mod n_classes))
+  done
+
+let total_loss exec =
+  Executor.forward exec;
+  let loss = Executor.lookup exec "loss" in
+  Tensor.sum loss /. float_of_int (Tensor.numel loss)
+
+(* Central-difference gradient check over (up to) [samples] entries of
+   each listed parameter buffer. Returns the max relative error. *)
+let gradient_check ?(samples = 6) ?(eps = 1e-3) exec ~params =
+  Executor.forward exec;
+  Executor.backward exec;
+  let max_rel = ref 0.0 in
+  List.iter
+    (fun buf_name ->
+      let w = Executor.lookup exec buf_name in
+      let g = Executor.lookup exec (buf_name ^ ".grad") in
+      let n = Tensor.numel w in
+      let stride = max 1 (n / samples) in
+      let k = ref 0 in
+      while !k < n do
+        let idx = !k in
+        let orig = Tensor.get1 w idx in
+        Tensor.set1 w idx (orig +. eps);
+        let lp = total_loss exec in
+        Tensor.set1 w idx (orig -. eps);
+        let lm = total_loss exec in
+        Tensor.set1 w idx orig;
+        let fd = (lp -. lm) /. (2.0 *. eps) in
+        let an = Tensor.get1 g idx in
+        (* Float32 storage limits central differences to ~1e-2 absolute
+           precision; use a mixed absolute/relative criterion. *)
+        let rel = Float.abs (fd -. an) /. Float.max 2e-2 (Float.abs fd) in
+        if rel > !max_rel then max_rel := rel;
+        k := !k + stride
+      done)
+    params;
+  !max_rel
+
+(* Gradient check against the *data* (exercises the whole backward
+   chain including input scatters). *)
+let data_gradient_check ?(samples = 6) ?(eps = 1e-3) exec =
+  Executor.forward exec;
+  Executor.backward exec;
+  let w = Executor.lookup exec "data.value" in
+  let g = Executor.lookup exec "data.grad" in
+  let n = Tensor.numel w in
+  let stride = max 1 (n / samples) in
+  let max_rel = ref 0.0 in
+  let k = ref 0 in
+  while !k < n do
+    let idx = !k in
+    let orig = Tensor.get1 w idx in
+    Tensor.set1 w idx (orig +. eps);
+    let lp = total_loss exec in
+    Tensor.set1 w idx (orig -. eps);
+    let lm = total_loss exec in
+    Tensor.set1 w idx orig;
+    let fd = (lp -. lm) /. (2.0 *. eps) in
+    let an = Tensor.get1 g idx in
+    let rel = Float.abs (fd -. an) /. Float.max 2e-2 (Float.abs fd) in
+    if rel > !max_rel then max_rel := rel;
+    k := !k + stride
+  done;
+  !max_rel

@@ -84,7 +84,8 @@ let dump_ir_cmd =
 (* train                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let train model batch image width_div fc_div config iters lr =
+let train model batch image width_div fc_div config iters lr faults_spec
+    ckpt_dir =
   let spec = build_model model ~batch ~image ~width_div ~fc_div in
   let exec = Executor.prepare (Pipeline.compile config spec.Models.net) in
   let flat = String.equal model "mlp" in
@@ -103,12 +104,50 @@ let train model batch image width_div fc_div config iters lr =
       momentum = 0.9; weight_decay = 0.0 }
   in
   let solver = Solver.create ~params Solver.Sgd exec in
-  ignore
-    (Training.fit
-       ~log:(fun ~iter ~loss -> Printf.printf "iter %4d  loss %.4f\n%!" iter loss)
-       ~solver ~exec ~data:train_set
-       ~data_buf:(spec.Models.data_ens ^ ".value")
-       ~label_buf:spec.Models.label_buf ~loss_buf:spec.Models.loss_buf ~iters ());
+  let log ~iter ~loss = Printf.printf "iter %4d  loss %.4f\n%!" iter loss in
+  let data_buf = spec.Models.data_ens ^ ".value" in
+  (match (faults_spec, ckpt_dir) with
+  | None, None ->
+      ignore
+        (Training.fit ~log ~solver ~exec ~data:train_set ~data_buf
+           ~label_buf:spec.Models.label_buf ~loss_buf:spec.Models.loss_buf ~iters ())
+  | _ ->
+      (* Supervised, fault-tolerant path: checkpoint rotation, divergence
+         detection, rollback with LR backoff — with optional armed faults. *)
+      let faults =
+        match faults_spec with
+        | None -> Fault.none
+        | Some s -> (
+            try Fault.parse s
+            with Invalid_argument msg ->
+              Printf.eprintf "latte: %s\n" msg;
+              exit 2)
+      in
+      let ckpt_dir =
+        match ckpt_dir with
+        | Some d -> d
+        | None ->
+            Filename.concat (Filename.get_temp_dir_name ())
+              (Printf.sprintf "latte-ckpt-%d" (Unix.getpid ()))
+      in
+      if not (Fault.is_empty faults) then
+        Printf.printf "armed faults: %s\n%!" (Fault.to_string faults);
+      Printf.printf "checkpoints: %s\n%!" ckpt_dir;
+      let report =
+        try
+          Trainer.fit ~log ~faults ~ckpt_dir ~solver ~exec ~data:train_set
+            ~data_buf ~label_buf:spec.Models.label_buf
+            ~loss_buf:spec.Models.loss_buf ~iters ()
+        with Invalid_argument msg ->
+          Printf.eprintf "latte: %s\n" msg;
+          exit 2
+      in
+      List.iter
+        (fun e -> Printf.printf "[event] %s\n" (Trainer.event_to_string e))
+        report.Trainer.events;
+      Printf.printf "run %s after %d rollback(s), final loss %.4f\n"
+        (if report.Trainer.completed then "completed" else "FAILED")
+        report.Trainer.rollbacks report.Trainer.final_loss);
   let acc =
     Training.accuracy ~exec ~data:eval_set
       ~data_buf:(spec.Models.data_ens ^ ".value")
@@ -124,11 +163,26 @@ let train_cmd =
   let lr =
     Arg.(value & opt float 0.01 & info [ "lr" ] ~docv:"LR" ~doc:"Base learning rate.")
   in
+  let faults =
+    Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC"
+           ~doc:"Arm a fault-injection plan and train under the supervised \
+                 fault-tolerant runtime. SPEC is comma-separated items: \
+                 crash-save@N (crash during the Nth checkpoint write), \
+                 nan:BUF@K / inf:BUF@K (poison buffer BUF at iteration K), \
+                 kill:W@S (kill data-parallel worker W at step S), \
+                 slow:NODE@F (straggler factor F on NODE in the cluster \
+                 simulator).")
+  in
+  let ckpt_dir =
+    Arg.(value & opt (some string) None & info [ "ckpt-dir" ] ~docv:"DIR"
+           ~doc:"Checkpoint directory for the supervised trainer (implies the \
+                 fault-tolerant path; default under the system temp dir).")
+  in
   Cmd.v
     (Cmd.info "train"
        ~doc:"Train a model on a synthetic MNIST-like dataset and report accuracy.")
     Term.(const train $ model_arg $ batch_arg $ image_arg $ width_div_arg
-          $ fc_div_arg $ config_term $ iters $ lr)
+          $ fc_div_arg $ config_term $ iters $ lr $ faults $ ckpt_dir)
 
 (* ------------------------------------------------------------------ *)
 (* bench                                                               *)

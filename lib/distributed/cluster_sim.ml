@@ -26,21 +26,31 @@ let grad_bytes_of (prog : Program.t) (s : Program.section) =
     0.0 s.Program.ensembles
 
 let simulate_step ~cpu ~nic ~nodes ~local_batch ~(prog : Program.t)
-    ?(overlap = true) () =
+    ?(overlap = true) ?(stragglers = []) () =
+  (* Synchronous data parallelism: every per-ensemble reduction waits
+     for the slowest replica, so one straggler gates the whole step.
+     The effective compute multiplier is the worst armed factor among
+     participating nodes. *)
+  let slow =
+    List.fold_left
+      (fun acc (node, factor) ->
+        if node >= 0 && node < nodes then Float.max acc factor else acc)
+      1.0 stragglers
+  in
   let replicate = float_of_int local_batch /. float_of_int prog.batch_size in
   let buf_bytes = Cost_model.buf_bytes_of prog in
   let est dirs = Cost_model.estimate_sections ~replicate cpu ~buf_bytes dirs in
   let fwd = est prog.forward in
   let bwd = est prog.backward in
-  let compute_seconds = fwd.total_seconds +. bwd.total_seconds in
+  let compute_seconds = slow *. (fwd.total_seconds +. bwd.total_seconds) in
   (* Timeline: backward sections complete in order; each releases its
      gradients to the NIC, which serializes reductions. *)
-  let t = ref fwd.total_seconds in
-  let nic_free = ref fwd.total_seconds in
+  let t = ref (slow *. fwd.total_seconds) in
+  let nic_free = ref !t in
   let comm = ref 0.0 in
   List.iter2
     (fun (sec : Program.section) (e : Cost_model.section_estimate) ->
-      t := !t +. e.seconds;
+      t := !t +. (slow *. e.seconds);
       let bytes = grad_bytes_of prog sec in
       if bytes > 0.0 && nodes > 1 then begin
         let dur = allreduce_seconds nic ~nodes ~bytes in
@@ -77,3 +87,43 @@ let weak_scaling ~cpu ~nic ~prog ~per_node_batch ~nodes_list =
   List.map
     (fun nodes -> simulate_step ~cpu ~nic ~nodes ~local_batch:per_node_batch ~prog ())
     nodes_list
+
+type recovery = {
+  healthy : result;
+  fail_step : int;
+  last_checkpoint_step : int;
+  lost_steps : int;
+  checkpoint_overhead_seconds : float;
+  baseline_seconds : float;
+  total_seconds : float;
+  slowdown : float;
+}
+
+let simulate_failure_recovery ~cpu ~nic ~nodes ~local_batch ~prog ?stragglers
+    ~steps ~ckpt_every ~ckpt_write_seconds ~fail_at_step ~restart_seconds () =
+  if steps <= 0 then invalid_arg "Cluster_sim.simulate_failure_recovery: steps >= 1";
+  if ckpt_every <= 0 then
+    invalid_arg "Cluster_sim.simulate_failure_recovery: ckpt_every >= 1";
+  if fail_at_step < 0 || fail_at_step >= steps then
+    invalid_arg "Cluster_sim.simulate_failure_recovery: fail_at_step in [0, steps)";
+  let healthy = simulate_step ~cpu ~nic ~nodes ~local_batch ~prog ?stragglers () in
+  let step_s = healthy.step_seconds in
+  let checkpoint_overhead_seconds =
+    float_of_int (steps / ckpt_every) *. ckpt_write_seconds
+  in
+  let baseline_seconds = (float_of_int steps *. step_s) +. checkpoint_overhead_seconds in
+  let last_checkpoint_step = fail_at_step / ckpt_every * ckpt_every in
+  let lost_steps = fail_at_step - last_checkpoint_step in
+  let total_seconds =
+    baseline_seconds +. restart_seconds +. (float_of_int lost_steps *. step_s)
+  in
+  {
+    healthy;
+    fail_step = fail_at_step;
+    last_checkpoint_step;
+    lost_steps;
+    checkpoint_overhead_seconds;
+    baseline_seconds;
+    total_seconds;
+    slowdown = total_seconds /. baseline_seconds;
+  }

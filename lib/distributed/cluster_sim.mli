@@ -29,12 +29,16 @@ val simulate_step :
   local_batch:int ->
   prog:Program.t ->
   ?overlap:bool ->
+  ?stragglers:(int * float) list ->
   unit ->
   result
 (** [prog] must be compiled at batch size 1 (or any reference size); its
     section costs are scaled to [local_batch]. [overlap:false] models a
     runtime that synchronizes gradients only after backward completes
-    (the ablation of the §5.3 design choice). *)
+    (the ablation of the §5.3 design choice). [stragglers] is a list of
+    [(node, factor)] compute-slowdown multipliers (see
+    {!Fault.stragglers}); synchronous reductions wait for the slowest
+    replica, so the worst in-range factor gates every section. *)
 
 val strong_scaling :
   cpu:Machine.cpu ->
@@ -53,3 +57,35 @@ val weak_scaling :
   nodes_list:int list ->
   result list
 (** Figure 19: fixed batch per node. *)
+
+type recovery = {
+  healthy : result;  (** One fault-free (possibly straggler-slowed) step. *)
+  fail_step : int;
+  last_checkpoint_step : int;
+  lost_steps : int;  (** Steps recomputed after restoring. *)
+  checkpoint_overhead_seconds : float;
+  baseline_seconds : float;  (** Failure-free run, checkpointing included. *)
+  total_seconds : float;  (** With the failure, restart and recompute. *)
+  slowdown : float;  (** [total / baseline]. *)
+}
+
+val simulate_failure_recovery :
+  cpu:Machine.cpu ->
+  nic:Machine.nic ->
+  nodes:int ->
+  local_batch:int ->
+  prog:Program.t ->
+  ?stragglers:(int * float) list ->
+  steps:int ->
+  ckpt_every:int ->
+  ckpt_write_seconds:float ->
+  fail_at_step:int ->
+  restart_seconds:float ->
+  unit ->
+  recovery
+(** Node-failure timeline over the Figures 18–19 machinery: a run of
+    [steps] data-parallel steps checkpoints every [ckpt_every] steps
+    (each write costs [ckpt_write_seconds] of wall clock); a node dies
+    at [fail_at_step], the job restarts ([restart_seconds]), reloads
+    the last checkpoint, and recomputes the lost steps. Shows what
+    checkpoint cadence a degraded cluster can afford. *)

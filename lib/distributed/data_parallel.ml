@@ -6,9 +6,15 @@ type t = {
   workers : worker array;
   solver : Solver.t;  (** Owns optimizer state, bound to worker 0. *)
   mode : mode;
+  faults : Fault.t;
+  grad_acc : (Program.param * Tensor.t) list;
+      (** Synchronized-mode gradient accumulators, so a survivor can
+          adopt a dead worker's batch slice without clobbering the
+          gradients it already computed. *)
 }
 
-let create ?(seed = 42) ~workers ~config ~build ~solver_method ~solver_params mode =
+let create ?(seed = 42) ?(faults = Fault.none) ~workers ~config ~build
+    ~solver_method ~solver_params mode =
   if workers < 1 then invalid_arg "Data_parallel.create: workers >= 1";
   let mk () =
     let spec = build () in
@@ -17,62 +23,103 @@ let create ?(seed = 42) ~workers ~config ~build ~solver_method ~solver_params mo
   in
   let workers = Array.init workers (fun _ -> mk ()) in
   let solver = Solver.create ~params:solver_params solver_method workers.(0).exec in
-  { workers; solver; mode }
+  let grad_acc =
+    List.map
+      (fun (p : Program.param) ->
+        let value = Executor.lookup workers.(0).exec p.value_buf in
+        (p, Tensor.create (Tensor.shape value)))
+      (Executor.program workers.(0).exec).Program.params
+  in
+  { workers; solver; mode; faults; grad_acc }
 
 let params_of w = (Executor.program w.exec).Program.params
 
 let iter_params t f =
   List.iter f (params_of t.workers.(0))
 
-let broadcast t =
+(* Worker 0's replica is the parameter master: the solver updates it
+   even when its *compute* role has been killed by the fault plan. Only
+   surviving workers receive the refreshed parameters. *)
+let broadcast t ~alive =
   let w0 = t.workers.(0) in
   iter_params t (fun (p : Program.param) ->
       let src = Executor.lookup w0.exec p.value_buf in
-      Array.iteri
-        (fun k w ->
-          if k > 0 then Tensor.blit ~src ~dst:(Executor.lookup w.exec p.value_buf))
-        t.workers)
+      List.iter
+        (fun k ->
+          if k > 0 then
+            Tensor.blit ~src ~dst:(Executor.lookup t.workers.(k).exec p.value_buf))
+        alive)
+
+let alive_workers t ~step =
+  let nw = Array.length t.workers in
+  let dead = Fault.killed_workers t.faults ~step in
+  List.filter (fun k -> not (List.mem k dead)) (List.init nw Fun.id)
 
 let step t ~data ~batch_index =
   let nw = Array.length t.workers in
-  let losses = ref 0.0 in
-  Array.iteri
-    (fun k w ->
-      let data_t = Executor.lookup w.exec (w.spec.Models.data_ens ^ ".value") in
-      let labels_t = Executor.lookup w.exec w.spec.Models.label_buf in
-      Synthetic.fill_batch data ~batch_index:((batch_index * nw) + k) ~data:data_t
-        ~labels:labels_t;
-      Executor.forward w.exec;
-      Executor.backward w.exec;
-      let loss = Executor.lookup w.exec w.spec.Models.loss_buf in
-      losses := !losses +. (Tensor.sum loss /. float_of_int (Tensor.numel loss)))
-    t.workers;
+  let alive = alive_workers t ~step:batch_index in
+  if alive = [] then
+    failwith
+      (Printf.sprintf "Data_parallel.step: all %d workers dead at step %d" nw
+         batch_index);
+  let alive_arr = Array.of_list alive in
+  let na = Array.length alive_arr in
+  (* Worker [k] computes forward/backward over batch slice [slice]. *)
+  let run_slice k slice =
+    let w = t.workers.(k) in
+    let data_t = Executor.lookup w.exec (w.spec.Models.data_ens ^ ".value") in
+    let labels_t = Executor.lookup w.exec w.spec.Models.label_buf in
+    Synthetic.fill_batch data ~batch_index:((batch_index * nw) + slice) ~data:data_t
+      ~labels:labels_t;
+    Executor.forward w.exec;
+    Executor.backward w.exec;
+    let loss = Executor.lookup w.exec w.spec.Models.loss_buf in
+    Tensor.sum loss /. float_of_int (Tensor.numel loss)
+  in
+  let losses = ref 0.0 and slices_run = ref 0 in
   let w0 = t.workers.(0) in
   (match t.mode with
   | Synchronized ->
-      (* Gradient summation (§5.3), one optimizer step, broadcast. *)
-      iter_params t (fun (p : Program.param) ->
-          let dst = Executor.lookup w0.exec p.grad_buf in
-          Array.iteri
-            (fun k w ->
-              if k > 0 then
-                Tensor.add_inplace dst (Executor.lookup w.exec p.grad_buf))
-            t.workers);
+      (* Gradient summation (§5.3) with elastic re-sharding: all [nw]
+         batch slices are computed every step; a dead worker's slice is
+         adopted round-robin by the survivors (so the effective batch —
+         and, under a fixed seed, the whole run — stays deterministic),
+         then one optimizer step and a broadcast. *)
+      List.iter (fun (_, acc) -> Tensor.fill acc 0.0) t.grad_acc;
+      for slice = 0 to nw - 1 do
+        let k = alive_arr.(slice mod na) in
+        losses := !losses +. run_slice k slice;
+        incr slices_run;
+        List.iter
+          (fun ((p : Program.param), acc) ->
+            Tensor.add_inplace acc (Executor.lookup t.workers.(k).exec p.grad_buf))
+          t.grad_acc
+      done;
+      List.iter
+        (fun ((p : Program.param), acc) ->
+          Tensor.blit ~src:acc ~dst:(Executor.lookup w0.exec p.grad_buf))
+        t.grad_acc;
       Solver.update t.solver
   | Lossy ->
-      (* Apply every worker's (stale) gradient as its own update, in
-         arrival order — the unsynchronized ∇-field semantics. *)
-      Array.iteri
-        (fun k w ->
+      (* Every surviving worker's (stale) gradient is applied as its own
+         update, in arrival order — the unsynchronized ∇-field
+         semantics. A dead replica's slice is simply skipped. *)
+      List.iter
+        (fun k ->
+          losses := !losses +. run_slice k k;
+          incr slices_run)
+        alive;
+      List.iter
+        (fun k ->
           if k > 0 then
             iter_params t (fun (p : Program.param) ->
                 Tensor.blit
-                  ~src:(Executor.lookup w.exec p.grad_buf)
+                  ~src:(Executor.lookup t.workers.(k).exec p.grad_buf)
                   ~dst:(Executor.lookup w0.exec p.grad_buf));
           Solver.update t.solver)
-        t.workers);
-  broadcast t;
-  !losses /. float_of_int nw
+        alive);
+  broadcast t ~alive;
+  !losses /. float_of_int !slices_run
 
 let train t ~data ~iters ?log () =
   for it = 0 to iters - 1 do

@@ -13,7 +13,16 @@
       reproducing the unsynchronized in-place updates Project Adam and
       Latte's ∇-field mode allow.
 
-    Figure 20's claim is that the two reach the same accuracy. *)
+    Figure 20's claim is that the two reach the same accuracy.
+
+    {b Elasticity}: an armed {!Fault.Kill_worker} in [faults] removes a
+    worker's compute role mid-run. In [Synchronized] mode its batch
+    slice is re-sharded round-robin across the survivors (every slice
+    is still computed, so a fixed seed plus a fixed fault plan yields a
+    deterministic run); in [Lossy] mode the dead replica's update is
+    simply skipped. Worker 0's replica doubles as the parameter master,
+    so killing worker 0 only removes its compute. The run fails only
+    when every worker is dead. *)
 
 type mode = Synchronized | Lossy
 
@@ -21,6 +30,7 @@ type t
 
 val create :
   ?seed:int ->
+  ?faults:Fault.t ->
   workers:int ->
   config:Config.t ->
   build:(unit -> Models.spec) ->
@@ -29,9 +39,14 @@ val create :
   mode ->
   t
 
+val alive_workers : t -> step:int -> int list
+(** Workers whose compute role survives at [step] under the fault plan
+    (everyone when no kill fault is armed). *)
+
 val step : t -> data:Synthetic.dataset -> batch_index:int -> float
 (** One data-parallel step over [workers] consecutive batch shards;
-    returns the mean loss across workers. *)
+    returns the mean loss across the computed shards. Raises [Failure]
+    if the fault plan has killed every worker. *)
 
 val train :
   t -> data:Synthetic.dataset -> iters:int ->

@@ -29,6 +29,7 @@ type t = {
   clip_norm : float option;
   nesterov : bool;
   mutable iter : int;
+  mutable lr_scale : float;
 }
 
 let create ?(params = default_params) ?clip_norm ?(nesterov = false) method_ exec =
@@ -47,11 +48,24 @@ let create ?(params = default_params) ?clip_norm ?(nesterov = false) method_ exe
         { param = p; value; grad; state1; state2 })
       prog.Program.params
   in
-  { method_; params; states; exec; clip_norm; nesterov; iter = 0 }
+  { method_; params; states; exec; clip_norm; nesterov; iter = 0; lr_scale = 1.0 }
 
 let iter t = t.iter
 
-let learning_rate t = Lr_policy.at t.params.lr_policy ~iter:t.iter
+let lr_scale t = t.lr_scale
+
+let set_lr_scale t s =
+  if not (s > 0.0) then invalid_arg "Solver.set_lr_scale: scale must be > 0";
+  t.lr_scale <- s
+
+let reset_state t =
+  List.iter
+    (fun ps ->
+      Tensor.fill ps.state1 0.0;
+      Option.iter (fun s2 -> Tensor.fill s2 0.0) ps.state2)
+    t.states
+
+let learning_rate t = t.lr_scale *. Lr_policy.at t.params.lr_policy ~iter:t.iter
 
 let update_param t ~lr ps =
   let n = Tensor.numel ps.value in

@@ -35,6 +35,19 @@ val create :
 val iter : t -> int
 (** Number of updates applied so far. *)
 
+val lr_scale : t -> float
+(** Multiplicative factor applied on top of the learning-rate policy
+    (1.0 initially). *)
+
+val set_lr_scale : t -> float -> unit
+(** Set the factor — the supervised trainer's backoff halves it after a
+    divergence rollback. Raises [Invalid_argument] unless positive. *)
+
+val reset_state : t -> unit
+(** Zero all per-parameter optimizer state (momentum, squared-gradient
+    accumulators, Adam moments). Used when rolling parameters back to a
+    checkpoint, where stale momentum could immediately re-diverge. *)
+
 val update : t -> unit
 (** Apply one parameter update from the gradients currently in the
     program's gradient buffers, then advance the iteration counter. *)

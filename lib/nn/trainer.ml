@@ -1,0 +1,168 @@
+type event =
+  | Saved of { iter : int; path : string }
+  | Save_failed of { iter : int; reason : string }
+  | Divergence of { iter : int; reason : string }
+  | Rolled_back of { iter : int; restored_iter : int; lr_scale : float }
+  | Gave_up of { iter : int }
+
+let event_to_string = function
+  | Saved { iter; path } -> Printf.sprintf "iter %d: checkpoint saved to %s" iter path
+  | Save_failed { iter; reason } ->
+      Printf.sprintf "iter %d: checkpoint save failed (%s)" iter reason
+  | Divergence { iter; reason } -> Printf.sprintf "iter %d: diverged (%s)" iter reason
+  | Rolled_back { iter; restored_iter; lr_scale } ->
+      Printf.sprintf "iter %d: rolled back to iteration %d, lr scale now %g" iter
+        restored_iter lr_scale
+  | Gave_up { iter } -> Printf.sprintf "iter %d: retries exhausted, stopping" iter
+
+type report = {
+  history : Training.history;
+  events : event list;
+  final_loss : float;
+  completed : bool;
+  rollbacks : int;
+}
+
+let ensure_dir dir =
+  let rec mk d =
+    if not (Sys.file_exists d) then begin
+      let parent = Filename.dirname d in
+      if parent <> d then mk parent;
+      try Sys.mkdir d 0o755 with Sys_error _ when Sys.is_directory d -> ()
+    end
+  in
+  mk dir;
+  if not (Sys.is_directory dir) then
+    invalid_arg (Printf.sprintf "Trainer.fit: %s is not a directory" dir)
+
+let rec take n = function
+  | [] -> ([], [])
+  | l when n = 0 -> ([], l)
+  | x :: rest ->
+      let kept, dropped = take (n - 1) rest in
+      (x :: kept, dropped)
+
+let fit ?(log_every = 50) ?log ?(faults = Fault.none) ?(checkpoint_every = 25)
+    ?(keep = 3) ?(max_retries = 3) ~ckpt_dir ~solver ~exec ~data ~data_buf
+    ~label_buf ~loss_buf ~iters () =
+  if checkpoint_every <= 0 then invalid_arg "Trainer.fit: checkpoint_every >= 1";
+  if keep <= 0 then invalid_arg "Trainer.fit: keep >= 1";
+  ensure_dir ckpt_dir;
+  (* Fail fast on a plan that poisons a buffer this program doesn't
+     have, instead of crashing mid-run when the fault fires. *)
+  List.iter
+    (function
+      | Fault.Poison { buf; _ } -> (
+          match Executor.lookup exec buf with
+          | (_ : Tensor.t) -> ()
+          | exception _ ->
+              invalid_arg
+                (Printf.sprintf
+                   "Trainer.fit: fault plan poisons unknown buffer %s" buf))
+      | _ -> ())
+    (Fault.specs faults);
+  let data_t = Executor.lookup exec data_buf in
+  let labels_t = Executor.lookup exec label_buf in
+  let prog = Executor.program exec in
+  let events = ref [] (* newest first *) in
+  let record e = events := e :: !events in
+  (* Good checkpoints, newest first, as (completed-iterations, path). *)
+  let good = ref [] in
+  let save_ckpt c =
+    let path = Filename.concat ckpt_dir (Printf.sprintf "ckpt-%06d.latte" c) in
+    try
+      Checkpoint.save ~faults exec path;
+      good := (c, path) :: List.filter (fun (c', _) -> c' <> c) !good;
+      record (Saved { iter = c; path });
+      let kept, dropped = take keep !good in
+      good := kept;
+      List.iter
+        (fun (_, p) -> try Sys.remove p with Sys_error _ -> ())
+        dropped
+    with Fault.Injected_crash reason ->
+      (* The process "died" mid-write; the atomic writer guarantees the
+         previous checkpoint at this path (if any) is still intact. *)
+      record (Save_failed { iter = c; reason })
+  in
+  (* Restore the newest checkpoint that passes validation, dropping any
+     that turn out corrupt or missing. Returns its iteration count. *)
+  let rec restore_newest () =
+    match !good with
+    | [] -> None
+    | (c, path) :: rest -> (
+        match Checkpoint.load exec path with
+        | () -> Some c
+        | exception (Checkpoint.Corrupt _ | Sys_error _) ->
+            good := rest;
+            restore_newest ())
+  in
+  let grad_divergence () =
+    List.fold_left
+      (fun acc (p : Program.param) ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+            let s = Tensor.sum (Executor.lookup exec p.grad_buf) in
+            if Float.is_finite s then None
+            else Some (Printf.sprintf "non-finite gradient in %s" p.grad_buf))
+      None prog.Program.params
+  in
+  let iters_log = ref [] and losses = ref [] in
+  let it = ref 0 in
+  let rollbacks = ref 0 in
+  let last_loss = ref Float.nan in
+  let halted = ref false in
+  save_ckpt 0;
+  while !it < iters && not !halted do
+    List.iter
+      (fun (buf, v) -> Tensor.fill (Executor.lookup exec buf) v)
+      (Fault.poisons_at faults ~iter:!it);
+    Synthetic.fill_batch data ~batch_index:!it ~data:data_t ~labels:labels_t;
+    Solver.train_step solver;
+    let l = Training.mean_loss exec ~loss_buf in
+    let log_step = !it mod log_every = 0 || !it = iters - 1 in
+    let divergence =
+      if not (Float.is_finite l) then Some (Printf.sprintf "non-finite loss %h" l)
+      else if log_step then grad_divergence ()
+      else None
+    in
+    match divergence with
+    | Some reason ->
+        record (Divergence { iter = !it; reason });
+        if !rollbacks >= max_retries then begin
+          record (Gave_up { iter = !it });
+          halted := true
+        end
+        else begin
+          match restore_newest () with
+          | None ->
+              record (Gave_up { iter = !it });
+              halted := true
+          | Some c ->
+              (* Stale momentum computed from the diverged trajectory
+                 could immediately re-diverge; drop it with the LR. *)
+              Solver.reset_state solver;
+              let scale = Solver.lr_scale solver /. 2.0 in
+              Solver.set_lr_scale solver scale;
+              incr rollbacks;
+              record (Rolled_back { iter = !it; restored_iter = c; lr_scale = scale });
+              it := c
+        end
+    | None ->
+        last_loss := l;
+        if log_step then begin
+          iters_log := !it :: !iters_log;
+          losses := l :: !losses;
+          match log with Some f -> f ~iter:!it ~loss:l | None -> ()
+        end;
+        if (!it + 1) mod checkpoint_every = 0 then save_ckpt (!it + 1);
+        incr it
+  done;
+  {
+    history =
+      { Training.iters = List.rev !iters_log; losses = List.rev !losses };
+    events = List.rev !events;
+    final_loss = !last_loss;
+    completed = !it >= iters;
+    rollbacks = !rollbacks;
+  }

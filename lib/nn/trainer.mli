@@ -1,0 +1,70 @@
+(** Self-healing supervised training: {!Training.fit} wrapped in a
+    fault-tolerant supervisor.
+
+    The supervisor adds the three runtime behaviours long-running
+    training needs (§5.3 regime):
+
+    - {b Periodic checkpointing with rotation}: every
+      [checkpoint_every] completed iterations the parameters are saved
+      atomically ({!Checkpoint.save}) into [ckpt_dir], keeping the last
+      [keep] good checkpoints. A crash during a save (real or armed via
+      {!Fault.Crash_save}) is survived: the previous checkpoint stays
+      valid and training continues.
+    - {b Divergence detection}: the mean batch loss is checked for
+      NaN/Inf after every iteration, and every parameter gradient is
+      checked at each logged step.
+    - {b Rollback with learning-rate backoff}: on divergence the newest
+      loadable checkpoint is restored (corrupt ones are skipped), the
+      optimizer state is zeroed ({!Solver.reset_state}), the learning
+      rate is halved ({!Solver.set_lr_scale}), and training resumes
+      from the restored iteration. After [max_retries] rollbacks the
+      run stops with [completed = false] and the full event history for
+      the caller to inspect. *)
+
+type event =
+  | Saved of { iter : int; path : string }
+      (** Checkpoint of the parameter state after [iter] completed
+          iterations. *)
+  | Save_failed of { iter : int; reason : string }
+      (** A checkpoint write crashed; the previous checkpoint survives. *)
+  | Divergence of { iter : int; reason : string }
+      (** Non-finite loss or gradients detected at [iter]. *)
+  | Rolled_back of { iter : int; restored_iter : int; lr_scale : float }
+      (** Recovery: parameters restored to the checkpoint taken after
+          [restored_iter] iterations; [lr_scale] is the new backoff. *)
+  | Gave_up of { iter : int }
+      (** Retry budget exhausted (or no loadable checkpoint). *)
+
+val event_to_string : event -> string
+
+type report = {
+  history : Training.history;  (** Logged (iter, loss) points, as {!Training.fit}. *)
+  events : event list;  (** Everything that went wrong and how it was handled. *)
+  final_loss : float;  (** Mean batch loss at the last executed iteration. *)
+  completed : bool;  (** [true] iff all [iters] iterations ran. *)
+  rollbacks : int;  (** Number of checkpoint rollbacks performed. *)
+}
+
+val fit :
+  ?log_every:int ->
+  ?log:(iter:int -> loss:float -> unit) ->
+  ?faults:Fault.t ->
+  ?checkpoint_every:int ->
+  ?keep:int ->
+  ?max_retries:int ->
+  ckpt_dir:string ->
+  solver:Solver.t ->
+  exec:Executor.t ->
+  data:Synthetic.dataset ->
+  data_buf:string ->
+  label_buf:string ->
+  loss_buf:string ->
+  iters:int ->
+  unit ->
+  report
+(** Supervised version of {!Training.fit} with the same data-feeding
+    contract. [ckpt_dir] is created if missing; checkpoints are named
+    [ckpt-NNNNNN.latte] by completed-iteration count (a checkpoint is
+    taken at iteration 0, before any update, so rollback is always
+    possible). Defaults: [log_every = 50], [checkpoint_every = 25],
+    [keep = 3], [max_retries = 3], [faults = Fault.none]. *)

@@ -29,6 +29,11 @@ let accuracy ~exec ~data ~data_buf ~label_buf ~output_buf =
   let n = (Tensor.shape data.Synthetic.features).(0) in
   let classes = Tensor.numel output / batch in
   let n_batches = n / batch in
+  if n_batches = 0 then
+    invalid_arg
+      (Printf.sprintf
+         "Training.accuracy: dataset has %d items, fewer than one batch of %d" n
+         batch);
   let correct = ref 0 and total = ref 0 in
   for b = 0 to n_batches - 1 do
     Synthetic.fill_batch data ~batch_index:b ~data:data_t ~labels:labels_t;
@@ -46,4 +51,4 @@ let accuracy ~exec ~data ~data_buf ~label_buf ~output_buf =
       incr total
     done
   done;
-  float_of_int !correct /. float_of_int (max 1 !total)
+  float_of_int !correct /. float_of_int !total

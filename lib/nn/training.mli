@@ -30,4 +30,6 @@ val accuracy :
   float
 (** Top-1 accuracy over the whole dataset, evaluated in batches with
     forward passes only. [output_buf] holds per-item class scores
-    (e.g. the softmax ensemble's value buffer). *)
+    (e.g. the softmax ensemble's value buffer). Raises
+    [Invalid_argument] when the dataset is smaller than one batch
+    (there would be zero samples to score). *)

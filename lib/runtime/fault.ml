@@ -1,0 +1,158 @@
+exception Injected_crash of string
+
+type spec =
+  | Crash_save of { at_save : int }
+  | Poison of { buf : string; at_iter : int; value : float }
+  | Kill_worker of { worker : int; at_step : int }
+  | Straggler of { node : int; factor : float }
+
+type event = { at : int; what : string }
+
+type armed = { spec : spec; mutable fired : bool }
+
+type t = {
+  seed : int;
+  armed : armed list;
+  mutable save_count : int;
+  mutable fired_events : event list;  (* newest first *)
+}
+
+let plan ?(seed = 0) specs =
+  { seed; armed = List.map (fun s -> { spec = s; fired = false }) specs;
+    save_count = 0; fired_events = [] }
+
+let none = plan []
+
+let seed t = t.seed
+let specs t = List.map (fun a -> a.spec) t.armed
+let is_empty t = t.armed = []
+
+let record t ~at what = t.fired_events <- { at; what } :: t.fired_events
+
+let events t = List.rev t.fired_events
+
+(* ------------------------------------------------------------------ *)
+(* Hooks                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let on_checkpoint_save t =
+  let this_save = t.save_count in
+  t.save_count <- this_save + 1;
+  List.iter
+    (fun a ->
+      match a.spec with
+      | Crash_save { at_save } when (not a.fired) && at_save = this_save ->
+          a.fired <- true;
+          record t ~at:this_save
+            (Printf.sprintf "crash injected during checkpoint write #%d" this_save);
+          raise
+            (Injected_crash
+               (Printf.sprintf "Fault: crash during checkpoint write #%d" this_save))
+      | _ -> ())
+    t.armed
+
+let poisons_at t ~iter =
+  List.filter_map
+    (fun a ->
+      match a.spec with
+      | Poison { buf; at_iter; value } when (not a.fired) && at_iter = iter ->
+          a.fired <- true;
+          record t ~at:iter
+            (Printf.sprintf "poisoned buffer %s with %h at iteration %d" buf value
+               iter);
+          Some (buf, value)
+      | _ -> None)
+    t.armed
+
+let killed_workers t ~step =
+  let dead =
+    List.filter_map
+      (fun a ->
+        match a.spec with
+        | Kill_worker { worker; at_step } when at_step <= step ->
+            if not a.fired then begin
+              a.fired <- true;
+              record t ~at:step
+                (Printf.sprintf "worker %d died at step %d" worker at_step)
+            end;
+            Some worker
+        | _ -> None)
+      t.armed
+  in
+  List.sort_uniq compare dead
+
+let straggler_factor t ~node =
+  List.fold_left
+    (fun acc a ->
+      match a.spec with
+      | Straggler { node = n; factor } when n = node -> Float.max acc factor
+      | _ -> acc)
+    1.0 t.armed
+
+let stragglers t =
+  List.filter_map
+    (fun a ->
+      match a.spec with
+      | Straggler { node; factor } -> Some (node, factor)
+      | _ -> None)
+    t.armed
+
+(* ------------------------------------------------------------------ *)
+(* CLI syntax                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let usage =
+  "fault spec: comma-separated crash-save@N | nan:BUF@K | inf:BUF@K | \
+   kill:W@S | slow:NODE@F"
+
+let parse_item item =
+  let fail () =
+    invalid_arg (Printf.sprintf "Fault.parse: bad item %S (%s)" item usage)
+  in
+  let int_of s = match int_of_string_opt (String.trim s) with
+    | Some n -> n
+    | None -> fail ()
+  in
+  let float_of s = match float_of_string_opt (String.trim s) with
+    | Some f -> f
+    | None -> fail ()
+  in
+  match String.index_opt item '@' with
+  | None -> fail ()
+  | Some at ->
+      let head = String.sub item 0 at in
+      let arg = String.sub item (at + 1) (String.length item - at - 1) in
+      (match String.index_opt head ':' with
+      | None ->
+          if String.equal head "crash-save" then
+            Crash_save { at_save = int_of arg }
+          else fail ()
+      | Some colon ->
+          let kind = String.sub head 0 colon in
+          let target = String.sub head (colon + 1) (String.length head - colon - 1) in
+          if String.length target = 0 then fail ();
+          (match kind with
+          | "nan" -> Poison { buf = target; at_iter = int_of arg; value = Float.nan }
+          | "inf" ->
+              Poison { buf = target; at_iter = int_of arg; value = Float.infinity }
+          | "kill" -> Kill_worker { worker = int_of target; at_step = int_of arg }
+          | "slow" -> Straggler { node = int_of target; factor = float_of arg }
+          | _ -> fail ()))
+
+let parse s =
+  let items =
+    String.split_on_char ',' s
+    |> List.map String.trim
+    |> List.filter (fun x -> String.length x > 0)
+  in
+  plan (List.map parse_item items)
+
+let spec_to_string = function
+  | Crash_save { at_save } -> Printf.sprintf "crash-save@%d" at_save
+  | Poison { buf; at_iter; value } ->
+      let kind = if Float.is_nan value then "nan" else "inf" in
+      Printf.sprintf "%s:%s@%d" kind buf at_iter
+  | Kill_worker { worker; at_step } -> Printf.sprintf "kill:%d@%d" worker at_step
+  | Straggler { node; factor } -> Printf.sprintf "slow:%d@%g" node factor
+
+let to_string t = String.concat "," (List.map spec_to_string (specs t))

@@ -1,0 +1,82 @@
+(** Deterministic fault injection for the runtime (§5.3, §6 regime).
+
+    Long-running multi-node training is exactly where crashes,
+    stragglers, and numerical blow-ups are routine. A {!t} (a "fault
+    plan") arms a fixed set of faults up front — crash during a
+    checkpoint write, NaN/Inf poisoning of a named buffer at iteration
+    [k], simulated worker death at step [s], per-node straggler slowdown
+    factors — and the runtime layers ({!Checkpoint}, {!module:Trainer},
+    [Data_parallel], [Cluster_sim]) consult it through the hooks below.
+    Every failure mode is therefore testable in-process and
+    reproducibly: the same seed and the same plan fire the same faults
+    at the same points. *)
+
+exception Injected_crash of string
+(** Raised by the crash-during-checkpoint-write fault. In production
+    this models the process dying mid-write; in tests it is caught to
+    assert the on-disk invariants (the previous checkpoint survives). *)
+
+type spec =
+  | Crash_save of { at_save : int }
+      (** Crash during the [at_save]-th checkpoint write (0-based,
+          counted over the plan's lifetime). *)
+  | Poison of { buf : string; at_iter : int; value : float }
+      (** Overwrite buffer [buf] with [value] (NaN/Inf) at the start of
+          training iteration [at_iter]. One-shot: fires once, so a
+          rollback-and-retry does not re-poison. *)
+  | Kill_worker of { worker : int; at_step : int }
+      (** Data-parallel worker [worker] dies at step [at_step] and stays
+          dead for the rest of the run. *)
+  | Straggler of { node : int; factor : float }
+      (** Node [node]'s compute runs [factor]x slower (>= 1.0) in the
+          cluster simulator. *)
+
+type event = { at : int; what : string }
+(** A fault that actually fired: the iteration/step/save index it fired
+    at and a human-readable description. *)
+
+type t
+
+val none : t
+(** The empty plan: no faults ever fire. The default everywhere. *)
+
+val plan : ?seed:int -> spec list -> t
+(** Arm a plan. [seed] (default 0) is recorded for reproducibility
+    bookkeeping and reserved for randomized fault families. *)
+
+val seed : t -> int
+val specs : t -> spec list
+val is_empty : t -> bool
+
+val parse : string -> t
+(** Parse the CLI fault spec: comma-separated items of the forms
+    [crash-save@N], [nan:BUF@K], [inf:BUF@K], [kill:W@S], and
+    [slow:NODE@F] (e.g. ["crash-save@1,nan:fc1.weights@40,kill:1@30"]).
+    Raises [Invalid_argument] with a usage message on bad syntax. *)
+
+val to_string : t -> string
+(** Render back into the {!parse} syntax (empty string for {!none}). *)
+
+(** {1 Hooks} Called by the runtime at its fault points. *)
+
+val on_checkpoint_save : t -> unit
+(** Called once per checkpoint write, mid-write (after the header, while
+    the temp file is partially written). Counts saves; raises
+    {!Injected_crash} when an armed [Crash_save] index is reached. *)
+
+val poisons_at : t -> iter:int -> (string * float) list
+(** Buffer poisonings due at [iter] that have not fired yet; marks them
+    fired. *)
+
+val killed_workers : t -> step:int -> int list
+(** Workers whose kill step is [<= step], sorted ascending. Records an
+    event the first time each kill becomes visible. *)
+
+val straggler_factor : t -> node:int -> float
+(** Compute slowdown multiplier for [node] (1.0 when unaffected). *)
+
+val stragglers : t -> (int * float) list
+(** All armed [(node, factor)] straggler entries. *)
+
+val events : t -> event list
+(** Every fault fired so far, in firing order. *)

@@ -54,11 +54,16 @@ let test_architecture_mismatch () =
     net
   in
   let exec2 = Test_util.prepare other in
+  (* Regression: the staged two-phase load must reject the file *before*
+     any live buffer is written, leaving exec2 bit-identical. *)
+  let before = Tensor.to_array (Executor.lookup exec2 "fc2.weights") in
   Alcotest.(check bool) "mismatch detected" true
     (try
        Checkpoint.load exec2 path;
        false
-     with Failure _ -> true);
+     with Checkpoint.Corrupt _ -> true);
+  Alcotest.(check bool) "parameters untouched by failed load" true
+    (Tensor.to_array (Executor.lookup exec2 "fc2.weights") = before);
   Sys.remove path
 
 let test_bad_magic () =
@@ -71,7 +76,7 @@ let test_bad_magic () =
     (try
        Checkpoint.load exec path;
        false
-     with Failure _ | End_of_file -> true);
+     with Checkpoint.Corrupt _ -> true);
   Sys.remove path
 
 let test_float32_precision_preserved () =

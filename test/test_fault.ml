@@ -1,0 +1,399 @@
+(* Fault injection and recovery: armed faults, atomic checkpoint writes
+   surviving crashes, NaN rollback with LR backoff in the supervised
+   trainer, elastic data-parallel re-sharding, and degraded-cluster
+   timelines. *)
+
+let tmp name = Filename.concat (Filename.get_temp_dir_name ()) name
+
+let rm_rf dir =
+  if Sys.file_exists dir && Sys.is_directory dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+(* Snapshot every learnable parameter for bit-identity checks. *)
+let snapshot exec =
+  List.map
+    (fun (p : Program.param) ->
+      (p.Program.value_buf, Tensor.to_array (Executor.lookup exec p.value_buf)))
+    (Executor.program exec).Program.params
+
+let check_unchanged label exec before =
+  List.iter
+    (fun (buf, arr) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %s bit-identical" label buf)
+        true
+        (Tensor.to_array (Executor.lookup exec buf) = arr))
+    before
+
+(* ------------------------------------------------------------------ *)
+(* Plan syntax                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_roundtrip () =
+  let spec = "crash-save@1,nan:fc1.weights@40,inf:loss@7,kill:1@30,slow:2@3.5" in
+  let plan = Fault.parse spec in
+  Alcotest.(check string) "roundtrips" spec (Fault.to_string plan);
+  Alcotest.(check bool) "not empty" false (Fault.is_empty plan);
+  Alcotest.(check (list int)) "kill visible from step 30" [ 1 ]
+    (Fault.killed_workers plan ~step:31);
+  Alcotest.(check (list int)) "no kill before" []
+    (Fault.killed_workers plan ~step:29);
+  Alcotest.(check (float 1e-9)) "straggler factor" 3.5
+    (Fault.straggler_factor plan ~node:2);
+  Alcotest.(check (float 1e-9)) "other nodes unaffected" 1.0
+    (Fault.straggler_factor plan ~node:0)
+
+let test_parse_rejects_garbage () =
+  List.iter
+    (fun bad ->
+      Alcotest.(check bool) (Printf.sprintf "rejects %S" bad) true
+        (try
+           ignore (Fault.parse bad);
+           false
+         with Invalid_argument _ -> true))
+    [ "nonsense"; "nan:@3"; "kill:x@2"; "crash-save@"; "boom:1@2" ]
+
+let test_poison_is_one_shot () =
+  let plan = Fault.plan [ Fault.Poison { buf = "w"; at_iter = 3; value = Float.nan } ] in
+  Alcotest.(check int) "fires at 3" 1 (List.length (Fault.poisons_at plan ~iter:3));
+  Alcotest.(check int) "does not re-fire" 0
+    (List.length (Fault.poisons_at plan ~iter:3));
+  Alcotest.(check int) "one event recorded" 1 (List.length (Fault.events plan))
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint crash / corruption                                       *)
+(* ------------------------------------------------------------------ *)
+
+let build_net () =
+  let net = Test_util.base_net ~batch:2 in
+  let data = Layers.data_layer net ~name:"data" ~shape:[ 6; 6; 2 ] in
+  let conv =
+    Layers.convolution net ~name:"conv" ~input:data ~n_filters:3 ~kernel:3
+      ~stride:1 ~pad:1 ()
+  in
+  let fc = Layers.fully_connected net ~name:"fc" ~input:conv ~n_outputs:3 in
+  Test_util.attach_loss net fc;
+  net
+
+let test_crash_mid_save_preserves_previous () =
+  let exec = Test_util.prepare ~seed:5 (build_net ()) in
+  let path = tmp "latte_fault_crash_save.bin" in
+  (* First save succeeds; then mutate parameters and arm a crash on the
+     second write. *)
+  Checkpoint.save exec path;
+  let before = snapshot exec in
+  let w = Executor.lookup exec "conv.weights" in
+  Tensor.fill w 42.0;
+  let faults = Fault.plan [ Fault.Crash_save { at_save = 0 } ] in
+  Alcotest.(check bool) "crash fault fires" true
+    (try
+       Checkpoint.save ~faults exec path;
+       false
+     with Fault.Injected_crash _ -> true);
+  (* The previous checkpoint must be intact and loadable. *)
+  Checkpoint.load exec path;
+  check_unchanged "after crash-save recovery" exec before;
+  Sys.remove path
+
+let test_crash_save_counts_saves () =
+  let exec = Test_util.prepare ~seed:5 (build_net ()) in
+  let path = tmp "latte_fault_crash_second.bin" in
+  let faults = Fault.plan [ Fault.Crash_save { at_save = 1 } ] in
+  Checkpoint.save ~faults exec path;
+  (* Save #0 survived; save #1 crashes. *)
+  Alcotest.(check bool) "second save crashes" true
+    (try
+       Checkpoint.save ~faults exec path;
+       false
+     with Fault.Injected_crash _ -> true);
+  Checkpoint.load exec path;
+  Sys.remove path
+
+let corrupt_rejected label mangle =
+  let exec = Test_util.prepare ~seed:5 (build_net ()) in
+  let path = tmp (Printf.sprintf "latte_fault_%s.bin" label) in
+  Checkpoint.save exec path;
+  mangle path;
+  let before = snapshot exec in
+  Alcotest.(check bool) (label ^ " rejected") true
+    (try
+       Checkpoint.load exec path;
+       false
+     with Checkpoint.Corrupt _ -> true);
+  (* Two-phase load: live parameters untouched by the failed load. *)
+  check_unchanged label exec before;
+  Sys.remove path
+
+let test_truncated_rejected () =
+  corrupt_rejected "truncated" (fun path ->
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let keep = really_input_string ic (n - 10) in
+      close_in ic;
+      let oc = open_out_bin path in
+      output_string oc keep;
+      close_out oc)
+
+let test_bitflip_rejected () =
+  corrupt_rejected "bitflip" (fun path ->
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let content = Bytes.of_string (really_input_string ic n) in
+      close_in ic;
+      (* Flip one bit inside the last tensor's float payload. *)
+      let i = n - 5 in
+      Bytes.set content i (Char.chr (Char.code (Bytes.get content i) lxor 0x10));
+      let oc = open_out_bin path in
+      output_bytes oc content;
+      close_out oc)
+
+(* ------------------------------------------------------------------ *)
+(* Supervised trainer: rollback, backoff, rotation                     *)
+(* ------------------------------------------------------------------ *)
+
+let mlp_setup ~seed =
+  let spec = Models.mlp ~batch:8 ~n_inputs:8 ~hidden:[ 12 ] ~n_classes:3 in
+  let exec = Executor.prepare (Pipeline.compile ~seed Config.default spec.Models.net) in
+  let params =
+    { Solver.lr_policy = Lr_policy.Fixed 0.05; momentum = 0.9; weight_decay = 0.0 }
+  in
+  let solver = Solver.create ~params Solver.Sgd exec in
+  (spec, exec, solver)
+
+let dataset =
+  lazy
+    (Synthetic.gaussian_classes ~seed:21 ~n:240 ~n_classes:3 ~item_shape:[ 8 ]
+       ~separation:2.0)
+
+let run_trainer ?faults ~ckpt_dir ~iters ?(checkpoint_every = 10) ?(keep = 2) () =
+  let spec, exec, solver = mlp_setup ~seed:3 in
+  let report =
+    Trainer.fit ~log_every:10 ?faults ~checkpoint_every ~keep ~max_retries:3
+      ~ckpt_dir ~solver ~exec ~data:(Lazy.force dataset)
+      ~data_buf:(spec.Models.data_ens ^ ".value")
+      ~label_buf:spec.Models.label_buf ~loss_buf:spec.Models.loss_buf ~iters ()
+  in
+  (report, exec, solver)
+
+let has_event pred report = List.exists pred report.Trainer.events
+
+let test_nan_injection_rolls_back_and_completes () =
+  (* Poison the *output* layer's weights: a NaN in an earlier layer is
+     masked by ReLU's max-with-zero, which is itself a robustness fact
+     worth pinning down — only the last linear layer feeds the loss
+     unprotected. *)
+  let _, probe_exec, _ = mlp_setup ~seed:3 in
+  let last_param =
+    (List.hd (List.rev (Executor.program probe_exec).Program.params))
+      .Program.value_buf
+  in
+  let ckpt_dir = tmp "latte_trainer_nan" in
+  rm_rf ckpt_dir;
+  let faults =
+    Fault.plan
+      [ Fault.Poison { buf = last_param; at_iter = 30; value = Float.nan } ]
+  in
+  let report, _, solver = run_trainer ~faults ~ckpt_dir ~iters:60 () in
+  Alcotest.(check bool) "completed" true report.Trainer.completed;
+  Alcotest.(check bool) "rolled back at least once" true
+    (report.Trainer.rollbacks >= 1);
+  Alcotest.(check bool) "divergence recorded" true
+    (has_event (function Trainer.Divergence _ -> true | _ -> false) report);
+  Alcotest.(check bool) "rollback recorded" true
+    (has_event (function Trainer.Rolled_back _ -> true | _ -> false) report);
+  Alcotest.(check bool) "lr backed off" true (Solver.lr_scale solver <= 0.5);
+  Alcotest.(check bool)
+    (Printf.sprintf "finite final loss %f" report.Trainer.final_loss)
+    true
+    (Float.is_finite report.Trainer.final_loss);
+  rm_rf ckpt_dir
+
+let test_trainer_survives_crash_during_save () =
+  let ckpt_dir = tmp "latte_trainer_crash" in
+  rm_rf ckpt_dir;
+  (* Save #0 is the initial checkpoint; #2 crashes mid-rotation. *)
+  let faults = Fault.plan [ Fault.Crash_save { at_save = 2 } ] in
+  let report, _, _ = run_trainer ~faults ~ckpt_dir ~iters:50 () in
+  Alcotest.(check bool) "completed despite crash" true report.Trainer.completed;
+  Alcotest.(check bool) "save failure recorded" true
+    (has_event (function Trainer.Save_failed _ -> true | _ -> false) report);
+  (* The atomic writer leaves no half-written checkpoint behind: every
+     surviving file is loadable. *)
+  let _, exec, _ = mlp_setup ~seed:3 in
+  Array.iter
+    (fun f ->
+      if Filename.check_suffix f ".latte" then
+        Checkpoint.load exec (Filename.concat ckpt_dir f))
+    (Sys.readdir ckpt_dir);
+  rm_rf ckpt_dir
+
+let test_checkpoint_rotation_bounds_files () =
+  let ckpt_dir = tmp "latte_trainer_rotate" in
+  rm_rf ckpt_dir;
+  let report, _, _ = run_trainer ~ckpt_dir ~iters:60 ~checkpoint_every:5 ~keep:3 () in
+  Alcotest.(check bool) "completed" true report.Trainer.completed;
+  let ckpts =
+    Array.to_list (Sys.readdir ckpt_dir)
+    |> List.filter (fun f -> Filename.check_suffix f ".latte")
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d checkpoints kept (<= 3)" (List.length ckpts))
+    true
+    (List.length ckpts <= 3);
+  rm_rf ckpt_dir
+
+let test_accuracy_rejects_tiny_dataset () =
+  let spec, exec, _ = mlp_setup ~seed:3 in
+  let tiny =
+    Synthetic.gaussian_classes ~seed:4 ~n:4 ~n_classes:3 ~item_shape:[ 8 ]
+      ~separation:2.0
+  in
+  (* batch is 8, dataset has 4 items: zero full batches. *)
+  Alcotest.(check bool) "raises Invalid_argument" true
+    (try
+       ignore
+         (Training.accuracy ~exec ~data:tiny
+            ~data_buf:(spec.Models.data_ens ^ ".value")
+            ~label_buf:spec.Models.label_buf
+            ~output_buf:(spec.Models.output_ens ^ ".value"));
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Elastic data parallelism                                            *)
+(* ------------------------------------------------------------------ *)
+
+let dp_build () = Models.mlp ~batch:8 ~n_inputs:8 ~hidden:[ 12 ] ~n_classes:3
+
+let dp_solver_params =
+  { Solver.lr_policy = Lr_policy.Fixed 0.05; momentum = 0.9; weight_decay = 0.0 }
+
+let run_elastic ~mode ~faults ~iters =
+  let dp =
+    Data_parallel.create ~seed:3 ~faults ~workers:3 ~config:Config.default
+      ~build:dp_build ~solver_method:Solver.Sgd ~solver_params:dp_solver_params
+      mode
+  in
+  let data = Lazy.force dataset in
+  let last = ref Float.nan in
+  for it = 0 to iters - 1 do
+    last := Data_parallel.step dp ~data ~batch_index:it
+  done;
+  (!last, dp)
+
+let kill_plan () = Fault.plan [ Fault.Kill_worker { worker = 1; at_step = 5 } ]
+
+let test_elastic_resharding_deterministic () =
+  let l1, dp = run_elastic ~mode:Data_parallel.Synchronized ~faults:(kill_plan ()) ~iters:25 in
+  let l2, _ = run_elastic ~mode:Data_parallel.Synchronized ~faults:(kill_plan ()) ~iters:25 in
+  Alcotest.(check bool) "finite" true (Float.is_finite l1);
+  (* Same seed + same fault plan => bit-identical final loss. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "deterministic (%h = %h)" l1 l2)
+    true (Float.equal l1 l2);
+  Alcotest.(check (list int)) "worker 1 dead from step 5" [ 0; 2 ]
+    (Data_parallel.alive_workers dp ~step:10);
+  Alcotest.(check (list int)) "all alive before" [ 0; 1; 2 ]
+    (Data_parallel.alive_workers dp ~step:4)
+
+let test_elastic_synchronized_still_learns () =
+  let _, dp = run_elastic ~mode:Data_parallel.Synchronized ~faults:(kill_plan ()) ~iters:120 in
+  let acc = Data_parallel.accuracy dp ~data:(Lazy.force dataset) in
+  Alcotest.(check bool) (Printf.sprintf "accuracy %.2f > 0.85" acc) true (acc > 0.85)
+
+let test_elastic_lossy_skips_dead () =
+  let l, _ = run_elastic ~mode:Data_parallel.Lossy ~faults:(kill_plan ()) ~iters:25 in
+  Alcotest.(check bool) "finite loss with dead replica skipped" true
+    (Float.is_finite l)
+
+let test_all_dead_fails () =
+  let faults =
+    Fault.plan
+      [
+        Fault.Kill_worker { worker = 0; at_step = 2 };
+        Fault.Kill_worker { worker = 1; at_step = 2 };
+        Fault.Kill_worker { worker = 2; at_step = 2 };
+      ]
+  in
+  Alcotest.(check bool) "raises when no survivors" true
+    (try
+       ignore (run_elastic ~mode:Data_parallel.Synchronized ~faults ~iters:5);
+       false
+     with Failure _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Degraded-cluster simulation                                         *)
+(* ------------------------------------------------------------------ *)
+
+let sim_prog =
+  lazy
+    (let spec = Models.mlp ~batch:1 ~n_inputs:64 ~hidden:[ 64 ] ~n_classes:10 in
+     Pipeline.compile ~seed:1 Config.default spec.Models.net)
+
+let test_straggler_slows_step () =
+  let prog = Lazy.force sim_prog in
+  let base =
+    Cluster_sim.simulate_step ~cpu:Machine.cori_node ~nic:Machine.aries ~nodes:8
+      ~local_batch:32 ~prog ()
+  in
+  let slowed =
+    Cluster_sim.simulate_step ~cpu:Machine.cori_node ~nic:Machine.aries ~nodes:8
+      ~local_batch:32 ~prog ~stragglers:[ (3, 2.0) ] ()
+  in
+  Alcotest.(check (float 1e-9)) "compute doubles" (2.0 *. base.Cluster_sim.compute_seconds)
+    slowed.Cluster_sim.compute_seconds;
+  Alcotest.(check bool) "step slower" true
+    (slowed.Cluster_sim.step_seconds > base.Cluster_sim.step_seconds);
+  let out_of_range =
+    Cluster_sim.simulate_step ~cpu:Machine.cori_node ~nic:Machine.aries ~nodes:8
+      ~local_batch:32 ~prog ~stragglers:[ (100, 5.0) ] ()
+  in
+  Alcotest.(check (float 1e-9)) "straggler outside cluster ignored"
+    base.Cluster_sim.step_seconds out_of_range.Cluster_sim.step_seconds
+
+let test_failure_recovery_timeline () =
+  let prog = Lazy.force sim_prog in
+  let r =
+    Cluster_sim.simulate_failure_recovery ~cpu:Machine.cori_node ~nic:Machine.aries
+      ~nodes:8 ~local_batch:32 ~prog ~steps:100 ~ckpt_every:20
+      ~ckpt_write_seconds:1.0 ~fail_at_step:47 ~restart_seconds:5.0 ()
+  in
+  Alcotest.(check int) "restores checkpoint 40" 40 r.Cluster_sim.last_checkpoint_step;
+  Alcotest.(check int) "recomputes 7 steps" 7 r.Cluster_sim.lost_steps;
+  Alcotest.(check bool) "failure costs time" true
+    (r.Cluster_sim.total_seconds > r.Cluster_sim.baseline_seconds);
+  Alcotest.(check (float 1e-9)) "accounting adds up"
+    (r.Cluster_sim.baseline_seconds +. 5.0
+    +. (7.0 *. r.Cluster_sim.healthy.Cluster_sim.step_seconds))
+    r.Cluster_sim.total_seconds
+
+let suite =
+  [
+    Alcotest.test_case "plan parse roundtrip" `Quick test_parse_roundtrip;
+    Alcotest.test_case "plan parse rejects garbage" `Quick test_parse_rejects_garbage;
+    Alcotest.test_case "poison one-shot" `Quick test_poison_is_one_shot;
+    Alcotest.test_case "crash mid-save preserves previous" `Quick
+      test_crash_mid_save_preserves_previous;
+    Alcotest.test_case "crash counts saves" `Quick test_crash_save_counts_saves;
+    Alcotest.test_case "truncated checkpoint rejected" `Quick test_truncated_rejected;
+    Alcotest.test_case "bit-flipped checkpoint rejected" `Quick test_bitflip_rejected;
+    Alcotest.test_case "nan injection rolls back and completes" `Slow
+      test_nan_injection_rolls_back_and_completes;
+    Alcotest.test_case "trainer survives crash during save" `Slow
+      test_trainer_survives_crash_during_save;
+    Alcotest.test_case "checkpoint rotation bounds files" `Slow
+      test_checkpoint_rotation_bounds_files;
+    Alcotest.test_case "accuracy rejects tiny dataset" `Quick
+      test_accuracy_rejects_tiny_dataset;
+    Alcotest.test_case "elastic resharding deterministic" `Slow
+      test_elastic_resharding_deterministic;
+    Alcotest.test_case "elastic synchronized still learns" `Slow
+      test_elastic_synchronized_still_learns;
+    Alcotest.test_case "elastic lossy skips dead" `Slow test_elastic_lossy_skips_dead;
+    Alcotest.test_case "all workers dead fails" `Quick test_all_dead_fails;
+    Alcotest.test_case "straggler slows step" `Quick test_straggler_slows_step;
+    Alcotest.test_case "failure recovery timeline" `Quick
+      test_failure_recovery_timeline;
+  ]

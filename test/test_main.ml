@@ -20,6 +20,7 @@ let () =
       ("runtime", Test_runtime.suite);
       ("properties", Test_properties.suite);
       ("checkpoint", Test_checkpoint.suite);
+      ("fault", Test_fault.suite);
       ("kernel", Test_kernel.suite);
       ("layers", Test_layers.suite);
       ("concat", Test_concat.suite);

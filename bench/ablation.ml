@@ -87,8 +87,23 @@ let grouped_conv_ablation () =
   note "grouping halves each conv's GEMM k dimension (fewer flops),";
   note "at the cost of extra concat copies"
 
+let pass_instrumentation () =
+  header "Pass-manager instrumentation (conv net, per-pass compile cost)";
+  let _, report = Pass_manager.run Config.default (fresh ()) in
+  Printf.printf "  %-14s %-4s %9s  %s\n" "pass" "on" "ms" "IR census";
+  List.iter
+    (fun (o : Pass_manager.outcome) ->
+      Printf.printf "  %-14s %-4s %9.3f  %s\n" o.Pass_manager.info.Pass.name
+        (if o.Pass_manager.enabled then "on" else "off")
+        (o.Pass_manager.seconds *. 1e3)
+        (Ir_stats.to_string o.Pass_manager.stats))
+    report.Pass_manager.outcomes;
+  Printf.printf "  total compile: %.3f ms\n"
+    (report.Pass_manager.total_seconds *. 1e3)
+
 let run () =
   flag_ablation ();
   tile_sweep ();
   overlap_ablation ();
-  grouped_conv_ablation ()
+  grouped_conv_ablation ();
+  pass_instrumentation ()

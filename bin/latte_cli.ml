@@ -65,29 +65,95 @@ let config_term =
     $ Arg.(value & opt int 4 & info [ "tile-size" ] ~docv:"ROWS"
              ~doc:"Rows of the last fused layer per tile."))
 
+let passes_arg =
+  Arg.(value & opt (some string) None
+       & info [ "passes" ] ~docv:"LIST"
+           ~doc:"Override the enabled optimization passes. LIST is \
+                 comma-separated: $(b,all), $(b,none), an exact list of pass \
+                 names, or +name/-name edits of the config-derived defaults \
+                 (see $(b,latte passes)).")
+
+let verify_arg =
+  Arg.(value & flag
+       & info [ "verify-ir" ]
+           ~doc:"Run the IR well-formedness verifier after every compiler \
+                 pass; abort with diagnostics on the first failure.")
+
+(* Run the pass manager with CLI-friendly error handling: verifier
+   diagnostics exit 1, bad pass names exit 2. *)
+let compile_with ?passes ?(verify = false) ?(dump_after = []) config net =
+  try
+    Pass_manager.run
+      ?passes:(Option.map Pass_manager.parse_spec passes)
+      ~verify ~dump_after config net
+  with
+  | Pass_manager.Verification_failed (pass, errs) ->
+      Printf.eprintf "latte: IR verification failed after pass `%s':\n" pass;
+      List.iter (fun e -> Printf.eprintf "  %s\n" (Ir_verify.to_string e)) errs;
+      exit 1
+  | Invalid_argument msg ->
+      Printf.eprintf "latte: %s\n" msg;
+      exit 2
+
 (* ------------------------------------------------------------------ *)
 (* dump-ir                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let dump_ir model batch image width_div fc_div config =
+let dump_ir model batch image width_div fc_div config passes verify dump_after
+    pass_stats =
   let spec = build_model model ~batch ~image ~width_div ~fc_div in
-  let prog = Pipeline.compile config spec.Models.net in
-  print_string (Pipeline.dump prog)
+  let dump_after = List.concat_map Pass_manager.parse_spec dump_after in
+  let prog, report =
+    compile_with ?passes ~verify ~dump_after config spec.Models.net
+  in
+  List.iter
+    (fun (o : Pass_manager.outcome) ->
+      match o.dump with
+      | Some d ->
+          Printf.printf "===== IR after pass %s =====\n%s" o.info.Pass.name d
+      | None -> ())
+    report.Pass_manager.outcomes;
+  print_string (Pipeline.dump prog);
+  if pass_stats then begin
+    Printf.printf "=== passes ===\n";
+    Printf.printf "%-12s %-4s %9s  %s\n" "pass" "on" "ms" "IR census";
+    List.iter
+      (fun (o : Pass_manager.outcome) ->
+        Printf.printf "%-12s %-4s %9.3f  %s\n" o.info.Pass.name
+          (if o.enabled then "on" else "off")
+          (o.seconds *. 1e3)
+          (Ir_stats.to_string o.stats))
+      report.Pass_manager.outcomes;
+    Printf.printf "total: %.3f ms\n" (report.Pass_manager.total_seconds *. 1e3)
+  end
 
 let dump_ir_cmd =
+  let dump_after_arg =
+    Arg.(value & opt_all string []
+         & info [ "dump-ir-after" ] ~docv:"PASS"
+             ~doc:"Print the IR as it stands after PASS (repeatable; \
+                   comma-separated; $(b,all) dumps after every enabled pass).")
+  in
+  let pass_stats_arg =
+    Arg.(value & flag
+         & info [ "pass-stats" ]
+             ~doc:"Print per-pass wall time and IR statistics.")
+  in
   Cmd.v
     (Cmd.info "dump-ir" ~doc:"Compile a model and print the optimized IR.")
     Term.(const dump_ir $ model_arg $ batch_arg $ image_arg $ width_div_arg
-          $ fc_div_arg $ config_term)
+          $ fc_div_arg $ config_term $ passes_arg $ verify_arg $ dump_after_arg
+          $ pass_stats_arg)
 
 (* ------------------------------------------------------------------ *)
 (* train                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let train model batch image width_div fc_div config iters lr faults_spec
-    ckpt_dir =
+let train model batch image width_div fc_div config passes verify iters lr
+    faults_spec ckpt_dir =
   let spec = build_model model ~batch ~image ~width_div ~fc_div in
-  let exec = Executor.prepare (Pipeline.compile config spec.Models.net) in
+  let prog, _report = compile_with ?passes ~verify config spec.Models.net in
+  let exec = Executor.prepare prog in
   let flat = String.equal model "mlp" in
   let all = Synthetic.mnist_like ~image ~seed:11 ~n:768 () in
   let all =
@@ -182,16 +248,17 @@ let train_cmd =
     (Cmd.info "train"
        ~doc:"Train a model on a synthetic MNIST-like dataset and report accuracy.")
     Term.(const train $ model_arg $ batch_arg $ image_arg $ width_div_arg
-          $ fc_div_arg $ config_term $ iters $ lr $ faults $ ckpt_dir)
+          $ fc_div_arg $ config_term $ passes_arg $ verify_arg $ iters $ lr
+          $ faults $ ckpt_dir)
 
 (* ------------------------------------------------------------------ *)
 (* bench                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let bench model batch image width_div fc_div config =
+let bench model batch image width_div fc_div config passes verify =
   let fresh () = (build_model model ~batch ~image ~width_div ~fc_div).Models.net in
   let net = fresh () in
-  let prog = Pipeline.compile config net in
+  let prog, _report = compile_with ?passes ~verify config net in
   let exec = Executor.prepare prog in
   let rng = Rng.create 7 in
   List.iter
@@ -224,7 +291,7 @@ let bench_cmd =
   Cmd.v
     (Cmd.info "bench" ~doc:"Time a model against the Caffe-like baseline.")
     Term.(const bench $ model_arg $ batch_arg $ image_arg $ width_div_arg
-          $ fc_div_arg $ config_term)
+          $ fc_div_arg $ config_term $ passes_arg $ verify_arg)
 
 (* ------------------------------------------------------------------ *)
 (* models / machines                                                   *)
@@ -253,6 +320,22 @@ let models_cmd =
     (Cmd.info "models" ~doc:"List available model architectures.")
     Term.(const (fun () -> List.iter print_endline model_names) $ const ())
 
+let passes_cmd =
+  let show () =
+    Printf.printf "%-12s %-9s %-11s %s\n" "pass" "kind" "paper" "description";
+    List.iter
+      (fun (p : Pass.info) ->
+        Printf.printf "%-12s %-9s %-11s %s\n" p.Pass.name
+          (if p.required then "required" else "optional")
+          p.Pass.paper p.Pass.description)
+      (Pass_manager.passes ())
+  in
+  Cmd.v
+    (Cmd.info "passes"
+       ~doc:"List the compiler passes in execution order, with the paper \
+             section each implements.")
+    Term.(const show $ const ())
+
 let machines_cmd =
   let show () =
     List.iter
@@ -274,4 +357,8 @@ let () =
     Cmd.info "latte" ~version:"1.0.0"
       ~doc:"Latte DNN DSL/compiler/runtime reproduction (PLDI 2016)."
   in
-  exit (Cmd.eval (Cmd.group info [ dump_ir_cmd; train_cmd; bench_cmd; graph_cmd; models_cmd; machines_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ dump_ir_cmd; train_cmd; bench_cmd; graph_cmd; models_cmd;
+            passes_cmd; machines_cmd ]))

@@ -1,6 +1,8 @@
 (* A tour of the compiler pipeline: shows the synthesized and optimized
    IR for a Conv+ReLU+Pool block at each optimization level — the
-   progression of the paper's Figures 9, 10 and 12.
+   progression of the paper's Figures 9, 10 and 12 — by enabling the
+   pass-manager passes one group at a time (the CLI equivalent is
+   `latte dump-ir --passes=LIST`).
 
    Run with: dune exec examples/compiler_tour.exe *)
 
@@ -21,29 +23,45 @@ let build () =
        ~loss_buf:"loss");
   net
 
-let stage title config =
-  Printf.printf "\n########## %s (flags: %s) ##########\n" title
-    (Config.describe config);
-  let prog = Pipeline.compile config (build ()) in
+let stage title passes =
+  Printf.printf "\n########## %s (passes: %s) ##########\n" title
+    (String.concat "," passes);
+  let prog, report =
+    Pass_manager.run ~passes ~verify:true Config.default (build ())
+  in
   (* Print the forward code only; backward follows the same structure. *)
   List.iter
     (fun (s : Program.section) ->
       Printf.printf "--- section %s ---\n%s" s.Program.label
         (Ir_printer.stmts_to_string s.Program.stmts))
-    prog.Program.forward
+    prog.Program.forward;
+  report
 
 let () =
   (* Figure 9: plain synthesized loop nests — neuron kernels rewritten
      to SoA buffer accesses, a data-copy task feeding the convolution. *)
-  stage "1. synthesis only" Config.unoptimized;
+  ignore (stage "1. synthesis only" [ "none" ]);
   (* Figure 9 -> GEMM: the dot-product nest is pattern-matched into a
      library call; per-item FC GEMVs are stacked into one batch GEMM. *)
-  stage "2. + gemm pattern matching"
-    (Config.with_flags ~pattern_match:true ~batch_gemm:true Config.unoptimized);
+  ignore
+    (stage "2. + gemm pattern matching" [ "gemm"; "batch-gemm"; "simplify" ]);
   (* Figure 10: tiled loops with dependence-distance metadata. *)
-  stage "3. + tiling"
-    (Config.with_flags ~fusion:false ~parallelize:false Config.default);
+  ignore
+    (stage "3. + tiling"
+       [ "layout"; "gemm"; "batch-gemm"; "tile"; "simplify" ]);
   (* Figure 12: conv+relu+pool fused under one tile loop, producer tiles
      scaled by the pooling layer's dependence distance, parallel
      batch x tile annotations. *)
-  stage "4. + fusion + parallelization" Config.default
+  let report = stage "4. + fusion + parallelization" [ "all" ] in
+  (* What each pass did and cost, from the pass manager's report. *)
+  Printf.printf "\n########## pass instrumentation (stage 4) ##########\n";
+  Printf.printf "%-14s %-4s %9s  %s\n" "pass" "on" "ms" "IR census";
+  List.iter
+    (fun (o : Pass_manager.outcome) ->
+      Printf.printf "%-14s %-4s %9.3f  %s\n" o.Pass_manager.info.Pass.name
+        (if o.Pass_manager.enabled then "on" else "off")
+        (o.Pass_manager.seconds *. 1e3)
+        (Ir_stats.to_string o.Pass_manager.stats))
+    report.Pass_manager.outcomes;
+  Printf.printf "total compile: %.3f ms (IR verified after every pass)\n"
+    (report.Pass_manager.total_seconds *. 1e3)

@@ -42,6 +42,29 @@ let with_flags ?pattern_match ?tiling ?fusion ?parallelize ?tile_size ?batch_gem
     inplace_activation = Option.value ~default:t.inplace_activation inplace_activation;
   }
 
+let normalize t =
+  let warnings = ref [] in
+  let warn w = warnings := w :: !warnings in
+  let t =
+    if t.fusion && not t.tiling then begin
+      warn
+        "config: cross-layer fusion requires tiling (fused tiles are what \
+         fusion schedules); disabling fusion (pass `fuse')";
+      { t with fusion = false }
+    end
+    else t
+  in
+  let t =
+    if t.batch_gemm && not t.pattern_match then begin
+      warn
+        "config: batch-GEMM hoisting requires GEMM pattern matching (there \
+         are no GEMV calls to stack); disabling batch-gemm (pass `batch-gemm')";
+      { t with batch_gemm = false }
+    end
+    else t
+  in
+  (t, List.rev !warnings)
+
 let describe t =
   let flag name b = if b then [ name ] else [] in
   let parts =

@@ -29,4 +29,10 @@ val with_flags :
   t ->
   t
 
+val normalize : t -> t * string list
+(** Resolve silently-coupled flags into an explicit configuration, with
+    a human-readable warning per adjustment: [fusion] without [tiling]
+    is dropped (fusion schedules tiles), and [batch_gemm] without
+    [pattern_match] is dropped (there are no GEMV calls to stack). *)
+
 val describe : t -> string

@@ -13,8 +13,7 @@ let fusable_pair dir ~(prev : Synthesis.unit_code) ~(cur : Synthesis.unit_code) 
   && Option.is_some cur.spatial
   && match dir with Fwd -> link cur prev | Bwd -> link prev cur
 
-let make_groups ?(enabled = true) dir units =
-  let fusable_pair dir ~prev ~cur = enabled && fusable_pair dir ~prev ~cur in
+let make_groups dir units =
   let rec go current acc = function
     | [] -> List.rev (List.rev current :: acc)
     | u :: rest -> (
@@ -54,88 +53,89 @@ let anchor_extent dir units =
   | Some s -> Some s.y_extent
   | None -> None
 
-let mk_for ?(parallel = false) ?tile var lo hi body =
-  For { var; lo; hi; body; parallel; tile; vectorize = false }
+type tile_plan = {
+  tile_rows : int;
+  n_tiles : int;
+  rows : int list;
+  dep : int;
+}
 
-let group_section (config : Config.t) ~batch dir units =
+let plan_tile ~tile_size dir units =
+  (* Barrier/global units contain opaque whole-ensemble operations
+     (gathers, normalization externs) that cannot be restricted to a
+     row band — tiling would replay them once per tile. *)
+  if List.exists (fun u -> u.Synthesis.barrier || u.Synthesis.global) units then
+    None
+  else
+    match anchor_extent dir units with
+    | None -> None
+    | Some extent ->
+        let tile_rows = Tiling.choose_tile_rows ~extent ~target:tile_size in
+        let n_tiles = extent / tile_rows in
+        if n_tiles <= 1 && List.length units = 1 then None
+        else
+          let rows = rows_per_unit dir units ~tile_rows in
+          let dep =
+            match
+              (List.hd (match dir with Fwd -> List.rev units | Bwd -> units))
+                .Synthesis.fuse
+            with
+            | Some f -> f.dep_y
+            | None -> 1
+          in
+          Some { tile_rows; n_tiles; rows; dep }
+
+let mk_for ?tile var lo hi body =
+  For { var; lo; hi; body; parallel = false; tile; vectorize = false }
+
+let group_section ~batch ?tile units =
   let label = String.concat "+" (List.map (fun u -> u.Synthesis.ens) units) in
   let ensembles = List.map (fun u -> u.Synthesis.ens) units in
   let pre = List.concat_map (fun u -> u.Synthesis.pre) units in
   let tile_var = "t~" ^ label in
-  let tiled_body =
-    (* Barrier/global units contain opaque whole-ensemble operations
-       (gathers, normalization externs) that cannot be restricted to a
-       row band — tiling would replay them once per tile. *)
-    if
-      (not config.tiling)
-      || List.exists (fun u -> u.Synthesis.barrier || u.Synthesis.global) units
-    then None
-    else
-      match anchor_extent dir units with
-      | None -> None
-      | Some extent ->
-          let tile_rows = Tiling.choose_tile_rows ~extent ~target:config.tile_size in
-          let n_tiles = extent / tile_rows in
-          if n_tiles <= 1 && List.length units = 1 then None
-          else begin
-            let rows = rows_per_unit dir units ~tile_rows in
-            (* Weight-gradient GEMMs reduce over the tiled dimension
-               (Rows_k): restricting them would re-touch the full
-               parameter-gradient matrix once per tile. They only read
-               values the tile loop has finished producing, so hoist
-               them after it and run each once at full extent. *)
-            let split_rows_k stmts =
-              List.partition
-                (fun stmt ->
-                  match stmt with
-                  | Gemm { gemm_tile = Some { role = Rows_k; _ }; _ } -> false
-                  | _ -> true)
-                stmts
-            in
-            let restricted, hoisted =
-              List.split
-                (List.map2
-                   (fun (u : Synthesis.unit_code) r ->
-                     let body, rows_k = split_rows_k u.body in
-                     let body =
-                       match u.spatial with
-                       | Some sp ->
-                           let y0 = Imul (Ivar tile_var, Iconst r) in
-                           let y1 = Imul (Iadd (Ivar tile_var, Iconst 1), Iconst r) in
-                           Tiling.restrict ~y_var:sp.y_var ~y0 ~y1 body
-                       | None -> body
-                     in
-                     (body, rows_k))
-                   units rows)
-            in
-            let body = List.concat restricted in
-            let after_tiles = List.concat hoisted in
-            let dep =
-              match (List.hd (match dir with Fwd -> List.rev units | Bwd -> units)).fuse
-              with
-              | Some f -> f.dep_y
-              | None -> 1
-            in
-            Some
-              (mk_for ~parallel:config.parallelize
-                 ~tile:{ tile_size = tile_rows; dep_distance = dep }
-                 tile_var (Iconst 0) (Iconst n_tiles) body
-              :: after_tiles)
-          end
+  let tiled_body { tile_rows; n_tiles; rows; dep } =
+    (* Weight-gradient GEMMs reduce over the tiled dimension (Rows_k):
+       restricting them would re-touch the full parameter-gradient
+       matrix once per tile. They only read values the tile loop has
+       finished producing, so hoist them after it and run each once at
+       full extent. *)
+    let split_rows_k stmts =
+      List.partition
+        (fun stmt ->
+          match stmt with
+          | Gemm { gemm_tile = Some { role = Rows_k; _ }; _ } -> false
+          | _ -> true)
+        stmts
+    in
+    let restricted, hoisted =
+      List.split
+        (List.map2
+           (fun (u : Synthesis.unit_code) r ->
+             let body, rows_k = split_rows_k u.body in
+             let body =
+               match u.spatial with
+               | Some sp ->
+                   let y0 = Imul (Ivar tile_var, Iconst r) in
+                   let y1 = Imul (Iadd (Ivar tile_var, Iconst 1), Iconst r) in
+                   Tiling.restrict ~y_var:sp.y_var ~y0 ~y1 body
+               | None -> body
+             in
+             (body, rows_k))
+           units rows)
+    in
+    mk_for
+      ~tile:{ tile_size = tile_rows; dep_distance = dep }
+      tile_var (Iconst 0) (Iconst n_tiles) (List.concat restricted)
+    :: List.concat hoisted
   in
   let body =
-    match tiled_body with
-    | Some b -> b
+    match tile with
+    | Some t -> tiled_body t
     | None -> List.concat_map (fun u -> u.Synthesis.body) units
   in
   let global = List.exists (fun u -> u.Synthesis.global) units in
   let stmts =
     if global then pre @ body
-    else
-      pre
-      @ [
-          mk_for ~parallel:config.parallelize Synthesis.batch_var (Iconst 0)
-            (Iconst batch) body;
-        ]
+    else pre @ [ mk_for Synthesis.batch_var (Iconst 0) (Iconst batch) body ]
   in
-  Program.section ~label ~ensembles (simplify_stmts stmts)
+  Program.section ~label ~ensembles stmts

@@ -7,12 +7,16 @@
     dependence distance — Figure 11's "factor 2 larger tile". Overlapping
     windows (stride-1 convolutions) or barriers (normalization, gathers)
     start a new group, matching the paper's observation that consecutive
-    convolution layers cannot be fused. *)
+    convolution layers cannot be fused.
+
+    Under the pass manager, grouping ({!make_groups}), tile planning
+    ({!plan_tile}) and section emission ({!group_section}) are separate
+    passes; parallel annotations are added afterwards by the
+    [parallelize] pass, so sections are emitted serial. *)
 
 type direction = Fwd | Bwd
 
 val make_groups :
-  ?enabled:bool ->
   direction ->
   Synthesis.unit_code list ->
   Synthesis.unit_code list list
@@ -25,12 +29,28 @@ val rows_per_unit :
     downstream unit's [tile_rows] and scaled through the dependence
     distances. *)
 
-val group_section :
-  Config.t ->
-  batch:int ->
+type tile_plan = {
+  tile_rows : int;  (** Anchor-unit rows per tile. *)
+  n_tiles : int;
+  rows : int list;  (** Rows per unit, in execution order. *)
+  dep : int;  (** Dependence distance recorded on the tile loop. *)
+}
+
+val plan_tile :
+  tile_size:int ->
   direction ->
   Synthesis.unit_code list ->
+  tile_plan option
+(** Decide whether (and how) a group's anchor y dimension is tiled.
+    [None] for barrier/global groups, groups without spatial metadata,
+    and trivial single-unit single-tile groups. *)
+
+val group_section :
+  batch:int ->
+  ?tile:tile_plan ->
+  Synthesis.unit_code list ->
   Program.section
-(** Emit one section for the group: batch loop, optional tile loop, and
-    the (restricted) unit bodies, with parallel annotations when
-    enabled. *)
+(** Emit one section for the group: batch loop and, when a tile plan is
+    given, the tile loop with each unit's body restricted to its row
+    band (weight-gradient Rows_k GEMMs hoisted after the tile loop).
+    All loops are emitted serial; the [parallelize] pass annotates. *)

@@ -1,0 +1,147 @@
+(* The typed state threaded through the compiler's pass pipeline, plus
+   the pass descriptor. Pass implementations and the registry live in
+   Pass_manager; this module owns the data they transform. *)
+
+type piece =
+  | Group of { units : Synthesis.unit_code list; tile : Fusion.tile_plan option }
+  | Hoisted of { unit_ : Synthesis.unit_code; segments : Pattern_match.segment list }
+
+type state = {
+  config : Config.t;  (* Normalized; pass enablement mirrors its flags. *)
+  net : Net.t;
+  batch : int;
+  seed : int option;
+  plan : Synthesis.plan option;  (* Set by the synthesize pass. *)
+  fwd : piece list;
+  bwd : piece list;
+  fwd_sections : Program.section list option;  (* Set by assemble. *)
+  bwd_sections : Program.section list option;  (* Includes zero-gradients. *)
+}
+
+type info = {
+  name : string;
+  description : string;
+  paper : string;  (* Paper section implemented, e.g. "§5.4.1". *)
+  required : bool;  (* Structural pass; cannot be disabled. *)
+  default_on : Config.t -> bool;
+  run : state -> state;
+}
+
+let initial ?seed config net =
+  {
+    config;
+    net;
+    batch = Net.batch_size net;
+    seed;
+    plan = None;
+    fwd = [];
+    bwd = [];
+    fwd_sections = None;
+    bwd_sections = None;
+  }
+
+let map_units f st =
+  let piece = function
+    | Group g -> Group { g with units = List.map f g.units }
+    | Hoisted _ as h -> h
+  in
+  { st with fwd = List.map piece st.fwd; bwd = List.map piece st.bwd }
+
+let map_pieces f st = { st with fwd = List.map f st.fwd; bwd = List.map f st.bwd }
+
+let map_sections f st =
+  let dir = Option.map (List.map f) in
+  { st with fwd_sections = dir st.fwd_sections; bwd_sections = dir st.bwd_sections }
+
+(* Named IR regions of the current state, with the loop variables that
+   are implicitly bound in each (the batch variable for per-item unit
+   bodies). The verifier and the [--dump-ir-after] dumps both walk
+   these. *)
+let regions st =
+  match (st.fwd_sections, st.bwd_sections) with
+  | Some fwd, Some bwd ->
+      List.map
+        (fun (s : Program.section) -> ("forward/" ^ s.Program.label, [], s.Program.stmts))
+        fwd
+      @ List.map
+          (fun (s : Program.section) ->
+            ("backward/" ^ s.Program.label, [], s.Program.stmts))
+          bwd
+  | _ ->
+      let unit_regions dir (u : Synthesis.unit_code) =
+        let body_bound = if u.global then [] else [ Synthesis.batch_var ] in
+        (match u.pre with
+        | [] -> []
+        | pre -> [ (Printf.sprintf "%s/%s (pre)" dir u.ens, [], pre) ])
+        @ [ (Printf.sprintf "%s/%s" dir u.ens, body_bound, u.body) ]
+      in
+      let piece_regions dir p =
+        match p with
+        | Group { units; _ } -> List.concat_map (unit_regions dir) units
+        | Hoisted { unit_ = u; segments } ->
+            (match u.pre with
+            | [] -> []
+            | pre -> [ (Printf.sprintf "%s/%s (pre)" dir u.ens, [], pre) ])
+            @ List.mapi
+                (fun i seg ->
+                  match seg with
+                  | Pattern_match.Global stmts ->
+                      (Printf.sprintf "%s/%s (batch-gemm %d)" dir u.ens i, [], stmts)
+                  | Pattern_match.Per_item stmts ->
+                      ( Printf.sprintf "%s/%s (per-item %d)" dir u.ens i,
+                        [ Synthesis.batch_var ],
+                        stmts ))
+                segments
+      in
+      (match st.plan with
+      | None -> []
+      | Some plan ->
+          List.concat_map (piece_regions "forward") st.fwd
+          @ List.concat_map (piece_regions "backward") st.bwd
+          @
+          match plan.Synthesis.zero_grads with
+          | [] -> []
+          | zs -> [ ("backward/zero-gradients", [], zs) ])
+
+let stats st =
+  List.fold_left
+    (fun acc (_, _, stmts) -> Ir_stats.add acc (Ir_stats.of_stmts stmts))
+    Ir_stats.zero (regions st)
+
+let shape_of st name =
+  match st.plan with
+  | None -> None
+  | Some plan ->
+      if Buffer_pool.mem plan.Synthesis.buffers name then
+        Some (Tensor.shape (Buffer_pool.lookup plan.Synthesis.buffers name))
+      else None
+
+let dump st =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (name, _, stmts) ->
+      Buffer.add_string buf (Printf.sprintf "--- %s ---\n" name);
+      Buffer.add_string buf (Ir_printer.stmts_to_string stmts))
+    (regions st);
+  Buffer.contents buf
+
+let verify st =
+  List.concat_map
+    (fun (region, bound, stmts) ->
+      Ir_verify.verify_stmts ~bound ~shape_of:(shape_of st) ~region stmts)
+    (regions st)
+
+let finish st =
+  match (st.plan, st.fwd_sections, st.bwd_sections) with
+  | Some plan, Some fwd, Some bwd ->
+      {
+        Program.batch_size = st.batch;
+        buffers = plan.Synthesis.buffers;
+        forward = fwd;
+        backward = bwd;
+        params = plan.Synthesis.params;
+        grad_sizes = plan.Synthesis.grad_sizes;
+      }
+  | _ ->
+      invalid_arg
+        "Pass.finish: pipeline did not run the synthesize and assemble passes"

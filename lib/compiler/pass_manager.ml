@@ -1,0 +1,386 @@
+(* The instrumented pass manager: the ordered registry of compiler
+   passes, Config.t <-> pass-set resolution, and the driver that runs
+   the pipeline with per-pass timing, IR statistics, optional
+   well-formedness verification and IR dumps. *)
+
+open Pass
+
+(* ------------------------------------------------------------------ *)
+(* Pass implementations                                                *)
+(* ------------------------------------------------------------------ *)
+
+let synthesize st =
+  let plan = Synthesis.run ?seed:st.seed st.config st.net in
+  let pieces units =
+    List.map (fun u -> Group { units = [ u ]; tile = None }) units
+  in
+  {
+    st with
+    plan = Some plan;
+    fwd = pieces plan.Synthesis.fwd_units;
+    bwd = pieces plan.Synthesis.bwd_units;
+  }
+
+let gemm_match st =
+  let plan = Option.get st.plan in
+  let shape_of name = Tensor.shape (Buffer_pool.lookup plan.Synthesis.buffers name) in
+  Pass.map_units
+    (fun (u : Synthesis.unit_code) ->
+      let y_info =
+        Option.map
+          (fun (s : Synthesis.spatial) -> (s.Synthesis.y_var, s.Synthesis.y_extent))
+          u.spatial
+      in
+      { u with body = Pattern_match.rewrite ~shape_of ~y_info u.body })
+    st
+
+let batch_gemm st =
+  Pass.map_pieces
+    (fun p ->
+      match p with
+      | Group { units = [ u ]; tile = None } -> (
+          match
+            Pattern_match.hoist_batch ~batch_var:Synthesis.batch_var
+              ~batch:st.batch u.Synthesis.body
+          with
+          | Some segments -> Hoisted { unit_ = u; segments }
+          | None -> p)
+      | p -> p)
+    st
+
+let fuse st =
+  let fuse_dir dir pieces =
+    (* Merge adjacent Group pieces; hoisted units break runs exactly as
+       batch-GEMM sections did in the monolithic driver. *)
+    let flush run acc =
+      match run with
+      | [] -> acc
+      | _ ->
+          let units = List.concat (List.rev run) in
+          List.fold_left
+            (fun acc us -> Group { units = us; tile = None } :: acc)
+            acc (Fusion.make_groups dir units)
+    in
+    let rec go run acc = function
+      | [] -> List.rev (flush run acc)
+      | Group { units; _ } :: rest -> go (units :: run) acc rest
+      | (Hoisted _ as h) :: rest -> go [] (h :: flush run acc) rest
+    in
+    go [] [] pieces
+  in
+  { st with fwd = fuse_dir Fusion.Fwd st.fwd; bwd = fuse_dir Fusion.Bwd st.bwd }
+
+let tile st =
+  let tile_dir dir =
+    List.map (fun p ->
+        match p with
+        | Group g ->
+            Group
+              {
+                g with
+                tile =
+                  Fusion.plan_tile ~tile_size:st.config.Config.tile_size dir
+                    g.units;
+              }
+        | p -> p)
+  in
+  { st with fwd = tile_dir Fusion.Fwd st.fwd; bwd = tile_dir Fusion.Bwd st.bwd }
+
+let assemble st =
+  let plan = Option.get st.plan in
+  let mk_for var lo hi body =
+    Ir.For { var; lo; hi; body; parallel = false; tile = None; vectorize = false }
+  in
+  let sections_of_piece p =
+    match p with
+    | Group { units; tile } -> [ Fusion.group_section ~batch:st.batch ?tile units ]
+    | Hoisted { unit_ = u; segments } ->
+        let first = ref true in
+        List.map
+          (fun seg ->
+            let stmts =
+              match seg with
+              | Pattern_match.Global stmts -> stmts
+              | Pattern_match.Per_item stmts ->
+                  [
+                    mk_for Synthesis.batch_var (Ir.Iconst 0)
+                      (Ir.Iconst st.batch) stmts;
+                  ]
+            in
+            let stmts = if !first then u.Synthesis.pre @ stmts else stmts in
+            let label =
+              match seg with
+              | Pattern_match.Global _ -> u.Synthesis.ens ^ ":batch-gemm"
+              | Pattern_match.Per_item _ -> u.Synthesis.ens
+            in
+            first := false;
+            Program.section ~label ~ensembles:[ u.Synthesis.ens ] stmts)
+          segments
+  in
+  let zero =
+    Program.section ~label:"zero-gradients" ~ensembles:[]
+      plan.Synthesis.zero_grads
+  in
+  {
+    st with
+    fwd_sections = Some (List.concat_map sections_of_piece st.fwd);
+    bwd_sections = Some (zero :: List.concat_map sections_of_piece st.bwd);
+  }
+
+let simplify st =
+  Pass.map_sections
+    (fun (s : Program.section) -> { s with Program.stmts = Ir.simplify_stmts s.Program.stmts })
+    st
+
+let parallelize st =
+  (* Batch and tile loops are the loops the compiler constructed with
+     per-iteration-disjoint work (§5.4.3); annotate them for the
+     parallel scheduler / cost model. The verifier checks the
+     annotation is dependence-free. *)
+  let annotate stmts =
+    Ir.map_stmts
+      (fun s ->
+        match s with
+        | Ir.For l when String.equal l.var Synthesis.batch_var || l.tile <> None
+          ->
+            Ir.For { l with parallel = true }
+        | s -> s)
+      stmts
+  in
+  Pass.map_sections
+    (fun (s : Program.section) -> { s with Program.stmts = annotate s.Program.stmts })
+    st
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let registry : Pass.info list =
+  [
+    {
+      name = "layout";
+      paper = "§3.2/§5.2";
+      description =
+        "shared-variable in-place layout: single-consumer activation values \
+         alias their source buffer (realized during buffer planning in \
+         synthesize)";
+      required = false;
+      default_on = (fun c -> c.Config.inplace_activation);
+      run = Fun.id;
+    };
+    {
+      name = "synthesize";
+      paper = "§5.2–§5.3";
+      description =
+        "loop-nest synthesis: AoS→SoA kernel rewriting, shared-variable \
+         analysis, data-copy tasks, buffer planning";
+      required = true;
+      default_on = (fun _ -> true);
+      run = synthesize;
+    };
+    {
+      name = "gemm";
+      paper = "§5.4.1";
+      description = "rewrite dot-product loop nests into GEMM library calls";
+      required = false;
+      default_on = (fun c -> c.Config.pattern_match);
+      run = gemm_match;
+    };
+    {
+      name = "batch-gemm";
+      paper = "§5.4.1";
+      description =
+        "hoist per-item GEMV/rank-1 calls into whole-batch GEMM sections";
+      required = false;
+      default_on = (fun c -> c.Config.batch_gemm);
+      run = batch_gemm;
+    };
+    {
+      name = "fuse";
+      paper = "§5.4.2";
+      description =
+        "group adjacent units whose connection windows tile exactly, so they \
+         share one tile loop";
+      required = false;
+      default_on = (fun c -> c.Config.fusion);
+      run = fuse;
+    };
+    {
+      name = "tile";
+      paper = "§5.4.1";
+      description =
+        "plan row-band tiling of each group's anchor y dimension, scaling \
+         producer tiles by dependence distances";
+      required = false;
+      default_on = (fun c -> c.Config.tiling);
+      run = tile;
+    };
+    {
+      name = "assemble";
+      paper = "§5.3";
+      description =
+        "emit executable sections: batch loops, tile loops with restricted \
+         unit bodies, hoisted batch-GEMM segments, zero-gradient prologue";
+      required = true;
+      default_on = (fun _ -> true);
+      run = assemble;
+    };
+    {
+      name = "simplify";
+      paper = "—";
+      description =
+        "post-assembly cleanup: constant folding, dead/empty loop removal";
+      required = false;
+      default_on = (fun _ -> true);
+      run = simplify;
+    };
+    {
+      name = "parallelize";
+      paper = "§5.4.3";
+      description = "annotate batch and tile loops for batch×tile parallelism";
+      required = false;
+      default_on = (fun c -> c.Config.parallelize);
+      run = parallelize;
+    };
+  ]
+
+let passes () = registry
+
+let pass_names () = List.map (fun (p : Pass.info) -> p.name) registry
+
+let optional_pass_names () =
+  List.filter_map
+    (fun (p : Pass.info) -> if p.required then None else Some p.name)
+    registry
+
+let validate name =
+  if not (List.mem name (pass_names ())) then
+    invalid_arg
+      (Printf.sprintf "unknown compiler pass `%s' (known passes: %s)" name
+         (String.concat ", " (pass_names ())))
+
+(* ------------------------------------------------------------------ *)
+(* Config <-> pass-set resolution                                      *)
+(* ------------------------------------------------------------------ *)
+
+let set_of_config ~simplify config =
+  List.filter_map
+    (fun (p : Pass.info) ->
+      if p.required then None
+      else if p.name = "simplify" then if simplify then Some p.name else None
+      else if p.default_on config then Some p.name
+      else None)
+    registry
+
+let config_of_set base set =
+  let mem n = List.mem n set in
+  {
+    base with
+    Config.inplace_activation = mem "layout";
+    pattern_match = mem "gemm";
+    batch_gemm = mem "batch-gemm";
+    fusion = mem "fuse";
+    tiling = mem "tile";
+    parallelize = mem "parallelize";
+  }
+
+let parse_spec s =
+  String.split_on_char ',' s
+  |> List.map String.trim
+  |> List.filter (fun e -> e <> "")
+
+let interpret ~defaults entries =
+  let signed e = String.length e > 1 && (e.[0] = '-' || e.[0] = '+') in
+  match entries with
+  | [ "all" ] -> optional_pass_names ()
+  | [ "none" ] -> []
+  | entries when List.for_all signed entries ->
+      List.fold_left
+        (fun set e ->
+          let n = String.sub e 1 (String.length e - 1) in
+          validate n;
+          if e.[0] = '-' then List.filter (( <> ) n) set
+          else if List.mem n set then set
+          else set @ [ n ])
+        defaults entries
+  | entries ->
+      List.iter validate entries;
+      List.sort_uniq String.compare entries
+
+(* Resolve the enabled-pass set and the matching normalized config.
+   [passes] (the CLI's --passes=LIST) overrides the config-derived
+   defaults: "all", "none", an exact comma list, or +name/-name edits
+   of the defaults. *)
+let resolve ?passes config =
+  match passes with
+  | None ->
+      let config, warns = Config.normalize config in
+      (set_of_config ~simplify:true config, config, warns)
+  | Some entries ->
+      let base, _ = Config.normalize config in
+      let defaults = set_of_config ~simplify:true base in
+      let set = interpret ~defaults entries in
+      let simplify = List.mem "simplify" set in
+      let cfg, warns = Config.normalize (config_of_set config set) in
+      (set_of_config ~simplify cfg, cfg, warns)
+
+(* ------------------------------------------------------------------ *)
+(* The instrumented driver                                             *)
+(* ------------------------------------------------------------------ *)
+
+type outcome = {
+  info : Pass.info;
+  enabled : bool;
+  seconds : float;
+  stats : Ir_stats.t;  (** IR census after the pass. *)
+  dump : string option;  (** IR listing, when requested via [dump_after]. *)
+}
+
+type report = {
+  outcomes : outcome list;
+  warnings : string list;
+  verified : bool;
+  total_seconds : float;
+}
+
+exception Verification_failed of string * Ir_verify.error list
+
+let () =
+  Printexc.register_printer (function
+    | Verification_failed (pass, errs) ->
+        Some
+          (Printf.sprintf "IR verification failed after pass `%s':\n%s" pass
+             (String.concat "\n" (List.map Ir_verify.to_string errs)))
+    | _ -> None)
+
+let run ?seed ?passes ?(verify = false) ?(dump_after = []) config net =
+  List.iter validate (List.filter (( <> ) "all") dump_after);
+  let enabled, config, warnings = resolve ?passes config in
+  List.iter (fun w -> Printf.eprintf "latte: warning: %s\n%!" w) warnings;
+  let want_dump name = List.mem "all" dump_after || List.mem name dump_after in
+  let t_start = Unix.gettimeofday () in
+  let st, outcomes_rev =
+    List.fold_left
+      (fun (st, acc) (p : Pass.info) ->
+        let on = p.required || List.mem p.name enabled in
+        let t0 = Unix.gettimeofday () in
+        let st = if on then p.run st else st in
+        let seconds = Unix.gettimeofday () -. t0 in
+        if verify && on then begin
+          match Pass.verify st with
+          | [] -> ()
+          | errs -> raise (Verification_failed (p.name, errs))
+        end;
+        let dump = if on && want_dump p.name then Some (Pass.dump st) else None in
+        (st, { info = p; enabled = on; seconds; stats = Pass.stats st; dump } :: acc))
+      (Pass.initial ?seed config net, [])
+      registry
+  in
+  let prog = Pass.finish st in
+  ( prog,
+    {
+      outcomes = List.rev outcomes_rev;
+      warnings;
+      verified = verify;
+      total_seconds = Unix.gettimeofday () -. t_start;
+    } )

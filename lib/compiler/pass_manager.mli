@@ -1,0 +1,58 @@
+(** The compiler's pass registry and instrumented driver.
+
+    Every optimization phase is a named pass over {!Pass.state}. The
+    registry fixes the execution order; which optional passes run is
+    derived from {!Config.t} flags (or overridden with an explicit pass
+    list, the CLI's [--passes]). The driver records per-pass wall time
+    and IR statistics, can dump the IR after any pass, and can run the
+    {!Ir_verify} well-formedness checker after every pass. *)
+
+val passes : unit -> Pass.info list
+(** The registry, in execution order. *)
+
+val pass_names : unit -> string list
+
+val optional_pass_names : unit -> string list
+(** Names of the passes that can be disabled. *)
+
+val parse_spec : string -> string list
+(** Split a comma-separated [--passes] spec into entries. *)
+
+val resolve : ?passes:string list -> Config.t -> string list * Config.t * string list
+(** [resolve ?passes config] is [(enabled, config', warnings)]: the
+    optional passes that will run, the normalized config they mirror,
+    and any {!Config.normalize} warnings. [passes] entries are either
+    ["all"], ["none"], an exact list of pass names, or [+name]/[-name]
+    edits applied to the config-derived defaults. Raises
+    [Invalid_argument] on unknown pass names. *)
+
+type outcome = {
+  info : Pass.info;
+  enabled : bool;
+  seconds : float;  (** Wall time spent in the pass. *)
+  stats : Ir_stats.t;  (** IR census after the pass. *)
+  dump : string option;  (** IR listing, when requested via [dump_after]. *)
+}
+
+type report = {
+  outcomes : outcome list;
+  warnings : string list;
+  verified : bool;
+  total_seconds : float;
+}
+
+exception Verification_failed of string * Ir_verify.error list
+(** Raised (pass name, diagnostics) when [~verify:true] finds
+    ill-formed IR after a pass. *)
+
+val run :
+  ?seed:int ->
+  ?passes:string list ->
+  ?verify:bool ->
+  ?dump_after:string list ->
+  Config.t ->
+  Net.t ->
+  Program.t * report
+(** Compile [net] through the pipeline. [dump_after] names passes whose
+    post-pass IR should be captured in the report (["all"] for every
+    enabled pass). Normalization warnings are printed to stderr. *)

@@ -1,100 +1,7 @@
-open Ir
+(* The compiler driver is now a thin wrapper over the pass manager;
+   see Pass_manager for the registry and instrumentation. *)
 
-(* A unit whose body was split by batch-GEMM hoisting. *)
-type item =
-  | Plain of Synthesis.unit_code
-  | Split of Synthesis.unit_code * Pattern_match.segment list
-
-let apply_pattern_match (config : Config.t) buffers (u : Synthesis.unit_code) =
-  if not config.pattern_match then u
-  else
-    let shape_of name = Tensor.shape (Buffer_pool.lookup buffers name) in
-    let y_info =
-      Option.map (fun (s : Synthesis.spatial) -> (s.y_var, s.y_extent)) u.spatial
-    in
-    { u with body = Pattern_match.rewrite ~shape_of ~y_info u.body }
-
-let apply_hoist (config : Config.t) ~batch (u : Synthesis.unit_code) =
-  if not (config.pattern_match && config.batch_gemm) then Plain u
-  else
-    match
-      Pattern_match.hoist_batch ~batch_var:Synthesis.batch_var ~batch u.body
-    with
-    | Some segments -> Split (u, segments)
-    | None -> Plain u
-
-(* Assemble sections from the item sequence: runs of Plain units are
-   partitioned into fusion groups; Split units emit one section per
-   segment. *)
-let assemble (config : Config.t) ~batch dir items =
-  let mk_for ?(parallel = false) var lo hi body =
-    For { var; lo; hi; body; parallel; tile = None; vectorize = false }
-  in
-  let sections = ref [] in
-  let run = ref [] in
-  let flush () =
-    if !run <> [] then begin
-      let groups =
-        Fusion.make_groups ~enabled:(config.fusion && config.tiling) dir
-          (List.rev !run)
-      in
-      List.iter
-        (fun g -> sections := Fusion.group_section config ~batch dir g :: !sections)
-        groups;
-      run := []
-    end
-  in
-  List.iter
-    (fun item ->
-      match item with
-      | Plain u -> run := u :: !run
-      | Split (u, segments) ->
-          flush ();
-          let first = ref true in
-          List.iter
-            (fun seg ->
-              let stmts =
-                match seg with
-                | Pattern_match.Global stmts -> simplify_stmts stmts
-                | Pattern_match.Per_item stmts ->
-                    simplify_stmts
-                      [ mk_for ~parallel:config.parallelize Synthesis.batch_var
-                          (Iconst 0) (Iconst batch) stmts ]
-              in
-              let stmts = if !first then u.pre @ stmts else stmts in
-              let label =
-                match seg with
-                | Pattern_match.Global _ -> u.ens ^ ":batch-gemm"
-                | Pattern_match.Per_item _ -> u.ens
-              in
-              first := false;
-              sections := Program.section ~label ~ensembles:[ u.ens ] stmts :: !sections)
-            segments)
-    items;
-  flush ();
-  List.rev !sections
-
-let compile ?seed config net =
-  let plan = Synthesis.run ?seed config net in
-  let batch = Net.batch_size net in
-  let process units =
-    List.map
-      (fun u -> apply_hoist config ~batch (apply_pattern_match config plan.buffers u))
-      units
-  in
-  let fwd_sections = assemble config ~batch Fusion.Fwd (process plan.fwd_units) in
-  let bwd_sections = assemble config ~batch Fusion.Bwd (process plan.bwd_units) in
-  let zero_section =
-    Program.section ~label:"zero-gradients" ~ensembles:[] plan.zero_grads
-  in
-  {
-    Program.batch_size = batch;
-    buffers = plan.buffers;
-    forward = fwd_sections;
-    backward = zero_section :: bwd_sections;
-    params = plan.params;
-    grad_sizes = plan.grad_sizes;
-  }
+let compile ?seed config net = fst (Pass_manager.run ?seed config net)
 
 let dump (p : Program.t) =
   let buf = Buffer.create 4096 in
@@ -108,4 +15,34 @@ let dump (p : Program.t) =
   in
   emit "forward" p.forward;
   emit "backward" p.backward;
+  (* Buffer plan: every named buffer with its shape and size; aliases
+     point at the allocation that owns their storage. *)
+  Buffer.add_string buf "=== buffers ===\n";
+  List.iter
+    (fun name ->
+      let shape = Tensor.shape (Buffer_pool.lookup p.buffers name) in
+      let bytes = 4 * Shape.numel shape in
+      let phys = Buffer_pool.physical p.buffers name in
+      Buffer.add_string buf
+        (Printf.sprintf "%-28s %-20s %10d bytes%s\n" name
+           (Shape.to_string shape) bytes
+           (if String.equal phys name then ""
+            else Printf.sprintf "  (alias of %s)" phys)))
+    (Buffer_pool.names p.buffers);
+  Buffer.add_string buf
+    (Printf.sprintf "total allocated: %d bytes\n"
+       (Buffer_pool.total_bytes p.buffers));
+  Buffer.add_string buf "=== parameters ===\n";
+  List.iter
+    (fun (pr : Program.param) ->
+      let size =
+        match List.assoc_opt pr.grad_buf p.grad_sizes with
+        | Some n -> n
+        | None ->
+            Shape.numel (Tensor.shape (Buffer_pool.lookup p.buffers pr.value_buf))
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%-28s value=%-20s grad=%-22s %8d elems  lr_mult=%g\n"
+           pr.param_name pr.value_buf pr.grad_buf size pr.lr_mult))
+    p.params;
   Buffer.contents buf

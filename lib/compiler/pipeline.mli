@@ -1,20 +1,24 @@
 (** The compiler driver: analysis → synthesis → optimization → code
     assembly (§5).
 
-    [compile] runs the full phase sequence under a {!Config.t} and
-    returns an executable {!Program.t}:
+    [compile] runs the registered pass pipeline (see {!Pass_manager})
+    under a {!Config.t} and returns an executable {!Program.t}:
 
     + {!Synthesis} builds per-ensemble loop nests, data-copy tasks and
       the buffer plan (shared-variable analysis included);
     + {!Pattern_match} rewrites dot-product nests into GEMM calls and
       hoists per-item GEMV/rank-1 calls into whole-batch GEMMs;
-    + {!Fusion} (with {!Tiling}) groups fusable units, tiles the y
-      dimension and emits parallel-annotated sections.
+    + {!Fusion} (with {!Tiling}) groups fusable units and tiles the y
+      dimension; the [parallelize] pass annotates batch/tile loops.
 
-    The resulting sections are what {!Executor.prepare} code-generates. *)
+    The resulting sections are what {!Executor.prepare} code-generates.
+    For per-pass control, instrumentation, IR dumps and verification
+    use {!Pass_manager.run} directly. *)
 
 val compile : ?seed:int -> Config.t -> Net.t -> Program.t
 
 val dump : Program.t -> string
-(** Human-readable listing of every section's IR (the [--dump-ir]
-    output of the CLI). *)
+(** Human-readable listing of every section's IR, followed by the
+    buffer plan (name, shape, bytes, alias target) and the parameter
+    table (value/grad buffers, gradient sizes, learning-rate
+    multipliers) — the [--dump-ir] output of the CLI. *)

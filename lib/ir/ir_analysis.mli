@@ -14,6 +14,9 @@ val stride_of : var:string -> Ir.iexpr -> int option
 (** The constant coefficient of [var] when the expression is affine in
     it; [None] when non-affine (e.g. [var] under division). *)
 
+val const_value : Ir.iexpr -> int option
+(** The value of the expression when it simplifies to a constant. *)
+
 val flat_index : shape:int array -> Ir.iexpr list -> Ir.iexpr
 (** Row-major flattening of a multi-index against a buffer shape,
     simplified. *)

@@ -1,0 +1,79 @@
+open Ir
+
+type t = {
+  stores : int;
+  accums : int;
+  memsets : int;
+  loops : int;
+  parallel_loops : int;
+  tiled_loops : int;
+  gemms : int;
+  externs : int;
+  branches : int;
+  barriers : int;
+}
+
+let zero =
+  {
+    stores = 0;
+    accums = 0;
+    memsets = 0;
+    loops = 0;
+    parallel_loops = 0;
+    tiled_loops = 0;
+    gemms = 0;
+    externs = 0;
+    branches = 0;
+    barriers = 0;
+  }
+
+let add a b =
+  {
+    stores = a.stores + b.stores;
+    accums = a.accums + b.accums;
+    memsets = a.memsets + b.memsets;
+    loops = a.loops + b.loops;
+    parallel_loops = a.parallel_loops + b.parallel_loops;
+    tiled_loops = a.tiled_loops + b.tiled_loops;
+    gemms = a.gemms + b.gemms;
+    externs = a.externs + b.externs;
+    branches = a.branches + b.branches;
+    barriers = a.barriers + b.barriers;
+  }
+
+let statements t =
+  t.stores + t.accums + t.memsets + t.loops + t.gemms + t.externs + t.branches
+  + t.barriers
+
+let of_stmts stmts =
+  let acc = ref zero in
+  let rec go s =
+    match s with
+    | Store _ -> acc := { !acc with stores = !acc.stores + 1 }
+    | Accum _ -> acc := { !acc with accums = !acc.accums + 1 }
+    | Memset _ -> acc := { !acc with memsets = !acc.memsets + 1 }
+    | Gemm _ -> acc := { !acc with gemms = !acc.gemms + 1 }
+    | Extern _ -> acc := { !acc with externs = !acc.externs + 1 }
+    | Fusion_barrier _ -> acc := { !acc with barriers = !acc.barriers + 1 }
+    | If (_, t, e) ->
+        acc := { !acc with branches = !acc.branches + 1 };
+        List.iter go t;
+        List.iter go e
+    | For l ->
+        acc :=
+          {
+            !acc with
+            loops = !acc.loops + 1;
+            parallel_loops = (!acc.parallel_loops + if l.parallel then 1 else 0);
+            tiled_loops = (!acc.tiled_loops + if l.tile <> None then 1 else 0);
+          };
+        List.iter go l.body
+  in
+  List.iter go stmts;
+  !acc
+
+let to_string t =
+  Printf.sprintf
+    "stmts=%d loops=%d(par=%d,tiled=%d) gemms=%d stores=%d accums=%d externs=%d"
+    (statements t) t.loops t.parallel_loops t.tiled_loops t.gemms t.stores
+    t.accums t.externs

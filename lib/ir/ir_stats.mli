@@ -1,0 +1,25 @@
+(** Statement/loop/GEMM census over the loop IR, used by the pass
+    manager to report what each compiler pass did to the program. *)
+
+type t = {
+  stores : int;
+  accums : int;
+  memsets : int;
+  loops : int;
+  parallel_loops : int;
+  tiled_loops : int;
+  gemms : int;
+  externs : int;
+  branches : int;
+  barriers : int;
+}
+
+val zero : t
+val add : t -> t -> t
+
+val statements : t -> int
+(** Total statement count (loops and branches count once each,
+    regardless of their bodies). *)
+
+val of_stmts : Ir.stmt list -> t
+val to_string : t -> string

@@ -1,0 +1,208 @@
+open Ir
+
+type error = { region : string; stmt : string option; reason : string }
+
+let to_string e =
+  match e.stmt with
+  | Some s -> Printf.sprintf "[%s] %s\n    at: %s" e.region e.reason s
+  | None -> Printf.sprintf "[%s] %s" e.region e.reason
+
+module SS = Set.Make (String)
+
+let rec ivars acc e =
+  match e with
+  | Iconst _ -> acc
+  | Ivar v -> SS.add v acc
+  | Iadd (a, b) | Isub (a, b) | Imul (a, b) | Idiv (a, b) | Imod (a, b)
+  | Imin (a, b) | Imax (a, b) ->
+      ivars (ivars acc a) b
+
+let rec fvars acc e =
+  match e with
+  | Fconst _ -> acc
+  | Load (_, idx) -> List.fold_left ivars acc idx
+  | Float_of_int a -> ivars acc a
+  | Funop (_, a) -> fvars acc a
+  | Fbinop (_, a, b) -> fvars (fvars acc a) b
+  | Select (c, a, b) -> fvars (fvars (cvars acc c) a) b
+
+and cvars acc c =
+  match c with
+  | Icmp (_, a, b) -> ivars (ivars acc a) b
+  | Fcmp (_, a, b) -> fvars (fvars acc a) b
+  | Cand (a, b) | Cor (a, b) -> cvars (cvars acc a) b
+  | Cnot a -> cvars acc a
+
+(* All (buffer, index) loads appearing in an expression. *)
+let rec loads acc e =
+  match e with
+  | Fconst _ | Float_of_int _ -> acc
+  | Load (b, idx) -> (b, idx) :: acc
+  | Funop (_, a) -> loads acc a
+  | Fbinop (_, a, b) -> loads (loads acc a) b
+  | Select (c, a, b) -> loads (loads (loads_cond acc c) a) b
+
+and loads_cond acc c =
+  match c with
+  | Icmp _ -> acc
+  | Fcmp (_, a, b) -> loads (loads acc a) b
+  | Cand (a, b) | Cor (a, b) -> loads_cond (loads_cond acc a) b
+  | Cnot a -> loads_cond acc a
+
+let stmt_head s =
+  let text = String.trim (Ir_printer.stmt_to_string s) in
+  let line =
+    match String.index_opt text '\n' with
+    | Some i -> String.sub text 0 i
+    | None -> text
+  in
+  if String.length line > 120 then String.sub line 0 117 ^ "..." else line
+
+(* Evidence that [e] takes distinct values in distinct iterations of the
+   parallel loop over [v]: a known nonzero affine stride in [v], or a
+   mention of an inner loop variable whose bounds depend on [v] (tiling
+   restriction encodes disjointness through loop bounds, not indices). *)
+let varies_with ~v ~dep e =
+  (match Ir_analysis.stride_of ~var:v e with
+  | Some n when n <> 0 -> true
+  | _ -> false)
+  || SS.exists (fun x -> SS.mem x dep) (ivars SS.empty e)
+
+let verify_stmts ?(bound = []) ~shape_of ~region stmts =
+  let errors = ref [] in
+  let err ?stmt fmt =
+    Printf.ksprintf
+      (fun reason ->
+        errors := { region; stmt = Option.map stmt_head stmt; reason } :: !errors)
+      fmt
+  in
+  let check_bound ~stmt env vars =
+    SS.iter
+      (fun x ->
+        if not (SS.mem x env) then err ~stmt "unbound loop variable `%s'" x)
+      vars
+  in
+  let check_buf ~stmt ?idx buf =
+    match shape_of buf with
+    | None -> err ~stmt "reference to buffer `%s' absent from the buffer plan" buf
+    | Some shape -> (
+        match idx with
+        | None -> ()
+        | Some idx ->
+            if List.length idx <> Shape.rank shape then
+              err ~stmt
+                "buffer `%s' indexed with arity %d but has rank %d (shape %s)"
+                buf (List.length idx) (Shape.rank shape) (Shape.to_string shape))
+  in
+  let check_loads ~stmt value =
+    List.iter (fun (b, idx) -> check_buf ~stmt ~idx b) (loads [] value)
+  in
+  let check_gemm_tile ~stmt (g : gemm) =
+    match g.gemm_tile with
+    | None -> ()
+    | Some gt ->
+        if gt.rows_per_y < 1 || gt.y_extent < 1 then
+          err ~stmt "gemm tile metadata must be positive (rows_per_y=%d, y_extent=%d)"
+            gt.rows_per_y gt.y_extent
+        else
+          let dim_name, dim = match gt.role with Rows_m -> ("m", g.m) | Rows_k -> ("k", g.k) in
+          (match Ir_analysis.const_value dim with
+          | Some n when n <> gt.rows_per_y * gt.y_extent ->
+              err ~stmt
+                "gemm tile metadata inconsistent: %s=%d but rows_per_y*y_extent=%d"
+                dim_name n (gt.rows_per_y * gt.y_extent)
+          | _ -> ())
+  in
+  (* Cross-iteration dependence check for a parallel loop over [v]:
+     plain stores and overwriting GEMMs must provably hit disjoint
+     locations per iteration; accumulations are reductions
+     (privatizable, §5.4.3); externs must declare [v] as their item
+     axis; whole-buffer memsets are never legal under a parallel loop. *)
+  let check_parallel (l : loop) =
+    let v = l.var in
+    let rec go dep s =
+      match s with
+      | Store { buf; idx; _ } ->
+          if not (List.exists (varies_with ~v ~dep) idx) then
+            err ~stmt:s
+              "store to `%s' may write the same element in every iteration of parallel loop `%s'"
+              buf v
+      | Accum _ -> ()
+      | Memset { buf; _ } ->
+          err ~stmt:s
+            "memset(%s) under parallel loop `%s' overwrites the whole buffer in every iteration"
+            buf v
+      | Gemm g ->
+          if g.beta = 0.0 && not (varies_with ~v ~dep g.off_c) then
+            err ~stmt:s
+              "gemm overwriting `%s' (beta=0) is not partitioned by parallel loop `%s'"
+              g.c v
+      | Extern e -> (
+          match e.item_var with
+          | Some iv when String.equal iv v -> ()
+          | _ ->
+              err ~stmt:s
+                "extern `%s' under parallel loop `%s' is not partitioned by it"
+                e.name v)
+      | Fusion_barrier _ -> ()
+      | If (_, t, e) ->
+          List.iter (go dep) t;
+          List.iter (go dep) e
+      | For inner ->
+          let bvars = ivars (ivars SS.empty inner.lo) inner.hi in
+          let dep =
+            if SS.mem v bvars || SS.exists (fun x -> SS.mem x dep) bvars then
+              SS.add inner.var dep
+            else dep
+          in
+          List.iter (go dep) inner.body
+    in
+    List.iter (go SS.empty) l.body
+  in
+  let rec go env s =
+    match s with
+    | Store { buf; idx; value } | Accum { buf; idx; value; _ } ->
+        check_bound ~stmt:s env (List.fold_left ivars (fvars SS.empty value) idx);
+        check_buf ~stmt:s ~idx buf;
+        check_loads ~stmt:s value
+    | Memset { buf; _ } -> check_buf ~stmt:s buf
+    | Gemm g ->
+        check_bound ~stmt:s env
+          (List.fold_left ivars SS.empty [ g.m; g.n; g.k; g.off_a; g.off_b; g.off_c ]);
+        check_buf ~stmt:s g.a;
+        check_buf ~stmt:s g.b;
+        check_buf ~stmt:s g.c;
+        check_gemm_tile ~stmt:s g
+    | Extern e ->
+        List.iter (check_buf ~stmt:s) e.reads;
+        List.iter (check_buf ~stmt:s) e.writes;
+        (match e.item_var with
+        | Some v when not (SS.mem v env) ->
+            err ~stmt:s "extern `%s' references unbound item variable `%s'" e.name v
+        | _ -> ())
+    | Fusion_barrier _ -> ()
+    | If (c, t, e) ->
+        check_bound ~stmt:s env (cvars SS.empty c);
+        check_loads ~stmt:s (Select (c, Fconst 0.0, Fconst 0.0));
+        List.iter (go env) t;
+        List.iter (go env) e
+    | For l ->
+        check_bound ~stmt:s env (ivars (ivars SS.empty l.lo) l.hi);
+        (match l.tile with
+        | Some t ->
+            if t.tile_size < 1 then
+              err ~stmt:s "tiled loop `%s' has tile size %d < 1" l.var t.tile_size;
+            if t.dep_distance < 1 then
+              err ~stmt:s "tiled loop `%s' has dependence distance %d < 1" l.var
+                t.dep_distance;
+            if
+              Ir_analysis.const_value l.lo = None
+              || Ir_analysis.const_value l.hi = None
+            then
+              err ~stmt:s "tiled loop `%s' must have constant bounds" l.var
+        | None -> ());
+        if l.parallel then check_parallel l;
+        List.iter (go (SS.add l.var env)) l.body
+  in
+  List.iter (go (SS.of_list bound)) stmts;
+  List.rev !errors

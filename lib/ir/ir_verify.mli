@@ -1,0 +1,37 @@
+(** IR well-formedness verifier.
+
+    Run after each compiler pass (under [--verify-ir]) to catch broken
+    transformations early. Checks, per statement:
+
+    - every loop variable is bound by an enclosing loop (or listed in
+      [bound], e.g. the implicit batch variable of per-item unit code);
+    - every [Load]/[Store]/[Accum]/[Memset]/[Gemm]/[Extern] buffer is
+      present in the buffer plan, and multi-dimensional indices match
+      the buffer's rank;
+    - tile metadata is consistent: positive sizes/distances, constant
+      tiled-loop bounds, and GEMM row metadata agreeing with the
+      constant [m]/[k] dimension it annotates;
+    - [parallel] loops carry no provable cross-iteration dependence:
+      plain stores and overwriting GEMMs must be partitioned by the
+      parallel variable (directly, or through inner loop bounds that
+      depend on it, as tiling restriction produces); accumulations are
+      reductions and externs must name the parallel variable as their
+      item axis. *)
+
+type error = {
+  region : string;  (** Section / unit the offending statement lives in. *)
+  stmt : string option;  (** First line of the offending statement. *)
+  reason : string;
+}
+
+val to_string : error -> string
+
+val verify_stmts :
+  ?bound:string list ->
+  shape_of:(string -> Shape.t option) ->
+  region:string ->
+  Ir.stmt list ->
+  error list
+(** [shape_of] returns the planned shape of a buffer, or [None] for
+    buffers absent from the plan. Returns the (ordered) list of
+    diagnostics; empty means well-formed. *)

@@ -10,6 +10,8 @@ let () =
       ("ir-exec", Test_ir_exec.suite);
       ("graph", Test_graph.suite);
       ("compiler", Test_compiler.suite);
+      ("passes", Test_passes.suite);
+      ("ir-verify", Test_ir_verify.suite);
       ("network", Test_network.suite);
       ("baselines", Test_baselines.suite);
       ("solver", Test_solver.suite);

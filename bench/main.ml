@@ -14,6 +14,7 @@ let all =
     ("fig19", fun () -> Figures.fig19 ());
     ("fig20", fun () -> Figures.fig20 ());
     ("ablation", Ablation.run);
+    ("serve", Serve.run);
   ]
 
 let () =

@@ -3,6 +3,8 @@
    Subcommands:
      dump-ir   — compile a model and print the optimized IR per section
      train     — train a model on a synthetic dataset and report accuracy
+     serve-sim — serve a synthetic request load (simulated clock) with
+                 batching, deadlines, shedding and breaker degradation
      bench     — time one model against the Caffe-like baseline
      models    — list available model architectures
      machines  — list the machine models used by the cost model *)
@@ -237,7 +239,9 @@ let train_cmd =
                  nan:BUF@K / inf:BUF@K (poison buffer BUF at iteration K), \
                  kill:W@S (kill data-parallel worker W at step S), \
                  slow:NODE@F (straggler factor F on NODE in the cluster \
-                 simulator).")
+                 simulator). The serving-time forms (poison-out:BUF@K, \
+                 slow-section:LABEL@F) parse but only fire under \
+                 $(b,serve-sim).")
   in
   let ckpt_dir =
     Arg.(value & opt (some string) None & info [ "ckpt-dir" ] ~docv:"DIR"
@@ -250,6 +254,136 @@ let train_cmd =
     Term.(const train $ model_arg $ batch_arg $ image_arg $ width_div_arg
           $ fc_div_arg $ config_term $ passes_arg $ verify_arg $ iters $ lr
           $ faults $ ckpt_dir)
+
+(* ------------------------------------------------------------------ *)
+(* serve-sim                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let serve_sim model batch image width_div fc_div config requests rate deadline_ms
+    queue_cap max_wait_ms breaker_k cooldown_ms retries backoff_ms faults_spec
+    seed =
+  let faults =
+    match faults_spec with
+    | None -> Fault.none
+    | Some s -> (
+        try Fault.parse s
+        with Invalid_argument msg ->
+          Printf.eprintf "latte: %s\n" msg;
+          exit 2)
+  in
+  let spec = build_model model ~batch ~image ~width_div ~fc_div in
+  let server =
+    try
+      Server.create ~queue_capacity:queue_cap ~failure_threshold:breaker_k
+        ~cooldown:(cooldown_ms /. 1e3) ~max_retries:retries
+        ~backoff:(backoff_ms /. 1e3) ~faults ~seed ~config
+        ~input_buf:(spec.Models.data_ens ^ ".value")
+        ~output_buf:(spec.Models.output_ens ^ ".value")
+        (fun () -> (build_model model ~batch ~image ~width_div ~fc_div).Models.net)
+    with Invalid_argument msg ->
+      Printf.eprintf "latte: %s\n" msg;
+      exit 2
+  in
+  Printf.printf "serving %s (batch %d, queue %d, breaker K=%d, cooldown %gms)\n"
+    model batch queue_cap breaker_k cooldown_ms;
+  if not (Fault.is_empty faults) then
+    Printf.printf "armed faults: %s\n" (Fault.to_string faults);
+  Printf.printf "fast-path sections (modeled cost per forward):\n";
+  List.iter
+    (fun (label, s) ->
+      let f = Fault.section_factor faults ~label in
+      Printf.printf "  %-34s %9.3f us%s\n" label (s *. 1e6)
+        (if f > 1.0 then Printf.sprintf "  (slowed x%g)" f else ""))
+    (Server.section_costs server);
+  Load_gen.run server
+    { Load_gen.n = requests; rate; deadline = deadline_ms /. 1e3;
+      max_wait = max_wait_ms /. 1e3; seed };
+  Printf.printf "simulated %d requests over %.3f ms\n" requests
+    (Server.now server *. 1e3);
+  print_string (Serve_metrics.report (Server.metrics server));
+  (match Breaker.transitions (Server.breaker server) with
+  | [] -> Printf.printf "breaker: no transitions (stayed Closed)\n"
+  | trs ->
+      Printf.printf "breaker transitions:\n";
+      List.iter
+        (fun tr -> Printf.printf "  %s\n" (Breaker.transition_to_string tr))
+        trs);
+  List.iter
+    (fun (e : Fault.event) -> Printf.printf "[fault] %s\n" e.Fault.what)
+    (Fault.events faults);
+  let unanswered = Server.unanswered server in
+  if unanswered > 0 then begin
+    Printf.eprintf "latte: %d request(s) left unanswered\n" unanswered;
+    exit 1
+  end
+
+let serve_sim_cmd =
+  let requests =
+    Arg.(value & opt int 200 & info [ "requests" ] ~docv:"N"
+           ~doc:"Requests generated by the open-loop load generator.")
+  in
+  let rate =
+    Arg.(value & opt float 2000.0 & info [ "rate" ] ~docv:"R"
+           ~doc:"Mean arrival rate, requests per simulated second.")
+  in
+  let deadline_ms =
+    Arg.(value & opt float 20.0 & info [ "deadline-ms" ] ~docv:"MS"
+           ~doc:"Per-request deadline (simulated milliseconds after arrival); \
+                 requests still queued past it are answered Timeout without \
+                 running.")
+  in
+  let queue_cap =
+    Arg.(value & opt int 64 & info [ "queue-cap" ] ~docv:"N"
+           ~doc:"Request queue high-water mark; admissions beyond it are Shed.")
+  in
+  let max_wait_ms =
+    Arg.(value & opt float 2.0 & info [ "max-wait-ms" ] ~docv:"MS"
+           ~doc:"Dynamic-batching window: a short batch dispatches once its \
+                 head-of-line request has waited this long.")
+  in
+  let breaker_k =
+    Arg.(value & opt int 1 & info [ "breaker-k" ] ~docv:"K"
+           ~doc:"Consecutive fast-path batch failures that open the circuit \
+                 breaker.")
+  in
+  let cooldown_ms =
+    Arg.(value & opt float 5.0 & info [ "cooldown-ms" ] ~docv:"MS"
+           ~doc:"Simulated time the breaker stays Open before a half-open \
+                 probe of the fast path.")
+  in
+  let retries =
+    Arg.(value & opt int 1 & info [ "retries" ] ~docv:"N"
+           ~doc:"Bounded retries of a failed fast batch (exponential backoff) \
+                 while the breaker is still Closed.")
+  in
+  let backoff_ms =
+    Arg.(value & opt float 0.1 & info [ "backoff-ms" ] ~docv:"MS"
+           ~doc:"Base retry backoff (doubles per attempt), simulated ms.")
+  in
+  let faults =
+    Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC"
+           ~doc:"Arm a serving-time fault plan: poison-out:BUF@K (corrupt \
+                 output buffer BUF with NaN on the Kth fast forward), \
+                 slow-section:LABEL@F (multiply the simulated cost of every \
+                 section whose label contains LABEL by F); the training-time \
+                 forms (crash-save@N, nan:BUF@K, inf:BUF@K, kill:W@S, \
+                 slow:NODE@F) parse but do not fire here.")
+  in
+  let seed =
+    Arg.(value & opt int 7 & info [ "seed" ] ~docv:"S"
+           ~doc:"Seed for arrivals and request features.")
+  in
+  Cmd.v
+    (Cmd.info "serve-sim"
+       ~doc:"Serve an open-loop synthetic request load against a compiled \
+             model on a simulated clock, with dynamic batching, deadlines, \
+             load shedding and a circuit breaker degrading to the \
+             unoptimized reference executor; prints latency percentiles, \
+             shed/timeout/degraded counts and breaker transitions.")
+    Term.(const serve_sim $ model_arg $ batch_arg $ image_arg $ width_div_arg
+          $ fc_div_arg $ config_term $ requests $ rate $ deadline_ms $ queue_cap
+          $ max_wait_ms $ breaker_k $ cooldown_ms $ retries $ backoff_ms
+          $ faults $ seed)
 
 (* ------------------------------------------------------------------ *)
 (* bench                                                               *)
@@ -360,5 +494,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ dump_ir_cmd; train_cmd; bench_cmd; graph_cmd; models_cmd;
-            passes_cmd; machines_cmd ]))
+          [ dump_ir_cmd; train_cmd; serve_sim_cmd; bench_cmd; graph_cmd;
+            models_cmd; passes_cmd; machines_cmd ]))

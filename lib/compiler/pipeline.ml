@@ -3,6 +3,16 @@
 
 let compile ?seed config net = fst (Pass_manager.run ?seed config net)
 
+(* Parameter initialization draws from the seeded Rng during the
+   (required, config-independent) synthesize pass, so compiling the same
+   network description twice with one seed yields bit-identical
+   parameter values under any two configs — which is what lets the
+   reference program stand in for the optimized one at serving time. *)
+let compile_pair ?seed config build =
+  let fast = compile ?seed config (build ()) in
+  let reference = compile ?seed Config.unoptimized (build ()) in
+  (fast, reference)
+
 let dump (p : Program.t) =
   let buf = Buffer.create 4096 in
   let emit dir sections =

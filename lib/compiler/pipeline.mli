@@ -17,6 +17,17 @@
 
 val compile : ?seed:int -> Config.t -> Net.t -> Program.t
 
+val compile_pair :
+  ?seed:int -> Config.t -> (unit -> Net.t) -> Program.t * Program.t
+(** [compile_pair config build] is [(fast, reference)]: the network
+    description compiled twice with the same seed, once under [config]
+    and once under {!Config.unoptimized}. Both programs hold identical
+    parameter values (initialization draws happen in the required,
+    config-independent synthesis pass), so the reference program is a
+    numerically trusted stand-in for the optimized one — the degradation
+    target of the serving runtime. [build] must return a fresh,
+    structurally identical net on each call. *)
+
 val dump : Program.t -> string
 (** Human-readable listing of every section's IR, followed by the
     buffer plan (name, shape, bytes, alias target) and the parameter

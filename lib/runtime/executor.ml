@@ -56,7 +56,13 @@ let time_run ?(warmup = 1) ?(iters = 3) f =
 let time_forward ?warmup ?iters t = time_run ?warmup ?iters (fun () -> forward t)
 let time_backward ?warmup ?iters t = time_run ?warmup ?iters (fun () -> backward t)
 
-let lookup t name = Buffer_pool.lookup t.prog.buffers name
+let lookup t name =
+  let pool = t.prog.Program.buffers in
+  if Buffer_pool.mem pool name then Buffer_pool.lookup pool name
+  else
+    invalid_arg
+      (Printf.sprintf "Executor.lookup: unknown buffer %s (available: %s)" name
+         (String.concat ", " (Buffer_pool.names pool)))
 
 let kernel_stats t =
   let tbl = Hashtbl.create 16 in

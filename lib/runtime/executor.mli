@@ -24,7 +24,9 @@ val time_forward : ?warmup:int -> ?iters:int -> t -> float
 val time_backward : ?warmup:int -> ?iters:int -> t -> float
 
 val lookup : t -> string -> Tensor.t
-(** Access a buffer by name (for data layers, tests, solvers). *)
+(** Access a buffer by name (for data layers, tests, solvers). Raises
+    [Invalid_argument] naming the missing buffer and listing the
+    available buffer names when [name] is unknown. *)
 
 val kernel_stats : t -> (string * int) list
 (** Aggregated code-generation kernel statistics over all sections. *)

@@ -5,6 +5,8 @@ type spec =
   | Poison of { buf : string; at_iter : int; value : float }
   | Kill_worker of { worker : int; at_step : int }
   | Straggler of { node : int; factor : float }
+  | Slow_section of { label : string; factor : float }
+  | Poison_output of { buf : string; at_forward : int }
 
 type event = { at : int; what : string }
 
@@ -97,13 +99,59 @@ let stragglers t =
       | _ -> None)
     t.armed
 
+(* A [Slow_section] spec matches any section whose label contains it —
+   fused section labels are '+'-joined ensemble lists the user should
+   not have to spell out exactly. *)
+let label_matches ~spec ~label =
+  let nl = String.length label and ns = String.length spec in
+  let rec go i = i + ns <= nl && (String.sub label i ns = spec || go (i + 1)) in
+  ns > 0 && go 0
+
+let section_factor t ~label =
+  List.fold_left
+    (fun acc a ->
+      match a.spec with
+      | Slow_section { label = spec; factor } when label_matches ~spec ~label ->
+          acc *. factor
+      | _ -> acc)
+    1.0 t.armed
+
+let slow_sections t =
+  List.filter_map
+    (fun a ->
+      match a.spec with
+      | Slow_section { label; factor } -> Some (label, factor)
+      | _ -> None)
+    t.armed
+
+let poison_outputs_at t ~forward =
+  List.filter_map
+    (fun a ->
+      match a.spec with
+      | Poison_output { buf; at_forward } when (not a.fired) && at_forward = forward
+        ->
+          a.fired <- true;
+          record t ~at:forward
+            (Printf.sprintf "poisoned output buffer %s on forward #%d" buf forward);
+          Some buf
+      | _ -> None)
+    t.armed
+
+let poison_output_bufs t =
+  List.filter_map
+    (fun a ->
+      match a.spec with
+      | Poison_output { buf; _ } -> Some buf
+      | _ -> None)
+    t.armed
+
 (* ------------------------------------------------------------------ *)
 (* CLI syntax                                                          *)
 (* ------------------------------------------------------------------ *)
 
 let usage =
   "fault spec: comma-separated crash-save@N | nan:BUF@K | inf:BUF@K | \
-   kill:W@S | slow:NODE@F"
+   kill:W@S | slow:NODE@F | slow-section:LABEL@F | poison-out:BUF@K"
 
 let parse_item item =
   let fail () =
@@ -137,6 +185,8 @@ let parse_item item =
               Poison { buf = target; at_iter = int_of arg; value = Float.infinity }
           | "kill" -> Kill_worker { worker = int_of target; at_step = int_of arg }
           | "slow" -> Straggler { node = int_of target; factor = float_of arg }
+          | "slow-section" -> Slow_section { label = target; factor = float_of arg }
+          | "poison-out" -> Poison_output { buf = target; at_forward = int_of arg }
           | _ -> fail ()))
 
 let parse s =
@@ -154,5 +204,7 @@ let spec_to_string = function
       Printf.sprintf "%s:%s@%d" kind buf at_iter
   | Kill_worker { worker; at_step } -> Printf.sprintf "kill:%d@%d" worker at_step
   | Straggler { node; factor } -> Printf.sprintf "slow:%d@%g" node factor
+  | Slow_section { label; factor } -> Printf.sprintf "slow-section:%s@%g" label factor
+  | Poison_output { buf; at_forward } -> Printf.sprintf "poison-out:%s@%d" buf at_forward
 
 let to_string t = String.concat "," (List.map spec_to_string (specs t))

@@ -30,6 +30,14 @@ type spec =
   | Straggler of { node : int; factor : float }
       (** Node [node]'s compute runs [factor]x slower (>= 1.0) in the
           cluster simulator. *)
+  | Slow_section of { label : string; factor : float }
+      (** Serving: any compiled section whose label contains [label]
+          runs [factor]x slower on the serving runtime's simulated
+          clock. Persistent (not one-shot), like {!Straggler}. *)
+  | Poison_output of { buf : string; at_forward : int }
+      (** Serving: corrupt output buffer [buf] with NaN right after the
+          [at_forward]-th fast-path forward (0-based, counted over the
+          plan's lifetime, retries included). One-shot. *)
 
 type event = { at : int; what : string }
 (** A fault that actually fired: the iteration/step/save index it fired
@@ -50,8 +58,9 @@ val is_empty : t -> bool
 
 val parse : string -> t
 (** Parse the CLI fault spec: comma-separated items of the forms
-    [crash-save@N], [nan:BUF@K], [inf:BUF@K], [kill:W@S], and
-    [slow:NODE@F] (e.g. ["crash-save@1,nan:fc1.weights@40,kill:1@30"]).
+    [crash-save@N], [nan:BUF@K], [inf:BUF@K], [kill:W@S], [slow:NODE@F],
+    [slow-section:LABEL@F], and [poison-out:BUF@K]
+    (e.g. ["crash-save@1,nan:fc1.weights@40,kill:1@30"]).
     Raises [Invalid_argument] with a usage message on bad syntax. *)
 
 val to_string : t -> string
@@ -77,6 +86,22 @@ val straggler_factor : t -> node:int -> float
 
 val stragglers : t -> (int * float) list
 (** All armed [(node, factor)] straggler entries. *)
+
+val section_factor : t -> label:string -> float
+(** Serving-time slowdown multiplier for the compiled section [label]:
+    the product of the factors of every armed [Slow_section] whose label
+    occurs as a substring of [label] (1.0 when none match). *)
+
+val slow_sections : t -> (string * float) list
+(** All armed [(label, factor)] slow-section entries. *)
+
+val poison_outputs_at : t -> forward:int -> string list
+(** Output buffers to corrupt right after fast-path forward [forward];
+    one-shot, marks them fired and records events. *)
+
+val poison_output_bufs : t -> string list
+(** Every buffer named by an armed [Poison_output] (fired or not) — for
+    early validation against the program's buffer plan. *)
 
 val events : t -> event list
 (** Every fault fired so far, in firing order. *)

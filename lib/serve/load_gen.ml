@@ -1,0 +1,54 @@
+type params = {
+  n : int;
+  rate : float;
+  deadline : float;
+  max_wait : float;
+  seed : int;
+}
+
+let run server p =
+  if p.n <= 0 then invalid_arg (Printf.sprintf "Load_gen.run: n %d <= 0" p.n);
+  if p.rate <= 0.0 then
+    invalid_arg (Printf.sprintf "Load_gen.run: rate %g <= 0" p.rate);
+  let rng = Rng.create p.seed in
+  let arrivals =
+    let t = ref 0.0 in
+    Array.init p.n (fun _ ->
+        (* Exponential inter-arrival: -ln(1-u)/rate. *)
+        t := !t +. (-.Float.log (1.0 -. Rng.float rng 1.0) /. p.rate);
+        !t)
+  in
+  let item = Server.item_numel server in
+  let next = ref 0 in
+  let submit_due () =
+    while !next < p.n && arrivals.(!next) <= Server.now server do
+      let features = Array.init item (fun _ -> Rng.float rng 1.0) in
+      ignore
+        (Server.submit server ~deadline:(arrivals.(!next) +. p.deadline) features);
+      incr next
+    done
+  in
+  while !next < p.n || Server.queue_length server > 0 do
+    submit_due ();
+    let qlen = Server.queue_length server in
+    if qlen = 0 then
+      (* Idle: jump to the next arrival (there is one, or the loop ends). *)
+      Server.advance_to server arrivals.(!next)
+    else if qlen >= Server.batch_size server || !next >= p.n then
+      ignore (Server.pump server)
+    else begin
+      (* Short batch: wait for more arrivals, but never past the
+         batching window of the head-of-line request. *)
+      let waited = Option.value ~default:0.0 (Server.oldest_wait server) in
+      if waited >= p.max_wait then ignore (Server.pump server)
+      else begin
+        let dispatch_at = Server.now server +. (p.max_wait -. waited) in
+        if arrivals.(!next) <= dispatch_at then
+          Server.advance_to server arrivals.(!next)
+        else begin
+          Server.advance_to server dispatch_at;
+          ignore (Server.pump server)
+        end
+      end
+    end
+  done

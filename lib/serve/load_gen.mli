@@ -1,0 +1,23 @@
+(** Open-loop synthetic load generator for {!Server}.
+
+    Arrivals are a seeded Poisson process (exponential inter-arrival
+    times at [rate] requests per simulated second) with uniform random
+    feature vectors — open-loop, so arrivals keep coming at the armed
+    rate no matter how far the server falls behind, which is what makes
+    shedding and deadline expiry reachable. The event loop advances the
+    server's simulated clock between arrivals and dispatches a batch
+    when it is full, when the head-of-line request has waited
+    [max_wait], or when no arrivals remain. *)
+
+type params = {
+  n : int;  (** Total requests to generate. *)
+  rate : float;  (** Mean arrivals per simulated second. *)
+  deadline : float;  (** Relative per-request deadline, seconds. *)
+  max_wait : float;  (** Batching window before dispatching short batches. *)
+  seed : int;
+}
+
+val run : Server.t -> params -> unit
+(** Drive the server until every generated request is answered; after
+    the run [Server.unanswered] is 0. Raises [Invalid_argument] for
+    non-positive [n] or [rate]. *)

@@ -1,0 +1,74 @@
+type t = {
+  mutable submitted : int;
+  mutable done_fast : int;
+  mutable done_degraded : int;
+  mutable timeout : int;
+  mutable shed : int;
+  mutable batches : int;
+  mutable fast_failures : int;
+  mutable retries : int;
+  mutable degraded_batches : int;
+  mutable latencies : float list;  (* newest first *)
+  mutable n_latencies : int;
+}
+
+let create () =
+  { submitted = 0; done_fast = 0; done_degraded = 0; timeout = 0; shed = 0;
+    batches = 0; fast_failures = 0; retries = 0; degraded_batches = 0;
+    latencies = []; n_latencies = 0 }
+
+let record_submitted t = t.submitted <- t.submitted + 1
+let record_shed t = t.shed <- t.shed + 1
+let record_timeout t = t.timeout <- t.timeout + 1
+
+let record_done t ~degraded ~latency =
+  if degraded then t.done_degraded <- t.done_degraded + 1
+  else t.done_fast <- t.done_fast + 1;
+  t.latencies <- latency :: t.latencies;
+  t.n_latencies <- t.n_latencies + 1
+
+let record_batch t = t.batches <- t.batches + 1
+let record_fast_failure t = t.fast_failures <- t.fast_failures + 1
+let record_retry t = t.retries <- t.retries + 1
+let record_degraded_batch t = t.degraded_batches <- t.degraded_batches + 1
+
+let submitted t = t.submitted
+let done_fast t = t.done_fast
+let done_degraded t = t.done_degraded
+let timeout t = t.timeout
+let shed t = t.shed
+let answered t = t.done_fast + t.done_degraded + t.timeout + t.shed
+let batches t = t.batches
+let fast_failures t = t.fast_failures
+let retries t = t.retries
+let degraded_batches t = t.degraded_batches
+
+let percentile t p =
+  if t.n_latencies = 0 then 0.0
+  else begin
+    let a = Array.of_list t.latencies in
+    Array.sort compare a;
+    let n = Array.length a in
+    let rank = int_of_float (Float.ceil (p /. 100.0 *. float_of_int n)) - 1 in
+    a.(max 0 (min (n - 1) rank))
+  end
+
+let mean_latency t =
+  if t.n_latencies = 0 then 0.0
+  else List.fold_left ( +. ) 0.0 t.latencies /. float_of_int t.n_latencies
+
+let report t =
+  let b = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "requests: %d submitted = %d fast + %d degraded + %d timeout + %d shed"
+    t.submitted t.done_fast t.done_degraded t.timeout t.shed;
+  line "batches:  %d dispatched (%d degraded), %d fast failure(s), %d retry(ies)"
+    t.batches t.degraded_batches t.fast_failures t.retries;
+  if t.n_latencies > 0 then
+    line "latency:  mean %.3f ms   p50 %.3f ms   p95 %.3f ms   p99 %.3f ms"
+      (mean_latency t *. 1e3)
+      (percentile t 50.0 *. 1e3)
+      (percentile t 95.0 *. 1e3)
+      (percentile t 99.0 *. 1e3)
+  else line "latency:  no completed requests";
+  Buffer.contents b

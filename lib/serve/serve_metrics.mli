@@ -1,0 +1,48 @@
+(** Counters and latency statistics for a serving run.
+
+    Latencies are simulated seconds (admission to response). Every
+    admitted request ends in exactly one of [done_fast], [done_degraded]
+    or [timeout]; refused requests count as [shed]. *)
+
+type t
+
+val create : unit -> t
+
+(** {1 Recording} *)
+
+val record_submitted : t -> unit
+val record_shed : t -> unit
+val record_timeout : t -> unit
+val record_done : t -> degraded:bool -> latency:float -> unit
+val record_batch : t -> unit
+val record_fast_failure : t -> unit
+val record_retry : t -> unit
+val record_degraded_batch : t -> unit
+
+(** {1 Reading} *)
+
+val submitted : t -> int
+(** Every request offered, shed or not. *)
+
+val done_fast : t -> int
+val done_degraded : t -> int
+val timeout : t -> int
+val shed : t -> int
+val answered : t -> int
+(** [done_fast + done_degraded + timeout + shed]. *)
+
+val batches : t -> int
+(** Batches dispatched (fast attempts and degraded runs count once). *)
+
+val fast_failures : t -> int
+val retries : t -> int
+val degraded_batches : t -> int
+
+val percentile : t -> float -> float
+(** [percentile t p] of recorded Done latencies, [p] in [0, 100];
+    0.0 when none recorded. *)
+
+val mean_latency : t -> float
+
+val report : t -> string
+(** Multi-line human-readable summary: counts, latency percentiles. *)

@@ -1,0 +1,267 @@
+type status =
+  | Queued
+  | Batched
+  | Done of { output : float array; degraded : bool; latency : float }
+  | Timeout
+  | Shed
+
+let status_name = function
+  | Queued -> "Queued"
+  | Batched -> "Batched"
+  | Done _ -> "Done"
+  | Timeout -> "Timeout"
+  | Shed -> "Shed"
+
+type pending = { id : int; features : float array; arrival : float; deadline : float }
+
+type t = {
+  fast : Executor.t;
+  reference : Executor.t;
+  input_buf : string;
+  output_buf : string;
+  item_numel : int;
+  batch : int;
+  queue : pending Request_queue.t;
+  statuses : (int, status) Hashtbl.t;
+  breaker : Breaker.t;
+  metrics : Serve_metrics.t;
+  faults : Fault.t;
+  fast_costs : (string * float) list;
+  ref_costs : (string * float) list;
+  max_retries : int;
+  backoff : float;
+  mutable clock : float;
+  mutable forwards : int;
+  mutable next_id : int;
+}
+
+let section_costs_of machine (prog : Program.t) sections =
+  let est =
+    Cost_model.estimate_sections machine
+      ~buf_bytes:(Cost_model.buf_bytes_of prog) sections
+  in
+  List.map
+    (fun (s : Cost_model.section_estimate) -> (s.Cost_model.label, s.Cost_model.seconds))
+    est.Cost_model.sections
+
+(* Degraded answers must match the fast path's parameters exactly even
+   if a future pass reorders initialization draws, so the pairing is
+   enforced by copying rather than assumed from the shared seed. *)
+let sync_params ~from_exec ~to_exec =
+  List.iter
+    (fun (p : Program.param) ->
+      Tensor.blit
+        ~src:(Executor.lookup from_exec p.Program.value_buf)
+        ~dst:(Executor.lookup to_exec p.Program.value_buf))
+    (Executor.program from_exec).Program.params
+
+let create ?(queue_capacity = 64) ?(failure_threshold = 1) ?(cooldown = 5e-3)
+    ?(max_retries = 1) ?(backoff = 1e-4) ?(machine = Machine.xeon_e5_2699v3)
+    ?(faults = Fault.none) ?(seed = 42) ~config ~input_buf ~output_buf build =
+  if max_retries < 0 then
+    invalid_arg (Printf.sprintf "Server.create: max_retries %d < 0" max_retries);
+  if backoff < 0.0 then
+    invalid_arg (Printf.sprintf "Server.create: backoff %g < 0" backoff);
+  let fast_prog, ref_prog = Pipeline.compile_pair ~seed config build in
+  let fast = Executor.prepare fast_prog in
+  let reference = Executor.prepare ref_prog in
+  sync_params ~from_exec:fast ~to_exec:reference;
+  let input = Executor.lookup fast input_buf in
+  ignore (Executor.lookup fast output_buf);
+  ignore (Executor.lookup reference input_buf);
+  ignore (Executor.lookup reference output_buf);
+  List.iter
+    (fun buf -> ignore (Executor.lookup fast buf))
+    (Fault.poison_output_bufs faults);
+  let batch = fast_prog.Program.batch_size in
+  {
+    fast;
+    reference;
+    input_buf;
+    output_buf;
+    item_numel = Tensor.numel input / batch;
+    batch;
+    queue = Request_queue.create ~capacity:queue_capacity;
+    statuses = Hashtbl.create 256;
+    breaker = Breaker.create ~threshold:failure_threshold ~cooldown ();
+    metrics = Serve_metrics.create ();
+    faults;
+    fast_costs = section_costs_of machine fast_prog fast_prog.Program.forward;
+    ref_costs = section_costs_of machine ref_prog ref_prog.Program.forward;
+    max_retries;
+    backoff;
+    clock = 0.0;
+    forwards = 0;
+    next_id = 0;
+  }
+
+let batch_size t = t.batch
+let item_numel t = t.item_numel
+let now t = t.clock
+
+let advance t dt =
+  if dt < 0.0 then invalid_arg (Printf.sprintf "Server.advance: dt %g < 0" dt);
+  t.clock <- t.clock +. dt
+
+let advance_to t time = if time > t.clock then t.clock <- time
+
+let submit t ?(deadline = Float.infinity) features =
+  if Array.length features <> t.item_numel then
+    invalid_arg
+      (Printf.sprintf "Server.submit: %d features, expected %d"
+         (Array.length features) t.item_numel);
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  Serve_metrics.record_submitted t.metrics;
+  let r = { id; features; arrival = t.clock; deadline } in
+  if Request_queue.offer t.queue r then Hashtbl.replace t.statuses id Queued
+  else begin
+    Hashtbl.replace t.statuses id Shed;
+    Serve_metrics.record_shed t.metrics
+  end;
+  id
+
+let queue_length t = Request_queue.length t.queue
+
+let oldest_wait t =
+  Option.map (fun r -> t.clock -. r.arrival) (Request_queue.peek t.queue)
+
+(* ------------------------------------------------------------------ *)
+(* Batch execution                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let simulated_cost t costs =
+  List.fold_left
+    (fun acc (label, s) -> acc +. (s *. Fault.section_factor t.faults ~label))
+    0.0 costs
+
+let fill_inputs t exec reqs =
+  let input = Executor.lookup exec t.input_buf in
+  Tensor.fill input 0.0;
+  List.iteri
+    (fun i r ->
+      let row = Tensor.sub_left input i in
+      Array.iteri (fun j v -> Tensor.set1 row j v) r.features)
+    reqs
+
+let output_finite t exec ~n_live =
+  let out = Executor.lookup exec t.output_buf in
+  let ok = ref true in
+  for i = 0 to n_live - 1 do
+    let row = Tensor.sub_left out i in
+    for j = 0 to Tensor.numel row - 1 do
+      if not (Float.is_finite (Tensor.get1 row j)) then ok := false
+    done
+  done;
+  !ok
+
+(* One fast forward: advance the simulated clock by the (possibly
+   slow-section-inflated) modeled cost, apply due output poisonings,
+   then run the post-forward guard over the live rows. *)
+let try_fast t ~n_live =
+  let fwd_ix = t.forwards in
+  t.forwards <- fwd_ix + 1;
+  match Executor.forward t.fast with
+  | () ->
+      t.clock <- t.clock +. simulated_cost t t.fast_costs;
+      List.iter
+        (fun buf -> Tensor.fill (Executor.lookup t.fast buf) Float.nan)
+        (Fault.poison_outputs_at t.faults ~forward:fwd_ix);
+      if output_finite t t.fast ~n_live then Ok ()
+      else Error (Printf.sprintf "non-finite output in %s" t.output_buf)
+  | exception Fault.Injected_crash msg ->
+      t.clock <- t.clock +. simulated_cost t t.fast_costs;
+      Error msg
+
+let respond t ~degraded exec reqs =
+  let out = Executor.lookup exec t.output_buf in
+  List.iteri
+    (fun i r ->
+      let row = Tensor.sub_left out i in
+      let output = Array.init (Tensor.numel row) (Tensor.get1 row) in
+      let latency = t.clock -. r.arrival in
+      Hashtbl.replace t.statuses r.id (Done { output; degraded; latency });
+      Serve_metrics.record_done t.metrics ~degraded ~latency)
+    reqs
+
+let run_reference t reqs =
+  Serve_metrics.record_degraded_batch t.metrics;
+  fill_inputs t t.reference reqs;
+  Executor.forward t.reference;
+  t.clock <- t.clock +. simulated_cost t t.ref_costs;
+  respond t ~degraded:true t.reference reqs
+
+let run_batch t reqs =
+  let n_live = List.length reqs in
+  Serve_metrics.record_batch t.metrics;
+  if not (Breaker.allow_fast t.breaker ~now:t.clock) then run_reference t reqs
+  else begin
+    let probing = Breaker.state t.breaker = Half_open in
+    fill_inputs t t.fast reqs;
+    let rec attempt k =
+      match try_fast t ~n_live with
+      | Ok () ->
+          Breaker.on_success t.breaker ~now:t.clock;
+          respond t ~degraded:false t.fast reqs
+      | Error reason ->
+          Serve_metrics.record_fast_failure t.metrics;
+          Breaker.on_failure t.breaker ~now:t.clock ~reason;
+          (* Retry only while the breaker still trusts the fast path; a
+             half-open probe gets exactly one attempt. *)
+          if (not probing) && k < t.max_retries
+             && Breaker.state t.breaker = Breaker.Closed
+          then begin
+            Serve_metrics.record_retry t.metrics;
+            t.clock <- t.clock +. (t.backoff *. (2.0 ** float_of_int k));
+            attempt (k + 1)
+          end
+          else run_reference t reqs
+    in
+    attempt 0
+  end
+
+let pump t =
+  let rec take acc k =
+    if k = 0 then List.rev acc
+    else
+      match Request_queue.pop t.queue with
+      | None -> List.rev acc
+      | Some r ->
+          if r.deadline < t.clock then begin
+            Hashtbl.replace t.statuses r.id Timeout;
+            Serve_metrics.record_timeout t.metrics;
+            take acc k
+          end
+          else begin
+            Hashtbl.replace t.statuses r.id Batched;
+            take (r :: acc) (k - 1)
+          end
+  in
+  match take [] t.batch with
+  | [] -> false
+  | reqs ->
+      run_batch t reqs;
+      true
+
+let drain t =
+  while not (Request_queue.is_empty t.queue) do
+    ignore (pump t)
+  done
+
+let status t id =
+  match Hashtbl.find_opt t.statuses id with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Server.status: unknown request id %d" id)
+
+let unanswered t =
+  Hashtbl.fold
+    (fun _ s acc -> match s with Queued | Batched -> acc + 1 | _ -> acc)
+    t.statuses 0
+
+let forwards t = t.forwards
+let metrics t = t.metrics
+let breaker t = t.breaker
+let faults t = t.faults
+let fast_executor t = t.fast
+let reference_executor t = t.reference
+let section_costs t = t.fast_costs

@@ -1,0 +1,117 @@
+(** Fault-tolerant inference serving runtime.
+
+    Wraps a pair of prepared executors — the optimized (fast) program
+    and a {!Config.unoptimized} reference compiled from the same network
+    with the same seed ({!Pipeline.compile_pair}) — behind a bounded
+    request queue with:
+
+    - {b dynamic batching}: up to [Program.batch_size] queued requests
+      are packed per forward, short batches are zero-padded, and
+      per-request outputs are sliced back out of the output buffer;
+    - {b admission control}: once the queue's high-water mark is hit,
+      new requests are answered [Shed] immediately;
+    - {b deadlines}: each request carries an absolute deadline on the
+      simulated clock; requests already expired when a batch is formed
+      are answered [Timeout] without executing;
+    - {b bounded retry}: a failed fast batch (injected crash, or NaN/Inf
+      found in the output buffer by the post-forward guard) is retried
+      up to [max_retries] times with exponential backoff;
+    - {b a circuit breaker} ({!Breaker}): after [failure_threshold]
+      consecutive fast-path failures the breaker opens and batches are
+      served by the reference executor (answers marked [degraded]) until
+      a cooldown elapses and a half-open probe restores the fast path.
+
+    Every admitted request resolves to exactly one of [Done], [Timeout]
+    or [Shed]; time is simulated (batch cost from the {!Cost_model},
+    inflated by armed [Fault.Slow_section] specs), so runs are
+    deterministic and independent of wall clock. *)
+
+type status =
+  | Queued  (** Admitted, waiting for a batch slot. *)
+  | Batched  (** In the batch currently being executed. *)
+  | Done of { output : float array; degraded : bool; latency : float }
+      (** Answered: the request's slice of the output buffer, whether it
+          was produced by the reference (degraded) path, and simulated
+          seconds from admission to response. *)
+  | Timeout  (** Deadline expired before the request was executed. *)
+  | Shed  (** Refused at admission: queue full. *)
+
+val status_name : status -> string
+
+type t
+
+val create :
+  ?queue_capacity:int ->
+  ?failure_threshold:int ->
+  ?cooldown:float ->
+  ?max_retries:int ->
+  ?backoff:float ->
+  ?machine:Machine.cpu ->
+  ?faults:Fault.t ->
+  ?seed:int ->
+  config:Config.t ->
+  input_buf:string ->
+  output_buf:string ->
+  (unit -> Net.t) ->
+  t
+(** Compile the network twice ({!Pipeline.compile_pair}), prepare both
+    executors, copy the fast program's parameters into the reference (so
+    degraded answers are numerically comparable no matter what), and
+    derive per-section simulated costs from [machine] (default
+    {!Machine.xeon_e5_2699v3}). Defaults: [queue_capacity 64],
+    [failure_threshold 1], [cooldown 5e-3]s, [max_retries 1],
+    [backoff 1e-4]s base (doubling per retry), [faults Fault.none],
+    [seed 42]. Raises [Invalid_argument] when [input_buf]/[output_buf]
+    or a buffer named by an armed [poison-out] fault does not exist. *)
+
+val batch_size : t -> int
+val item_numel : t -> int
+(** Flattened feature element count each request must carry. *)
+
+val now : t -> float
+(** Current simulated time, seconds. *)
+
+val advance : t -> float -> unit
+(** Advance the simulated clock by a non-negative delta. *)
+
+val advance_to : t -> float -> unit
+(** Advance the clock to an absolute time (no-op if in the past). *)
+
+val submit : t -> ?deadline:float -> float array -> int
+(** Admit a request with [Array.length = item_numel] features; returns
+    its id. [deadline] is absolute simulated time (default: none). When
+    the queue is full the request is answered [Shed] immediately (its id
+    is still valid for {!status}). *)
+
+val queue_length : t -> int
+val oldest_wait : t -> float option
+(** How long the head-of-line request has been queued, if any. *)
+
+val pump : t -> bool
+(** Form and execute one batch: expired requests are answered [Timeout]
+    without running, then up to [batch_size] live requests run through
+    the breaker-guarded fast/degraded path. [false] when no live request
+    was available (expired ones may still have been answered). *)
+
+val drain : t -> unit
+(** Pump until the queue is empty. *)
+
+val status : t -> int -> status
+(** Raises [Invalid_argument] for an unknown id. *)
+
+val unanswered : t -> int
+(** Requests still [Queued]/[Batched] — 0 after {!drain}. *)
+
+val forwards : t -> int
+(** Fast-path forwards executed so far (retries and probes included). *)
+
+val metrics : t -> Serve_metrics.t
+val breaker : t -> Breaker.t
+val faults : t -> Fault.t
+
+val fast_executor : t -> Executor.t
+val reference_executor : t -> Executor.t
+
+val section_costs : t -> (string * float) list
+(** Modeled simulated seconds per fast-path forward section, before
+    slow-section inflation. *)

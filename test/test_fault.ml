@@ -45,6 +45,34 @@ let test_parse_roundtrip () =
   Alcotest.(check (float 1e-9)) "other nodes unaffected" 1.0
     (Fault.straggler_factor plan ~node:0)
 
+(* Every spec form must survive parse → to_string → parse unchanged. *)
+let test_roundtrip_all_forms () =
+  let all =
+    [
+      Fault.Crash_save { at_save = 2 };
+      Fault.Poison { buf = "fc1.weights"; at_iter = 40; value = Float.nan };
+      Fault.Poison { buf = "loss"; at_iter = 7; value = Float.infinity };
+      Fault.Kill_worker { worker = 1; at_step = 30 };
+      Fault.Straggler { node = 2; factor = 3.5 };
+      Fault.Slow_section { label = "conv1+relu1"; factor = 4.0 };
+      Fault.Poison_output { buf = "softmax_loss.value"; at_forward = 3 };
+    ]
+  in
+  let s = Fault.to_string (Fault.plan all) in
+  let reparsed = Fault.parse s in
+  Alcotest.(check string) "stable under reparse" s (Fault.to_string reparsed);
+  (* [compare], not [(=)]: the NaN poison value must compare equal to
+     itself. *)
+  Alcotest.(check bool) "specs preserved" true
+    (compare (Fault.specs reparsed) all = 0);
+  (* And per-item, so a failure names the offending form. *)
+  List.iter
+    (fun spec ->
+      let s = Fault.to_string (Fault.plan [ spec ]) in
+      Alcotest.(check bool) (Printf.sprintf "roundtrips %s" s) true
+        (compare (Fault.specs (Fault.parse s)) [ spec ] = 0))
+    all
+
 let test_parse_rejects_garbage () =
   List.iter
     (fun bad ->
@@ -52,8 +80,33 @@ let test_parse_rejects_garbage () =
         (try
            ignore (Fault.parse bad);
            false
-         with Invalid_argument _ -> true))
-    [ "nonsense"; "nan:@3"; "kill:x@2"; "crash-save@"; "boom:1@2" ]
+         with Invalid_argument msg ->
+           (* The diagnostic must name the offending item and the syntax. *)
+           Test_util.contains msg bad && Test_util.contains msg "fault spec"))
+    [ "nonsense"; "nan:@3"; "kill:x@2"; "crash-save@"; "boom:1@2";
+      "slow-section:@4"; "slow-section:ip1@x"; "poison-out:out@";
+      "poison-out:@3" ]
+
+let test_serving_hooks () =
+  let plan =
+    Fault.parse "slow-section:ip1@4,slow-section:ip1+relu1@2,poison-out:out.value@5"
+  in
+  (* Substring match over fused labels; overlapping specs compound. *)
+  Alcotest.(check (float 1e-9)) "compound factor" 8.0
+    (Fault.section_factor plan ~label:"ip1+relu1+ip_out");
+  Alcotest.(check (float 1e-9)) "single factor" 4.0
+    (Fault.section_factor plan ~label:"ip1:batch-gemm");
+  Alcotest.(check (float 1e-9)) "no match" 1.0
+    (Fault.section_factor plan ~label:"softmax_loss");
+  Alcotest.(check (list string)) "poison bufs listed" [ "out.value" ]
+    (Fault.poison_output_bufs plan);
+  Alcotest.(check (list string)) "not due early" []
+    (Fault.poison_outputs_at plan ~forward:4);
+  Alcotest.(check (list string)) "fires at 5" [ "out.value" ]
+    (Fault.poison_outputs_at plan ~forward:5);
+  Alcotest.(check (list string)) "one-shot" []
+    (Fault.poison_outputs_at plan ~forward:5);
+  Alcotest.(check int) "event recorded" 1 (List.length (Fault.events plan))
 
 let test_poison_is_one_shot () =
   let plan = Fault.plan [ Fault.Poison { buf = "w"; at_iter = 3; value = Float.nan } ] in
@@ -372,7 +425,9 @@ let test_failure_recovery_timeline () =
 let suite =
   [
     Alcotest.test_case "plan parse roundtrip" `Quick test_parse_roundtrip;
+    Alcotest.test_case "all spec forms roundtrip" `Quick test_roundtrip_all_forms;
     Alcotest.test_case "plan parse rejects garbage" `Quick test_parse_rejects_garbage;
+    Alcotest.test_case "serving-time hooks" `Quick test_serving_hooks;
     Alcotest.test_case "poison one-shot" `Quick test_poison_is_one_shot;
     Alcotest.test_case "crash mid-save preserves previous" `Quick
       test_crash_mid_save_preserves_previous;

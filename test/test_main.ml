@@ -23,6 +23,7 @@ let () =
       ("properties", Test_properties.suite);
       ("checkpoint", Test_checkpoint.suite);
       ("fault", Test_fault.suite);
+      ("serve", Test_serve.suite);
       ("kernel", Test_kernel.suite);
       ("layers", Test_layers.suite);
       ("concat", Test_concat.suite);

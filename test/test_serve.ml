@@ -1,0 +1,332 @@
+(* The serving runtime: deadlines answered without executing, admission
+   control shedding at the high-water mark, the circuit breaker's
+   Closed -> Open -> Half_open -> Closed lifecycle with degradation to
+   the reference executor, retry with backoff, the Executor.lookup
+   diagnostic, and the degradation numeric contract. *)
+
+let batch = 4
+let n_inputs = 6
+let n_classes = 3
+
+let mlp_spec () = Models.mlp ~batch ~n_inputs ~hidden:[ 5 ] ~n_classes
+
+let make_server ?(queue_capacity = 16) ?(failure_threshold = 1) ?(cooldown = 1e-3)
+    ?(max_retries = 0) ?faults () =
+  let spec = mlp_spec () in
+  Server.create ~queue_capacity ~failure_threshold ~cooldown ~max_retries ?faults
+    ~seed:5 ~config:Config.default
+    ~input_buf:(spec.Models.data_ens ^ ".value")
+    ~output_buf:(spec.Models.output_ens ^ ".value")
+    (fun () -> (mlp_spec ()).Models.net)
+
+let features seed =
+  let rng = Rng.create seed in
+  Array.init n_inputs (fun _ -> Rng.float rng 1.0)
+
+let submit_batch ?deadline server ~seed0 =
+  List.init batch (fun i -> Server.submit server ?deadline (features (seed0 + i)))
+
+let is_done ?degraded server id =
+  match Server.status server id with
+  | Server.Done d -> (
+      match degraded with None -> true | Some want -> d.degraded = want)
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Deadlines and shedding                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_expired_request_times_out_without_running () =
+  let server = make_server () in
+  let expired = Server.submit server ~deadline:1e-3 (features 1) in
+  let live = Server.submit server ~deadline:1.0 (features 2) in
+  Server.advance server 2e-3;
+  (* Past the first deadline: pump answers it Timeout and runs only the
+     live request. *)
+  Alcotest.(check bool) "pump ran a batch" true (Server.pump server);
+  Alcotest.(check bool) "expired -> Timeout" true
+    (Server.status server expired = Server.Timeout);
+  Alcotest.(check bool) "live -> Done" true (is_done server live);
+  Alcotest.(check int) "one forward only" 1 (Server.forwards server);
+  Alcotest.(check int) "unanswered drained" 0 (Server.unanswered server);
+  (* A batch of only expired requests never executes. *)
+  let server = make_server () in
+  let ids = submit_batch server ~seed0:10 ~deadline:1e-3 in
+  Server.advance server 1.0;
+  Alcotest.(check bool) "nothing live to run" false (Server.pump server);
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) "all Timeout" true
+        (Server.status server id = Server.Timeout))
+    ids;
+  Alcotest.(check int) "no forward executed" 0 (Server.forwards server)
+
+let test_queue_overflow_sheds () =
+  let server = make_server ~queue_capacity:5 () in
+  let ids = List.init 8 (fun i -> Server.submit server (features i)) in
+  let shed, kept =
+    List.partition (fun id -> Server.status server id = Server.Shed) ids
+  in
+  Alcotest.(check int) "3 shed at the high-water mark" 3 (List.length shed);
+  Alcotest.(check int) "5 admitted" 5 (List.length kept);
+  (* Shed requests are answered immediately; admitted ones still run. *)
+  Server.drain server;
+  List.iter
+    (fun id -> Alcotest.(check bool) "admitted -> Done" true (is_done server id))
+    kept;
+  Alcotest.(check int) "metrics agree" 3
+    (Serve_metrics.shed (Server.metrics server));
+  Alcotest.(check int) "every request answered" 0 (Server.unanswered server)
+
+(* ------------------------------------------------------------------ *)
+(* Breaker lifecycle                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let breaker_states server =
+  List.map
+    (fun (tr : Breaker.transition) -> (tr.Breaker.from_state, tr.Breaker.to_state))
+    (Breaker.transitions (Server.breaker server))
+
+let test_breaker_opens_after_k_failures_and_recovers () =
+  let spec = mlp_spec () in
+  let out_buf = spec.Models.output_ens ^ ".value" in
+  (* K = 2: forwards #0 and #1 poisoned, so the second consecutive NaN
+     batch opens the breaker. *)
+  let faults =
+    Fault.plan
+      [
+        Fault.Poison_output { buf = out_buf; at_forward = 0 };
+        Fault.Poison_output { buf = out_buf; at_forward = 1 };
+      ]
+  in
+  let server = make_server ~failure_threshold:2 ~cooldown:1e-3 ~faults () in
+  (* Batch 1: NaN detected (streak 1 < 2) -> degraded answer, still Closed. *)
+  let b1 = submit_batch server ~seed0:100 in
+  ignore (Server.pump server);
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) "batch1 degraded" true (is_done ~degraded:true server id))
+    b1;
+  Alcotest.(check bool) "still Closed after one failure" true
+    (Breaker.state (Server.breaker server) = Breaker.Closed);
+  (* Batch 2: second consecutive NaN -> breaker opens. *)
+  let b2 = submit_batch server ~seed0:200 in
+  ignore (Server.pump server);
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) "batch2 degraded" true (is_done ~degraded:true server id))
+    b2;
+  Alcotest.(check bool) "Open after K failures" true
+    (Breaker.state (Server.breaker server) = Breaker.Open);
+  (* Batch 3 within the cooldown: served by the reference path without
+     touching the fast executor. *)
+  let fwd_before = Server.forwards server in
+  let b3 = submit_batch server ~seed0:300 in
+  ignore (Server.pump server);
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) "open: degraded" true (is_done ~degraded:true server id))
+    b3;
+  Alcotest.(check int) "fast path not probed while Open" fwd_before
+    (Server.forwards server);
+  (* After the cooldown the next batch is the half-open probe; the
+     poison plan is exhausted, so it succeeds and the breaker closes. *)
+  Server.advance server 2e-3;
+  let b4 = submit_batch server ~seed0:400 in
+  ignore (Server.pump server);
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) "probe batch served fast" true
+        (is_done ~degraded:false server id))
+    b4;
+  Alcotest.(check bool) "Closed again" true
+    (Breaker.state (Server.breaker server) = Breaker.Closed);
+  Alcotest.(check bool) "full lifecycle recorded" true
+    (breaker_states server
+    = [
+        (Breaker.Closed, Breaker.Open);
+        (Breaker.Open, Breaker.Half_open);
+        (Breaker.Half_open, Breaker.Closed);
+      ]);
+  Alcotest.(check int) "zero unanswered" 0 (Server.unanswered server)
+
+let test_retry_recovers_transient_failure () =
+  let spec = mlp_spec () in
+  let faults =
+    Fault.plan
+      [ Fault.Poison_output
+          { buf = spec.Models.output_ens ^ ".value"; at_forward = 0 } ]
+  in
+  (* Threshold 3 keeps the breaker Closed through the failure; one retry
+     re-runs the batch, whose forward (#1) is clean. *)
+  let server = make_server ~failure_threshold:3 ~max_retries:1 ~faults () in
+  let ids = submit_batch server ~seed0:500 in
+  ignore (Server.pump server);
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) "answered by the fast path" true
+        (is_done ~degraded:false server id))
+    ids;
+  Alcotest.(check int) "one retry recorded" 1
+    (Serve_metrics.retries (Server.metrics server));
+  Alcotest.(check int) "two forwards (attempt + retry)" 2 (Server.forwards server);
+  Alcotest.(check bool) "breaker never opened" true
+    (Breaker.transitions (Server.breaker server) = [])
+
+(* ------------------------------------------------------------------ *)
+(* Degradation numeric contract                                        *)
+(* ------------------------------------------------------------------ *)
+
+let outputs_of server ids =
+  List.map
+    (fun id ->
+      match Server.status server id with
+      | Server.Done d -> d.output
+      | s -> Alcotest.failf "request %d not Done but %s" id (Server.status_name s))
+    ids
+
+let max_abs_diff a b =
+  let m = ref 0.0 in
+  Array.iteri (fun i x -> m := Float.max !m (Float.abs (x -. b.(i)))) a;
+  !m
+
+let test_degraded_matches_fast_within_tol () =
+  (* The same requests served twice from identically seeded servers:
+     once healthy (fast path), once forced onto the reference path by a
+     first-forward poison with threshold 1. *)
+  let healthy = make_server () in
+  let h_ids = submit_batch healthy ~seed0:900 in
+  ignore (Server.pump healthy);
+  let spec = mlp_spec () in
+  let faults =
+    Fault.plan
+      [ Fault.Poison_output
+          { buf = spec.Models.output_ens ^ ".value"; at_forward = 0 } ]
+  in
+  let degraded = make_server ~failure_threshold:1 ~faults () in
+  let d_ids = submit_batch degraded ~seed0:900 in
+  ignore (Server.pump degraded);
+  List.iter2
+    (fun h d ->
+      Alcotest.(check bool) "healthy answer is fast" true
+        (is_done ~degraded:false healthy h);
+      Alcotest.(check bool) "faulted answer is degraded" true
+        (is_done ~degraded:true degraded d))
+    h_ids d_ids;
+  List.iter2
+    (fun fast_out deg_out ->
+      let diff = max_abs_diff fast_out deg_out in
+      Alcotest.(check bool)
+        (Printf.sprintf "degraded matches fast within 1e-4 (diff %g)" diff)
+        true (diff <= 1e-4))
+    (outputs_of healthy h_ids) (outputs_of degraded d_ids);
+  (* And directly against an independently prepared unoptimized
+     executor: the reference the differential tests trust. *)
+  let _, ref_prog =
+    Pipeline.compile_pair ~seed:5 Config.default (fun () -> (mlp_spec ()).Models.net)
+  in
+  let ref_exec = Executor.prepare ref_prog in
+  let input = Executor.lookup ref_exec "data.value" in
+  Tensor.fill input 0.0;
+  List.iteri
+    (fun i seed ->
+      let row = Tensor.sub_left input i in
+      Array.iteri (fun j v -> Tensor.set1 row j v) (features seed))
+    [ 900; 901; 902; 903 ];
+  Executor.forward ref_exec;
+  let out = Executor.lookup ref_exec (spec.Models.output_ens ^ ".value") in
+  List.iteri
+    (fun i deg_out ->
+      let expect = Tensor.to_array (Tensor.sub_left out i) in
+      Alcotest.(check bool) "degraded = standalone reference" true
+        (max_abs_diff expect deg_out <= 1e-6))
+    (outputs_of degraded d_ids)
+
+(* ------------------------------------------------------------------ *)
+(* Slow sections, the load generator, and the lookup diagnostic        *)
+(* ------------------------------------------------------------------ *)
+
+let test_slow_section_inflates_clock () =
+  let healthy = make_server () in
+  ignore (submit_batch healthy ~seed0:40);
+  ignore (Server.pump healthy);
+  let slowed =
+    make_server
+      ~faults:(Fault.plan [ Fault.Slow_section { label = "ip1"; factor = 10.0 } ])
+      ()
+  in
+  ignore (submit_batch slowed ~seed0:40);
+  ignore (Server.pump slowed);
+  Alcotest.(check bool)
+    (Printf.sprintf "slowed clock %g > healthy %g" (Server.now slowed)
+       (Server.now healthy))
+    true
+    (Server.now slowed > Server.now healthy)
+
+let test_load_gen_answers_everything () =
+  let spec = mlp_spec () in
+  let faults =
+    Fault.plan
+      [
+        Fault.Poison_output
+          { buf = spec.Models.output_ens ^ ".value"; at_forward = 2 };
+        Fault.Slow_section { label = "ip1"; factor = 4.0 };
+      ]
+  in
+  let server = make_server ~queue_capacity:8 ~cooldown:5e-4 ~faults () in
+  Load_gen.run server
+    { Load_gen.n = 120; rate = 50000.0; deadline = 2e-3; max_wait = 5e-4;
+      seed = 13 };
+  let m = Server.metrics server in
+  Alcotest.(check int) "all submitted" 120 (Serve_metrics.submitted m);
+  Alcotest.(check int) "every request answered" 120 (Serve_metrics.answered m);
+  Alcotest.(check int) "zero unanswered" 0 (Server.unanswered server);
+  Alcotest.(check bool) "breaker cycled back to Closed" true
+    (Breaker.state (Server.breaker server) = Breaker.Closed);
+  Alcotest.(check bool) "some requests degraded" true
+    (Serve_metrics.done_degraded m > 0)
+
+let test_lookup_unknown_buffer_diagnostic () =
+  let exec = (make_server () |> Server.fast_executor) in
+  Alcotest.(check bool) "Invalid_argument with names" true
+    (try
+       ignore (Executor.lookup exec "no.such.buffer");
+       false
+     with
+    | Invalid_argument msg ->
+        Test_util.contains msg "no.such.buffer"
+        && Test_util.contains msg "data.value"
+    | Not_found | Failure _ -> false)
+
+let test_create_rejects_unknown_poison_buf () =
+  Alcotest.(check bool) "poison target validated at create" true
+    (try
+       ignore
+         (make_server
+            ~faults:
+              (Fault.plan
+                 [ Fault.Poison_output { buf = "bogus.buf"; at_forward = 0 } ])
+            ());
+       false
+     with Invalid_argument msg -> Test_util.contains msg "bogus.buf")
+
+let suite =
+  [
+    Alcotest.test_case "expired request times out without running" `Quick
+      test_expired_request_times_out_without_running;
+    Alcotest.test_case "queue overflow sheds" `Quick test_queue_overflow_sheds;
+    Alcotest.test_case "breaker opens after K failures and recovers" `Quick
+      test_breaker_opens_after_k_failures_and_recovers;
+    Alcotest.test_case "retry recovers transient failure" `Quick
+      test_retry_recovers_transient_failure;
+    Alcotest.test_case "degraded matches fast within 1e-4" `Quick
+      test_degraded_matches_fast_within_tol;
+    Alcotest.test_case "slow section inflates the simulated clock" `Quick
+      test_slow_section_inflates_clock;
+    Alcotest.test_case "load generator answers everything" `Quick
+      test_load_gen_answers_everything;
+    Alcotest.test_case "lookup diagnostic names the missing buffer" `Quick
+      test_lookup_unknown_buffer_diagnostic;
+    Alcotest.test_case "create rejects unknown poison buffer" `Quick
+      test_create_rejects_unknown_poison_buf;
+  ]

@@ -1,5 +1,10 @@
 (* Shared helpers for end-to-end network tests. *)
 
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
 let base_net ~batch =
   let net = Net.create ~batch_size:batch in
   Net.add_external net ~name:"label" ~item_shape:[];

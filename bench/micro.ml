@@ -26,7 +26,7 @@ let im2col_test =
   Test.make ~name:"im2col 32x32x8 k3"
     (Staged.stage (fun () -> Im2col.im2col_pm spec ~src ~dst))
 
-let make_block config =
+let make_block ?safety config =
   let net = Net.create ~batch_size:1 in
   Net.add_external net ~name:"label" ~item_shape:[];
   Net.add_external net ~name:"loss" ~item_shape:[];
@@ -41,7 +41,7 @@ let make_block config =
   ignore
     (Layers.softmax_loss net ~name:"sl" ~input:fc ~label_buf:"label"
        ~loss_buf:"loss");
-  let exec = Executor.prepare (Pipeline.compile ~seed:1 config net) in
+  let exec = Executor.prepare ?safety (Pipeline.compile ~seed:1 config net) in
   Tensor.fill_uniform (Rng.create 3) (Executor.lookup exec "data.value") ~lo:0.0
     ~hi:1.0;
   exec
@@ -56,9 +56,25 @@ let unfused_block_test =
   Test.make ~name:"conv block fwd (latte unfused)"
     (Staged.stage (fun () -> Executor.forward exec))
 
+(* What the bounds proof buys: [Guard_unproven] (the default; everything
+   here is proven, so it equals the pure unsafe path) against [Checked]
+   (every access guarded, no specialized kernels). *)
+let proven_unsafe_block_test =
+  let exec = make_block ~safety:Ir_compile.Guard_unproven Config.default in
+  Test.make ~name:"conv block fwd (proven unsafe)"
+    (Staged.stage (fun () -> Executor.forward exec))
+
+let checked_block_test =
+  let exec = make_block ~safety:Ir_compile.Checked Config.default in
+  Test.make ~name:"conv block fwd (checked)"
+    (Staged.stage (fun () -> Executor.forward exec))
+
 let run () =
   let tests =
-    [ gemm_test; im2col_test; fused_block_test; unfused_block_test ]
+    [
+      gemm_test; im2col_test; fused_block_test; unfused_block_test;
+      proven_unsafe_block_test; checked_block_test;
+    ]
   in
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) () in

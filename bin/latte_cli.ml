@@ -2,6 +2,7 @@
 
    Subcommands:
      dump-ir   — compile a model and print the optimized IR per section
+     analyze   — compile a model and print the bounds/safety analysis
      train     — train a model on a synthetic dataset and report accuracy
      serve-sim — serve a synthetic request load (simulated clock) with
                  batching, deadlines, shedding and breaker degradation
@@ -49,12 +50,13 @@ let fc_div_arg =
 
 let config_term =
   let flag name doc = Arg.(value & flag & info [ name ] ~doc) in
-  let mk no_gemm no_tiling no_fusion no_parallel no_inplace tile_size =
+  let mk no_gemm no_tiling no_fusion no_parallel no_inplace no_bounds tile_size =
     Config.with_flags ~pattern_match:(not no_gemm)
       ~tiling:(not no_tiling)
       ~fusion:(not no_fusion)
       ~parallelize:(not no_parallel)
       ~inplace_activation:(not no_inplace)
+      ~bounds_checks:(not no_bounds)
       ~batch_gemm:(not no_gemm) ~tile_size Config.default
   in
   Term.(
@@ -64,6 +66,10 @@ let config_term =
     $ flag "no-fusion" "Disable cross-layer fusion."
     $ flag "no-parallel" "Disable parallel annotations."
     $ flag "no-inplace" "Disable in-place activations."
+    $ flag "no-bounds-checks"
+        "Compile every buffer access on the unsafe fast path, including \
+         accesses the bounds analyzer could not prove in-bounds (default: \
+         unproven accesses get a runtime guard)."
     $ Arg.(value & opt int 4 & info [ "tile-size" ] ~docv:"ROWS"
              ~doc:"Rows of the last fused layer per tile."))
 
@@ -92,6 +98,12 @@ let compile_with ?passes ?(verify = false) ?(dump_after = []) config net =
   | Pass_manager.Verification_failed (pass, errs) ->
       Printf.eprintf "latte: IR verification failed after pass `%s':\n" pass;
       List.iter (fun e -> Printf.eprintf "  %s\n" (Ir_verify.to_string e)) errs;
+      exit 1
+  | Pass_manager.Analysis_failed (pass, findings) ->
+      Printf.eprintf "latte: bounds analysis failed after pass `%s':\n" pass;
+      List.iter
+        (fun f -> Printf.eprintf "  %s\n" (Ir_bounds.finding_to_string f))
+        findings;
       exit 1
   | Invalid_argument msg ->
       Printf.eprintf "latte: %s\n" msg;
@@ -146,6 +158,52 @@ let dump_ir_cmd =
     Term.(const dump_ir $ model_arg $ batch_arg $ image_arg $ width_div_arg
           $ fc_div_arg $ config_term $ passes_arg $ verify_arg $ dump_after_arg
           $ pass_stats_arg)
+
+(* ------------------------------------------------------------------ *)
+(* analyze                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let analyze model batch image width_div fc_div config passes verify =
+  let spec = build_model model ~batch ~image ~width_div ~fc_div in
+  let prog, _report = compile_with ?passes ~verify config spec.Models.net in
+  let rep =
+    Program.analyze
+      ~live_out:[ spec.Models.loss_buf; spec.Models.output_ens ^ ".value" ]
+      prog
+  in
+  let open Ir_bounds in
+  Printf.printf "%-40s %8s %8s %8s %8s\n" "section" "accesses" "proven"
+    "guarded" "flagged";
+  List.iter
+    (fun (r : region_report) ->
+      let s = r.stats in
+      Printf.printf "%-40s %8d %8d %8d %8d\n" r.region
+        (s.proven + s.guarded + s.flagged)
+        s.proven s.guarded s.flagged)
+    rep.region_reports;
+  let t = rep.totals in
+  Printf.printf "%-40s %8d %8d %8d %8d\n" "total"
+    (t.proven + t.guarded + t.flagged)
+    t.proven t.guarded t.flagged;
+  (match all_findings rep with
+  | [] -> Printf.printf "no findings\n"
+  | fs ->
+      Printf.printf "findings:\n";
+      List.iter (fun f -> Printf.printf "  %s\n" (finding_to_string f)) fs);
+  Printf.printf "%s\n" (summary rep);
+  if fatal_findings rep <> [] then exit 1
+
+let analyze_cmd =
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Compile a model and print the interval bounds / safety analysis: \
+             per-section counts of accesses proven in-bounds, accesses that \
+             get a runtime guard, and flagged accesses, plus \
+             division-by-zero, use-before-initialization and dead-store \
+             findings. Exits 1 when any finding is fatal (a proven \
+             out-of-bounds access or a read of never-initialized data).")
+    Term.(const analyze $ model_arg $ batch_arg $ image_arg $ width_div_arg
+          $ fc_div_arg $ config_term $ passes_arg $ verify_arg)
 
 (* ------------------------------------------------------------------ *)
 (* train                                                               *)
@@ -494,5 +552,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ dump_ir_cmd; train_cmd; serve_sim_cmd; bench_cmd; graph_cmd;
-            models_cmd; passes_cmd; machines_cmd ]))
+          [ dump_ir_cmd; analyze_cmd; train_cmd; serve_sim_cmd; bench_cmd;
+            graph_cmd; models_cmd; passes_cmd; machines_cmd ]))

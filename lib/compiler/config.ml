@@ -6,6 +6,7 @@ type t = {
   tile_size : int;
   batch_gemm : bool;
   inplace_activation : bool;
+  bounds_checks : bool;
 }
 
 let default =
@@ -17,6 +18,7 @@ let default =
     tile_size = 4;
     batch_gemm = true;
     inplace_activation = true;
+    bounds_checks = true;
   }
 
 let unoptimized =
@@ -28,10 +30,11 @@ let unoptimized =
     tile_size = 4;
     batch_gemm = false;
     inplace_activation = false;
+    bounds_checks = true;
   }
 
 let with_flags ?pattern_match ?tiling ?fusion ?parallelize ?tile_size ?batch_gemm
-    ?inplace_activation t =
+    ?inplace_activation ?bounds_checks t =
   {
     pattern_match = Option.value ~default:t.pattern_match pattern_match;
     tiling = Option.value ~default:t.tiling tiling;
@@ -40,6 +43,7 @@ let with_flags ?pattern_match ?tiling ?fusion ?parallelize ?tile_size ?batch_gem
     tile_size = Option.value ~default:t.tile_size tile_size;
     batch_gemm = Option.value ~default:t.batch_gemm batch_gemm;
     inplace_activation = Option.value ~default:t.inplace_activation inplace_activation;
+    bounds_checks = Option.value ~default:t.bounds_checks bounds_checks;
   }
 
 let normalize t =

@@ -13,6 +13,11 @@ type t = {
   inplace_activation : bool;
       (** Run ActivationEnsembles in place when the source has a single
           consumer (§3.2). *)
+  bounds_checks : bool;
+      (** Guard buffer accesses the {!Ir_bounds} analyzer cannot prove
+          in-bounds (proven accesses keep the unsafe fast path). On in
+          both presets; disable only for benchmarking the pure unsafe
+          path. *)
 }
 
 val default : t
@@ -26,6 +31,7 @@ val with_flags :
   ?tile_size:int ->
   ?batch_gemm:bool ->
   ?inplace_activation:bool ->
+  ?bounds_checks:bool ->
   t ->
   t
 

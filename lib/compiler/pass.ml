@@ -131,6 +131,62 @@ let verify st =
       Ir_verify.verify_stmts ~bound ~shape_of:(shape_of st) ~region stmts)
     (regions st)
 
+(* Interval bounds / safety analysis over the current regions. [None]
+   before the synthesize pass (no buffers to check against). Bound loop
+   variables get their known ranges — the implicit batch variable spans
+   [0, batch); anything else is unconstrained. The data-flow component
+   (use-before-init, dead stores) only makes sense once assemble has
+   fixed the execution order of complete sections, so it is gated on
+   that. *)
+let analyze st =
+  match st.plan with
+  | None -> None
+  | Some plan ->
+      let rs = regions st in
+      let bound_interval v =
+        if String.equal v Synthesis.batch_var then
+          Ir_bounds.interval 0 (st.batch - 1)
+        else Ir_bounds.top
+      in
+      let rs =
+        List.map
+          (fun (name, bound, stmts) ->
+            (name, List.map (fun v -> (v, bound_interval v)) bound, stmts))
+          rs
+      in
+      let flow =
+        match (st.fwd_sections, st.bwd_sections) with
+        | Some _, Some _ ->
+            let pool = plan.Synthesis.buffers in
+            let phys b =
+              if Buffer_pool.mem pool b then Buffer_pool.physical pool b else b
+            in
+            let written = Hashtbl.create 32 and read = Hashtbl.create 32 in
+            List.iter
+              (fun (_, _, stmts) ->
+                List.iter
+                  (fun b -> Hashtbl.replace written (phys b) ())
+                  (Ir.buffers_written stmts);
+                List.iter
+                  (fun b -> Hashtbl.replace read (phys b) ())
+                  (Ir.buffers_read stmts))
+              rs;
+            let assume_init =
+              Hashtbl.fold
+                (fun b () acc -> if Hashtbl.mem written b then acc else b :: acc)
+                read []
+            in
+            let live_out =
+              List.concat_map
+                (fun (p : Program.param) -> [ p.value_buf; p.grad_buf ])
+                plan.Synthesis.params
+              |> List.map phys
+            in
+            Some { Ir_bounds.physical = phys; assume_init; live_out }
+        | _ -> None
+      in
+      Some (Ir_bounds.analyze ~shape_of:(shape_of st) ?flow rs)
+
 let finish st =
   match (st.plan, st.fwd_sections, st.bwd_sections) with
   | Some plan, Some fwd, Some bwd ->
@@ -141,6 +197,7 @@ let finish st =
         backward = bwd;
         params = plan.Synthesis.params;
         grad_sizes = plan.Synthesis.grad_sizes;
+        bounds_checks = st.config.Config.bounds_checks;
       }
   | _ ->
       invalid_arg

@@ -56,6 +56,13 @@ val shape_of : state -> string -> Shape.t option
 val dump : state -> string
 val verify : state -> Ir_verify.error list
 
+val analyze : state -> Ir_bounds.report option
+(** Interval bounds / safety analysis ({!Ir_bounds}) of every region.
+    [None] before the synthesize pass (no buffer plan to check against).
+    The implicit batch variable is bound to [\[0, batch)]; the
+    use-before-init / dead-store flow check is included only once
+    assemble has fixed section order. *)
+
 val finish : state -> Program.t
 (** Package the assembled sections into a {!Program.t}. Raises
     [Invalid_argument] if synthesize/assemble have not run. *)

@@ -334,6 +334,8 @@ type outcome = {
   seconds : float;
   stats : Ir_stats.t;  (** IR census after the pass. *)
   dump : string option;  (** IR listing, when requested via [dump_after]. *)
+  bounds : Ir_bounds.report option;
+      (** Bounds/safety analysis after the pass, under [~verify:true]. *)
 }
 
 type report = {
@@ -344,6 +346,7 @@ type report = {
 }
 
 exception Verification_failed of string * Ir_verify.error list
+exception Analysis_failed of string * Ir_bounds.finding list
 
 let () =
   Printexc.register_printer (function
@@ -351,6 +354,11 @@ let () =
         Some
           (Printf.sprintf "IR verification failed after pass `%s':\n%s" pass
              (String.concat "\n" (List.map Ir_verify.to_string errs)))
+    | Analysis_failed (pass, findings) ->
+        Some
+          (Printf.sprintf "bounds analysis failed after pass `%s':\n%s" pass
+             (String.concat "\n"
+                (List.map Ir_bounds.finding_to_string findings)))
     | _ -> None)
 
 let run ?seed ?passes ?(verify = false) ?(dump_after = []) config net =
@@ -371,8 +379,17 @@ let run ?seed ?passes ?(verify = false) ?(dump_after = []) config net =
           | [] -> ()
           | errs -> raise (Verification_failed (p.name, errs))
         end;
+        let bounds = if verify && on then Pass.analyze st else None in
+        (match bounds with
+        | Some rep -> (
+            match Ir_bounds.fatal_findings rep with
+            | [] -> ()
+            | fatal -> raise (Analysis_failed (p.name, fatal)))
+        | None -> ());
         let dump = if on && want_dump p.name then Some (Pass.dump st) else None in
-        (st, { info = p; enabled = on; seconds; stats = Pass.stats st; dump } :: acc))
+        ( st,
+          { info = p; enabled = on; seconds; stats = Pass.stats st; dump; bounds }
+          :: acc ))
       (Pass.initial ?seed config net, [])
       registry
   in

@@ -32,6 +32,9 @@ type outcome = {
   seconds : float;  (** Wall time spent in the pass. *)
   stats : Ir_stats.t;  (** IR census after the pass. *)
   dump : string option;  (** IR listing, when requested via [dump_after]. *)
+  bounds : Ir_bounds.report option;
+      (** {!Ir_bounds} analysis after the pass, populated under
+          [~verify:true] once the synthesize pass has run. *)
 }
 
 type report = {
@@ -44,6 +47,12 @@ type report = {
 exception Verification_failed of string * Ir_verify.error list
 (** Raised (pass name, diagnostics) when [~verify:true] finds
     ill-formed IR after a pass. *)
+
+exception Analysis_failed of string * Ir_bounds.finding list
+(** Raised (pass name, fatal findings) when [~verify:true] and the
+    {!Ir_bounds} analyzer proves an access out of bounds or a read of
+    never-initialized data after a pass. Unproven (merely guarded)
+    accesses do not raise. *)
 
 val run :
   ?seed:int ->

@@ -99,7 +99,7 @@ let rec fexpr_ops e =
       let fa, la = fexpr_ops a and fb, lb = fexpr_ops b in
       (fa +. fb +. 1.0, la +. lb)
 
-let cost_of_stmts ?(bindings = []) stmts =
+let cost_of_stmts ?(bindings = []) ?bytes_of stmts =
   let tbl = Hashtbl.create 8 in
   List.iter (fun (v, n) -> Hashtbl.replace tbl v n) bindings;
   let env v =
@@ -127,7 +127,19 @@ let cost_of_stmts ?(bindings = []) stmts =
            buffer extents. Treat as free in static accounting. *)
         zero_cost
     | Fusion_barrier _ -> zero_cost
-    | Extern _ -> zero_cost
+    | Extern e -> (
+        (* Opaque array-style calls (softmax, loss, data-copy helpers)
+           stream their operand buffers once; estimating their traffic
+           from the declared reads/writes keeps cost-model deadlines
+           from undercounting data-movement sections. Flops stay zero:
+           these calls are bandwidth-bound. *)
+        match bytes_of with
+        | None -> zero_cost
+        | Some f ->
+            let bytes =
+              List.fold_left (fun acc b -> acc +. f b) 0.0 (e.reads @ e.writes)
+            in
+            { flops = 0.0; bytes; parallel_iters = 1.0 })
     | Gemm g ->
         let m = float_of_int (eval_iexpr env g.m)
         and n = float_of_int (eval_iexpr env g.n)

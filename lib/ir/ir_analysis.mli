@@ -37,8 +37,13 @@ val zero_cost : cost
 val add_cost : cost -> cost -> cost
 
 val cost_of_stmts :
-  ?bindings:(string * int) list -> Ir.stmt list -> cost
+  ?bindings:(string * int) list ->
+  ?bytes_of:(string -> float) ->
+  Ir.stmt list ->
+  cost
 (** Static cost of one execution of the statements. Loop trip counts are
     evaluated with outer loop variables bound to their lower bounds
     (synthesized bounds are constants, so this is exact for the code the
-    compiler produces). *)
+    compiler produces). [bytes_of] gives the byte size of a named buffer
+    and is used to charge [Extern] calls for streaming their declared
+    reads/writes once; without it extern calls are treated as free. *)

@@ -3,11 +3,20 @@ open Ir
 let ug = Bigarray.Array1.unsafe_get
 let us = Bigarray.Array1.unsafe_set
 
+(* Per-access safety: [Guard_unproven] (the default) keeps the unsafe
+   fast path for accesses {!Ir_bounds} proves in-bounds and emits a
+   runtime bounds check for the rest; [Unsafe] trusts every access;
+   [Checked] guards everything (the baseline that shows what the proof
+   buys — see bench/micro.ml). *)
+type safety = Unsafe | Guard_unproven | Checked
+
 type ctx = {
   lookup : string -> Tensor.t;
   slots : (string, int) Hashtbl.t;
   regs : int array;
   stats : (string, int) Hashtbl.t;
+  safety : safety;
+  shape_of : string -> int array option;
 }
 
 type compiled = { entry : unit -> unit; ctx : ctx }
@@ -86,10 +95,28 @@ let flat_of ctx buf idx =
   let shape = Tensor.shape t in
   (t, Ir_analysis.flat_index ~shape idx)
 
+(* Does this access keep the unsafe fast path? [benv] carries the
+   enclosing loop-variable intervals and guard facts. *)
+let access_ok ctx benv buf idx =
+  match ctx.safety with
+  | Unsafe -> true
+  | Checked -> false
+  | Guard_unproven -> (
+      match ctx.shape_of buf with
+      | Some shape -> Ir_bounds.access_proven benv ~shape idx
+      | None -> false)
+
+let oob what buf i extent =
+  raise
+    (Invalid_argument
+       (Printf.sprintf
+          "latte: out-of-bounds %s: buffer %s index %d outside extent [0, %d)"
+          what buf i extent))
+
 let apply_unop = Ir_eval.apply_unop
 let apply_binop = Ir_eval.apply_binop
 
-let rec compile_f ctx e : unit -> float =
+let rec compile_f ctx benv e : unit -> float =
   match e with
   | Fconst x -> fun () -> x
   | Float_of_int a ->
@@ -99,46 +126,56 @@ let rec compile_f ctx e : unit -> float =
       let t, flat = flat_of ctx buf idx in
       let data = Tensor.data t in
       let ci = compile_i ctx flat in
-      fun () -> ug data (ci ())
+      if access_ok ctx benv buf idx then fun () -> ug data (ci ())
+      else begin
+        bump_stat ctx "guarded";
+        let extent = Tensor.numel t in
+        fun () ->
+          let i = ci () in
+          if i < 0 || i >= extent then oob "load" buf i extent;
+          ug data i
+      end
   | Funop (Neg, a) ->
-      let ca = compile_f ctx a in
+      let ca = compile_f ctx benv a in
       fun () -> -.ca ()
   | Funop (op, a) ->
-      let ca = compile_f ctx a in
+      let ca = compile_f ctx benv a in
       let g = apply_unop op in
       fun () -> g (ca ())
   | Fbinop (Fadd, a, b) ->
-      let ca = compile_f ctx a and cb = compile_f ctx b in
+      let ca = compile_f ctx benv a and cb = compile_f ctx benv b in
       fun () -> ca () +. cb ()
   | Fbinop (Fmul, a, b) ->
-      let ca = compile_f ctx a and cb = compile_f ctx b in
+      let ca = compile_f ctx benv a and cb = compile_f ctx benv b in
       fun () -> ca () *. cb ()
   | Fbinop (op, a, b) ->
-      let ca = compile_f ctx a and cb = compile_f ctx b in
+      let ca = compile_f ctx benv a and cb = compile_f ctx benv b in
       let g = apply_binop op in
       fun () -> g (ca ()) (cb ())
   | Select (c, a, b) ->
-      let cc = compile_c ctx c and ca = compile_f ctx a and cb = compile_f ctx b in
+      let cc = compile_c ctx benv c
+      and ca = compile_f ctx (Ir_bounds.assume c benv) a
+      and cb = compile_f ctx (Ir_bounds.assume_not c benv) b in
       fun () -> if cc () then ca () else cb ()
 
-and compile_c ctx c : unit -> bool =
+and compile_c ctx benv c : unit -> bool =
   match c with
   | Icmp (op, a, b) ->
       let ca = compile_i ctx a and cb = compile_i ctx b in
       let g : int -> int -> bool = Ir_eval.apply_cmp op in
       fun () -> g (ca ()) (cb ())
   | Fcmp (op, a, b) ->
-      let ca = compile_f ctx a and cb = compile_f ctx b in
+      let ca = compile_f ctx benv a and cb = compile_f ctx benv b in
       let g : float -> float -> bool = Ir_eval.apply_cmp op in
       fun () -> g (ca ()) (cb ())
   | Cand (a, b) ->
-      let ca = compile_c ctx a and cb = compile_c ctx b in
+      let ca = compile_c ctx benv a and cb = compile_c ctx benv b in
       fun () -> ca () && cb ()
   | Cor (a, b) ->
-      let ca = compile_c ctx a and cb = compile_c ctx b in
+      let ca = compile_c ctx benv a and cb = compile_c ctx benv b in
       fun () -> ca () || cb ()
   | Cnot a ->
-      let ca = compile_c ctx a in
+      let ca = compile_c ctx benv a in
       fun () -> not (ca ())
 
 (* ------------------------------------------------------------------ *)
@@ -529,24 +566,37 @@ let compile_fast_loop ctx (l : loop) =
 (* Statement compilation                                               *)
 (* ------------------------------------------------------------------ *)
 
-let rec compile_stmt ctx s : unit -> unit =
+let store_dest ctx benv ~what buf idx =
+  let t, flat = flat_of ctx buf idx in
+  let data = Tensor.data t in
+  let ci = compile_i ctx flat in
+  if access_ok ctx benv buf idx then (data, ci)
+  else begin
+    bump_stat ctx "guarded";
+    let extent = Tensor.numel t in
+    let guarded () =
+      let i = ci () in
+      if i < 0 || i >= extent then oob what buf i extent;
+      i
+    in
+    (data, guarded)
+  end
+
+let rec compile_stmt ctx benv s : unit -> unit =
   match s with
   | Store { buf; idx; value } ->
-      let t, flat = flat_of ctx buf idx in
-      let data = Tensor.data t in
-      let ci = compile_i ctx flat and cv = compile_f ctx value in
+      let data, ci = store_dest ctx benv ~what:"store" buf idx in
+      let cv = compile_f ctx benv value in
       fun () -> us data (ci ()) (cv ())
   | Accum { op = Acc_sum; buf; idx; value } ->
-      let t, flat = flat_of ctx buf idx in
-      let data = Tensor.data t in
-      let ci = compile_i ctx flat and cv = compile_f ctx value in
+      let data, ci = store_dest ctx benv ~what:"accumulate" buf idx in
+      let cv = compile_f ctx benv value in
       fun () ->
         let i = ci () in
         us data i (ug data i +. cv ())
   | Accum { op = Acc_max; buf; idx; value } ->
-      let t, flat = flat_of ctx buf idx in
-      let data = Tensor.data t in
-      let ci = compile_i ctx flat and cv = compile_f ctx value in
+      let data, ci = store_dest ctx benv ~what:"accumulate" buf idx in
+      let cv = compile_f ctx benv value in
       fun () ->
         let i = ci () in
         us data i (Float.max (ug data i) (cv ()))
@@ -575,19 +625,62 @@ let rec compile_stmt ctx s : unit -> unit =
       and coa = compile_i ctx g.off_a
       and cob = compile_i ctx g.off_b
       and coc = compile_i ctx g.off_c in
-      fun () ->
+      let proven =
+        match ctx.safety with
+        | Unsafe -> true
+        | Checked -> false
+        | Guard_unproven -> Ir_bounds.gemm_proven benv ~shape_of:ctx.shape_of g
+      in
+      if proven then fun () ->
         Blas.gemm ~alpha:g.alpha ~beta:g.beta ~transa:g.transa ~transb:g.transb
           ~m:(cm ()) ~n:(cn ()) ~k:(ck ()) ~a ~off_a:(coa ()) ~b
           ~off_b:(cob ()) ~c ~off_c:(coc ()) ()
+      else begin
+        bump_stat ctx "guarded_gemm";
+        let na = Tensor.numel (ctx.lookup g.a)
+        and nb = Tensor.numel (ctx.lookup g.b)
+        and nc = Tensor.numel (ctx.lookup g.c) in
+        let check buf what off len extent =
+          if off < 0 || len < 0 || off + len > extent then
+            raise
+              (Invalid_argument
+                 (Printf.sprintf
+                    "latte: out-of-bounds gemm operand %s: buffer %s span \
+                     [%d, %d) outside extent [0, %d)"
+                    what buf off (off + len) extent))
+        in
+        fun () ->
+          let m = cm () and n = cn () and k = ck () in
+          let oa = coa () and ob = cob () and oc = coc () in
+          check g.a "A" oa (m * k) na;
+          check g.b "B" ob (k * n) nb;
+          check g.c "C" oc (m * n) nc;
+          Blas.gemm ~alpha:g.alpha ~beta:g.beta ~transa:g.transa
+            ~transb:g.transb ~m ~n ~k ~a ~off_a:oa ~b ~off_b:ob ~c ~off_c:oc ()
+      end
   | If (c, t, e) ->
-      let cc = compile_c ctx c in
-      let ct = compile_stmts ctx t and ce = compile_stmts ctx e in
+      let cc = compile_c ctx benv c in
+      let ct = compile_stmts ctx (Ir_bounds.assume c benv) t
+      and ce = compile_stmts ctx (Ir_bounds.assume_not c benv) e in
       fun () -> if cc () then ct () else ce ()
   | For l -> (
-      try compile_fast_loop ctx l
+      (* The specialized kernels below access buffers unsafely for the
+         whole nest, so they require a whole-nest proof; an unproven
+         nest falls back to the generic path where each access carries
+         its own verdict. *)
+      let whole_nest_ok =
+        match ctx.safety with
+        | Unsafe -> true
+        | Checked -> false
+        | Guard_unproven ->
+            Ir_bounds.stmt_proven benv ~shape_of:ctx.shape_of (For l)
+      in
+      try
+        if whole_nest_ok then compile_fast_loop ctx l else raise Not_fast
       with Not_fast ->
         let clo = compile_i ctx l.lo and chi = compile_i ctx l.hi in
-        let body = compile_stmts ctx l.body in
+        let benv' = Ir_bounds.bind_range l.var ~lo:l.lo ~hi:l.hi benv in
+        let body = compile_stmts ctx benv' l.body in
         let vslot = slot ctx l.var in
         let regs = ctx.regs in
         fun () ->
@@ -597,8 +690,8 @@ let rec compile_stmt ctx s : unit -> unit =
             body ()
           done)
 
-and compile_stmts ctx ss =
-  match List.map (compile_stmt ctx) ss with
+and compile_stmts ctx benv ss =
+  match List.map (compile_stmt ctx benv) ss with
   | [] -> fun () -> ()
   | [ f ] -> f
   | [ f; g ] -> fun () -> f (); g ()
@@ -620,21 +713,28 @@ let count_loops stmts =
   List.iter go stmts;
   !n
 
-let compile ~lookup ?(free_vars = []) stmts =
+let compile ~lookup ?(free_vars = []) ?(safety = Guard_unproven) stmts =
   let stmts = simplify_stmts stmts in
   let slots = collect_vars free_vars stmts in
   (* Loop collapsing allocates one fresh register per merged pair, at
      most one per For node. *)
   let headroom = count_loops stmts + 1 in
+  let shape_of buf =
+    match lookup buf with
+    | t -> Some (Tensor.shape t)
+    | exception _ -> None
+  in
   let ctx =
     {
       lookup;
       slots;
       regs = Array.make (Hashtbl.length slots + headroom) 0;
       stats = Hashtbl.create 8;
+      safety;
+      shape_of;
     }
   in
-  let entry = compile_stmts ctx stmts in
+  let entry = compile_stmts ctx Ir_bounds.empty_env stmts in
   { entry; ctx }
 
 let run c ?(bindings = []) () =

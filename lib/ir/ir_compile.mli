@@ -12,14 +12,28 @@
 
 type compiled
 
+type safety =
+  | Unsafe  (** Every access uses [unsafe_get]/[unsafe_set]. *)
+  | Guard_unproven
+      (** Accesses {!Ir_bounds} proves in-bounds stay unsafe; the rest
+          compile to a runtime check raising [Invalid_argument] naming
+          the buffer, the attempted index and the extent. Specialized
+          innermost-loop kernels require a whole-nest proof. *)
+  | Checked  (** Every access is guarded and no specialized kernels are
+                 emitted; the overhead baseline in [bench/micro.ml]. *)
+
 val compile :
   lookup:(string -> Tensor.t) ->
   ?free_vars:string list ->
+  ?safety:safety ->
   Ir.stmt list ->
   compiled
 (** Buffers are resolved eagerly: every buffer named in the program must
     already exist in [lookup], and the compiled code reads/writes those
-    exact tensors. [free_vars] declares variables bound at run time. *)
+    exact tensors. [free_vars] declares variables bound at run time —
+    their values are unknown to the bounds analyzer, so accesses indexed
+    by them are guarded under the default [safety] of
+    [Guard_unproven]. *)
 
 val run : compiled -> ?bindings:(string * int) list -> unit -> unit
 (** Execute. [bindings] gives values for the [free_vars]. *)

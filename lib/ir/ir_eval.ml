@@ -1,6 +1,14 @@
 open Ir
 
-type env = { lookup : string -> Tensor.t; vars : (string, int) Hashtbl.t }
+type env = {
+  lookup : string -> Tensor.t;
+  vars : (string, int) Hashtbl.t;
+  trace : (string -> int -> unit) option;
+      (* Observation hook: called with (buffer, flattened index) for
+         every element access, before the bounds check, so a dynamic
+         oracle can record attempted indices even when they are out of
+         bounds (the fuzz harness cross-checks Ir_bounds against it). *)
+}
 
 let eval_var env v =
   match Hashtbl.find_opt env.vars v with
@@ -23,6 +31,15 @@ let flat env buf idx =
   let t = env.lookup buf in
   let shape = Tensor.shape t in
   let vals = Array.of_list (List.map (eval_i env) idx) in
+  (match env.trace with
+  | Some f ->
+      (* Raw row-major flattening, without ravel's per-dimension bounds
+         check, so out-of-range attempts are observable. *)
+      let strides = Shape.strides shape in
+      let raw = ref 0 in
+      Array.iteri (fun i v -> raw := !raw + (v * strides.(i))) vals;
+      f buf !raw
+  | None -> ());
   (t, Shape.ravel shape vals)
 
 let apply_unop op x =
@@ -114,8 +131,8 @@ let rec exec env s =
       | Some v -> Hashtbl.replace env.vars l.var v
       | None -> Hashtbl.remove env.vars l.var)
 
-let run ~lookup ?(bindings = []) stmts =
+let run ~lookup ?(bindings = []) ?trace stmts =
   let vars = Hashtbl.create 16 in
   List.iter (fun (v, n) -> Hashtbl.replace vars v n) bindings;
-  let env = { lookup; vars } in
+  let env = { lookup; vars; trace } in
   List.iter (exec env) stmts

@@ -13,8 +13,12 @@ val apply_cmp : Ir.cmp -> 'a -> 'a -> bool
 val run :
   lookup:(string -> Tensor.t) ->
   ?bindings:(string * int) list ->
+  ?trace:(string -> int -> unit) ->
   Ir.stmt list ->
   unit
 (** Execute the statements against the given buffer environment.
     Raises [Failure] on unbound variables/buffers and
-    [Invalid_argument] on out-of-bounds accesses. *)
+    [Invalid_argument] on out-of-bounds accesses. [trace] is called
+    with (buffer, flattened index) for every element access {e before}
+    the bounds check — the dynamic-oracle hook the fuzz tests use to
+    cross-check {!Ir_bounds} verdicts against observed indices. *)

@@ -60,9 +60,16 @@ let section_estimate ?(vectorized = true) ?(replicate = 1.0) (m : Machine.cpu)
          else c.parallel_iters);
     }
   in
-  let total = scale (Ir_analysis.cost_of_stmts s.Program.stmts) in
+  (* [bytes_of] charges Extern calls (softmax, loss, data copies) for
+     streaming their operand buffers once; erase_gemm keeps Extern, so
+     the charge lands in [loops] and the GEMM delta is unaffected. *)
+  let total =
+    scale (Ir_analysis.cost_of_stmts ~bytes_of:buf_bytes s.Program.stmts)
+  in
   let loops =
-    scale (Ir_analysis.cost_of_stmts (List.filter_map erase_gemm s.Program.stmts))
+    scale
+      (Ir_analysis.cost_of_stmts ~bytes_of:buf_bytes
+         (List.filter_map erase_gemm s.Program.stmts))
   in
   let gemm_flops = Float.max 0.0 (total.flops -. loops.flops) in
   let gemm_bytes = Float.max 0.0 (total.bytes -. loops.bytes) in

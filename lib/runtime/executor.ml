@@ -6,14 +6,23 @@ type t = {
   bwd : compiled_section list;
 }
 
-let compile_section buffers (s : Program.section) =
+let compile_section safety buffers (s : Program.section) =
   {
     label = s.Program.label;
-    code = Ir_compile.compile ~lookup:(Buffer_pool.lookup buffers) s.Program.stmts;
+    code =
+      Ir_compile.compile ~lookup:(Buffer_pool.lookup buffers) ~safety
+        s.Program.stmts;
   }
 
-let prepare (prog : Program.t) =
-  let cs = compile_section prog.buffers in
+let prepare ?safety (prog : Program.t) =
+  let safety =
+    match safety with
+    | Some s -> s
+    | None ->
+        if prog.Program.bounds_checks then Ir_compile.Guard_unproven
+        else Ir_compile.Unsafe
+  in
+  let cs = compile_section safety prog.buffers in
   { prog; fwd = List.map cs prog.forward; bwd = List.map cs prog.backward }
 
 let program t = t.prog

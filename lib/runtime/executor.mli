@@ -6,7 +6,12 @@
 
 type t
 
-val prepare : Program.t -> t
+val prepare : ?safety:Ir_compile.safety -> Program.t -> t
+(** Code-generate every section. [safety] defaults to
+    [Ir_compile.Guard_unproven] when the program was compiled with
+    bounds checks enabled (the default) and [Ir_compile.Unsafe]
+    otherwise; pass it explicitly to override — e.g.
+    [Ir_compile.Checked] for the overhead baseline in [bench/micro]. *)
 
 val program : t -> Program.t
 

@@ -18,14 +18,50 @@ type t = {
   backward : section list;
   params : param list;
   grad_sizes : (string * int) list;
+  bounds_checks : bool;
 }
 
 let section ~label ~ensembles stmts = { label; ensembles; stmts }
 
-let section_cost s = Ir_analysis.cost_of_stmts s.stmts
+let section_cost ?bytes_of s = Ir_analysis.cost_of_stmts ?bytes_of s.stmts
 
 let flops t dir =
   let sections = match dir with `Forward -> t.forward | `Backward -> t.backward in
   List.fold_left
     (fun acc s -> acc +. (section_cost s).Ir_analysis.flops)
     0.0 sections
+
+let analyze ?(live_out = []) t =
+  let pool = t.buffers in
+  let shape_of buf =
+    if Buffer_pool.mem pool buf then Some (Tensor.shape (Buffer_pool.lookup pool buf))
+    else None
+  in
+  let regions =
+    List.map (fun s -> ("forward/" ^ s.label, [], s.stmts)) t.forward
+    @ List.map (fun s -> ("backward/" ^ s.label, [], s.stmts)) t.backward
+  in
+  let phys buf = if Buffer_pool.mem pool buf then Buffer_pool.physical pool buf else buf in
+  (* Buffers the program only ever reads (input data, parameter values,
+     labels) are filled by the runtime before execution; pre-seeding them
+     keeps the flow check focused on intra-program ordering. *)
+  let written = Hashtbl.create 32 and read = Hashtbl.create 32 in
+  List.iter
+    (fun (_, _, stmts) ->
+      List.iter (fun b -> Hashtbl.replace written (phys b) ()) (Ir.buffers_written stmts);
+      List.iter (fun b -> Hashtbl.replace read (phys b) ()) (Ir.buffers_read stmts))
+    regions;
+  let assume_init =
+    Hashtbl.fold (fun b () acc -> if Hashtbl.mem written b then acc else b :: acc) read []
+  in
+  let param_bufs =
+    List.concat_map (fun p -> [ p.value_buf; p.grad_buf ]) t.params
+  in
+  let flow =
+    {
+      Ir_bounds.physical = phys;
+      assume_init;
+      live_out = List.map phys (param_bufs @ live_out);
+    }
+  in
+  Ir_bounds.analyze ~shape_of ~flow regions

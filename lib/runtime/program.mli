@@ -30,6 +30,9 @@ type t = {
       (** Per-ensemble learnable-gradient element counts in backward
           completion order — what the distributed runtime synchronizes,
           in the order the asynchronous reductions are issued (§5.3). *)
+  bounds_checks : bool;
+      (** Whether the executor should guard accesses {!Ir_bounds} cannot
+          prove in-bounds (from {!Config.t.bounds_checks}). *)
 }
 
 val section : label:string -> ensembles:string list -> Ir.stmt list -> section
@@ -37,4 +40,15 @@ val section : label:string -> ensembles:string list -> Ir.stmt list -> section
 val flops : t -> [ `Forward | `Backward ] -> float
 (** Static flop count of one execution, from {!Ir_analysis}. *)
 
-val section_cost : section -> Ir_analysis.cost
+val section_cost : ?bytes_of:(string -> float) -> section -> Ir_analysis.cost
+(** [bytes_of] charges [Extern] calls for streaming their declared
+    buffers once (see {!Ir_analysis.cost_of_stmts}). *)
+
+val analyze : ?live_out:string list -> t -> Ir_bounds.report
+(** Run the interval bounds / safety analyzer over every section of the
+    program (forward sections first, then backward, in execution order).
+    Buffer shapes come from the program's own pool; the flow check
+    resolves aliases to physical buffers, assumes buffers the program
+    never writes (input data, labels, parameter values) are initialized
+    by the runtime, and treats parameter value/grad buffers plus
+    [live_out] as live after the program for the dead-store lint. *)

@@ -1,0 +1,60 @@
+(* Golden-file test: the dumped IR of a small compiled MLP is pinned in
+   golden/mlp_ir.txt. A pass changing the synthesized or optimized IR
+   shows up as a readable diff here rather than only as a numeric drift
+   elsewhere. Regenerate with
+     cd test && LATTE_UPDATE_GOLDEN=1 ../_build/default/test/test_main.exe test golden *)
+
+(* dune runtest runs with cwd at the test build dir (where the (deps
+   (glob_files golden/*.txt)) copies land); a directly-invoked exe may
+   run from the repo root. *)
+let golden_path =
+  if Sys.file_exists "golden" then "golden/mlp_ir.txt"
+  else "test/golden/mlp_ir.txt"
+
+let current_dump () =
+  let spec = Models.mlp ~batch:4 ~n_inputs:16 ~hidden:[ 8 ] ~n_classes:4 in
+  Pipeline.dump (Pipeline.compile ~seed:3 Config.default spec.Models.net)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_mlp_dump_golden () =
+  let dump = current_dump () in
+  match Sys.getenv_opt "LATTE_UPDATE_GOLDEN" with
+  | Some _ ->
+      let oc = open_out_bin golden_path in
+      output_string oc dump;
+      close_out oc
+  | None ->
+      let expected = read_file golden_path in
+      if String.equal expected dump then ()
+      else begin
+        (* Point at the first differing line instead of dumping both
+           multi-hundred-line programs. *)
+        let el = String.split_on_char '\n' expected
+        and dl = String.split_on_char '\n' dump in
+        let rec first_diff n = function
+          | e :: es, d :: ds ->
+              if String.equal e d then first_diff (n + 1) (es, ds)
+              else Some (n, e, d)
+          | e :: _, [] -> Some (n, e, "<end of dump>")
+          | [], d :: _ -> Some (n, "<end of golden>", d)
+          | [], [] -> None
+        in
+        match first_diff 1 (el, dl) with
+        | Some (n, e, d) ->
+            Alcotest.failf
+              "IR dump deviates from golden/mlp_ir.txt at line %d:\n\
+              \  golden: %s\n\
+              \  dump:   %s\n\
+               (regenerate with LATTE_UPDATE_GOLDEN=1 if intended)"
+              n e d
+        | None ->
+            Alcotest.fail "IR dump differs from golden only in line endings"
+      end
+
+let suite =
+  [ Alcotest.test_case "mlp IR dump matches golden" `Quick test_mlp_dump_golden ]

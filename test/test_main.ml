@@ -12,6 +12,8 @@ let () =
       ("compiler", Test_compiler.suite);
       ("passes", Test_passes.suite);
       ("ir-verify", Test_ir_verify.suite);
+      ("ir-bounds", Test_ir_bounds.suite);
+      ("golden", Test_golden.suite);
       ("network", Test_network.suite);
       ("baselines", Test_baselines.suite);
       ("solver", Test_solver.suite);

@@ -20,9 +20,9 @@ let fill_random lookup net =
     Tensor.set1 labels i 0.0
   done
 
-let measure_latte ?(config = Config.default) ?(iters = 3) net =
+let measure_latte ?(config = Config.default) ?opts ?(iters = 3) net =
   let prog = Pipeline.compile ~seed:1 config net in
-  let exec = Executor.prepare prog in
+  let exec = Executor.prepare ?opts prog in
   fill_random (Executor.lookup exec) net;
   let fwd = Executor.time_forward ~warmup:1 ~iters exec in
   let bwd = Executor.time_backward ~warmup:1 ~iters exec in

@@ -16,8 +16,13 @@ type measured = {
 val both : measured -> float
 
 val measure_latte :
-  ?config:Config.t -> ?iters:int -> Net.t -> measured * Executor.t
-(** Compile + run with random inputs. *)
+  ?config:Config.t ->
+  ?opts:Executor.Run_opts.t ->
+  ?iters:int ->
+  Net.t ->
+  measured * Executor.t
+(** Compile + run with random inputs; [opts] selects the executor's
+    run options (domain count included). *)
 
 val measure_caffe : ?iters:int -> params_from:Executor.t -> Net.t -> measured
 val measure_mocha : ?iters:int -> params_from:Executor.t -> Net.t -> measured

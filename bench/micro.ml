@@ -26,7 +26,7 @@ let im2col_test =
   Test.make ~name:"im2col 32x32x8 k3"
     (Staged.stage (fun () -> Im2col.im2col_pm spec ~src ~dst))
 
-let make_block ?safety config =
+let make_block ?(opts = Executor.Run_opts.default) config =
   let net = Net.create ~batch_size:1 in
   Net.add_external net ~name:"label" ~item_shape:[];
   Net.add_external net ~name:"loss" ~item_shape:[];
@@ -41,7 +41,7 @@ let make_block ?safety config =
   ignore
     (Layers.softmax_loss net ~name:"sl" ~input:fc ~label_buf:"label"
        ~loss_buf:"loss");
-  let exec = Executor.prepare ?safety (Pipeline.compile ~seed:1 config net) in
+  let exec = Executor.prepare ~opts (Pipeline.compile ~seed:1 config net) in
   Tensor.fill_uniform (Rng.create 3) (Executor.lookup exec "data.value") ~lo:0.0
     ~hi:1.0;
   exec
@@ -60,14 +60,62 @@ let unfused_block_test =
    here is proven, so it equals the pure unsafe path) against [Checked]
    (every access guarded, no specialized kernels). *)
 let proven_unsafe_block_test =
-  let exec = make_block ~safety:Ir_compile.Guard_unproven Config.default in
+  let opts =
+    Executor.Run_opts.with_safety Ir_compile.Guard_unproven
+      Executor.Run_opts.default
+  in
+  let exec = make_block ~opts Config.default in
   Test.make ~name:"conv block fwd (proven unsafe)"
     (Staged.stage (fun () -> Executor.forward exec))
 
 let checked_block_test =
-  let exec = make_block ~safety:Ir_compile.Checked Config.default in
+  let opts =
+    Executor.Run_opts.with_safety Ir_compile.Checked Executor.Run_opts.default
+  in
+  let exec = make_block ~opts Config.default in
   Test.make ~name:"conv block fwd (checked)"
     (Staged.stage (fun () -> Executor.forward exec))
+
+(* Forward-pass scaling across domain-pool sizes (§5.4.3). Each row is
+   median-of-iters wall clock at 1/2/4 domains plus speedups vs 1, and
+   a machine-readable JSON line for CI capture. On a single-core
+   container speedups hover around (or below) 1.0 — the table is about
+   the dispatch overhead staying sane and the numbers staying
+   bit-identical, not about beating the core count. *)
+let scaling () =
+  let models =
+    [
+      ( "mlp",
+        fun () ->
+          (Models.mlp ~batch:16 ~n_inputs:(32 * 32) ~hidden:[ 128 ]
+             ~n_classes:10)
+            .Models.net );
+      ("lenet", fun () -> (Models.lenet ~batch:8 ~image:28 ~n_classes:10 ()).Models.net);
+    ]
+  in
+  Bench_common.header "forward-pass domain scaling";
+  Printf.printf "  %-8s %12s %12s %12s %8s %8s\n" "model" "1 dom (ms)"
+    "2 dom (ms)" "4 dom (ms)" "x2" "x4";
+  List.iter
+    (fun (name, build) ->
+      let fwd_at domains =
+        let opts =
+          Executor.Run_opts.with_domains domains Executor.Run_opts.default
+        in
+        let m, _exec = Bench_common.measure_latte ~opts ~iters:5 (build ()) in
+        m.Bench_common.fwd
+      in
+      let t1 = fwd_at 1 and t2 = fwd_at 2 and t4 = fwd_at 4 in
+      Printf.printf "  %-8s %12.3f %12.3f %12.3f %8.2f %8.2f\n" name
+        (t1 *. 1e3) (t2 *. 1e3) (t4 *. 1e3) (t1 /. t2) (t1 /. t4);
+      List.iter
+        (fun (domains, t) ->
+          Printf.printf
+            "  {\"bench\":\"scaling\",\"model\":%S,\"domains\":%d,\
+             \"forward_ms\":%.6f,\"speedup\":%.4f}\n"
+            name domains (t *. 1e3) (t1 /. t))
+        [ (1, t1); (2, t2); (4, t4) ])
+    models
 
 let run () =
   let tests =

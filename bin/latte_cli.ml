@@ -50,14 +50,15 @@ let fc_div_arg =
 
 let config_term =
   let flag name doc = Arg.(value & flag & info [ name ] ~doc) in
-  let mk no_gemm no_tiling no_fusion no_parallel no_inplace no_bounds tile_size =
+  let mk no_gemm no_tiling no_fusion no_parallel no_inplace no_bounds tile_size
+      num_domains =
     Config.with_flags ~pattern_match:(not no_gemm)
       ~tiling:(not no_tiling)
       ~fusion:(not no_fusion)
       ~parallelize:(not no_parallel)
       ~inplace_activation:(not no_inplace)
       ~bounds_checks:(not no_bounds)
-      ~batch_gemm:(not no_gemm) ~tile_size Config.default
+      ~batch_gemm:(not no_gemm) ~tile_size ?num_domains Config.default
   in
   Term.(
     const mk
@@ -71,7 +72,18 @@ let config_term =
          accesses the bounds analyzer could not prove in-bounds (default: \
          unproven accesses get a runtime guard)."
     $ Arg.(value & opt int 4 & info [ "tile-size" ] ~docv:"ROWS"
-             ~doc:"Rows of the last fused layer per tile."))
+             ~doc:"Rows of the last fused layer per tile.")
+    $ Arg.(value & opt (some int) None
+           & info [ "domains" ] ~docv:"N"
+               ~doc:"Worker domains executing parallel-annotated loops \
+                     (default: the LATTE_DOMAINS environment variable, else \
+                     1). Outputs are bit-identical at any count."))
+
+(* The executor options a CLI config implies: --domains feeds the
+   domain-pool size, everything else keeps Run_opts defaults. *)
+let run_opts_of config =
+  Executor.Run_opts.with_domains config.Config.num_domains
+    Executor.Run_opts.default
 
 let passes_arg =
   Arg.(value & opt (some string) None
@@ -128,6 +140,34 @@ let dump_ir model batch image width_div fc_div config passes verify dump_after
       | None -> ())
     report.Pass_manager.outcomes;
   print_string (Pipeline.dump prog);
+  (match report.Pass_manager.parallel_annotated with
+  | [] -> ()
+  | anns ->
+      Printf.printf "=== parallel annotations ===\n";
+      List.iter
+        (fun (region, vars) ->
+          Printf.printf "%-40s %s\n" region (String.concat ", " vars))
+        anns);
+  if config.Config.num_domains > 1 then begin
+    let exec = Executor.prepare ~opts:(run_opts_of config) prog in
+    Printf.printf "=== runtime parallel schedule (%d domains) ===\n"
+      (Executor.domains exec);
+    List.iter
+      (fun (sect, (e : Ir_compile.par_entry)) ->
+        match e.Ir_compile.par_fallback with
+        | Some reason ->
+            Printf.printf "%-40s loop %-8s sequential fallback: %s\n" sect
+              e.Ir_compile.par_var reason
+        | None ->
+            Printf.printf "%-40s loop %-8s %d workers%s\n" sect
+              e.Ir_compile.par_var e.Ir_compile.par_workers
+              (match e.Ir_compile.par_replayed with
+              | [] -> ""
+              | rs ->
+                  Printf.sprintf ", sequential replay of %s"
+                    (String.concat ", " rs)))
+      (Executor.schedule exec)
+  end;
   if pass_stats then begin
     Printf.printf "=== passes ===\n";
     Printf.printf "%-12s %-4s %9s  %s\n" "pass" "on" "ms" "IR census";
@@ -165,7 +205,7 @@ let dump_ir_cmd =
 
 let analyze model batch image width_div fc_div config passes verify =
   let spec = build_model model ~batch ~image ~width_div ~fc_div in
-  let prog, _report = compile_with ?passes ~verify config spec.Models.net in
+  let prog, report = compile_with ?passes ~verify config spec.Models.net in
   let rep =
     Program.analyze
       ~live_out:[ spec.Models.loss_buf; spec.Models.output_ens ^ ".value" ]
@@ -190,6 +230,14 @@ let analyze model batch image width_div fc_div config passes verify =
   | fs ->
       Printf.printf "findings:\n";
       List.iter (fun f -> Printf.printf "  %s\n" (finding_to_string f)) fs);
+  (match report.Pass_manager.parallel_annotated with
+  | [] -> Printf.printf "parallel annotations: none\n"
+  | anns ->
+      Printf.printf "parallel annotations:\n";
+      List.iter
+        (fun (region, vars) ->
+          Printf.printf "  %-38s %s\n" region (String.concat ", " vars))
+        anns);
   Printf.printf "%s\n" (summary rep);
   if fatal_findings rep <> [] then exit 1
 
@@ -213,7 +261,7 @@ let train model batch image width_div fc_div config passes verify iters lr
     faults_spec ckpt_dir =
   let spec = build_model model ~batch ~image ~width_div ~fc_div in
   let prog, _report = compile_with ?passes ~verify config spec.Models.net in
-  let exec = Executor.prepare prog in
+  let exec = Executor.prepare ~opts:(run_opts_of config) prog in
   let flat = String.equal model "mlp" in
   let all = Synthetic.mnist_like ~image ~seed:11 ~n:768 () in
   let all =
@@ -451,7 +499,10 @@ let bench model batch image width_div fc_div config passes verify =
   let fresh () = (build_model model ~batch ~image ~width_div ~fc_div).Models.net in
   let net = fresh () in
   let prog, _report = compile_with ?passes ~verify config net in
-  let exec = Executor.prepare prog in
+  let exec = Executor.prepare ~opts:(run_opts_of config) prog in
+  if Executor.domains exec > 1 then
+    Printf.printf "executing parallel loops on %d domains\n"
+      (Executor.domains exec);
   let rng = Rng.create 7 in
   List.iter
     (fun (e : Ensemble.t) ->

@@ -22,13 +22,18 @@ let () =
       ~loss_buf:"loss"
   in
 
-  (* init(net): compile and allocate. *)
+  (* init(net): compile and allocate. Run_opts is the one knob record:
+     domains > 1 executes parallel-annotated loops on a domain pool,
+     with outputs bit-identical to sequential. *)
   let prog = Pipeline.compile Config.default net in
-  let exec = Executor.prepare prog in
-  Printf.printf "compiled %d forward sections, %d parameters buffers, %d KiB\n"
+  let opts = Executor.Run_opts.with_domains 2 Executor.Run_opts.default in
+  let exec = Executor.prepare ~opts prog in
+  Printf.printf
+    "compiled %d forward sections, %d parameters buffers, %d KiB, %d domains\n"
     (List.length prog.Program.forward)
     (List.length prog.Program.params)
-    (Buffer_pool.total_bytes prog.Program.buffers / 1024);
+    (Buffer_pool.total_bytes prog.Program.buffers / 1024)
+    (Executor.domains exec);
 
   (* SolverParameters(lr_policy = Inv(...), mom_policy = Fixed(0.9)). *)
   let params =

@@ -7,7 +7,19 @@ type t = {
   batch_gemm : bool;
   inplace_activation : bool;
   bounds_checks : bool;
+  num_domains : int;
 }
+
+(* The runtime worker-domain count defaults from the environment so an
+   entire run (tests included) can be switched to parallel execution
+   with LATTE_DOMAINS=N and no code changes. *)
+let env_domains () =
+  match Sys.getenv_opt "LATTE_DOMAINS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ -> 1)
+  | None -> 1
 
 let default =
   {
@@ -19,6 +31,7 @@ let default =
     batch_gemm = true;
     inplace_activation = true;
     bounds_checks = true;
+    num_domains = env_domains ();
   }
 
 let unoptimized =
@@ -31,10 +44,11 @@ let unoptimized =
     batch_gemm = false;
     inplace_activation = false;
     bounds_checks = true;
+    num_domains = 1;
   }
 
 let with_flags ?pattern_match ?tiling ?fusion ?parallelize ?tile_size ?batch_gemm
-    ?inplace_activation ?bounds_checks t =
+    ?inplace_activation ?bounds_checks ?num_domains t =
   {
     pattern_match = Option.value ~default:t.pattern_match pattern_match;
     tiling = Option.value ~default:t.tiling tiling;
@@ -44,6 +58,7 @@ let with_flags ?pattern_match ?tiling ?fusion ?parallelize ?tile_size ?batch_gem
     batch_gemm = Option.value ~default:t.batch_gemm batch_gemm;
     inplace_activation = Option.value ~default:t.inplace_activation inplace_activation;
     bounds_checks = Option.value ~default:t.bounds_checks bounds_checks;
+    num_domains = Option.value ~default:t.num_domains num_domains;
   }
 
 let normalize t =
@@ -64,6 +79,16 @@ let normalize t =
         "config: batch-GEMM hoisting requires GEMM pattern matching (there \
          are no GEMV calls to stack); disabling batch-gemm (pass `batch-gemm')";
       { t with batch_gemm = false }
+    end
+    else t
+  in
+  let t =
+    if t.num_domains < 1 then begin
+      warn
+        (Printf.sprintf
+           "config: num_domains %d < 1 makes no worker available; clamping to 1"
+           t.num_domains);
+      { t with num_domains = 1 }
     end
     else t
   in

@@ -18,6 +18,11 @@ type t = {
           in-bounds (proven accesses keep the unsafe fast path). On in
           both presets; disable only for benchmarking the pure unsafe
           path. *)
+  num_domains : int;
+      (** Worker domains for parallel-annotated loops (§5.4.3, the CLI's
+          [--domains]). [default] reads [LATTE_DOMAINS] (missing or
+          malformed means 1); [unoptimized] is always 1. Outputs are
+          bit-identical at any count. *)
 }
 
 val default : t
@@ -32,13 +37,15 @@ val with_flags :
   ?batch_gemm:bool ->
   ?inplace_activation:bool ->
   ?bounds_checks:bool ->
+  ?num_domains:int ->
   t ->
   t
 
 val normalize : t -> t * string list
 (** Resolve silently-coupled flags into an explicit configuration, with
     a human-readable warning per adjustment: [fusion] without [tiling]
-    is dropped (fusion schedules tiles), and [batch_gemm] without
-    [pattern_match] is dropped (there are no GEMV calls to stack). *)
+    is dropped (fusion schedules tiles), [batch_gemm] without
+    [pattern_match] is dropped (there are no GEMV calls to stack), and
+    [num_domains < 1] is clamped to 1. *)
 
 val describe : t -> string

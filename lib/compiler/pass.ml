@@ -16,6 +16,9 @@ type state = {
   bwd : piece list;
   fwd_sections : Program.section list option;  (* Set by assemble. *)
   bwd_sections : Program.section list option;  (* Includes zero-gradients. *)
+  par_annotated : (string * string list) list;
+      (* Set by the parallelize pass: region name -> loop variables it
+         annotated for parallel execution, in program order. *)
 }
 
 type info = {
@@ -38,6 +41,7 @@ let initial ?seed config net =
     bwd = [];
     fwd_sections = None;
     bwd_sections = None;
+    par_annotated = [];
   }
 
 let map_units f st =

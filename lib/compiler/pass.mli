@@ -26,6 +26,10 @@ type state = {
   bwd : piece list;
   fwd_sections : Program.section list option;
   bwd_sections : Program.section list option;
+  par_annotated : (string * string list) list;
+      (** Set by the parallelize pass: region name → loop variables it
+          annotated for parallel execution, in program order. The CLI's
+          [dump-ir]/[analyze] report this schedule. *)
 }
 
 type info = {

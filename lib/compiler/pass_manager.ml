@@ -147,9 +147,38 @@ let parallelize st =
         | s -> s)
       stmts
   in
-  Pass.map_sections
-    (fun (s : Program.section) -> { s with Program.stmts = annotate s.Program.stmts })
-    st
+  let st =
+    Pass.map_sections
+      (fun (s : Program.section) -> { s with Program.stmts = annotate s.Program.stmts })
+      st
+  in
+  (* Record what was scheduled so dump-ir/analyze can report it. *)
+  let parallel_vars stmts =
+    let vars = ref [] in
+    let rec go s =
+      match s with
+      | Ir.For l ->
+          if l.parallel then vars := l.var :: !vars;
+          List.iter go l.body
+      | Ir.If (_, t, e) ->
+          List.iter go t;
+          List.iter go e
+      | Ir.Store _ | Ir.Accum _ | Ir.Memset _ | Ir.Gemm _ | Ir.Fusion_barrier _
+      | Ir.Extern _ ->
+          ()
+    in
+    List.iter go stmts;
+    List.rev !vars
+  in
+  let par_annotated =
+    List.filter_map
+      (fun (region, _, stmts) ->
+        match parallel_vars stmts with
+        | [] -> None
+        | vars -> Some (region, vars))
+      (Pass.regions st)
+  in
+  { st with Pass.par_annotated }
 
 (* ------------------------------------------------------------------ *)
 (* Registry                                                            *)
@@ -343,6 +372,7 @@ type report = {
   warnings : string list;
   verified : bool;
   total_seconds : float;
+  parallel_annotated : (string * string list) list;
 }
 
 exception Verification_failed of string * Ir_verify.error list
@@ -400,4 +430,5 @@ let run ?seed ?passes ?(verify = false) ?(dump_after = []) config net =
       warnings;
       verified = verify;
       total_seconds = Unix.gettimeofday () -. t_start;
+      parallel_annotated = st.Pass.par_annotated;
     } )

@@ -42,6 +42,10 @@ type report = {
   warnings : string list;
   verified : bool;
   total_seconds : float;
+  parallel_annotated : (string * string list) list;
+      (** What the parallelize pass scheduled: region name → loop
+          variables annotated for parallel execution. Empty when the
+          pass did not run. *)
 }
 
 exception Verification_failed of string * Ir_verify.error list

@@ -8,10 +8,21 @@ let compile ?seed config net = fst (Pass_manager.run ?seed config net)
    network description twice with one seed yields bit-identical
    parameter values under any two configs — which is what lets the
    reference program stand in for the optimized one at serving time. *)
-let compile_pair ?seed config build =
+let compile_pair_programs ?seed config build =
   let fast = compile ?seed config (build ()) in
   let reference = compile ?seed Config.unoptimized (build ()) in
   (fast, reference)
+
+let compile_pair ?seed ?opts config build =
+  let fast_prog, ref_prog = compile_pair_programs ?seed config build in
+  let opts =
+    match opts with
+    | Some o -> o
+    | None ->
+        Executor.Run_opts.with_domains config.Config.num_domains
+          Executor.Run_opts.default
+  in
+  (Executor.prepare ~opts fast_prog, Executor.prepare ~opts ref_prog)
 
 let dump (p : Program.t) =
   let buf = Buffer.create 4096 in

@@ -18,15 +18,27 @@
 val compile : ?seed:int -> Config.t -> Net.t -> Program.t
 
 val compile_pair :
-  ?seed:int -> Config.t -> (unit -> Net.t) -> Program.t * Program.t
+  ?seed:int ->
+  ?opts:Executor.Run_opts.t ->
+  Config.t ->
+  (unit -> Net.t) ->
+  Executor.t * Executor.t
 (** [compile_pair config build] is [(fast, reference)]: the network
     description compiled twice with the same seed, once under [config]
-    and once under {!Config.unoptimized}. Both programs hold identical
-    parameter values (initialization draws happen in the required,
-    config-independent synthesis pass), so the reference program is a
+    and once under {!Config.unoptimized}, both prepared under [opts]
+    (default: {!Executor.Run_opts.default} with [domains] taken from
+    [config.num_domains]). Both executors hold identical parameter
+    values (initialization draws happen in the required,
+    config-independent synthesis pass), so the reference is a
     numerically trusted stand-in for the optimized one — the degradation
     target of the serving runtime. [build] must return a fresh,
     structurally identical net on each call. *)
+
+val compile_pair_programs :
+  ?seed:int -> Config.t -> (unit -> Net.t) -> Program.t * Program.t
+(** Deprecated spelling of {!compile_pair} returning unprepared
+    programs, for callers that want to run {!Executor.prepare}
+    themselves. *)
 
 val dump : Program.t -> string
 (** Human-readable listing of every section's IR, followed by the

@@ -10,6 +10,21 @@ let us = Bigarray.Array1.unsafe_set
    buys — see bench/micro.ml). *)
 type safety = Unsafe | Guard_unproven | Checked
 
+(* How parallel-annotated loops are dispatched: [run f] must execute
+   [f w] for every worker index [w] in [0, workers) and return once all
+   have finished (the Domain_pool provides this; injected here because
+   the runtime layer sits above the IR layer). *)
+type par_runner = { workers : int; run : (int -> unit) -> unit }
+
+type par_entry = {
+  par_var : string;  (** Loop variable of the parallel loop. *)
+  par_workers : int;  (** Chunks dispatched; 1 when the loop fell back. *)
+  par_replayed : string list;
+      (** Buffers whose conflicting writes are replayed sequentially. *)
+  par_fallback : string option;
+      (** Why the loop stayed sequential, when it did. *)
+}
+
 type ctx = {
   lookup : string -> Tensor.t;
   slots : (string, int) Hashtbl.t;
@@ -17,6 +32,9 @@ type ctx = {
   stats : (string, int) Hashtbl.t;
   safety : safety;
   shape_of : string -> int array option;
+  runner : par_runner option;
+  in_par : bool;  (* Inside a parallelized loop: nested loops stay sequential. *)
+  schedule : par_entry list ref;  (* Newest first; reversed by [schedule]. *)
 }
 
 type compiled = { entry : unit -> unit; ctx : ctx }
@@ -563,6 +581,230 @@ let compile_fast_loop ctx (l : loop) =
       generic
 
 (* ------------------------------------------------------------------ *)
+(* Parallel-loop partitioning (§5.4.3)                                 *)
+(*                                                                     *)
+(* A parallel-annotated loop is split into a parallel body — leaves    *)
+(* whose writes provably land in per-iteration-disjoint regions, run   *)
+(* chunked across the domain pool — and a replay body of conflicting   *)
+(* writes (weight-gradient accumulations, whole-buffer memsets) that   *)
+(* the caller re-executes sequentially, in exact iteration order,      *)
+(* after the barrier. Replaying instead of reducing per-domain partial *)
+(* buffers is what makes results bit-identical to sequential           *)
+(* execution at any domain count: float accumulation order never       *)
+(* changes. Loops the split cannot prove safe fall back to sequential  *)
+(* execution wholesale.                                                *)
+(* ------------------------------------------------------------------ *)
+
+module SS = Set.Make (String)
+
+let rec par_ivars acc e =
+  match e with
+  | Iconst _ -> acc
+  | Ivar v -> SS.add v acc
+  | Iadd (a, b) | Isub (a, b) | Imul (a, b) | Idiv (a, b) | Imod (a, b)
+  | Imin (a, b) | Imax (a, b) ->
+      par_ivars (par_ivars acc a) b
+
+let rec par_loads acc e =
+  match e with
+  | Fconst _ | Float_of_int _ -> acc
+  | Load (b, idx) -> (b, idx) :: acc
+  | Funop (_, a) -> par_loads acc a
+  | Fbinop (_, a, b) -> par_loads (par_loads acc a) b
+  | Select (c, a, b) -> par_loads (par_loads (par_loads_cond acc c) a) b
+
+and par_loads_cond acc c =
+  match c with
+  | Icmp _ -> acc
+  | Fcmp (_, a, b) -> par_loads (par_loads acc a) b
+  | Cand (a, b) | Cor (a, b) -> par_loads_cond (par_loads_cond acc a) b
+  | Cnot a -> par_loads_cond acc a
+
+(* Same evidence the verifier accepts that [e] differs across iterations
+   of the loop over [v]: a nonzero affine stride in [v], or a mention of
+   an inner variable whose bounds depend on [v] (tiling encodes
+   disjointness through bounds). *)
+let par_varies ~v ~dep e =
+  (match Ir_analysis.stride_of ~var:v e with
+  | Some n when n <> 0 -> true
+  | _ -> false)
+  || SS.exists (fun x -> SS.mem x dep) (par_ivars SS.empty e)
+
+(* The strong form: a nonzero affine stride in [v] itself. Accumulations
+   run in parallel only under this rule — bounds-mediated evidence keeps
+   tile-halo accumulations (which overlap across tiles) out of the
+   parallel part, where they would double-count nondeterministically. *)
+let par_strides ~v e =
+  match Ir_analysis.stride_of ~var:v e with Some n when n <> 0 -> true | _ -> false
+
+exception Par_fallback of string
+
+type par_access = {
+  a_data : Tensor.buffer;
+  a_buf : string;
+  a_pos : int;  (* Pre-order position, for intra-iteration ordering. *)
+  a_varies : bool;
+}
+
+type par_split = {
+  split_par : stmt list;
+  split_seq : stmt list;
+  split_replayed : string list;
+}
+
+let partition_parallel ctx (l : loop) =
+  let v = l.var in
+  let pos = ref 0 in
+  let par_reads = ref []
+  and par_writes = ref []
+  and seq_reads = ref []
+  and seq_writes = ref [] in
+  let record set buf varies =
+    set := { a_data = Tensor.data (ctx.lookup buf); a_buf = buf; a_pos = !pos; a_varies = varies } :: !set
+  in
+  let record_value_loads set ~dep value =
+    List.iter
+      (fun (b, idx) -> record set b (List.exists (par_varies ~v ~dep) idx))
+      (par_loads [] value)
+  in
+  let record_cond_loads set ~dep c =
+    List.iter
+      (fun (b, idx) -> record set b (List.exists (par_varies ~v ~dep) idx))
+      (par_loads_cond [] c)
+  in
+  let rec split dep stmts =
+    let parts = List.map (split1 dep) stmts in
+    (List.filter_map fst parts, List.filter_map snd parts)
+  and split1 dep s : stmt option * stmt option =
+    incr pos;
+    match s with
+    | Store { buf; idx; value } ->
+        if List.exists (par_varies ~v ~dep) idx then begin
+          record par_writes buf true;
+          record_value_loads par_reads ~dep value;
+          (Some s, None)
+        end
+        else begin
+          record seq_writes buf false;
+          record_value_loads seq_reads ~dep value;
+          (None, Some s)
+        end
+    | Accum { buf; idx; value; _ } ->
+        if List.exists (par_strides ~v) idx then begin
+          record par_writes buf true;
+          record par_reads buf true;
+          record_value_loads par_reads ~dep value;
+          (Some s, None)
+        end
+        else begin
+          record seq_writes buf false;
+          record seq_reads buf (List.exists (par_varies ~v ~dep) idx);
+          record_value_loads seq_reads ~dep value;
+          (None, Some s)
+        end
+    | Memset { buf; _ } ->
+        (* Replaying the fill n times reproduces sequential semantics. *)
+        record seq_writes buf false;
+        (None, Some s)
+    | Gemm g ->
+        let reads set =
+          record set g.a (par_varies ~v ~dep g.off_a);
+          record set g.b (par_varies ~v ~dep g.off_b);
+          if g.beta <> 0.0 then record set g.c (par_varies ~v ~dep g.off_c)
+        in
+        let disjoint =
+          if g.beta = 0.0 then par_varies ~v ~dep g.off_c
+          else par_strides ~v g.off_c
+        in
+        if disjoint then begin
+          record par_writes g.c true;
+          reads par_reads;
+          (Some s, None)
+        end
+        else begin
+          record seq_writes g.c false;
+          reads seq_reads;
+          (None, Some s)
+        end
+    | Extern e ->
+        (* Externs may force shared lazy state (gather adjacency) and
+           give no access footprint to reason about. *)
+        raise (Par_fallback (Printf.sprintf "extern %s" e.name))
+    | Fusion_barrier _ -> (Some s, None)
+    | If (c, t, e) ->
+        let pt, st = split dep t in
+        let pe, se = split dep e in
+        let shell set branches =
+          match branches with
+          | [], [] -> None
+          | t, e ->
+              record_cond_loads set ~dep c;
+              Some (If (c, t, e))
+        in
+        (shell par_reads (pt, pe), shell seq_reads (st, se))
+    | For inner ->
+        let bvars = par_ivars (par_ivars SS.empty inner.lo) inner.hi in
+        let dep =
+          if SS.mem v bvars || SS.exists (fun x -> SS.mem x dep) bvars then
+            SS.add inner.var dep
+          else dep
+        in
+        let pb, sb = split dep inner.body in
+        ( (if pb = [] then None else Some (For { inner with body = pb })),
+          if sb = [] then None else Some (For { inner with body = sb }) )
+  in
+  let split_par, split_seq = split SS.empty l.body in
+  let mem_data d lst = List.exists (fun a -> a.a_data == d) lst in
+  (* Replayed writes must be invisible to the parallel part: the replay
+     happens after the barrier, so a parallel read or write of the same
+     storage would observe the wrong interleaving. *)
+  List.iter
+    (fun w ->
+      if mem_data w.a_data !par_writes || mem_data w.a_data !par_reads then
+        raise
+          (Par_fallback
+             (Printf.sprintf "buffer %s is replayed but used in the parallel part"
+                w.a_buf)))
+    !seq_writes;
+  (* A replayed read of parallel-written storage sees every iteration's
+     writes at once; that matches sequential execution only if the read
+     is per-iteration (slice i reads region i) and no parallel write
+     follows it within an iteration. *)
+  List.iter
+    (fun rd ->
+      if mem_data rd.a_data !par_writes then begin
+        if not rd.a_varies then
+          raise
+            (Par_fallback
+               (Printf.sprintf
+                  "replayed read of %s does not vary with %s" rd.a_buf v));
+        List.iter
+          (fun w ->
+            if w.a_data == rd.a_data && w.a_pos > rd.a_pos then
+              raise
+                (Par_fallback
+                   (Printf.sprintf
+                      "parallel write of %s follows a replayed read" rd.a_buf)))
+          !par_writes
+      end)
+    !seq_reads;
+  (* A parallel read of parallel-written storage must itself be
+     per-iteration, or a domain could observe another domain's
+     in-flight writes. *)
+  List.iter
+    (fun rd ->
+      if mem_data rd.a_data !par_writes && not rd.a_varies then
+        raise
+          (Par_fallback
+             (Printf.sprintf "parallel read of %s does not vary with %s"
+                rd.a_buf v)))
+    !par_reads;
+  let split_replayed =
+    List.sort_uniq String.compare (List.map (fun a -> a.a_buf) !seq_writes)
+  in
+  { split_par; split_seq; split_replayed }
+
+(* ------------------------------------------------------------------ *)
 (* Statement compilation                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -664,31 +906,132 @@ let rec compile_stmt ctx benv s : unit -> unit =
       and ce = compile_stmts ctx (Ir_bounds.assume_not c benv) e in
       fun () -> if cc () then ct () else ce ()
   | For l -> (
-      (* The specialized kernels below access buffers unsafely for the
-         whole nest, so they require a whole-nest proof; an unproven
-         nest falls back to the generic path where each access carries
-         its own verdict. *)
-      let whole_nest_ok =
-        match ctx.safety with
-        | Unsafe -> true
-        | Checked -> false
-        | Guard_unproven ->
-            Ir_bounds.stmt_proven benv ~shape_of:ctx.shape_of (For l)
+      match ctx.runner with
+      | Some r when l.parallel && not ctx.in_par -> compile_par_for ctx benv l r
+      | _ -> compile_seq_for ctx benv l)
+
+and compile_seq_for ctx benv (l : loop) =
+  (* The specialized kernels below access buffers unsafely for the
+     whole nest, so they require a whole-nest proof; an unproven
+     nest falls back to the generic path where each access carries
+     its own verdict. *)
+  let whole_nest_ok =
+    match ctx.safety with
+    | Unsafe -> true
+    | Checked -> false
+    | Guard_unproven -> Ir_bounds.stmt_proven benv ~shape_of:ctx.shape_of (For l)
+  in
+  try if whole_nest_ok then compile_fast_loop ctx l else raise Not_fast
+  with Not_fast ->
+    let clo = compile_i ctx l.lo and chi = compile_i ctx l.hi in
+    let benv' = Ir_bounds.bind_range l.var ~lo:l.lo ~hi:l.hi benv in
+    let body = compile_stmts ctx benv' l.body in
+    let vslot = slot ctx l.var in
+    let regs = ctx.regs in
+    fun () ->
+      let lo = clo () and hi = chi () in
+      for i = lo to hi - 1 do
+        Array.unsafe_set regs vslot i;
+        body ()
+      done
+
+(* Static interleaved chunking (§5.4.3): worker [w] of [k] executes
+   iterations [lo + w, lo + w + k, ...]. The parallel body is compiled
+   once per worker against a private register file (the closures bake
+   register-slot reads in, so concurrent workers must not share one
+   array); worker 0 reuses the parent's registers on the calling
+   domain. Conflicting writes identified by [partition_parallel] are
+   replayed sequentially after the barrier. *)
+and compile_par_for ctx benv (l : loop) (r : par_runner) =
+  match partition_parallel ctx l with
+  | exception Par_fallback reason ->
+      bump_stat ctx "par_fallback";
+      ctx.schedule :=
+        {
+          par_var = l.var;
+          par_workers = 1;
+          par_replayed = [];
+          par_fallback = Some reason;
+        }
+        :: !(ctx.schedule);
+      (* Same [ctx]: an inner parallel loop may still be schedulable
+         (e.g. the tile loop when the batch loop carries an extern). *)
+      compile_seq_for ctx benv l
+  | { split_par; split_seq; split_replayed } ->
+      let k = r.workers in
+      bump_stat ctx "par_loop";
+      if split_seq <> [] then bump_stat ctx "par_replay";
+      ctx.schedule :=
+        {
+          par_var = l.var;
+          par_workers = k;
+          par_replayed = split_replayed;
+          par_fallback = None;
+        }
+        :: !(ctx.schedule);
+      let clo = compile_i ctx l.lo and chi = compile_i ctx l.hi in
+      let benv' = Ir_bounds.bind_range l.var ~lo:l.lo ~hi:l.hi benv in
+      let vslot = slot ctx l.var in
+      let ctx0 = { ctx with in_par = true } in
+      let body0 = compile_stmts ctx0 benv' split_par in
+      let others =
+        Array.init (k - 1) (fun _ ->
+            (* Throwaway stats and schedule: these are recompilations of
+               the same statements, already accounted for by worker 0. *)
+            let sub =
+              {
+                ctx0 with
+                regs = Array.make (Array.length ctx.regs) 0;
+                stats = Hashtbl.create 4;
+                schedule = ref [];
+              }
+            in
+            (sub.regs, compile_stmts sub benv' split_par))
       in
-      try
-        if whole_nest_ok then compile_fast_loop ctx l else raise Not_fast
-      with Not_fast ->
-        let clo = compile_i ctx l.lo and chi = compile_i ctx l.hi in
-        let benv' = Ir_bounds.bind_range l.var ~lo:l.lo ~hi:l.hi benv in
-        let body = compile_stmts ctx benv' l.body in
-        let vslot = slot ctx l.var in
-        let regs = ctx.regs in
-        fun () ->
-          let lo = clo () and hi = chi () in
-          for i = lo to hi - 1 do
-            Array.unsafe_set regs vslot i;
-            body ()
-          done)
+      let replay =
+        match split_seq with
+        | [] -> None
+        | seq ->
+            Some
+              (compile_seq_for ctx0 benv
+                 { l with body = seq; parallel = false })
+      in
+      let parent_regs = ctx.regs in
+      let nregs = Array.length parent_regs in
+      fun () ->
+        let lo = clo () and hi = chi () in
+        let n = hi - lo in
+        if n = 1 then begin
+          (* No point waking the pool for a single iteration. *)
+          Array.unsafe_set parent_regs vslot lo;
+          body0 ()
+        end
+        else if n > 1 then begin
+          (* Enclosing loop variables live in the parent registers;
+             workers need the current values. *)
+          Array.iter
+            (fun (regs, _) -> Array.blit parent_regs 0 regs 0 nregs)
+            others;
+          r.run (fun w ->
+              if w = 0 then begin
+                let i = ref lo in
+                while !i < hi do
+                  Array.unsafe_set parent_regs vslot !i;
+                  body0 ();
+                  i := !i + k
+                done
+              end
+              else begin
+                let regs, body = others.(w - 1) in
+                let i = ref (lo + w) in
+                while !i < hi do
+                  Array.unsafe_set regs vslot !i;
+                  body ();
+                  i := !i + k
+                done
+              end)
+        end;
+        match replay with Some f -> f () | None -> ()
 
 and compile_stmts ctx benv ss =
   match List.map (compile_stmt ctx benv) ss with
@@ -713,16 +1056,20 @@ let count_loops stmts =
   List.iter go stmts;
   !n
 
-let compile ~lookup ?(free_vars = []) ?(safety = Guard_unproven) stmts =
+let compile ~lookup ?(free_vars = []) ?(safety = Guard_unproven) ?runner stmts =
   let stmts = simplify_stmts stmts in
   let slots = collect_vars free_vars stmts in
   (* Loop collapsing allocates one fresh register per merged pair, at
-     most one per For node. *)
+     most one per For node — per distinct merged name, so recompiling
+     the parallel body once per worker does not grow the bound. *)
   let headroom = count_loops stmts + 1 in
   let shape_of buf =
     match lookup buf with
     | t -> Some (Tensor.shape t)
     | exception _ -> None
+  in
+  let runner =
+    match runner with Some r when r.workers > 1 -> Some r | _ -> None
   in
   let ctx =
     {
@@ -732,6 +1079,9 @@ let compile ~lookup ?(free_vars = []) ?(safety = Guard_unproven) stmts =
       stats = Hashtbl.create 8;
       safety;
       shape_of;
+      runner;
+      in_par = false;
+      schedule = ref [];
     }
   in
   let entry = compile_stmts ctx Ir_bounds.empty_env stmts in
@@ -745,3 +1095,5 @@ let run c ?(bindings = []) () =
 
 let kernel_stats c =
   List.sort compare (Hashtbl.fold (fun k v l -> (k, v) :: l) c.ctx.stats [])
+
+let schedule c = List.rev !(c.ctx.schedule)

@@ -22,10 +22,30 @@ type safety =
   | Checked  (** Every access is guarded and no specialized kernels are
                  emitted; the overhead baseline in [bench/micro.ml]. *)
 
+type par_runner = { workers : int; run : (int -> unit) -> unit }
+(** How [parallel]-annotated loops are dispatched: [run f] must execute
+    [f w] for every worker index [w] in [0, workers)] and return once
+    all have finished — {!Domain_pool.runner} provides this. The type
+    lives here (rather than in the runtime layer) because the runtime
+    depends on the IR layer, not the reverse. *)
+
+type par_entry = {
+  par_var : string;  (** Loop variable of the parallel loop. *)
+  par_workers : int;  (** Chunks dispatched; 1 when the loop fell back. *)
+  par_replayed : string list;
+      (** Buffers whose conflicting writes (weight-gradient
+          accumulations, whole-buffer fills) are replayed sequentially
+          in iteration order after the barrier. *)
+  par_fallback : string option;
+      (** Why the loop stayed sequential, when it did (extern in the
+          body, a dependence the splitter cannot prove safe, ...). *)
+}
+
 val compile :
   lookup:(string -> Tensor.t) ->
   ?free_vars:string list ->
   ?safety:safety ->
+  ?runner:par_runner ->
   Ir.stmt list ->
   compiled
 (** Buffers are resolved eagerly: every buffer named in the program must
@@ -33,7 +53,16 @@ val compile :
     exact tensors. [free_vars] declares variables bound at run time —
     their values are unknown to the bounds analyzer, so accesses indexed
     by them are guarded under the default [safety] of
-    [Guard_unproven]. *)
+    [Guard_unproven].
+
+    With [runner] (and [runner.workers > 1]), outermost
+    [parallel]-annotated loops execute chunked across the runner's
+    workers with a static interleaved schedule (§5.4.3). Writes that
+    cannot be proven per-iteration-disjoint are pruned from the parallel
+    body and replayed sequentially after the barrier, so results are
+    bit-identical to sequential execution at any worker count; loops the
+    splitter cannot handle (externs, unprovable dependences) fall back
+    to sequential execution, recorded in {!schedule}. *)
 
 val run : compiled -> ?bindings:(string * int) list -> unit -> unit
 (** Execute. [bindings] gives values for the [free_vars]. *)
@@ -42,3 +71,7 @@ val kernel_stats : compiled -> (string * int) list
 (** How many innermost loops were emitted as each specialized kernel
     kind (including ["generic"]); used by tests to pin down that the
     recognizer fired. *)
+
+val schedule : compiled -> par_entry list
+(** The parallel-loop scheduling decisions made during compilation, in
+    program order. Empty when compiled without a runner. *)

@@ -53,9 +53,9 @@ let fit ?(log_every = 50) ?log ?(faults = Fault.none) ?(checkpoint_every = 25)
   List.iter
     (function
       | Fault.Poison { buf; _ } -> (
-          match Executor.lookup exec buf with
-          | (_ : Tensor.t) -> ()
-          | exception _ ->
+          match Executor.lookup_opt exec buf with
+          | Some (_ : Tensor.t) -> ()
+          | None ->
               invalid_arg
                 (Printf.sprintf
                    "Trainer.fit: fault plan poisons unknown buffer %s" buf))

@@ -1,0 +1,145 @@
+(* A persistent pool of worker domains executing chunked parallel-loop
+   jobs (§5.4.3). The caller participates as worker 0; [size - 1]
+   domains are spawned once and parked on a condition variable between
+   jobs, so per-dispatch cost is one lock + broadcast rather than a
+   domain spawn. [run] doubles as a reusable barrier: it returns only
+   once every worker has finished the job. *)
+
+type t = {
+  size : int;
+  mutable domains : unit Domain.t array;
+  m : Mutex.t;
+  cv : Condition.t;
+  mutable job : (int -> unit) option;
+  mutable epoch : int;  (* Bumped per job; workers wait for a change. *)
+  mutable remaining : int;  (* Workers still inside the current job. *)
+  mutable errors : (int * exn) list;
+  mutable stopped : bool;
+}
+
+let size t = t.size
+
+let worker pool w =
+  let my_epoch = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock pool.m;
+    while (not pool.stopped) && pool.epoch = !my_epoch do
+      Condition.wait pool.cv pool.m
+    done;
+    if pool.stopped then begin
+      Mutex.unlock pool.m;
+      running := false
+    end
+    else begin
+      my_epoch := pool.epoch;
+      let job = Option.get pool.job in
+      Mutex.unlock pool.m;
+      let err = match job w with () -> None | exception e -> Some e in
+      Mutex.lock pool.m;
+      (match err with
+      | Some e -> pool.errors <- (w, e) :: pool.errors
+      | None -> ());
+      pool.remaining <- pool.remaining - 1;
+      if pool.remaining = 0 then Condition.broadcast pool.cv;
+      Mutex.unlock pool.m
+    end
+  done
+
+let create size =
+  if size < 1 then
+    invalid_arg (Printf.sprintf "Domain_pool.create: size %d < 1" size);
+  let pool =
+    {
+      size;
+      domains = [||];
+      m = Mutex.create ();
+      cv = Condition.create ();
+      job = None;
+      epoch = 0;
+      remaining = 0;
+      errors = [];
+      stopped = false;
+    }
+  in
+  pool.domains <-
+    Array.init (size - 1) (fun i -> Domain.spawn (fun () -> worker pool (i + 1)));
+  pool
+
+let run pool f =
+  if pool.size = 1 then f 0
+  else begin
+    Mutex.lock pool.m;
+    if pool.stopped then begin
+      Mutex.unlock pool.m;
+      invalid_arg "Domain_pool.run: pool is shut down"
+    end;
+    pool.job <- Some f;
+    pool.epoch <- pool.epoch + 1;
+    pool.remaining <- pool.size - 1;
+    pool.errors <- [];
+    Condition.broadcast pool.cv;
+    Mutex.unlock pool.m;
+    (* The caller is worker 0; its exception must not skip the barrier,
+       or the pool would be left mid-job. *)
+    let mine = match f 0 with () -> None | exception e -> Some (0, e) in
+    Mutex.lock pool.m;
+    while pool.remaining > 0 do
+      Condition.wait pool.cv pool.m
+    done;
+    let errs = pool.errors in
+    pool.job <- None;
+    Mutex.unlock pool.m;
+    match
+      List.sort
+        (fun (a, _) (b, _) -> compare (a : int) b)
+        (Option.to_list mine @ errs)
+    with
+    | [] -> ()
+    | (_, e) :: _ -> raise e
+  end
+
+let shutdown pool =
+  if pool.size > 1 then begin
+    Mutex.lock pool.m;
+    let was_stopped = pool.stopped in
+    pool.stopped <- true;
+    Condition.broadcast pool.cv;
+    Mutex.unlock pool.m;
+    if not was_stopped then Array.iter Domain.join pool.domains
+  end
+
+let runner pool =
+  { Ir_compile.workers = pool.size; run = (fun f -> run pool f) }
+
+let recommended () = Domain.recommended_domain_count ()
+
+(* Process-lifetime pools keyed by size. OCaml caps live domains (~128),
+   so executors must share pools rather than owning one each; the pools
+   are torn down at exit so the process does not terminate with domains
+   parked on a condition variable. *)
+
+let registry : (int, t) Hashtbl.t = Hashtbl.create 4
+let registry_m = Mutex.create ()
+
+let shared n =
+  let n = max 1 n in
+  Mutex.lock registry_m;
+  let pool =
+    match Hashtbl.find_opt registry n with
+    | Some p -> p
+    | None ->
+        let p = create n in
+        Hashtbl.add registry n p;
+        p
+  in
+  Mutex.unlock registry_m;
+  pool
+
+let () =
+  at_exit (fun () ->
+      Mutex.lock registry_m;
+      let pools = Hashtbl.fold (fun _ p acc -> p :: acc) registry [] in
+      Hashtbl.reset registry;
+      Mutex.unlock registry_m;
+      List.iter shutdown pools)

@@ -1,0 +1,38 @@
+(** A persistent pool of OCaml 5 worker domains for parallel-loop
+    execution (§5.4.3).
+
+    Workers are spawned once and parked between jobs; {!run} hands every
+    worker (the caller included, as worker 0) the job and returns only
+    when all of them have finished — a reusable dispatch + barrier.
+    Exceptions raised by workers are re-raised in the caller (lowest
+    worker index wins) after the barrier, so the pool stays usable. *)
+
+type t
+
+val create : int -> t
+(** [create size] spawns [size - 1] domains (the caller is worker 0).
+    Raises [Invalid_argument] when [size < 1]. A pool of size 1 spawns
+    nothing and [run] degenerates to a plain call. *)
+
+val size : t -> int
+
+val run : t -> (int -> unit) -> unit
+(** [run pool f] executes [f w] for every worker index
+    [w] in [0, size)] — [f 0] on the calling domain — and returns once
+    all have completed. Not reentrant: do not call [run] from inside a
+    job on the same pool. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains. Idempotent; [run] after shutdown
+    raises [Invalid_argument]. *)
+
+val runner : t -> Ir_compile.par_runner
+(** The pool as the chunk dispatcher {!Ir_compile.compile} consumes. *)
+
+val shared : int -> t
+(** [shared n] is a process-lifetime pool of size [max 1 n], created on
+    first request and reused thereafter (OCaml caps live domains, so
+    executors share pools). Shut down automatically at process exit. *)
+
+val recommended : unit -> int
+(** [Domain.recommended_domain_count ()]. *)

@@ -1,31 +1,69 @@
 type compiled_section = { label : string; code : Ir_compile.compiled }
 
+(* The execution knobs, unified: safety (bounds-check policy), domains
+   (parallel-loop worker count), warmup (timing runs discarded before
+   measurement). One record instead of scattered optional arguments. *)
+module Run_opts = struct
+  type t = {
+    safety : Ir_compile.safety option;
+    domains : int;
+    warmup : int;
+  }
+
+  let env_domains () =
+    match Sys.getenv_opt "LATTE_DOMAINS" with
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some n when n >= 1 -> n
+        | _ -> 1)
+    | None -> 1
+
+  let default = { safety = None; domains = env_domains (); warmup = 1 }
+  let with_domains domains t = { t with domains }
+  let with_safety safety t = { t with safety = Some safety }
+end
+
 type t = {
   prog : Program.t;
   fwd : compiled_section list;
   bwd : compiled_section list;
+  opts : Run_opts.t;
 }
 
-let compile_section safety buffers (s : Program.section) =
+let compile_section safety runner buffers (s : Program.section) =
   {
     label = s.Program.label;
     code =
-      Ir_compile.compile ~lookup:(Buffer_pool.lookup buffers) ~safety
+      Ir_compile.compile ~lookup:(Buffer_pool.lookup buffers) ~safety ?runner
         s.Program.stmts;
   }
 
-let prepare ?safety (prog : Program.t) =
+let prepare ?safety ?(opts = Run_opts.default) (prog : Program.t) =
   let safety =
-    match safety with
-    | Some s -> s
-    | None ->
+    (* The positional [?safety] (deprecated spelling) wins over the
+       record, which wins over the program's compile-time default. *)
+    match (safety, opts.Run_opts.safety) with
+    | Some s, _ | None, Some s -> s
+    | None, None ->
         if prog.Program.bounds_checks then Ir_compile.Guard_unproven
         else Ir_compile.Unsafe
   in
-  let cs = compile_section safety prog.buffers in
-  { prog; fwd = List.map cs prog.forward; bwd = List.map cs prog.backward }
+  let domains = max 1 opts.Run_opts.domains in
+  let runner =
+    if domains > 1 then Some (Domain_pool.runner (Domain_pool.shared domains))
+    else None
+  in
+  let cs = compile_section safety runner prog.buffers in
+  {
+    prog;
+    fwd = List.map cs prog.forward;
+    bwd = List.map cs prog.backward;
+    opts = { opts with Run_opts.safety = Some safety; domains };
+  }
 
 let program t = t.prog
+let run_opts t = t.opts
+let domains t = t.opts.Run_opts.domains
 
 let run_sections sections =
   List.iter (fun s -> Ir_compile.run s.code ()) sections
@@ -50,7 +88,7 @@ let median a =
   Array.sort compare a;
   a.(Array.length a / 2)
 
-let time_run ?(warmup = 1) ?(iters = 3) f =
+let time_run ~warmup ?(iters = 3) f =
   for _ = 1 to warmup do
     f ()
   done;
@@ -62,16 +100,27 @@ let time_run ?(warmup = 1) ?(iters = 3) f =
   in
   median samples
 
-let time_forward ?warmup ?iters t = time_run ?warmup ?iters (fun () -> forward t)
-let time_backward ?warmup ?iters t = time_run ?warmup ?iters (fun () -> backward t)
+let time_forward ?warmup ?iters t =
+  let warmup = Option.value ~default:t.opts.Run_opts.warmup warmup in
+  time_run ~warmup ?iters (fun () -> forward t)
+
+let time_backward ?warmup ?iters t =
+  let warmup = Option.value ~default:t.opts.Run_opts.warmup warmup in
+  time_run ~warmup ?iters (fun () -> backward t)
+
+let lookup_opt t name =
+  let pool = t.prog.Program.buffers in
+  if Buffer_pool.mem pool name then Some (Buffer_pool.lookup pool name)
+  else None
 
 let lookup t name =
-  let pool = t.prog.Program.buffers in
-  if Buffer_pool.mem pool name then Buffer_pool.lookup pool name
-  else
-    invalid_arg
-      (Printf.sprintf "Executor.lookup: unknown buffer %s (available: %s)" name
-         (String.concat ", " (Buffer_pool.names pool)))
+  match lookup_opt t name with
+  | Some tensor -> tensor
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Executor.lookup: unknown buffer %s (available: %s)"
+           name
+           (String.concat ", " (Buffer_pool.names t.prog.Program.buffers)))
 
 let kernel_stats t =
   let tbl = Hashtbl.create 16 in
@@ -83,3 +132,14 @@ let kernel_stats t =
         (Ir_compile.kernel_stats s.code))
     (t.fwd @ t.bwd);
   List.sort compare (Hashtbl.fold (fun k v l -> (k, v) :: l) tbl [])
+
+let schedule t =
+  let dir prefix sections =
+    List.concat_map
+      (fun s ->
+        List.map
+          (fun e -> (prefix ^ "/" ^ s.label, e))
+          (Ir_compile.schedule s.code))
+      sections
+  in
+  dir "forward" t.fwd @ dir "backward" t.bwd

@@ -2,18 +2,48 @@
 
     Sections are code-generated once ({!Ir_compile}) at preparation time
     and then run repeatedly — the paper's [init] step that "compiles the
-    network to an executable and allocates required memory buffers". *)
+    network to an executable and allocates required memory buffers".
+    Parallel-annotated loops execute on a shared {!Domain_pool} when
+    [Run_opts.domains > 1], with outputs bit-identical to sequential
+    execution. *)
 
 type t
 
-val prepare : ?safety:Ir_compile.safety -> Program.t -> t
-(** Code-generate every section. [safety] defaults to
-    [Ir_compile.Guard_unproven] when the program was compiled with
-    bounds checks enabled (the default) and [Ir_compile.Unsafe]
-    otherwise; pass it explicitly to override — e.g.
-    [Ir_compile.Checked] for the overhead baseline in [bench/micro]. *)
+(** The unified execution-knob record: what used to be scattered across
+    [Executor.prepare ?safety], [Program.bounds_checks] defaults and the
+    implicit choices of [Pipeline.compile_pair]. *)
+module Run_opts : sig
+  type t = {
+    safety : Ir_compile.safety option;
+        (** [None] derives the policy from [Program.bounds_checks]
+            ([Guard_unproven] when on, [Unsafe] when off). *)
+    domains : int;
+        (** Worker domains for parallel loops; clamped to [>= 1].
+            [1] is pure sequential execution. *)
+    warmup : int;  (** Default warmup runs for [time_forward]/[time_backward]. *)
+  }
+
+  val default : t
+  (** [safety = None], [domains] from the [LATTE_DOMAINS] environment
+      variable (malformed or missing means 1), [warmup = 1]. *)
+
+  val with_domains : int -> t -> t
+  val with_safety : Ir_compile.safety -> t -> t
+end
+
+val prepare : ?safety:Ir_compile.safety -> ?opts:Run_opts.t -> Program.t -> t
+(** Code-generate every section under [opts] (default
+    {!Run_opts.default}). [?safety] is the deprecated spelling of
+    [opts.safety] kept for existing callers; when both are given the
+    positional argument wins. *)
 
 val program : t -> Program.t
+
+val run_opts : t -> Run_opts.t
+(** The options this executor was prepared with, with [safety] resolved
+    and [domains] clamped. *)
+
+val domains : t -> int
 
 val forward : t -> unit
 val backward : t -> unit
@@ -24,7 +54,8 @@ val forward_timed : t -> (string * float) list
 val backward_timed : t -> (string * float) list
 
 val time_forward : ?warmup:int -> ?iters:int -> t -> float
-(** Median-of-iters wall-clock seconds for a full forward pass. *)
+(** Median-of-iters wall-clock seconds for a full forward pass.
+    [warmup] defaults to the prepared [Run_opts.warmup]. *)
 
 val time_backward : ?warmup:int -> ?iters:int -> t -> float
 
@@ -33,5 +64,13 @@ val lookup : t -> string -> Tensor.t
     [Invalid_argument] naming the missing buffer and listing the
     available buffer names when [name] is unknown. *)
 
+val lookup_opt : t -> string -> Tensor.t option
+(** [lookup] without the exception: [None] for an unknown buffer. *)
+
 val kernel_stats : t -> (string * int) list
 (** Aggregated code-generation kernel statistics over all sections. *)
+
+val schedule : t -> (string * Ir_compile.par_entry) list
+(** Parallel-loop scheduling decisions per section
+    (["forward/<label>"] / ["backward/<label>"]), in program order.
+    Empty when prepared with [domains = 1]. *)

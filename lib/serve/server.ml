@@ -57,14 +57,15 @@ let sync_params ~from_exec ~to_exec =
 
 let create ?(queue_capacity = 64) ?(failure_threshold = 1) ?(cooldown = 5e-3)
     ?(max_retries = 1) ?(backoff = 1e-4) ?(machine = Machine.xeon_e5_2699v3)
-    ?(faults = Fault.none) ?(seed = 42) ~config ~input_buf ~output_buf build =
+    ?(faults = Fault.none) ?(seed = 42) ?opts ~config ~input_buf ~output_buf
+    build =
   if max_retries < 0 then
     invalid_arg (Printf.sprintf "Server.create: max_retries %d < 0" max_retries);
   if backoff < 0.0 then
     invalid_arg (Printf.sprintf "Server.create: backoff %g < 0" backoff);
-  let fast_prog, ref_prog = Pipeline.compile_pair ~seed config build in
-  let fast = Executor.prepare fast_prog in
-  let reference = Executor.prepare ref_prog in
+  let fast, reference = Pipeline.compile_pair ~seed ?opts config build in
+  let fast_prog = Executor.program fast
+  and ref_prog = Executor.program reference in
   sync_params ~from_exec:fast ~to_exec:reference;
   let input = Executor.lookup fast input_buf in
   ignore (Executor.lookup fast output_buf);

@@ -49,15 +49,18 @@ val create :
   ?machine:Machine.cpu ->
   ?faults:Fault.t ->
   ?seed:int ->
+  ?opts:Executor.Run_opts.t ->
   config:Config.t ->
   input_buf:string ->
   output_buf:string ->
   (unit -> Net.t) ->
   t
 (** Compile the network twice ({!Pipeline.compile_pair}), prepare both
-    executors, copy the fast program's parameters into the reference (so
-    degraded answers are numerically comparable no matter what), and
-    derive per-section simulated costs from [machine] (default
+    executors under [opts] (default: [config.num_domains] worker
+    domains — the batch path runs parallel loops on the domain pool),
+    copy the fast program's parameters into the reference (so degraded
+    answers are numerically comparable no matter what), and derive
+    per-section simulated costs from [machine] (default
     {!Machine.xeon_e5_2699v3}). Defaults: [queue_capacity 64],
     [failure_threshold 1], [cooldown 5e-3]s, [max_retries 1],
     [backoff 1e-4]s base (doubling per retry), [faults Fault.none],

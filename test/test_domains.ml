@@ -1,0 +1,284 @@
+(* Multicore domain-pool execution (§5.4.3).
+
+   The contract under test: parallel-annotated loops dispatched onto a
+   Domain pool produce results bit-identical to sequential execution at
+   any domain count — forward activations, loss, and every gradient
+   buffer (weight gradients included), for all stock models. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Domain_pool unit tests                                              *)
+(* ------------------------------------------------------------------ *)
+
+let pool_covers_all_indices () =
+  let pool = Domain_pool.create 3 in
+  check_int "size" 3 (Domain_pool.size pool);
+  let n = 301 in
+  let hits = Array.make n 0 in
+  (* Static interleaved assignment, the schedule codegen emits. *)
+  Domain_pool.run pool (fun w ->
+      let i = ref w in
+      while !i < n do
+        hits.(!i) <- hits.(!i) + 1;
+        i := !i + 3
+      done);
+  Array.iteri (fun i h -> check_int (Printf.sprintf "hits.(%d)" i) 1 h) hits;
+  (* The barrier is reusable: a second dispatch sees the first's writes. *)
+  Domain_pool.run pool (fun w ->
+      let i = ref w in
+      while !i < n do
+        hits.(!i) <- hits.(!i) + 1;
+        i := !i + 3
+      done);
+  check_int "second pass" (2 * n) (Array.fold_left ( + ) 0 hits);
+  Domain_pool.shutdown pool
+
+let pool_runs_on_distinct_domains () =
+  let pool = Domain_pool.create 2 in
+  let ids = Array.make 2 (-1) in
+  Domain_pool.run pool (fun w -> ids.(w) <- (Domain.self () :> int));
+  check "worker 1 on its own domain" true (ids.(0) <> ids.(1));
+  check_int "worker 0 is the caller" ((Domain.self () :> int)) ids.(0);
+  Domain_pool.shutdown pool
+
+let pool_propagates_exceptions () =
+  let pool = Domain_pool.create 4 in
+  (match Domain_pool.run pool (fun w -> if w >= 2 then failwith "boom") with
+  | () -> Alcotest.fail "expected Failure"
+  | exception Failure msg -> check "message" true (String.equal msg "boom"));
+  (* The pool survives a failed job: barrier re-armed, workers parked. *)
+  let total = Atomic.make 0 in
+  Domain_pool.run pool (fun w -> ignore (Atomic.fetch_and_add total w));
+  check_int "usable after exception" 6 (Atomic.get total);
+  Domain_pool.shutdown pool;
+  Domain_pool.shutdown pool;
+  (* shutdown is idempotent; running after it is a programming error. *)
+  (match Domain_pool.run pool (fun _ -> ()) with
+  | () -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ())
+
+let pool_size_one_inlines () =
+  let pool = Domain_pool.create 1 in
+  let seen = ref (-1) in
+  Domain_pool.run pool (fun w -> seen := w);
+  check_int "worker 0 only" 0 !seen;
+  Domain_pool.shutdown pool
+
+let shared_pools_are_cached () =
+  let a = Domain_pool.shared 2 and b = Domain_pool.shared 2 in
+  check "same pool per size" true (a == b);
+  check_int "clamped to >= 1" 1 (Domain_pool.size (Domain_pool.shared 0));
+  let r = Domain_pool.runner a in
+  check_int "runner workers" 2 r.Ir_compile.workers
+
+(* ------------------------------------------------------------------ *)
+(* Bitwise determinism across domain counts                            *)
+(* ------------------------------------------------------------------ *)
+
+let stock_models : (string * (unit -> Models.spec)) list =
+  let scale = { Models.image = 32; width_div = 8; fc_div = 32 } in
+  [
+    ("mlp", fun () -> Models.mlp ~batch:4 ~n_inputs:64 ~hidden:[ 16 ] ~n_classes:10);
+    ("lenet", fun () -> Models.lenet ~batch:2 ~image:16 ~n_classes:10 ());
+    ( "vgg-block",
+      fun () ->
+        Models.vgg_first_block ~batch:2 ~scale:{ scale with Models.image = 8 } );
+    ("alexnet", fun () -> Models.alexnet ~batch:2 ~scale ());
+    ("vgg", fun () -> Models.vgg ~batch:1 ~scale);
+    ("overfeat", fun () -> Models.overfeat ~batch:1 ~scale);
+  ]
+
+(* Two forward+backward rounds (the second exercises pool reuse), then a
+   bitwise image of every buffer in the pool. *)
+let run_rounds exec (spec : Models.spec) =
+  let prog = Executor.program exec in
+  let rng = Rng.create 13 in
+  let data = Executor.lookup exec (spec.Models.data_ens ^ ".value") in
+  Tensor.fill_uniform rng data ~lo:(-1.0) ~hi:1.0;
+  let labels = Executor.lookup exec spec.Models.label_buf in
+  let out = Executor.lookup exec (spec.Models.output_ens ^ ".value") in
+  let n_classes = Tensor.numel out / prog.Program.batch_size in
+  for i = 0 to Tensor.numel labels - 1 do
+    Tensor.set1 labels i (float_of_int (i mod n_classes))
+  done;
+  Executor.forward exec;
+  Executor.backward exec;
+  Executor.forward exec;
+  Executor.backward exec;
+  List.map
+    (fun name ->
+      let t = Executor.lookup exec name in
+      ( name,
+        Array.init (Tensor.numel t) (fun i ->
+            Int64.bits_of_float (Tensor.get1 t i)) ))
+    (Buffer_pool.names prog.Program.buffers)
+
+let run_with ~domains specf =
+  let spec = specf () in
+  let prog = Pipeline.compile ~seed:42 Config.default spec.Models.net in
+  let opts =
+    Executor.Run_opts.with_domains domains Executor.Run_opts.default
+  in
+  Executor.prepare ~opts prog
+
+let compare_images name ref_img img =
+  List.iter2
+    (fun (buf, a) (buf', b) ->
+      check (name ^ ": same buffer order") true (String.equal buf buf');
+      Array.iteri
+        (fun i bits ->
+          if not (Int64.equal bits b.(i)) then
+            Alcotest.fail
+              (Printf.sprintf
+                 "%s: %s[%d] differs: %h (seq) vs %h (par)" name buf i
+                 (Int64.float_of_bits bits)
+                 (Int64.float_of_bits b.(i))))
+        a)
+    ref_img img
+
+let determinism_case (name, specf) =
+  let test () =
+    let baseline =
+      let spec = specf () in
+      run_rounds (run_with ~domains:1 (fun () -> spec)) spec
+    in
+    List.iter
+      (fun domains ->
+        let spec = specf () in
+        let exec = run_with ~domains (fun () -> spec) in
+        check_int (name ^ ": prepared domains") domains (Executor.domains exec);
+        compare_images
+          (Printf.sprintf "%s@%d" name domains)
+          baseline (run_rounds exec spec))
+      [ 2; 4 ]
+  in
+  Alcotest.test_case (Printf.sprintf "%s bit-identical at 1/2/4" name) `Slow test
+
+(* The pre-existing entrypoint (no opts at all) must agree bitwise with
+   an explicit domains=1 run — whatever LATTE_DOMAINS says. *)
+let default_prepare_matches_sequential () =
+  let name, specf = List.nth stock_models 1 (* lenet *) in
+  let spec = specf () in
+  let baseline = run_rounds (run_with ~domains:1 (fun () -> spec)) spec in
+  let spec = specf () in
+  let prog = Pipeline.compile ~seed:42 Config.default spec.Models.net in
+  let legacy = Executor.prepare prog in
+  compare_images (name ^ " legacy-default") baseline (run_rounds legacy spec)
+
+(* ------------------------------------------------------------------ *)
+(* Scheduling report                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let schedule_reports_parallel_loops () =
+  let _, specf = List.nth stock_models 1 (* lenet *) in
+  let seq = run_with ~domains:1 specf in
+  check "domains=1 has no schedule" true (Executor.schedule seq = []);
+  let exec = run_with ~domains:2 specf in
+  let sched = Executor.schedule exec in
+  check "domains=2 schedule nonempty" true (sched <> []);
+  let scheduled =
+    List.filter
+      (fun (_, (e : Ir_compile.par_entry)) -> e.Ir_compile.par_fallback = None)
+      sched
+  in
+  check "some loop actually dispatched" true (scheduled <> []);
+  List.iter
+    (fun (sect, (e : Ir_compile.par_entry)) ->
+      check (sect ^ " workers") true (e.Ir_compile.par_workers = 2);
+      let has_prefix p =
+        String.length sect > String.length p
+        && String.sub sect 0 (String.length p) = p
+      in
+      check (sect ^ " section prefix") true
+        (has_prefix "forward/" || has_prefix "backward/"))
+    scheduled;
+  (* Weight-gradient accumulations are replayed sequentially somewhere
+     in the backward schedule — that is the determinism mechanism. *)
+  let replayed =
+    List.exists
+      (fun (_, (e : Ir_compile.par_entry)) -> e.Ir_compile.par_replayed <> [])
+      sched
+  in
+  check "backward replays accumulations" true replayed;
+  (* Dispatch count shows up in kernel stats. *)
+  let stats = Executor.kernel_stats exec in
+  check "par_loop counted" true
+    (match List.assoc_opt "par_loop" stats with Some n -> n > 0 | None -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Run_opts surface                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let mlp_prog () =
+  let spec = (List.assoc "mlp" stock_models) () in
+  (spec, Pipeline.compile ~seed:42 Config.default spec.Models.net)
+
+let run_opts_resolution () =
+  let _, prog = mlp_prog () in
+  (* Domains are clamped to >= 1. *)
+  let e0 =
+    Executor.prepare
+      ~opts:(Executor.Run_opts.with_domains 0 Executor.Run_opts.default)
+      prog
+  in
+  check_int "domains clamped" 1 (Executor.domains e0);
+  (* opts.safety is honored... *)
+  let eu =
+    Executor.prepare
+      ~opts:(Executor.Run_opts.with_safety Ir_compile.Unsafe Executor.Run_opts.default)
+      prog
+  in
+  check "opts safety" true
+    ((Executor.run_opts eu).Executor.Run_opts.safety = Some Ir_compile.Unsafe);
+  (* ...but the deprecated positional argument wins when both appear. *)
+  let ec =
+    Executor.prepare ~safety:Ir_compile.Checked
+      ~opts:(Executor.Run_opts.with_safety Ir_compile.Unsafe Executor.Run_opts.default)
+      prog
+  in
+  check "positional safety wins" true
+    ((Executor.run_opts ec).Executor.Run_opts.safety = Some Ir_compile.Checked);
+  (* With neither, the policy derives from Program.bounds_checks. *)
+  let ed = Executor.prepare prog in
+  check "derived safety" true
+    ((Executor.run_opts ed).Executor.Run_opts.safety
+    = Some Ir_compile.Guard_unproven)
+
+let lookup_opt_cases () =
+  let spec, prog = mlp_prog () in
+  let exec = Executor.prepare prog in
+  check "known buffer" true
+    (Executor.lookup_opt exec (spec.Models.data_ens ^ ".value") <> None);
+  check "unknown buffer" true
+    (Executor.lookup_opt exec "no-such-buffer" = None);
+  match Executor.lookup exec "no-such-buffer" with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument msg ->
+      let contains ~sub s =
+        let n = String.length sub and m = String.length s in
+        let rec at i = i + n <= m && (String.sub s i n = sub || at (i + 1)) in
+        at 0
+      in
+      check "error names the buffer" true (contains ~sub:"no-such-buffer" msg)
+
+let suite =
+  [
+    Alcotest.test_case "pool covers all indices" `Quick pool_covers_all_indices;
+    Alcotest.test_case "pool uses distinct domains" `Quick
+      pool_runs_on_distinct_domains;
+    Alcotest.test_case "pool propagates exceptions" `Quick
+      pool_propagates_exceptions;
+    Alcotest.test_case "pool of one inlines" `Quick pool_size_one_inlines;
+    Alcotest.test_case "shared pools cached" `Quick shared_pools_are_cached;
+  ]
+  @ List.map determinism_case stock_models
+  @ [
+      Alcotest.test_case "default prepare matches sequential" `Quick
+        default_prepare_matches_sequential;
+      Alcotest.test_case "schedule reports parallel loops" `Quick
+        schedule_reports_parallel_loops;
+      Alcotest.test_case "Run_opts resolution" `Quick run_opts_resolution;
+      Alcotest.test_case "lookup_opt" `Quick lookup_opt_cases;
+    ]

@@ -30,4 +30,5 @@ let () =
       ("layers", Test_layers.suite);
       ("concat", Test_concat.suite);
       ("extensions", Test_extensions.suite);
+      ("domains", Test_domains.suite);
     ]

@@ -222,10 +222,9 @@ let test_degraded_matches_fast_within_tol () =
     (outputs_of healthy h_ids) (outputs_of degraded d_ids);
   (* And directly against an independently prepared unoptimized
      executor: the reference the differential tests trust. *)
-  let _, ref_prog =
+  let _, ref_exec =
     Pipeline.compile_pair ~seed:5 Config.default (fun () -> (mlp_spec ()).Models.net)
   in
-  let ref_exec = Executor.prepare ref_prog in
   let input = Executor.lookup ref_exec "data.value" in
   Tensor.fill input 0.0;
   List.iteri

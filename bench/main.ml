@@ -15,6 +15,7 @@ let all =
     ("fig20", fun () -> Figures.fig20 ());
     ("ablation", Ablation.run);
     ("serve", Serve.run);
+    ("fleet", Fleet_bench.run);
     ("scaling", Micro.scaling);
   ]
 

@@ -6,6 +6,8 @@
      train     — train a model on a synthetic dataset and report accuracy
      serve-sim — serve a synthetic request load (simulated clock) with
                  batching, deadlines, shedding and breaker degradation
+     fleet-sim — run a multi-tenant fleet chaos scenario: lazy registry,
+                 weighted-fair routing, rolling updates with rollback
      bench     — time one model against the Caffe-like baseline
      models    — list available model architectures
      machines  — list the machine models used by the cost model *)
@@ -408,7 +410,9 @@ let serve_sim model batch image width_div fc_div config requests rate deadline_m
     (Server.now server *. 1e3);
   print_string (Serve_metrics.report (Server.metrics server));
   (match Breaker.transitions (Server.breaker server) with
-  | [] -> Printf.printf "breaker: no transitions (stayed Closed)\n"
+  | [] ->
+      Printf.printf "breaker: no transitions (stayed %s)\n"
+        (Breaker.to_string (Server.breaker server))
   | trs ->
       Printf.printf "breaker transitions:\n";
       List.iter
@@ -490,6 +494,166 @@ let serve_sim_cmd =
           $ fc_div_arg $ config_term $ requests $ rate $ deadline_ms $ queue_cap
           $ max_wait_ms $ breaker_k $ cooldown_ms $ retries $ backoff_ms
           $ faults $ seed)
+
+(* ------------------------------------------------------------------ *)
+(* fleet-sim                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let split_csv s =
+  List.filter (fun x -> x <> "") (String.split_on_char ',' (String.trim s))
+
+let fleet_sim scenario_name list_scenarios mix_csv batch image width_div fc_div
+    domains capacity duration seed nodes_csv =
+  if list_scenarios then begin
+    let models = List.map (fun m -> (m, m)) model_names in
+    List.iter
+      (fun name ->
+        let sc = Scenario.stock ~models name in
+        Printf.printf "%-16s %s\n" name sc.Scenario.descr)
+      Scenario.names;
+    exit 0
+  end;
+  let mix = split_csv mix_csv in
+  List.iter
+    (fun m ->
+      if not (List.mem m model_names) then begin
+        Printf.eprintf "latte: unknown model %s in --models (try: %s)\n" m
+          (String.concat ", " model_names);
+        exit 2
+      end)
+    mix;
+  if mix = [] then begin
+    Printf.eprintf "latte: --models must name at least one model\n";
+    exit 2
+  end;
+  let registry =
+    Registry.create ~capacity
+      ~opts:(Executor.Run_opts.with_domains domains Executor.Run_opts.default)
+      ()
+  in
+  (* Every stock model is registered (compilation is lazy — only models
+     the traffic mix touches are ever built); [--models] picks the mix. *)
+  let output_bufs =
+    List.map
+      (fun name ->
+        let spec = build_model name ~batch ~image ~width_div ~fc_div in
+        Registry.register registry ~name
+          ~input_buf:(spec.Models.data_ens ^ ".value")
+          ~output_buf:(spec.Models.output_ens ^ ".value")
+          (fun () -> (build_model name ~batch ~image ~width_div ~fc_div).Models.net);
+        (name, spec.Models.output_ens ^ ".value"))
+      model_names
+  in
+  let models = List.map (fun m -> (m, List.assoc m output_bufs)) mix in
+  let sc =
+    try Scenario.stock ?duration ~models scenario_name
+    with Invalid_argument msg ->
+      Printf.eprintf "latte: %s\n" msg;
+      exit 2
+  in
+  let fleet =
+    Fleet.create ~faults:sc.Scenario.fleet_faults ~registry
+      ~tenants:sc.Scenario.tenants ()
+  in
+  Printf.printf "fleet-sim scenario %s: %s\n" sc.Scenario.name sc.Scenario.descr;
+  Printf.printf "models registered: %s  (traffic mix: %s)\n"
+    (String.concat ", " model_names)
+    (String.concat ", " mix);
+  Printf.printf "domains %d, registry capacity %d, seed %d, horizon %.0f ms\n\n"
+    domains capacity seed (sc.Scenario.duration *. 1e3);
+  let summary = Scenario.run ~seed fleet sc in
+  print_string (Fleet.report fleet);
+  Printf.printf "\n%s\n" (Scenario.summary_to_string summary);
+  (* Multi-node extrapolation: independent serving replicas, rolling
+     updates broadcast the hot model's parameters over the NIC. *)
+  let hot = fst (List.hd models) in
+  let answered = summary.Scenario.fast + summary.Scenario.degraded in
+  if answered > 0 && summary.Scenario.makespan > 0.0 then begin
+    let replica_rps = float_of_int answered /. summary.Scenario.makespan in
+    let nodes_list =
+      List.map
+        (fun s ->
+          match int_of_string_opt s with
+          | Some n when n > 0 -> n
+          | _ ->
+              Printf.eprintf "latte: bad node count %s in --nodes\n" s;
+              exit 2)
+        (split_csv nodes_csv)
+    in
+    let nic = Machine.infiniband in
+    Printf.printf
+      "\nmulti-node extrapolation (%s, %s model %s, %.0f KB params):\n"
+      nic.Machine.nic_name hot
+      (if Fleet.update_in_flight fleet hot then "updating" else "active")
+      (Fleet.param_bytes fleet hot /. 1e3);
+    Printf.printf "  %-6s %14s %16s %16s\n" "nodes" "fleet req/s" "bcast (ms)"
+      "rollout (ms)";
+    List.iter
+      (fun (p : Cluster_sim.fleet_projection) ->
+        Printf.printf "  %-6d %14.0f %16.3f %16.3f\n" p.Cluster_sim.f_nodes
+          p.Cluster_sim.fleet_rps
+          (p.Cluster_sim.rollout_broadcast_seconds *. 1e3)
+          (p.Cluster_sim.rollout_seconds *. 1e3))
+      (Cluster_sim.project_fleet ~nic ~replica_rps
+         ~param_bytes:(Fleet.param_bytes fleet hot)
+         ~swap_seconds:0.01 ~nodes_list ())
+  end;
+  if summary.Scenario.unanswered > 0 then begin
+    Printf.eprintf "latte: %d request(s) left unanswered\n"
+      summary.Scenario.unanswered;
+    exit 1
+  end
+
+let fleet_sim_cmd =
+  let scenario =
+    Arg.(value & opt string "chaos-rollback"
+         & info [ "scenario" ] ~docv:"NAME"
+             ~doc:("Stock scenario to run: "
+                   ^ String.concat ", " Scenario.names ^ "."))
+  in
+  let list_scenarios =
+    Arg.(value & flag
+         & info [ "list-scenarios" ] ~doc:"List stock scenarios and exit.")
+  in
+  let mix =
+    Arg.(value & opt string "mlp,lenet,vgg-block"
+         & info [ "models" ] ~docv:"LIST"
+             ~doc:"Comma-separated models the traffic mix draws from (the \
+                   first is the hot/updated one). All stock models are \
+                   registered either way; only touched ones compile.")
+  in
+  let domains =
+    Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N"
+           ~doc:"Worker domains shared by every prepared executor.")
+  in
+  let capacity =
+    Arg.(value & opt int 4 & info [ "capacity" ] ~docv:"N"
+           ~doc:"Registry LRU capacity (resident prepared pairs).")
+  in
+  let duration =
+    Arg.(value & opt (some float) None & info [ "duration" ] ~docv:"S"
+           ~doc:"Override the scenario's arrival horizon (simulated seconds).")
+  in
+  let seed =
+    Arg.(value & opt int 7 & info [ "seed" ] ~docv:"S"
+           ~doc:"Seed for arrivals, model mix and request features; a run is \
+                 fully reproduced by its seed.")
+  in
+  let nodes =
+    Arg.(value & opt string "1,2,4,8,16" & info [ "nodes" ] ~docv:"LIST"
+           ~doc:"Node counts for the multi-node extrapolation table.")
+  in
+  Cmd.v
+    (Cmd.info "fleet-sim"
+       ~doc:"Serve a scripted multi-tenant chaos scenario against a model \
+             fleet on a simulated clock: lazily-compiled LRU registry, \
+             token-bucket admission, weighted-fair scheduling, rolling \
+             updates with atomic rollback; prints the fleet report, \
+             per-tenant table, event timeline and a multi-node \
+             extrapolation. Exits non-zero if any request goes unanswered.")
+    Term.(const fleet_sim $ scenario $ list_scenarios $ mix $ batch_arg
+          $ image_arg $ width_div_arg $ fc_div_arg $ domains $ capacity
+          $ duration $ seed $ nodes)
 
 (* ------------------------------------------------------------------ *)
 (* bench                                                               *)
@@ -603,5 +767,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ dump_ir_cmd; analyze_cmd; train_cmd; serve_sim_cmd; bench_cmd;
-            graph_cmd; models_cmd; passes_cmd; machines_cmd ]))
+          [ dump_ir_cmd; analyze_cmd; train_cmd; serve_sim_cmd; fleet_sim_cmd;
+            bench_cmd; graph_cmd; models_cmd; passes_cmd; machines_cmd ]))

@@ -15,6 +15,58 @@ let allreduce_seconds (nic : Machine.nic) ~nodes ~bytes =
     let chunk = bytes /. float_of_int nodes in
     stages *. ((nic.latency_us *. 1e-6) +. (chunk /. (nic.bw_gbs *. 1e9)))
 
+let broadcast_seconds (nic : Machine.nic) ~nodes ~bytes =
+  if nodes <= 1 then 0.0
+  else
+    (* Binomial tree: the holders double each round, so ceil(log2 n)
+       rounds each move the full payload once. *)
+    let rounds = int_of_float (Float.ceil (Float.log2 (float_of_int nodes))) in
+    float_of_int rounds
+    *. ((nic.latency_us *. 1e-6) +. (bytes /. (nic.bw_gbs *. 1e9)))
+
+type fleet_projection = {
+  f_nodes : int;
+  replica_rps : float;
+  fleet_rps : float;
+  rollout_broadcast_seconds : float;
+  rollout_seconds : float;
+}
+
+let project_fleet ~nic ~replica_rps ~param_bytes ?(swap_seconds = 0.0)
+    ?(stragglers = []) ~nodes_list () =
+  if replica_rps <= 0.0 then
+    invalid_arg
+      (Printf.sprintf "Cluster_sim.project_fleet: replica_rps %g <= 0" replica_rps);
+  List.map
+    (fun nodes ->
+      if nodes <= 0 then
+        invalid_arg (Printf.sprintf "Cluster_sim.project_fleet: nodes %d <= 0" nodes);
+      (* Serving replicas are independent (no gradient synchronization),
+         so a straggler only loses its own share of the aggregate. *)
+      let fleet_rps =
+        let sum = ref 0.0 in
+        for node = 0 to nodes - 1 do
+          let factor =
+            List.fold_left
+              (fun acc (n, f) -> if n = node then Float.max acc f else acc)
+              1.0 stragglers
+          in
+          sum := !sum +. (replica_rps /. factor)
+        done;
+        !sum
+      in
+      let bcast = broadcast_seconds nic ~nodes ~bytes:param_bytes in
+      {
+        f_nodes = nodes;
+        replica_rps;
+        fleet_rps;
+        rollout_broadcast_seconds = bcast;
+        (* One-node-at-a-time rolling swap after the broadcast, so the
+           fleet never loses more than one replica of capacity. *)
+        rollout_seconds = bcast +. (float_of_int nodes *. swap_seconds);
+      })
+    nodes_list
+
 (* Gradient bytes released by a backward section: 4 bytes per learnable
    element of each of its ensembles. *)
 let grad_bytes_of (prog : Program.t) (s : Program.section) =

@@ -22,6 +22,39 @@ type result = {
 val allreduce_seconds : Machine.nic -> nodes:int -> bytes:float -> float
 (** Ring allreduce: 2(n-1) stages of [bytes/n] each. *)
 
+val broadcast_seconds : Machine.nic -> nodes:int -> bytes:float -> float
+(** One-to-all broadcast of [bytes] over a binomial tree:
+    ceil(log2 nodes) rounds, each a full-payload transfer — what a
+    rolling model update pays to push new parameters to every serving
+    replica. 0 for a single node. *)
+
+type fleet_projection = {
+  f_nodes : int;
+  replica_rps : float;  (** Measured single-replica requests/second. *)
+  fleet_rps : float;  (** Straggler-degraded aggregate throughput. *)
+  rollout_broadcast_seconds : float;
+      (** Parameter broadcast time of one rolling update. *)
+  rollout_seconds : float;
+      (** Broadcast plus one-node-at-a-time swaps ([swap_seconds] each). *)
+}
+
+val project_fleet :
+  nic:Machine.nic ->
+  replica_rps:float ->
+  param_bytes:float ->
+  ?swap_seconds:float ->
+  ?stragglers:(int * float) list ->
+  nodes_list:int list ->
+  unit ->
+  fleet_projection list
+(** Extrapolate a single-node fleet measurement to [nodes_list] serving
+    replicas. Unlike data-parallel training, replicas are independent:
+    a straggler at [(node, factor)] serves at [replica_rps / factor]
+    without gating the others. [param_bytes] is the active model's
+    payload ({!Registry} records it per entry); [swap_seconds] (default
+    0) is the per-node executor swap during a rolling update. Raises
+    [Invalid_argument] for non-positive [replica_rps] or node counts. *)
+
 val simulate_step :
   cpu:Machine.cpu ->
   nic:Machine.nic ->

@@ -1,9 +1,9 @@
-type state = Closed | Open | Half_open
+type state = [ `Closed | `Open | `Half_open ]
 
 let state_name = function
-  | Closed -> "Closed"
-  | Open -> "Open"
-  | Half_open -> "Half_open"
+  | `Closed -> "Closed"
+  | `Open -> "Open"
+  | `Half_open -> "Half_open"
 
 type transition = {
   at : float;
@@ -26,10 +26,11 @@ let create ?(threshold = 1) ?(cooldown = 5e-3) () =
     invalid_arg (Printf.sprintf "Breaker.create: threshold %d <= 0" threshold);
   if cooldown < 0.0 then
     invalid_arg (Printf.sprintf "Breaker.create: cooldown %g < 0" cooldown);
-  { threshold; cooldown; state = Closed; streak = 0; opened_at = 0.0;
+  { threshold; cooldown; state = `Closed; streak = 0; opened_at = 0.0;
     transitions = [] }
 
 let state t = t.state
+let to_string t = state_name t.state
 let threshold t = t.threshold
 let consecutive_failures t = t.streak
 
@@ -40,10 +41,10 @@ let transit t ~now to_state reason =
 
 let allow_fast t ~now =
   match t.state with
-  | Closed | Half_open -> true
-  | Open ->
+  | `Closed | `Half_open -> true
+  | `Open ->
       if now -. t.opened_at >= t.cooldown then begin
-        transit t ~now Half_open
+        transit t ~now `Half_open
           (Printf.sprintf "cooldown %gs elapsed; probing the fast path" t.cooldown);
         true
       end
@@ -52,20 +53,20 @@ let allow_fast t ~now =
 let on_success t ~now =
   t.streak <- 0;
   match t.state with
-  | Half_open -> transit t ~now Closed "probe batch succeeded"
-  | Closed | Open -> ()
+  | `Half_open -> transit t ~now `Closed "probe batch succeeded"
+  | `Closed | `Open -> ()
 
 let on_failure t ~now ~reason =
   t.streak <- t.streak + 1;
   match t.state with
-  | Half_open ->
+  | `Half_open ->
       t.opened_at <- now;
-      transit t ~now Open (Printf.sprintf "probe batch failed (%s)" reason)
-  | Closed when t.streak >= t.threshold ->
+      transit t ~now `Open (Printf.sprintf "probe batch failed (%s)" reason)
+  | `Closed when t.streak >= t.threshold ->
       t.opened_at <- now;
-      transit t ~now Open
+      transit t ~now `Open
         (Printf.sprintf "%d consecutive failure(s): %s" t.streak reason)
-  | Closed | Open -> ()
+  | `Closed | `Open -> ()
 
 let transitions t = List.rev t.transitions
 

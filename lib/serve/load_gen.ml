@@ -6,25 +6,32 @@ type params = {
   seed : int;
 }
 
-let run server p =
+let poisson_arrivals rng ~n ~rate ~from =
+  if n <= 0 then invalid_arg (Printf.sprintf "Load_gen.poisson_arrivals: n %d <= 0" n);
+  if rate <= 0.0 then
+    invalid_arg (Printf.sprintf "Load_gen.poisson_arrivals: rate %g <= 0" rate);
+  let t = ref from in
+  Array.init n (fun _ ->
+      (* Exponential inter-arrival: -ln(1-u)/rate. *)
+      t := !t +. (-.Float.log (1.0 -. Rng.float rng 1.0) /. rate);
+      !t)
+
+let features rng ~numel = Array.init numel (fun _ -> Rng.float rng 1.0)
+
+let run ?rng server p =
   if p.n <= 0 then invalid_arg (Printf.sprintf "Load_gen.run: n %d <= 0" p.n);
   if p.rate <= 0.0 then
     invalid_arg (Printf.sprintf "Load_gen.run: rate %g <= 0" p.rate);
-  let rng = Rng.create p.seed in
-  let arrivals =
-    let t = ref 0.0 in
-    Array.init p.n (fun _ ->
-        (* Exponential inter-arrival: -ln(1-u)/rate. *)
-        t := !t +. (-.Float.log (1.0 -. Rng.float rng 1.0) /. p.rate);
-        !t)
-  in
+  let rng = match rng with Some r -> r | None -> Rng.create p.seed in
+  let arrivals = poisson_arrivals rng ~n:p.n ~rate:p.rate ~from:0.0 in
   let item = Server.item_numel server in
   let next = ref 0 in
   let submit_due () =
     while !next < p.n && arrivals.(!next) <= Server.now server do
-      let features = Array.init item (fun _ -> Rng.float rng 1.0) in
       ignore
-        (Server.submit server ~deadline:(arrivals.(!next) +. p.deadline) features);
+        (Server.submit server
+           ~deadline:(arrivals.(!next) +. p.deadline)
+           (features rng ~numel:item));
       incr next
     done
   in

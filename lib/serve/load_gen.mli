@@ -7,7 +7,13 @@
     shedding and deadline expiry reachable. The event loop advances the
     server's simulated clock between arrivals and dispatches a batch
     when it is full, when the head-of-line request has waited
-    [max_wait], or when no arrivals remain. *)
+    [max_wait], or when no arrivals remain.
+
+    Every random draw comes from one explicit generator — [params.seed]
+    by default, or the caller's own via [?rng] — so a run is fully
+    reproduced by its seed (the CLI's [--seed]); the multi-tenant
+    {!Scenario} suite reuses {!poisson_arrivals}/{!features} with the
+    same guarantee. *)
 
 type params = {
   n : int;  (** Total requests to generate. *)
@@ -17,7 +23,16 @@ type params = {
   seed : int;
 }
 
-val run : Server.t -> params -> unit
-(** Drive the server until every generated request is answered; after
-    the run [Server.unanswered] is 0. Raises [Invalid_argument] for
+val poisson_arrivals : Rng.t -> n:int -> rate:float -> from:float -> float array
+(** [n] absolute arrival times of a Poisson process at [rate] starting
+    at time [from], consuming [n] draws. Raises [Invalid_argument] for
     non-positive [n] or [rate]. *)
+
+val features : Rng.t -> numel:int -> float array
+(** One uniform [0, 1) feature vector of [numel] elements. *)
+
+val run : ?rng:Rng.t -> Server.t -> params -> unit
+(** Drive the server until every generated request is answered; after
+    the run [Server.unanswered] is 0. [rng] (default
+    [Rng.create params.seed]) supplies every draw. Raises
+    [Invalid_argument] for non-positive [n] or [rate]. *)

@@ -19,3 +19,12 @@ let offer t x =
 let pop t = Queue.take_opt t.q
 let peek t = Queue.peek_opt t.q
 let to_list t = List.of_seq (Queue.to_seq t.q)
+
+let reject t p =
+  let keep, out = List.partition (fun x -> not (p x)) (to_list t) in
+  if out <> [] then begin
+    Queue.clear t.q;
+    List.iter (fun x -> Queue.add x t.q) keep
+  end;
+  out
+

@@ -23,3 +23,8 @@ val peek : 'a t -> 'a option
 
 val to_list : 'a t -> 'a list
 (** Head-first snapshot, for inspection. *)
+
+val reject : 'a t -> ('a -> bool) -> 'a list
+(** Remove and return (head-first) every queued item satisfying the
+    predicate, preserving the order of the rest — how deadline-expired
+    requests are cleared from per-tenant queues at batch formation. *)

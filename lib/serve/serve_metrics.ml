@@ -4,6 +4,7 @@ type t = {
   mutable done_degraded : int;
   mutable timeout : int;
   mutable shed : int;
+  mutable throttled : int;
   mutable batches : int;
   mutable fast_failures : int;
   mutable retries : int;
@@ -14,11 +15,12 @@ type t = {
 
 let create () =
   { submitted = 0; done_fast = 0; done_degraded = 0; timeout = 0; shed = 0;
-    batches = 0; fast_failures = 0; retries = 0; degraded_batches = 0;
-    latencies = []; n_latencies = 0 }
+    throttled = 0; batches = 0; fast_failures = 0; retries = 0;
+    degraded_batches = 0; latencies = []; n_latencies = 0 }
 
 let record_submitted t = t.submitted <- t.submitted + 1
 let record_shed t = t.shed <- t.shed + 1
+let record_throttled t = t.throttled <- t.throttled + 1
 let record_timeout t = t.timeout <- t.timeout + 1
 
 let record_done t ~degraded ~latency =
@@ -37,20 +39,30 @@ let done_fast t = t.done_fast
 let done_degraded t = t.done_degraded
 let timeout t = t.timeout
 let shed t = t.shed
-let answered t = t.done_fast + t.done_degraded + t.timeout + t.shed
+let throttled t = t.throttled
+let answered t = t.done_fast + t.done_degraded + t.timeout + t.shed + t.throttled
 let batches t = t.batches
 let fast_failures t = t.fast_failures
 let retries t = t.retries
 let degraded_batches t = t.degraded_batches
 
+(* Linear interpolation between the order statistics (the numpy-default
+   estimator): rank h = p/100 * (n-1) lands between samples and the
+   result blends its two neighbours, so p95 of a 10-sample set is no
+   longer just the 10th sample. *)
 let percentile t p =
+  if p < 0.0 || p > 100.0 then
+    invalid_arg (Printf.sprintf "Serve_metrics.percentile: p %g outside [0, 100]" p);
   if t.n_latencies = 0 then 0.0
   else begin
     let a = Array.of_list t.latencies in
     Array.sort compare a;
     let n = Array.length a in
-    let rank = int_of_float (Float.ceil (p /. 100.0 *. float_of_int n)) - 1 in
-    a.(max 0 (min (n - 1) rank))
+    let h = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor h) in
+    let hi = min (n - 1) (lo + 1) in
+    let frac = h -. float_of_int lo in
+    (a.(lo) *. (1.0 -. frac)) +. (a.(hi) *. frac)
   end
 
 let mean_latency t =
@@ -60,15 +72,19 @@ let mean_latency t =
 let report t =
   let b = Buffer.create 512 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
-  line "requests: %d submitted = %d fast + %d degraded + %d timeout + %d shed"
-    t.submitted t.done_fast t.done_degraded t.timeout t.shed;
+  line "requests: %d submitted = %d fast + %d degraded + %d timeout + %d shed%s"
+    t.submitted t.done_fast t.done_degraded t.timeout t.shed
+    (if t.throttled > 0 then Printf.sprintf " + %d throttled" t.throttled else "");
   line "batches:  %d dispatched (%d degraded), %d fast failure(s), %d retry(ies)"
     t.batches t.degraded_batches t.fast_failures t.retries;
   if t.n_latencies > 0 then
-    line "latency:  mean %.3f ms   p50 %.3f ms   p95 %.3f ms   p99 %.3f ms"
+    line
+      "latency:  mean %.3f ms   p50 %.3f ms   p95 %.3f ms   p99 %.3f ms   \
+       p99.9 %.3f ms"
       (mean_latency t *. 1e3)
       (percentile t 50.0 *. 1e3)
       (percentile t 95.0 *. 1e3)
       (percentile t 99.0 *. 1e3)
+      (percentile t 99.9 *. 1e3)
   else line "latency:  no completed requests";
   Buffer.contents b

@@ -2,7 +2,8 @@
 
     Latencies are simulated seconds (admission to response). Every
     admitted request ends in exactly one of [done_fast], [done_degraded]
-    or [timeout]; refused requests count as [shed]. *)
+    or [timeout]; refused requests count as [shed] (queue full) or
+    [throttled] (per-tenant token bucket empty — fleet serving only). *)
 
 type t
 
@@ -12,6 +13,7 @@ val create : unit -> t
 
 val record_submitted : t -> unit
 val record_shed : t -> unit
+val record_throttled : t -> unit
 val record_timeout : t -> unit
 val record_done : t -> degraded:bool -> latency:float -> unit
 val record_batch : t -> unit
@@ -22,14 +24,15 @@ val record_degraded_batch : t -> unit
 (** {1 Reading} *)
 
 val submitted : t -> int
-(** Every request offered, shed or not. *)
+(** Every request offered, refused or not. *)
 
 val done_fast : t -> int
 val done_degraded : t -> int
 val timeout : t -> int
 val shed : t -> int
+val throttled : t -> int
 val answered : t -> int
-(** [done_fast + done_degraded + timeout + shed]. *)
+(** [done_fast + done_degraded + timeout + shed + throttled]. *)
 
 val batches : t -> int
 (** Batches dispatched (fast attempts and degraded runs count once). *)
@@ -39,10 +42,13 @@ val retries : t -> int
 val degraded_batches : t -> int
 
 val percentile : t -> float -> float
-(** [percentile t p] of recorded Done latencies, [p] in [0, 100];
-    0.0 when none recorded. *)
+(** [percentile t p] of recorded Done latencies, [p] in [0, 100], with
+    linear interpolation between order statistics (rank
+    [p/100 * (n-1)]); 0.0 when none recorded. Raises [Invalid_argument]
+    for [p] outside [0, 100]. *)
 
 val mean_latency : t -> float
 
 val report : t -> string
-(** Multi-line human-readable summary: counts, latency percentiles. *)
+(** Multi-line human-readable summary: counts, latency percentiles
+    (p50/p95/p99/p99.9). *)

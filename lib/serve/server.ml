@@ -197,7 +197,7 @@ let run_batch t reqs =
   Serve_metrics.record_batch t.metrics;
   if not (Breaker.allow_fast t.breaker ~now:t.clock) then run_reference t reqs
   else begin
-    let probing = Breaker.state t.breaker = Half_open in
+    let probing = Breaker.state t.breaker = `Half_open in
     fill_inputs t t.fast reqs;
     let rec attempt k =
       match try_fast t ~n_live with
@@ -210,7 +210,7 @@ let run_batch t reqs =
           (* Retry only while the breaker still trusts the fast path; a
              half-open probe gets exactly one attempt. *)
           if (not probing) && k < t.max_retries
-             && Breaker.state t.breaker = Breaker.Closed
+             && Breaker.state t.breaker = `Closed
           then begin
             Serve_metrics.record_retry t.metrics;
             t.clock <- t.clock +. (t.backoff *. (2.0 ** float_of_int k));

@@ -115,6 +115,63 @@ let test_poison_is_one_shot () =
     (List.length (Fault.poisons_at plan ~iter:3));
   Alcotest.(check int) "one event recorded" 1 (List.length (Fault.events plan))
 
+(* Property: every generated serving-time spec (slow-section:LABEL@F,
+   poison-out:BUF@K) survives plan -> to_string -> parse exactly, and
+   every generated malformed item is rejected with a diagnostic naming
+   the parser. Labels draw from the identifier alphabet section labels
+   and buffer names actually use; factors are eighths so %g prints them
+   exactly. *)
+let label_gen =
+  let chars = "abcdefghijklmnopqrstuvwxyz0123456789_.+-" in
+  QCheck.Gen.(
+    string_size ~gen:(map (String.get chars) (int_bound (String.length chars - 1)))
+      (int_range 1 12))
+
+let factor_gen = QCheck.Gen.(map (fun n -> float_of_int (n + 1) /. 8.0) (int_bound 999))
+
+let serving_spec_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map2 (fun label factor -> Fault.Slow_section { label; factor }) label_gen
+          factor_gen;
+        map2 (fun buf at_forward -> Fault.Poison_output { buf; at_forward })
+          label_gen (int_bound 50);
+      ])
+
+let prop_serving_specs_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"generated serving specs roundtrip"
+    (QCheck.make
+       ~print:(fun specs -> Fault.to_string (Fault.plan specs))
+       QCheck.Gen.(list_size (int_range 1 5) serving_spec_gen))
+    (fun specs ->
+      let s = Fault.to_string (Fault.plan specs) in
+      let reparsed = Fault.parse s in
+      compare (Fault.specs reparsed) specs = 0 && Fault.to_string reparsed = s)
+
+let invalid_spec_gen =
+  QCheck.Gen.(
+    map2
+      (fun (label, factor) pick ->
+        match pick with
+        | 0 -> Printf.sprintf "slow-section:%s%g" label factor (* no '@' *)
+        | 1 -> Printf.sprintf "slow-section:@%g" factor (* empty label *)
+        | 2 -> Printf.sprintf "slow-section:%s@x" label (* bad factor *)
+        | 3 -> Printf.sprintf "poison-out:%s@" label (* missing index *)
+        | 4 -> Printf.sprintf "poison-out:@%g" factor (* empty buffer *)
+        | _ -> Printf.sprintf "zap-section:%s@%g" label factor (* unknown kind *))
+      (pair label_gen factor_gen) (int_bound 5))
+
+let prop_invalid_specs_rejected =
+  QCheck.Test.make ~count:200 ~name:"generated malformed specs rejected"
+    (QCheck.make ~print:(fun s -> s) invalid_spec_gen)
+    (fun bad ->
+      try
+        ignore (Fault.parse bad);
+        false
+      with Invalid_argument msg ->
+        Test_util.contains msg "Fault.parse" && Test_util.contains msg "fault spec")
+
 (* ------------------------------------------------------------------ *)
 (* Checkpoint crash / corruption                                       *)
 (* ------------------------------------------------------------------ *)
@@ -429,6 +486,8 @@ let suite =
     Alcotest.test_case "plan parse rejects garbage" `Quick test_parse_rejects_garbage;
     Alcotest.test_case "serving-time hooks" `Quick test_serving_hooks;
     Alcotest.test_case "poison one-shot" `Quick test_poison_is_one_shot;
+    QCheck_alcotest.to_alcotest prop_serving_specs_roundtrip;
+    QCheck_alcotest.to_alcotest prop_invalid_specs_rejected;
     Alcotest.test_case "crash mid-save preserves previous" `Quick
       test_crash_mid_save_preserves_previous;
     Alcotest.test_case "crash counts saves" `Quick test_crash_save_counts_saves;

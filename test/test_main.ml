@@ -26,6 +26,7 @@ let () =
       ("checkpoint", Test_checkpoint.suite);
       ("fault", Test_fault.suite);
       ("serve", Test_serve.suite);
+      ("fleet", Test_fleet.suite);
       ("kernel", Test_kernel.suite);
       ("layers", Test_layers.suite);
       ("concat", Test_concat.suite);

@@ -108,7 +108,7 @@ let test_breaker_opens_after_k_failures_and_recovers () =
       Alcotest.(check bool) "batch1 degraded" true (is_done ~degraded:true server id))
     b1;
   Alcotest.(check bool) "still Closed after one failure" true
-    (Breaker.state (Server.breaker server) = Breaker.Closed);
+    (Breaker.state (Server.breaker server) = `Closed);
   (* Batch 2: second consecutive NaN -> breaker opens. *)
   let b2 = submit_batch server ~seed0:200 in
   ignore (Server.pump server);
@@ -117,7 +117,7 @@ let test_breaker_opens_after_k_failures_and_recovers () =
       Alcotest.(check bool) "batch2 degraded" true (is_done ~degraded:true server id))
     b2;
   Alcotest.(check bool) "Open after K failures" true
-    (Breaker.state (Server.breaker server) = Breaker.Open);
+    (Breaker.state (Server.breaker server) = `Open);
   (* Batch 3 within the cooldown: served by the reference path without
      touching the fast executor. *)
   let fwd_before = Server.forwards server in
@@ -140,13 +140,13 @@ let test_breaker_opens_after_k_failures_and_recovers () =
         (is_done ~degraded:false server id))
     b4;
   Alcotest.(check bool) "Closed again" true
-    (Breaker.state (Server.breaker server) = Breaker.Closed);
+    (Breaker.state (Server.breaker server) = `Closed);
   Alcotest.(check bool) "full lifecycle recorded" true
     (breaker_states server
     = [
-        (Breaker.Closed, Breaker.Open);
-        (Breaker.Open, Breaker.Half_open);
-        (Breaker.Half_open, Breaker.Closed);
+        (`Closed, `Open);
+        (`Open, `Half_open);
+        (`Half_open, `Closed);
       ]);
   Alcotest.(check int) "zero unanswered" 0 (Server.unanswered server)
 
@@ -281,7 +281,7 @@ let test_load_gen_answers_everything () =
   Alcotest.(check int) "every request answered" 120 (Serve_metrics.answered m);
   Alcotest.(check int) "zero unanswered" 0 (Server.unanswered server);
   Alcotest.(check bool) "breaker cycled back to Closed" true
-    (Breaker.state (Server.breaker server) = Breaker.Closed);
+    (Breaker.state (Server.breaker server) = `Closed);
   Alcotest.(check bool) "some requests degraded" true
     (Serve_metrics.done_degraded m > 0)
 
@@ -309,8 +309,43 @@ let test_create_rejects_unknown_poison_buf () =
        false
      with Invalid_argument msg -> Test_util.contains msg "bogus.buf")
 
+(* Percentiles interpolate linearly between order statistics (rank
+   h = p/100 * (n-1)) — pinned on a known distribution so a regression
+   to nearest-rank is caught exactly. *)
+let test_percentile_interpolation () =
+  let m = Serve_metrics.create () in
+  Alcotest.(check (float 0.0)) "no latencies -> 0" 0.0
+    (Serve_metrics.percentile m 95.0);
+  List.iter
+    (fun l -> Serve_metrics.record_done m ~degraded:false ~latency:l)
+    [ 0.003; 0.001; 0.004; 0.002 ];
+  let check name want p =
+    Alcotest.(check (float 1e-12)) name want (Serve_metrics.percentile m p)
+  in
+  check "p0 is the min" 0.001 0.0;
+  check "p100 is the max" 0.004 100.0;
+  (* h = 1.5: midway between the 2nd and 3rd order statistics. *)
+  check "p50 interpolates the midpoint" 0.0025 50.0;
+  (* h = 0.75: a quarter of the way from 1 ms to 2 ms. *)
+  check "p25" 0.00175 25.0;
+  (* h = 2.85: 0.003 + 0.85 * 0.001. *)
+  check "p95" 0.00385 95.0;
+  (* h = 2.997: pins the new p99.9 tail. *)
+  check "p99.9" 0.003997 99.9;
+  Alcotest.(check bool) "p outside [0, 100] rejected" true
+    (try
+       ignore (Serve_metrics.percentile m 100.1);
+       false
+     with Invalid_argument _ -> true);
+  let one = Serve_metrics.create () in
+  Serve_metrics.record_done one ~degraded:false ~latency:0.042;
+  Alcotest.(check (float 1e-12)) "single sample at every p" 0.042
+    (Serve_metrics.percentile one 99.9)
+
 let suite =
   [
+    Alcotest.test_case "percentiles interpolate" `Quick
+      test_percentile_interpolation;
     Alcotest.test_case "expired request times out without running" `Quick
       test_expired_request_times_out_without_running;
     Alcotest.test_case "queue overflow sheds" `Quick test_queue_overflow_sheds;

@@ -17,6 +17,7 @@ let all =
     ("serve", Serve.run);
     ("fleet", Fleet_bench.run);
     ("scaling", Micro.scaling);
+    ("precision", Precision_bench.run);
   ]
 
 let () =

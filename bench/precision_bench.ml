@@ -1,0 +1,183 @@
+(* Accuracy-vs-throughput across the precision presets: every stock
+   model forwarded under f32, f16 (packed activation storage) and int8
+   (post-training quantized params + activations), reporting forward
+   time, storage footprint and output fidelity against the f32 run on
+   identical inputs. Also writes a JSON artifact (one object per
+   model/preset row) for CI trend tracking. *)
+
+let scale = Bench_common.bench_scale
+
+let stock : (string * (unit -> Models.spec)) list =
+  [
+    ( "mlp",
+      fun () ->
+        Models.mlp ~batch:4 ~n_inputs:(scale.Models.image * scale.Models.image)
+          ~hidden:[ 64 ] ~n_classes:10 );
+    ("lenet", fun () -> Models.lenet ~batch:4 ~image:scale.Models.image ~n_classes:10 ());
+    ("vgg-block", fun () -> Models.vgg_first_block ~batch:4 ~scale);
+    ("alexnet", fun () -> Models.alexnet ~batch:2 ~scale ());
+    ("vgg", fun () -> Models.vgg ~batch:1 ~scale);
+    ("overfeat", fun () -> Models.overfeat ~batch:1 ~scale);
+  ]
+
+(* Deterministic eval batches: batch [i] is the same uniform draw for
+   every preset, so fidelity numbers compare like with like. *)
+let feed exec (spec : Models.spec) i =
+  let rng = Rng.create (1000 + i) in
+  Tensor.fill_uniform rng
+    (Executor.lookup exec (spec.Models.data_ens ^ ".value"))
+    ~lo:0.0 ~hi:1.0;
+  Tensor.fill (Executor.lookup exec spec.Models.label_buf) 0.0
+
+let eval_batches = 6
+
+(* Per-item argmax of the output ensemble over the eval batches, plus
+   the raw outputs for max-|delta| against the baseline. *)
+let eval_outputs exec (spec : Models.spec) =
+  let out_buf = spec.Models.output_ens ^ ".value" in
+  let outs = ref [] in
+  for i = 0 to eval_batches - 1 do
+    feed exec spec i;
+    Executor.forward exec;
+    outs := Tensor.copy (Executor.read_f32 exec out_buf) :: !outs
+  done;
+  List.rev !outs
+
+let batch_of exec = (Executor.program exec).Program.batch_size
+
+let argmaxes exec outs =
+  let b = batch_of exec in
+  List.concat_map
+    (fun out ->
+      let classes = Tensor.numel out / b in
+      List.init b (fun i ->
+          let best = ref 0 and bv = ref neg_infinity in
+          for c = 0 to classes - 1 do
+            let v = Tensor.get1 out ((i * classes) + c) in
+            if v > !bv then begin
+              bv := v;
+              best := c
+            end
+          done;
+          !best))
+    outs
+
+let fidelity ~base ~cand =
+  let da = List.combine base cand in
+  let agree =
+    List.length (List.filter (fun (a, b) -> a = b) da) * 100
+    / max 1 (List.length da)
+  in
+  agree
+
+let max_delta outs_a outs_b =
+  List.fold_left2
+    (fun acc a b ->
+      let m = ref acc in
+      for i = 0 to Tensor.numel a - 1 do
+        let d = Float.abs (Tensor.get1 a i -. Tensor.get1 b i) in
+        if d > !m then m := d
+      done;
+      !m)
+    0.0 outs_a outs_b
+
+type row = {
+  preset : string;
+  fwd_ms : float;
+  bytes : int;
+  packed : int;
+  agree_pct : int;
+  maxd : float;
+}
+
+let time_fwd exec = Executor.time_forward ~warmup:1 ~iters:2 exec
+
+let run_model name build =
+  let rows = ref [] in
+  (* f32 baseline *)
+  let spec = build () in
+  let prog32 = Pipeline.compile ~seed:1 Config.default spec.Models.net in
+  let exec32 = Executor.prepare prog32 in
+  let outs32 = eval_outputs exec32 spec in
+  let base = argmaxes exec32 outs32 in
+  let t32 = time_fwd exec32 in
+  let b32 = Buffer_pool.total_bytes prog32.Program.buffers in
+  rows :=
+    [ { preset = "f32"; fwd_ms = t32 *. 1e3; bytes = b32; packed = 0;
+        agree_pct = 100; maxd = 0.0 } ];
+  (* f16: fresh compile under the mixed-precision preset *)
+  let spec16 = build () in
+  let cfg16 = Config.with_flags ~precision:`F16 Config.default in
+  let prog16 = Pipeline.compile ~seed:1 cfg16 spec16.Models.net in
+  let exec16 = Executor.prepare prog16 in
+  let pool16 = prog16.Program.buffers in
+  let packed16 =
+    List.length
+      (List.filter
+         (fun b ->
+           (not (Buffer_pool.is_f32 pool16 b))
+           && String.equal (Buffer_pool.physical pool16 b) b)
+         (Buffer_pool.names pool16))
+  in
+  let outs16 = eval_outputs exec16 spec16 in
+  rows :=
+    { preset = "f16"; fwd_ms = time_fwd exec16 *. 1e3;
+      bytes = Buffer_pool.total_bytes pool16; packed = packed16;
+      agree_pct = fidelity ~base ~cand:(argmaxes exec16 outs16);
+      maxd = max_delta outs32 outs16 }
+    :: !rows;
+  (* int8: compile f32, calibrate on the eval feed, quantize, re-prepare *)
+  let spec8 = build () in
+  let prog8 = Pipeline.compile ~seed:1 Config.default spec8.Models.net in
+  let exec8 = Executor.prepare prog8 in
+  let keep =
+    [ spec8.Models.label_buf; spec8.Models.loss_buf;
+      spec8.Models.output_ens ^ ".value" ]
+  in
+  let packed8 =
+    Quantize.quantize ~exec:exec8 ~feed:(feed exec8 spec8) ~keep ~preset:`I8
+      prog8
+  in
+  let exec8 = if packed8 > 0 then Executor.prepare prog8 else exec8 in
+  let outs8 = eval_outputs exec8 spec8 in
+  rows :=
+    { preset = "int8"; fwd_ms = time_fwd exec8 *. 1e3;
+      bytes = Buffer_pool.total_bytes prog8.Program.buffers; packed = packed8;
+      agree_pct = fidelity ~base ~cand:(argmaxes exec8 outs8);
+      maxd = max_delta outs32 outs8 }
+    :: !rows;
+  (name, t32, List.rev !rows)
+
+let json_row name (r : row) =
+  Printf.sprintf
+    "{\"model\":\"%s\",\"preset\":\"%s\",\"fwd_ms\":%.4f,\"bytes\":%d,\
+     \"packed\":%d,\"top1_agreement_pct\":%d,\"max_abs_delta\":%.6g}"
+    name r.preset r.fwd_ms r.bytes r.packed r.agree_pct r.maxd
+
+let run () =
+  Bench_common.header
+    "precision presets: forward throughput vs output fidelity";
+  Printf.printf "  %-12s %-6s %10s %8s %10s %7s %8s %10s\n" "model" "preset"
+    "fwd ms" "vs f32" "pool KB" "packed" "top-1 %" "max|d|";
+  let json = ref [] in
+  List.iter
+    (fun (name, build) ->
+      let name, t32, rows = run_model name build in
+      List.iter
+        (fun r ->
+          Printf.printf "  %-12s %-6s %10.2f %7.2fx %10.1f %7d %7d%% %10.3g\n"
+            name r.preset r.fwd_ms
+            (t32 *. 1e3 /. r.fwd_ms)
+            (float_of_int r.bytes /. 1e3)
+            r.packed r.agree_pct r.maxd;
+          json := json_row name r :: !json)
+        rows)
+    stock;
+  Bench_common.note
+    "top-1 % = argmax agreement with the f32 run on identical inputs";
+  let path = "precision_bench.json" in
+  let oc = open_out path in
+  output_string oc
+    ("[\n  " ^ String.concat ",\n  " (List.rev !json) ^ "\n]\n");
+  close_out oc;
+  Printf.printf "  wrote %s\n" path

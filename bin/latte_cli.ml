@@ -50,17 +50,31 @@ let fc_div_arg =
   Arg.(value & opt int 32 & info [ "fc-div" ] ~docv:"D"
          ~doc:"Divide fully-connected widths by D.")
 
+let precision_enum : (string * Precision.preset) list =
+  [ ("f32", `F32); ("f16", `F16); ("int8", `I8) ]
+
+let precision_arg =
+  Arg.(value & opt (some (enum precision_enum)) None
+       & info [ "precision" ] ~docv:"P"
+           ~doc:"Execution precision preset: $(b,f32) (reference), $(b,f16) \
+                 (activations stored as binary16, f32 accumulation), \
+                 $(b,int8) (post-training quantized storage with int32 \
+                 accumulation; calibrated where the command has data). \
+                 Default: the LATTE_PRECISION environment variable, else \
+                 f32.")
+
 let config_term =
   let flag name doc = Arg.(value & flag & info [ name ] ~doc) in
   let mk no_gemm no_tiling no_fusion no_parallel no_inplace no_bounds tile_size
-      num_domains =
+      num_domains precision =
     Config.with_flags ~pattern_match:(not no_gemm)
       ~tiling:(not no_tiling)
       ~fusion:(not no_fusion)
       ~parallelize:(not no_parallel)
       ~inplace_activation:(not no_inplace)
       ~bounds_checks:(not no_bounds)
-      ~batch_gemm:(not no_gemm) ~tile_size ?num_domains Config.default
+      ~batch_gemm:(not no_gemm) ~tile_size ?num_domains ?precision
+      Config.default
   in
   Term.(
     const mk
@@ -79,7 +93,8 @@ let config_term =
            & info [ "domains" ] ~docv:"N"
                ~doc:"Worker domains executing parallel-annotated loops \
                      (default: the LATTE_DOMAINS environment variable, else \
-                     1). Outputs are bit-identical at any count."))
+                     1). Outputs are bit-identical at any count.")
+    $ precision_arg)
 
 (* The executor options a CLI config implies: --domains feeds the
    domain-pool size, everything else keeps Run_opts defaults. *)
@@ -205,7 +220,70 @@ let dump_ir_cmd =
 (* analyze                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let analyze model batch image width_div fc_div config passes verify =
+(* Dynamic-range report backing the int8 calibration story: run a few
+   forward passes over uniform-[0,1) synthetic batches and print each
+   physical buffer's observed min/max/absmax, marking the buffers the
+   post-training quantizer would pack. *)
+let print_ranges spec config prog =
+  let exec = Executor.prepare ~opts:(run_opts_of config) prog in
+  let rng = Rng.create 7 in
+  let feed () =
+    List.iter
+      (fun (e : Ensemble.t) ->
+        match e.Ensemble.kind with
+        | Ensemble.Data ->
+            (* lookup, not read_f32: inputs/labels are never packed and
+               read_f32 hands back a copy, so fills must hit the live
+               f32 block. *)
+            Tensor.fill_uniform rng
+              (Executor.lookup exec (e.Ensemble.name ^ ".value"))
+              ~lo:0.0 ~hi:1.0
+        | _ -> ())
+      (Net.ensembles spec.Models.net);
+    Tensor.fill (Executor.lookup exec spec.Models.label_buf) 0.0
+  in
+  let pool = prog.Program.buffers in
+  let canon =
+    List.filter
+      (fun b -> String.equal (Buffer_pool.physical pool b) b)
+      (Buffer_pool.names pool)
+  in
+  let ranges = Hashtbl.create 64 in
+  List.iter (fun b -> Hashtbl.replace ranges b (Precision.range_empty ())) canon;
+  let batches = 4 in
+  for _b = 1 to batches do
+    feed ();
+    Executor.forward exec;
+    List.iter
+      (fun buf ->
+        let r = Hashtbl.find ranges buf in
+        let t = Buffer_pool.read_f32 pool buf in
+        for i = 0 to Tensor.numel t - 1 do
+          Precision.range_update r (Tensor.get1 t i)
+        done)
+      canon
+  done;
+  let int8_phys =
+    List.map (Buffer_pool.physical pool) (Quantize.int8_candidates prog)
+  in
+  Printf.printf
+    "=== dynamic ranges (%d forward batches, uniform [0,1) inputs) ===\n"
+    batches;
+  Printf.printf "%-28s %9s %-5s %11s %11s %11s  %s\n" "buffer" "numel"
+    "store" "min" "max" "absmax" "int8";
+  List.iter
+    (fun buf ->
+      let r = Hashtbl.find ranges buf in
+      Printf.printf "%-28s %9d %-5s %11.4f %11.4f %11.4f  %s\n" buf
+        (Shape.numel (Buffer_pool.shape pool buf))
+        (Precision.any_name (Buffer_pool.precision pool buf))
+        r.Precision.lo r.Precision.hi
+        (Precision.range_absmax r)
+        (if List.mem (Buffer_pool.physical pool buf) int8_phys then "yes"
+         else "-"))
+    canon
+
+let analyze model batch image width_div fc_div config passes verify ranges =
   let spec = build_model model ~batch ~image ~width_div ~fc_div in
   let prog, report = compile_with ?passes ~verify config spec.Models.net in
   let rep =
@@ -241,9 +319,17 @@ let analyze model batch image width_div fc_div config passes verify =
           Printf.printf "  %-38s %s\n" region (String.concat ", " vars))
         anns);
   Printf.printf "%s\n" (summary rep);
+  if ranges then print_ranges spec config prog;
   if fatal_findings rep <> [] then exit 1
 
 let analyze_cmd =
+  let ranges_arg =
+    Arg.(value & flag
+         & info [ "ranges" ]
+             ~doc:"Also print each buffer's observed dynamic range \
+                   (min/max/absmax over a few synthetic forward batches) and \
+                   whether the int8 post-training quantizer would pack it.")
+  in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Compile a model and print the interval bounds / safety analysis: \
@@ -253,7 +339,7 @@ let analyze_cmd =
              findings. Exits 1 when any finding is fatal (a proven \
              out-of-bounds access or a read of never-initialized data).")
     Term.(const analyze $ model_arg $ batch_arg $ image_arg $ width_div_arg
-          $ fc_div_arg $ config_term $ passes_arg $ verify_arg)
+          $ fc_div_arg $ config_term $ passes_arg $ verify_arg $ ranges_arg)
 
 (* ------------------------------------------------------------------ *)
 (* train                                                               *)
@@ -324,13 +410,50 @@ let train model batch image width_div fc_div config passes verify iters lr
       Printf.printf "run %s after %d rollback(s), final loss %.4f\n"
         (if report.Trainer.completed then "completed" else "FAILED")
         report.Trainer.rollbacks report.Trainer.final_loss);
+  let output_buf = spec.Models.output_ens ^ ".value" in
   let acc =
-    Training.accuracy ~exec ~data:eval_set
-      ~data_buf:(spec.Models.data_ens ^ ".value")
-      ~label_buf:spec.Models.label_buf
-      ~output_buf:(spec.Models.output_ens ^ ".value")
+    Training.accuracy ~exec ~data:eval_set ~data_buf
+      ~label_buf:spec.Models.label_buf ~output_buf
   in
-  Printf.printf "held-out top-1 accuracy: %.1f%%\n" (acc *. 100.0)
+  Printf.printf "held-out top-1 accuracy: %.1f%%\n" (acc *. 100.0);
+  match config.Config.precision with
+  | `F32 -> ()
+  | `F16 ->
+      (* Pipeline.compile already packed the f16 plan — training above
+         ran with binary16 activation storage; just surface the count. *)
+      let pool = prog.Program.buffers in
+      let packed =
+        List.filter
+          (fun b -> not (Buffer_pool.is_f32 pool b))
+          (Buffer_pool.names pool)
+      in
+      Printf.printf "mixed precision: %d buffer(s) held in f16 storage\n"
+        (List.length packed)
+  | `I8 ->
+      (* Post-training quantization: calibrate on training batches, pack
+         params + activations, re-prepare, re-evaluate. The eval-facing
+         buffers stay f32 so Training.accuracy can read them. *)
+      let data_t = Executor.lookup exec data_buf in
+      let labels_t = Executor.lookup exec spec.Models.label_buf in
+      let feed i =
+        Synthetic.fill_batch train_set ~batch_index:i ~data:data_t
+          ~labels:labels_t
+      in
+      let keep =
+        [ data_buf; spec.Models.label_buf; spec.Models.loss_buf; output_buf ]
+      in
+      let n = Quantize.quantize ~exec ~feed ~keep ~preset:`I8 prog in
+      let exec =
+        if n > 0 then Executor.prepare ~opts:(run_opts_of config) prog else exec
+      in
+      let qacc =
+        Training.accuracy ~exec ~data:eval_set ~data_buf
+          ~label_buf:spec.Models.label_buf ~output_buf
+      in
+      Printf.printf
+        "int8 post-training quantization: %d buffer(s) packed, held-out \
+         top-1 accuracy %.1f%% (f32 %.1f%%)\n"
+        n (qacc *. 100.0) (acc *. 100.0)
 
 let train_cmd =
   let iters =
@@ -394,6 +517,10 @@ let serve_sim model batch image width_div fc_div config requests rate deadline_m
   in
   Printf.printf "serving %s (batch %d, queue %d, breaker K=%d, cooldown %gms)\n"
     model batch queue_cap breaker_k cooldown_ms;
+  if Server.is_quantized server then
+    Printf.printf
+      "fast path quantized (%s preset); degraded reference stays f32\n"
+      (Precision.preset_to_string config.Config.precision);
   if not (Fault.is_empty faults) then
     Printf.printf "armed faults: %s\n" (Fault.to_string faults);
   Printf.printf "fast-path sections (modeled cost per forward):\n";
@@ -503,7 +630,7 @@ let split_csv s =
   List.filter (fun x -> x <> "") (String.split_on_char ',' (String.trim s))
 
 let fleet_sim scenario_name list_scenarios mix_csv batch image width_div fc_div
-    domains capacity duration seed nodes_csv =
+    domains capacity duration seed nodes_csv precision =
   if list_scenarios then begin
     let models = List.map (fun m -> (m, m)) model_names in
     List.iter
@@ -533,11 +660,12 @@ let fleet_sim scenario_name list_scenarios mix_csv batch image width_div fc_div
   in
   (* Every stock model is registered (compilation is lazy — only models
      the traffic mix touches are ever built); [--models] picks the mix. *)
+  let model_config = Config.with_flags ?precision Config.default in
   let output_bufs =
     List.map
       (fun name ->
         let spec = build_model name ~batch ~image ~width_div ~fc_div in
-        Registry.register registry ~name
+        Registry.register registry ~name ~config:model_config
           ~input_buf:(spec.Models.data_ens ^ ".value")
           ~output_buf:(spec.Models.output_ens ^ ".value")
           (fun () -> (build_model name ~batch ~image ~width_div ~fc_div).Models.net);
@@ -559,8 +687,15 @@ let fleet_sim scenario_name list_scenarios mix_csv batch image width_div fc_div
   Printf.printf "models registered: %s  (traffic mix: %s)\n"
     (String.concat ", " model_names)
     (String.concat ", " mix);
-  Printf.printf "domains %d, registry capacity %d, seed %d, horizon %.0f ms\n\n"
+  Printf.printf "domains %d, registry capacity %d, seed %d, horizon %.0f ms\n"
     domains capacity seed (sc.Scenario.duration *. 1e3);
+  (match model_config.Config.precision with
+  | `F32 -> ()
+  | p ->
+      Printf.printf
+        "precision: %s fast paths (degraded references stay f32)\n"
+        (Precision.preset_to_string p));
+  print_newline ();
   let summary = Scenario.run ~seed fleet sc in
   print_string (Fleet.report fleet);
   Printf.printf "\n%s\n" (Scenario.summary_to_string summary);
@@ -653,20 +788,24 @@ let fleet_sim_cmd =
              extrapolation. Exits non-zero if any request goes unanswered.")
     Term.(const fleet_sim $ scenario $ list_scenarios $ mix $ batch_arg
           $ image_arg $ width_div_arg $ fc_div_arg $ domains $ capacity
-          $ duration $ seed $ nodes)
+          $ duration $ seed $ nodes $ precision_arg)
 
 (* ------------------------------------------------------------------ *)
 (* bench                                                               *)
 (* ------------------------------------------------------------------ *)
 
 let bench model batch image width_div fc_div config passes verify =
+  let spec = build_model model ~batch ~image ~width_div ~fc_div in
   let fresh () = (build_model model ~batch ~image ~width_div ~fc_div).Models.net in
-  let net = fresh () in
+  let net = spec.Models.net in
   let prog, _report = compile_with ?passes ~verify config net in
   let exec = Executor.prepare ~opts:(run_opts_of config) prog in
   if Executor.domains exec > 1 then
     Printf.printf "executing parallel loops on %d domains\n"
       (Executor.domains exec);
+  (match config.Config.precision with
+  | `F32 | `I8 -> ()
+  | `F16 -> Printf.printf "precision: f16 activation storage\n");
   let rng = Rng.create 7 in
   List.iter
     (fun (e : Ensemble.t) ->
@@ -692,7 +831,56 @@ let bench model batch image width_div fc_div config passes verify =
   Printf.printf "%-14s %11.2fx %11.2fx\n" "speedup" (cf /. lf) (cb /. lb);
   let m = Machine.xeon_e5_2699v3 in
   Printf.printf "modeled on %s: %.2f img/s (training)\n" m.Machine.cpu_name
-    (Cost_model.images_per_second m prog)
+    (Cost_model.images_per_second m prog);
+  (* --precision int8: quantize post-hoc (the rows above are the f32
+     baseline on the same inputs), re-prepare, and report the quantized
+     forward against it — throughput and top-1 agreement. *)
+  match config.Config.precision with
+  | `F32 | `F16 -> ()
+  | `I8 ->
+      let output_buf = spec.Models.output_ens ^ ".value" in
+      Executor.forward exec;
+      let out_f32 =
+        Tensor.copy (Executor.read_f32 exec output_buf)
+      in
+      let keep = [ spec.Models.label_buf; spec.Models.loss_buf; output_buf ] in
+      let n =
+        Quantize.quantize ~exec ~feed:(fun _ -> ()) ~batches:1 ~keep
+          ~preset:`I8 prog
+      in
+      let exec =
+        if n > 0 then Executor.prepare ~opts:(run_opts_of config) prog else exec
+      in
+      Executor.forward exec;
+      let out_q = Executor.read_f32 exec output_buf in
+      let classes = Tensor.numel out_q / batch in
+      let agree = ref 0 and max_delta = ref 0.0 in
+      for i = 0 to batch - 1 do
+        let best t =
+          let b = ref 0 and bv = ref neg_infinity in
+          for c = 0 to classes - 1 do
+            let v = Tensor.get1 t ((i * classes) + c) in
+            if v > !bv then begin bv := v; b := c end
+          done;
+          !b
+        in
+        if best out_f32 = best out_q then incr agree;
+        for c = 0 to classes - 1 do
+          let d =
+            Float.abs
+              (Tensor.get1 out_f32 ((i * classes) + c)
+              -. Tensor.get1 out_q ((i * classes) + c))
+          in
+          if d > !max_delta then max_delta := d
+        done
+      done;
+      let qf = Executor.time_forward ~warmup:1 ~iters:3 exec in
+      Printf.printf
+        "%-14s %10.2f ms %11s  (%.2fx vs f32 forward)\n" "latte-int8"
+        (qf *. 1e3) "-" (lf /. qf);
+      Printf.printf
+        "int8: %d buffer(s) packed, top-1 agreement %d/%d, max |delta| %.4g\n"
+        n !agree batch !max_delta
 
 let bench_cmd =
   Cmd.v

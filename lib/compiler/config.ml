@@ -8,6 +8,7 @@ type t = {
   inplace_activation : bool;
   bounds_checks : bool;
   num_domains : int;
+  precision : Precision.preset;
 }
 
 (* The runtime worker-domain count defaults from the environment so an
@@ -21,6 +22,17 @@ let env_domains () =
       | _ -> 1)
   | None -> 1
 
+(* Likewise the execution precision: LATTE_PRECISION=int8 switches every
+   default-config run (the CI quantized-serving job) without code
+   changes. Malformed or missing means f32. *)
+let env_precision () =
+  match Sys.getenv_opt "LATTE_PRECISION" with
+  | Some s -> (
+      match Precision.preset_of_string (String.trim s) with
+      | Some p -> p
+      | None -> `F32)
+  | None -> `F32
+
 let default =
   {
     pattern_match = true;
@@ -32,6 +44,7 @@ let default =
     inplace_activation = true;
     bounds_checks = true;
     num_domains = env_domains ();
+    precision = env_precision ();
   }
 
 let unoptimized =
@@ -45,10 +58,11 @@ let unoptimized =
     inplace_activation = false;
     bounds_checks = true;
     num_domains = 1;
+    precision = `F32;
   }
 
 let with_flags ?pattern_match ?tiling ?fusion ?parallelize ?tile_size ?batch_gemm
-    ?inplace_activation ?bounds_checks ?num_domains t =
+    ?inplace_activation ?bounds_checks ?num_domains ?precision t =
   {
     pattern_match = Option.value ~default:t.pattern_match pattern_match;
     tiling = Option.value ~default:t.tiling tiling;
@@ -59,6 +73,7 @@ let with_flags ?pattern_match ?tiling ?fusion ?parallelize ?tile_size ?batch_gem
     inplace_activation = Option.value ~default:t.inplace_activation inplace_activation;
     bounds_checks = Option.value ~default:t.bounds_checks bounds_checks;
     num_domains = Option.value ~default:t.num_domains num_domains;
+    precision = Option.value ~default:t.precision precision;
   }
 
 let normalize t =
@@ -102,4 +117,10 @@ let describe t =
     @ flag "batch-gemm" t.batch_gemm
     @ flag "inplace" t.inplace_activation
   in
-  if parts = [] then "none" else String.concat "+" parts
+  let base = if parts = [] then "none" else String.concat "+" parts in
+  (* Precision enters the description (and thus every compile-cache key
+     built from it) only when it departs from f32, keeping the f32
+     spelling byte-identical to what tools and tests already pin. *)
+  match t.precision with
+  | `F32 -> base
+  | p -> base ^ "+" ^ Precision.preset_to_string p

@@ -23,6 +23,13 @@ type t = {
           [--domains]). [default] reads [LATTE_DOMAINS] (missing or
           malformed means 1); [unoptimized] is always 1. Outputs are
           bit-identical at any count. *)
+  precision : Precision.preset;
+      (** Execution precision (the CLI's [--precision]): [`F32] is the
+          classic pipeline; [`F16] packs activations to half storage
+          with f32 accumulation; [`I8] post-training-quantizes weights
+          and activations to int8 after calibration. [default] reads
+          [LATTE_PRECISION] (missing or malformed means [`F32]);
+          [unoptimized] is always [`F32]. *)
 }
 
 val default : t
@@ -38,6 +45,7 @@ val with_flags :
   ?inplace_activation:bool ->
   ?bounds_checks:bool ->
   ?num_domains:int ->
+  ?precision:Precision.preset ->
   t ->
   t
 

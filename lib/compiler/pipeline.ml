@@ -41,12 +41,19 @@ let dump (p : Program.t) =
   Buffer.add_string buf "=== buffers ===\n";
   List.iter
     (fun name ->
-      let shape = Tensor.shape (Buffer_pool.lookup p.buffers name) in
-      let bytes = 4 * Shape.numel shape in
+      let shape = Buffer_pool.shape p.buffers name in
+      let bytes = Buffer_pool.elem_bytes p.buffers name * Shape.numel shape in
       let phys = Buffer_pool.physical p.buffers name in
+      (* Storage column only for packed buffers, so f32 plans print
+         byte-identically to what the golden dumps pin. *)
+      let storage =
+        match Buffer_pool.precision p.buffers name with
+        | Precision.Any Precision.F32 -> ""
+        | a -> Printf.sprintf "  [%s]" (Precision.any_name a)
+      in
       Buffer.add_string buf
-        (Printf.sprintf "%-28s %-20s %10d bytes%s\n" name
-           (Shape.to_string shape) bytes
+        (Printf.sprintf "%-28s %-20s %10d bytes%s%s\n" name
+           (Shape.to_string shape) bytes storage
            (if String.equal phys name then ""
             else Printf.sprintf "  (alias of %s)" phys)))
     (Buffer_pool.names p.buffers);
@@ -59,8 +66,7 @@ let dump (p : Program.t) =
       let size =
         match List.assoc_opt pr.grad_buf p.grad_sizes with
         | Some n -> n
-        | None ->
-            Shape.numel (Tensor.shape (Buffer_pool.lookup p.buffers pr.value_buf))
+        | None -> Shape.numel (Buffer_pool.shape p.buffers pr.value_buf)
       in
       Buffer.add_string buf
         (Printf.sprintf "%-28s value=%-20s grad=%-22s %8d elems  lr_mult=%g\n"

@@ -83,23 +83,24 @@ let add_cost a b =
     parallel_iters = Float.max a.parallel_iters b.parallel_iters;
   }
 
-let rec fexpr_ops e =
-  (* (flops, loads) in one evaluation of the expression. *)
+let rec fexpr_ops ~width_of e =
+  (* (flops, load bytes) in one evaluation of the expression; each load
+     moves the storage width of its buffer. *)
   match e with
   | Fconst _ -> (0.0, 0.0)
   | Float_of_int _ -> (0.0, 0.0)
-  | Load _ -> (0.0, 1.0)
+  | Load (b, _) -> (0.0, width_of b)
   | Funop (_, a) ->
-      let f, l = fexpr_ops a in
+      let f, l = fexpr_ops ~width_of a in
       (f +. 1.0, l)
   | Fbinop (_, a, b) ->
-      let fa, la = fexpr_ops a and fb, lb = fexpr_ops b in
+      let fa, la = fexpr_ops ~width_of a and fb, lb = fexpr_ops ~width_of b in
       (fa +. fb +. 1.0, la +. lb)
   | Select (_, a, b) ->
-      let fa, la = fexpr_ops a and fb, lb = fexpr_ops b in
+      let fa, la = fexpr_ops ~width_of a and fb, lb = fexpr_ops ~width_of b in
       (fa +. fb +. 1.0, la +. lb)
 
-let cost_of_stmts ?(bindings = []) ?bytes_of stmts =
+let cost_of_stmts ?(bindings = []) ?bytes_of ?(width_of = fun _ -> 4.0) stmts =
   let tbl = Hashtbl.create 8 in
   List.iter (fun (v, n) -> Hashtbl.replace tbl v n) bindings;
   let env v =
@@ -116,12 +117,16 @@ let cost_of_stmts ?(bindings = []) ?bytes_of stmts =
     }
   and go s =
     match s with
-    | Store { value; _ } ->
-        let f, l = fexpr_ops value in
-        { flops = f; bytes = 4.0 *. (l +. 1.0); parallel_iters = 1.0 }
-    | Accum { value; _ } ->
-        let f, l = fexpr_ops value in
-        { flops = f +. 1.0; bytes = 4.0 *. (l +. 2.0); parallel_iters = 1.0 }
+    | Store { buf; value; _ } ->
+        let f, l = fexpr_ops ~width_of value in
+        { flops = f; bytes = l +. width_of buf; parallel_iters = 1.0 }
+    | Accum { buf; value; _ } ->
+        let f, l = fexpr_ops ~width_of value in
+        {
+          flops = f +. 1.0;
+          bytes = l +. (2.0 *. width_of buf);
+          parallel_iters = 1.0;
+        }
     | Memset { buf = _; _ } ->
         (* Size unknown here; charged by the executor which knows the
            buffer extents. Treat as free in static accounting. *)
@@ -146,7 +151,10 @@ let cost_of_stmts ?(bindings = []) ?bytes_of stmts =
         and k = float_of_int (eval_iexpr env g.k) in
         {
           flops = 2.0 *. m *. n *. k;
-          bytes = 4.0 *. ((m *. k) +. (k *. n) +. (2.0 *. m *. n));
+          bytes =
+            (width_of g.a *. m *. k)
+            +. (width_of g.b *. k *. n)
+            +. (2.0 *. width_of g.c *. m *. n);
           parallel_iters = 1.0;
         }
     | If (_, t, e) ->

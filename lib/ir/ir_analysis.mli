@@ -39,6 +39,7 @@ val add_cost : cost -> cost -> cost
 val cost_of_stmts :
   ?bindings:(string * int) list ->
   ?bytes_of:(string -> float) ->
+  ?width_of:(string -> float) ->
   Ir.stmt list ->
   cost
 (** Static cost of one execution of the statements. Loop trip counts are
@@ -46,4 +47,8 @@ val cost_of_stmts :
     (synthesized bounds are constants, so this is exact for the code the
     compiler produces). [bytes_of] gives the byte size of a named buffer
     and is used to charge [Extern] calls for streaming their declared
-    reads/writes once; without it extern calls are treated as free. *)
+    reads/writes once; without it extern calls are treated as free.
+    [width_of] gives the element width in bytes of a named buffer
+    (default 4.0 everywhere): every load/store of a buffer is charged
+    its storage width, so int8 buffers move a quarter of the bytes of
+    f32 ones. *)

@@ -390,7 +390,13 @@ let assume_not c env = List.fold_left add_fact env (icmp_facts false c [])
 (* Findings                                                            *)
 (* ------------------------------------------------------------------ *)
 
-type kind = Out_of_bounds | Unproven | Div_by_zero | Use_before_init | Dead_store
+type kind =
+  | Out_of_bounds
+  | Unproven
+  | Div_by_zero
+  | Use_before_init
+  | Dead_store
+  | Narrow_accum
 
 type finding = {
   kind : kind;
@@ -401,7 +407,7 @@ type finding = {
 
 let is_fatal = function
   | Out_of_bounds | Use_before_init -> true
-  | Unproven | Div_by_zero | Dead_store -> false
+  | Unproven | Div_by_zero | Dead_store | Narrow_accum -> false
 
 let kind_to_string = function
   | Out_of_bounds -> "out-of-bounds"
@@ -409,6 +415,7 @@ let kind_to_string = function
   | Div_by_zero -> "div-by-zero"
   | Use_before_init -> "use-before-init"
   | Dead_store -> "dead-store"
+  | Narrow_accum -> "narrow-accum"
 
 let finding_to_string f =
   Printf.sprintf "[%s] %s: %s" (kind_to_string f.kind) f.region f.detail
@@ -772,10 +779,54 @@ let flow_check (fl : flow) regions =
       dead
 
 (* ------------------------------------------------------------------ *)
+(* Storage-precision lint: accumulation into sub-f32 storage           *)
+(* ------------------------------------------------------------------ *)
+
+let narrow_accum_check storage_of regions =
+  (* Every [Accum] into a packed (int8 / f16) buffer decodes, adds in
+     f32, then re-encodes — one rounding per partial update, so the
+     error grows with the reduction depth instead of staying at half an
+     ulp of the final value. Flag each such buffer once; the fix is to
+     accumulate into an f32 buffer and quantize the finished result. *)
+  let reported = Hashtbl.create 8 in
+  let findings = ref [] in
+  let note region buf =
+    if not (Hashtbl.mem reported buf) then
+      match storage_of buf with
+      | Some (Precision.Any k as a) when Precision.bytes_per_element k < 4 ->
+          Hashtbl.replace reported buf ();
+          findings :=
+            {
+              kind = Narrow_accum;
+              region;
+              buf = Some buf;
+              detail =
+                Printf.sprintf
+                  "buffer %s accumulates in %s storage: every partial \
+                   update re-rounds; accumulate in f32 and quantize the \
+                   result"
+                  buf (Precision.any_name a);
+            }
+            :: !findings
+      | _ -> Hashtbl.replace reported buf ()
+  in
+  let rec walk region s =
+    match s with
+    | Accum { buf; _ } -> note region buf
+    | If (_, t, e) ->
+        List.iter (walk region) t;
+        List.iter (walk region) e
+    | For l -> List.iter (walk region) l.body
+    | Store _ | Memset _ | Gemm _ | Extern _ | Fusion_barrier _ -> ()
+  in
+  List.iter (fun (region, _, stmts) -> List.iter (walk region) stmts) regions;
+  List.rev !findings
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let analyze ~shape_of ?flow regions =
+let analyze ~shape_of ?flow ?storage_of regions =
   let region_reports =
     List.map
       (fun (region, bound, stmts) ->
@@ -797,7 +848,11 @@ let analyze ~shape_of ?flow regions =
       regions
   in
   let flow_findings =
-    match flow with None -> [] | Some fl -> flow_check fl regions
+    (match flow with None -> [] | Some fl -> flow_check fl regions)
+    @
+    match storage_of with
+    | None -> []
+    | Some f -> narrow_accum_check f regions
   in
   let totals =
     List.fold_left (fun acc r -> add_stats acc r.stats) zero_stats region_reports

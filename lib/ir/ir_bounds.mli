@@ -83,6 +83,9 @@ type kind =
   | Div_by_zero  (** Divisor interval contains zero. *)
   | Use_before_init  (** Read of a buffer with no earlier overwrite. *)
   | Dead_store  (** Buffer written but never read and not live-out. *)
+  | Narrow_accum
+      (** Accumulation into sub-f32 (int8/f16) storage: each partial
+          update re-rounds through the narrow encoding. *)
 
 type finding = {
   kind : kind;
@@ -129,13 +132,16 @@ type report = {
 val analyze :
   shape_of:(string -> int array option) ->
   ?flow:flow ->
+  ?storage_of:(string -> Precision.any option) ->
   (string * (string * interval) list * Ir.stmt list) list ->
   report
 (** [analyze ~shape_of regions] checks every access in every region
     [(name, bound_vars, stmts)]; [bound_vars] gives intervals for
     variables bound outside the statements (the batch variable). When
     [flow] is given the regions are additionally treated as one program
-    in list order and the def-before-use / dead-store checks run. *)
+    in list order and the def-before-use / dead-store checks run. When
+    [storage_of] is given, [Accum]s into buffers stored narrower than
+    f32 are flagged with the non-fatal [Narrow_accum] lint. *)
 
 val fatal_findings : report -> finding list
 val all_findings : report -> finding list

@@ -27,6 +27,10 @@ type par_entry = {
 
 type ctx = {
   lookup : string -> Tensor.t;
+      (* f32 view; raises on packed buffers — only Externs (which are
+         never quantized) go through it at run time. *)
+  store_of : string -> Tensor.store;
+      (* Precision-aware view; total over registered buffers. *)
   slots : (string, int) Hashtbl.t;
   regs : int array;
   stats : (string, int) Hashtbl.t;
@@ -109,9 +113,9 @@ let rec compile_i ctx e : unit -> int =
       fun () -> max (ca ()) (cb ())
 
 let flat_of ctx buf idx =
-  let t = ctx.lookup buf in
-  let shape = Tensor.shape t in
-  (t, Ir_analysis.flat_index ~shape idx)
+  let st = ctx.store_of buf in
+  let shape = Tensor.store_shape st in
+  (st, Ir_analysis.flat_index ~shape idx)
 
 (* Does this access keep the unsafe fast path? [benv] carries the
    enclosing loop-variable intervals and guard facts. *)
@@ -140,19 +144,32 @@ let rec compile_f ctx benv e : unit -> float =
   | Float_of_int a ->
       let ca = compile_i ctx a in
       fun () -> float_of_int (ca ())
-  | Load (buf, idx) ->
-      let t, flat = flat_of ctx buf idx in
-      let data = Tensor.data t in
+  | Load (buf, idx) -> (
+      let st, flat = flat_of ctx buf idx in
       let ci = compile_i ctx flat in
-      if access_ok ctx benv buf idx then fun () -> ug data (ci ())
-      else begin
-        bump_stat ctx "guarded";
-        let extent = Tensor.numel t in
-        fun () ->
-          let i = ci () in
-          if i < 0 || i >= extent then oob "load" buf i extent;
-          ug data i
-      end
+      match Tensor.store_f32_data st with
+      | Some data ->
+          if access_ok ctx benv buf idx then fun () -> ug data (ci ())
+          else begin
+            bump_stat ctx "guarded";
+            let extent = Bigarray.Array1.dim data in
+            fun () ->
+              let i = ci () in
+              if i < 0 || i >= extent then oob "load" buf i extent;
+              ug data i
+          end
+      | None ->
+          (* Packed storage: decode through the store's reader. *)
+          let rd = Tensor.store_reader st in
+          if access_ok ctx benv buf idx then fun () -> rd (ci ())
+          else begin
+            bump_stat ctx "guarded";
+            let extent = Tensor.store_numel st in
+            fun () ->
+              let i = ci () in
+              if i < 0 || i >= extent then oob "load" buf i extent;
+              rd i
+          end)
   | Funop (Neg, a) ->
       let ca = compile_f ctx benv a in
       fun () -> -.ca ()
@@ -235,14 +252,21 @@ let rec to_sval ctx var e =
       | Iconst n -> Sconst (float_of_int n)
       | _ -> raise Not_fast)
   | Load (buf, idx) ->
-      let t, flat = flat_of ctx buf idx in
+      let st, flat = flat_of ctx buf idx in
+      (* The specialized kernels read raw f32; packed operands take the
+         decoded generic path instead. *)
+      let data =
+        match Tensor.store_f32_data st with
+        | Some d -> d
+        | None -> raise Not_fast
+      in
       let stride =
         match Ir_analysis.stride_of ~var flat with
         | Some s -> s
         | None -> raise Not_fast
       in
       let base_e = subst_iexpr var (Iconst 0) flat in
-      Sload { data = Tensor.data t; base = compile_i ctx base_e; stride; b = 0 }
+      Sload { data; base = compile_i ctx base_e; stride; b = 0 }
   | Funop (op, a) -> Sunop (op, to_sval ctx var a)
   | Fbinop (op, a, b) -> Sbinop (op, to_sval ctx var a, to_sval ctx var b)
   | Select (c, a, b) ->
@@ -366,7 +390,8 @@ let rec collapse_loop ctx (l : loop) =
           (* flat = base + s2 * (E2*v1 + v2): substituting v1 -> 0 and
              v2 -> v gives the collapsed access directly. *)
           let v = l.var ^ "*" ^ inner.var in
-          Hashtbl.replace ctx.slots v (Hashtbl.length ctx.slots);
+          if not (Hashtbl.mem ctx.slots v) then
+            Hashtbl.replace ctx.slots v (Hashtbl.length ctx.slots);
           let stmt = subst_stmt l.var (Iconst 0) stmt in
           let stmt = subst_stmt inner.var (Ivar v) stmt in
           {
@@ -394,14 +419,18 @@ let compile_fast_loop ctx (l : loop) =
         raise Not_fast
   in
   let var = l.var in
-  let t, flat = flat_of ctx buf idx in
+  let st, flat = flat_of ctx buf idx in
   let dstride =
     match Ir_analysis.stride_of ~var flat with
     | Some s -> s
     | None -> raise Not_fast
   in
   let dbase = compile_i ctx (subst_iexpr var (Iconst 0) flat) in
-  let ddata = Tensor.data t in
+  let ddata =
+    match Tensor.store_f32_data st with
+    | Some d -> d
+    | None -> raise Not_fast
+  in
   let sv = to_sval ctx var value in
   let clo = compile_i ctx l.lo and chi = compile_i ctx l.hi in
   (* Writing through a register slot keeps [var] visible to any Extern
@@ -581,6 +610,161 @@ let compile_fast_loop ctx (l : loop) =
       generic
 
 (* ------------------------------------------------------------------ *)
+(* Quantized innermost-loop kernels                                    *)
+(*                                                                     *)
+(* When both source and destination are int8 buffers under the SAME    *)
+(* quantization code, the hot data-movement loops can run on raw       *)
+(* bytes: encode . decode is the identity for one code, relu with a    *)
+(* zero threshold is [max q 0] when zero_point = 0, and max commutes   *)
+(* with the monotone decode. Every combination without such an exact   *)
+(* raw counterpart falls back to the generic decoded path.             *)
+(* ------------------------------------------------------------------ *)
+
+type qaccess = {
+  qdata : (int, Bigarray.int8_signed_elt, Bigarray.c_layout) Bigarray.Array1.t;
+  qbase : unit -> int;
+  qstride : int;
+}
+
+let compile_q_fast_loop ctx (l : loop) =
+  let l = collapse_loop ctx l in
+  let body_stmt = match l.body with [ s ] -> s | _ -> raise Not_fast in
+  let kind, buf, idx, value =
+    match body_stmt with
+    | Store { buf; idx; value } -> (Dstore, buf, idx, value)
+    | Accum { op = Acc_sum; buf; idx; value } -> (Dsum, buf, idx, value)
+    | Accum { op = Acc_max; buf; idx; value } -> (Dmax, buf, idx, value)
+    | For _ | If _ | Memset _ | Gemm _ | Fusion_barrier _ | Extern _ ->
+        raise Not_fast
+  in
+  let var = l.var in
+  let st, flat = flat_of ctx buf idx in
+  let extract_i8 :
+      Tensor.store ->
+      Precision.qparams
+      * (int, Bigarray.int8_signed_elt, Bigarray.c_layout) Bigarray.Array1.t =
+    function
+    | Tensor.Store (Precision.I8, qp, g) -> (qp, g.Tensor.data)
+    | _ -> raise Not_fast
+  in
+  let dqp, ddata = extract_i8 st in
+  let dstride =
+    match Ir_analysis.stride_of ~var flat with
+    | Some s -> s
+    | None -> raise Not_fast
+  in
+  let dbase = compile_i ctx (subst_iexpr var (Iconst 0) flat) in
+  (* An int8 operand is admissible only under the destination's code. *)
+  let qload e =
+    match e with
+    | Load (sbuf, sidx) ->
+        let sst, sflat = flat_of ctx sbuf sidx in
+        let qp', sdata = extract_i8 sst in
+        if qp' <> dqp then raise Not_fast;
+        let qstride =
+          match Ir_analysis.stride_of ~var sflat with
+          | Some s -> s
+          | None -> raise Not_fast
+        in
+        {
+          qdata = sdata;
+          qbase = compile_i ctx (subst_iexpr var (Iconst 0) sflat);
+          qstride;
+        }
+    | _ -> raise Not_fast
+  in
+  let clo = compile_i ctx l.lo and chi = compile_i ctx l.hi in
+  match (kind, value) with
+  | Dstore, Fconst c ->
+      bump_stat ctx "q_fill";
+      let q = Precision.quantize dqp c in
+      fun () ->
+        let lo = clo () and hi = chi () in
+        let db = dbase () in
+        for i = lo to hi - 1 do
+          us ddata (db + (i * dstride)) q
+        done
+  | Dstore, (Load _ as lv) when dstride = 1 ->
+      let s = qload lv in
+      if s.qstride <> 1 then begin
+        bump_stat ctx "q_copy_strided";
+        let ss = s.qstride in
+        fun () ->
+          let lo = clo () and hi = chi () in
+          let db = dbase () and sb = s.qbase () in
+          for i = lo to hi - 1 do
+            us ddata (db + i) (ug s.qdata (sb + (i * ss)))
+          done
+      end
+      else begin
+        bump_stat ctx "q_copy";
+        fun () ->
+          let lo = clo () and hi = chi () in
+          let db = dbase () and sb = s.qbase () in
+          let n = hi - lo in
+          if n >= 64 then
+            Bigarray.Array1.blit
+              (Bigarray.Array1.sub s.qdata (sb + lo) n)
+              (Bigarray.Array1.sub ddata (db + lo) n)
+          else
+            for i = lo to hi - 1 do
+              us ddata (db + i) (ug s.qdata (sb + i))
+            done
+      end
+  | Dstore, (Load _ as lv) ->
+      let s = qload lv in
+      bump_stat ctx "q_copy_strided";
+      let ss = s.qstride in
+      fun () ->
+        let lo = clo () and hi = chi () in
+        let db = dbase () and sb = s.qbase () in
+        for i = lo to hi - 1 do
+          us ddata (db + (i * dstride)) (ug s.qdata (sb + (i * ss)))
+        done
+  | Dstore, Fbinop (Fmax, (Load _ as lv), Fconst c)
+    when c = 0.0 && dqp.Precision.zero_point = 0 ->
+      let s = qload lv in
+      bump_stat ctx "q_relu";
+      let ss = s.qstride in
+      fun () ->
+        let lo = clo () and hi = chi () in
+        let db = dbase () and sb = s.qbase () in
+        for i = lo to hi - 1 do
+          let v = ug s.qdata (sb + (i * ss)) in
+          us ddata (db + (i * dstride)) (if v > 0 then v else 0)
+        done
+  | Dmax, (Load _ as lv) ->
+      let s = qload lv in
+      bump_stat ctx "q_acc_max";
+      let ss = s.qstride in
+      fun () ->
+        let lo = clo () and hi = chi () in
+        let db = dbase () and sb = s.qbase () in
+        for i = lo to hi - 1 do
+          let j = db + (i * dstride) in
+          let v = ug s.qdata (sb + (i * ss)) in
+          if v > ug ddata j then us ddata j v
+        done
+  | Dstore, Select (c, (Load _ as lv), Fconst z)
+    when z = 0.0 && dqp.Precision.zero_point = 0 ->
+      (* Padded gathers: the condition may reference loop indices and
+         f32 data freely (to_scond admits only f32 loads). *)
+      let s = qload lv in
+      let sc = to_scond ctx var c in
+      bump_stat ctx "q_copy_guarded";
+      let ss = s.qstride in
+      fun () ->
+        let lo = clo () and hi = chi () in
+        let db = dbase () and sb = s.qbase () in
+        resolve_scond sc;
+        for i = lo to hi - 1 do
+          us ddata
+            (db + (i * dstride))
+            (if eval_scond sc i then ug s.qdata (sb + (i * ss)) else 0)
+        done
+  | _ -> raise Not_fast
+
+(* ------------------------------------------------------------------ *)
 (* Parallel-loop partitioning (§5.4.3)                                 *)
 (*                                                                     *)
 (* A parallel-annotated loop is split into a parallel body — leaves    *)
@@ -640,7 +824,7 @@ let par_strides ~v e =
 exception Par_fallback of string
 
 type par_access = {
-  a_data : Tensor.buffer;
+  a_data : Obj.t;  (* Storage-block identity (any precision). *)
   a_buf : string;
   a_pos : int;  (* Pre-order position, for intra-iteration ordering. *)
   a_varies : bool;
@@ -660,7 +844,10 @@ let partition_parallel ctx (l : loop) =
   and seq_reads = ref []
   and seq_writes = ref [] in
   let record set buf varies =
-    set := { a_data = Tensor.data (ctx.lookup buf); a_buf = buf; a_pos = !pos; a_varies = varies } :: !set
+    set :=
+      { a_data = Tensor.store_data_id (ctx.store_of buf); a_buf = buf;
+        a_pos = !pos; a_varies = varies }
+      :: !set
   in
   let record_value_loads set ~dep value =
     List.iter
@@ -808,43 +995,65 @@ let partition_parallel ctx (l : loop) =
 (* Statement compilation                                               *)
 (* ------------------------------------------------------------------ *)
 
+(* A compiled destination: raw f32 buffer plus index for the classic
+   case, decoded read/write closures for packed storage. *)
+type dest =
+  | Dest_f32 of Tensor.buffer * (unit -> int)
+  | Dest_any of (int -> float) * (int -> float -> unit) * (unit -> int)
+
 let store_dest ctx benv ~what buf idx =
-  let t, flat = flat_of ctx buf idx in
-  let data = Tensor.data t in
+  let st, flat = flat_of ctx buf idx in
   let ci = compile_i ctx flat in
-  if access_ok ctx benv buf idx then (data, ci)
-  else begin
-    bump_stat ctx "guarded";
-    let extent = Tensor.numel t in
-    let guarded () =
-      let i = ci () in
-      if i < 0 || i >= extent then oob what buf i extent;
-      i
-    in
-    (data, guarded)
-  end
+  let guard ci =
+    if access_ok ctx benv buf idx then ci
+    else begin
+      bump_stat ctx "guarded";
+      let extent = Tensor.store_numel st in
+      fun () ->
+        let i = ci () in
+        if i < 0 || i >= extent then oob what buf i extent;
+        i
+    end
+  in
+  match Tensor.store_f32_data st with
+  | Some data -> Dest_f32 (data, guard ci)
+  | None -> Dest_any (Tensor.store_reader st, Tensor.store_writer st, guard ci)
 
 let rec compile_stmt ctx benv s : unit -> unit =
   match s with
-  | Store { buf; idx; value } ->
-      let data, ci = store_dest ctx benv ~what:"store" buf idx in
+  | Store { buf; idx; value } -> (
       let cv = compile_f ctx benv value in
-      fun () -> us data (ci ()) (cv ())
-  | Accum { op = Acc_sum; buf; idx; value } ->
-      let data, ci = store_dest ctx benv ~what:"accumulate" buf idx in
+      match store_dest ctx benv ~what:"store" buf idx with
+      | Dest_f32 (data, ci) -> fun () -> us data (ci ()) (cv ())
+      | Dest_any (_, wr, ci) -> fun () -> wr (ci ()) (cv ()))
+  | Accum { op = Acc_sum; buf; idx; value } -> (
       let cv = compile_f ctx benv value in
-      fun () ->
-        let i = ci () in
-        us data i (ug data i +. cv ())
-  | Accum { op = Acc_max; buf; idx; value } ->
-      let data, ci = store_dest ctx benv ~what:"accumulate" buf idx in
+      match store_dest ctx benv ~what:"accumulate" buf idx with
+      | Dest_f32 (data, ci) ->
+          fun () ->
+            let i = ci () in
+            us data i (ug data i +. cv ())
+      | Dest_any (rd, wr, ci) ->
+          fun () ->
+            let i = ci () in
+            wr i (rd i +. cv ()))
+  | Accum { op = Acc_max; buf; idx; value } -> (
       let cv = compile_f ctx benv value in
-      fun () ->
-        let i = ci () in
-        us data i (Float.max (ug data i) (cv ()))
-  | Memset { buf; value } ->
-      let data = Tensor.data (ctx.lookup buf) in
-      fun () -> Bigarray.Array1.fill data value
+      match store_dest ctx benv ~what:"accumulate" buf idx with
+      | Dest_f32 (data, ci) ->
+          fun () ->
+            let i = ci () in
+            us data i (Float.max (ug data i) (cv ()))
+      | Dest_any (rd, wr, ci) ->
+          fun () ->
+            let i = ci () in
+            wr i (Float.max (rd i) (cv ())))
+  | Memset { buf; value } -> (
+      match Tensor.store_f32_data (ctx.store_of buf) with
+      | Some data -> fun () -> Bigarray.Array1.fill data value
+      | None ->
+          let st = ctx.store_of buf in
+          fun () -> Tensor.store_fill st value)
   | Fusion_barrier _ -> fun () -> ()
   | Extern e ->
       let lookup = ctx.lookup in
@@ -858,9 +1067,9 @@ let rec compile_stmt ctx benv s : unit -> unit =
       in
       fun () -> e.run ~lookup ~item:(get_item ())
   | Gemm g ->
-      let a = Tensor.data (ctx.lookup g.a) in
-      let b = Tensor.data (ctx.lookup g.b) in
-      let c = Tensor.data (ctx.lookup g.c) in
+      let sa = ctx.store_of g.a in
+      let sb = ctx.store_of g.b in
+      let sc = ctx.store_of g.c in
       let cm = compile_i ctx g.m
       and cn = compile_i ctx g.n
       and ck = compile_i ctx g.k
@@ -873,15 +1082,32 @@ let rec compile_stmt ctx benv s : unit -> unit =
         | Checked -> false
         | Guard_unproven -> Ir_bounds.gemm_proven benv ~shape_of:ctx.shape_of g
       in
+      (* The kernel is picked once, at compile time, from the operand
+         precisions; all-f32 calls keep the direct Blas path. *)
+      let call =
+        match
+          (Tensor.store_f32_data sa, Tensor.store_f32_data sb,
+           Tensor.store_f32_data sc)
+        with
+        | Some a, Some b, Some c ->
+            fun ~m ~n ~k ~off_a ~off_b ~off_c ->
+              Blas.gemm ~alpha:g.alpha ~beta:g.beta ~transa:g.transa
+                ~transb:g.transb ~m ~n ~k ~a ~off_a ~b ~off_b ~c ~off_c ()
+        | _ ->
+            bump_stat ctx (Qblas.kernel_name sa sb sc);
+            fun ~m ~n ~k ~off_a ~off_b ~off_c ->
+              Qblas.gemm ~alpha:g.alpha ~beta:g.beta ~transa:g.transa
+                ~transb:g.transb ~m ~n ~k ~a:sa ~off_a ~b:sb ~off_b ~c:sc
+                ~off_c ()
+      in
       if proven then fun () ->
-        Blas.gemm ~alpha:g.alpha ~beta:g.beta ~transa:g.transa ~transb:g.transb
-          ~m:(cm ()) ~n:(cn ()) ~k:(ck ()) ~a ~off_a:(coa ()) ~b
-          ~off_b:(cob ()) ~c ~off_c:(coc ()) ()
+        call ~m:(cm ()) ~n:(cn ()) ~k:(ck ()) ~off_a:(coa ()) ~off_b:(cob ())
+          ~off_c:(coc ())
       else begin
         bump_stat ctx "guarded_gemm";
-        let na = Tensor.numel (ctx.lookup g.a)
-        and nb = Tensor.numel (ctx.lookup g.b)
-        and nc = Tensor.numel (ctx.lookup g.c) in
+        let na = Tensor.store_numel sa
+        and nb = Tensor.store_numel sb
+        and nc = Tensor.store_numel sc in
         let check buf what off len extent =
           if off < 0 || len < 0 || off + len > extent then
             raise
@@ -897,8 +1123,7 @@ let rec compile_stmt ctx benv s : unit -> unit =
           check g.a "A" oa (m * k) na;
           check g.b "B" ob (k * n) nb;
           check g.c "C" oc (m * n) nc;
-          Blas.gemm ~alpha:g.alpha ~beta:g.beta ~transa:g.transa
-            ~transb:g.transb ~m ~n ~k ~a ~off_a:oa ~b ~off_b:ob ~c ~off_c:oc ()
+          call ~m ~n ~k ~off_a:oa ~off_b:ob ~off_c:oc
       end
   | If (c, t, e) ->
       let cc = compile_c ctx benv c in
@@ -921,7 +1146,10 @@ and compile_seq_for ctx benv (l : loop) =
     | Checked -> false
     | Guard_unproven -> Ir_bounds.stmt_proven benv ~shape_of:ctx.shape_of (For l)
   in
-  try if whole_nest_ok then compile_fast_loop ctx l else raise Not_fast
+  try
+    if not whole_nest_ok then raise Not_fast;
+    try compile_fast_loop ctx l
+    with Not_fast -> compile_q_fast_loop ctx l
   with Not_fast ->
     let clo = compile_i ctx l.lo and chi = compile_i ctx l.hi in
     let benv' = Ir_bounds.bind_range l.var ~lo:l.lo ~hi:l.hi benv in
@@ -1056,16 +1284,22 @@ let count_loops stmts =
   List.iter go stmts;
   !n
 
-let compile ~lookup ?(free_vars = []) ?(safety = Guard_unproven) ?runner stmts =
+let compile ~lookup ?store_of ?(free_vars = []) ?(safety = Guard_unproven)
+    ?runner stmts =
   let stmts = simplify_stmts stmts in
   let slots = collect_vars free_vars stmts in
   (* Loop collapsing allocates one fresh register per merged pair, at
      most one per For node — per distinct merged name, so recompiling
      the parallel body once per worker does not grow the bound. *)
   let headroom = count_loops stmts + 1 in
+  let store_of =
+    match store_of with
+    | Some f -> f
+    | None -> fun buf -> Tensor.store_of_f32 (lookup buf)
+  in
   let shape_of buf =
-    match lookup buf with
-    | t -> Some (Tensor.shape t)
+    match store_of buf with
+    | st -> Some (Tensor.store_shape st)
     | exception _ -> None
   in
   let runner =
@@ -1074,6 +1308,7 @@ let compile ~lookup ?(free_vars = []) ?(safety = Guard_unproven) ?runner stmts =
   let ctx =
     {
       lookup;
+      store_of;
       slots;
       regs = Array.make (Hashtbl.length slots + headroom) 0;
       stats = Hashtbl.create 8;

@@ -43,6 +43,7 @@ type par_entry = {
 
 val compile :
   lookup:(string -> Tensor.t) ->
+  ?store_of:(string -> Tensor.store) ->
   ?free_vars:string list ->
   ?safety:safety ->
   ?runner:par_runner ->
@@ -54,6 +55,16 @@ val compile :
     their values are unknown to the bounds analyzer, so accesses indexed
     by them are guarded under the default [safety] of
     [Guard_unproven].
+
+    [store_of] resolves buffers precision-aware (it defaults to wrapping
+    [lookup] as f32). Accesses to f32 buffers compile exactly as before;
+    packed buffers (int8/f16) compile to decode-on-load /
+    encode-on-store closures, GEMMs over them dispatch to the
+    specialized {!Qblas} kernels, and int8-to-int8 data movement under a
+    shared quantization code is emitted as raw-byte kernels
+    ([q_copy], [q_relu], [q_acc_max], ... in {!kernel_stats}). [lookup]
+    is still used to hand Externs their f32 view, so extern-touched
+    buffers must stay f32.
 
     With [runner] (and [runner.workers > 1]), outermost
     [parallel]-annotated loops execute chunked across the runner's

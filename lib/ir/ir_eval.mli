@@ -12,8 +12,10 @@ val apply_cmp : Ir.cmp -> 'a -> 'a -> bool
 
 val run :
   lookup:(string -> Tensor.t) ->
+  ?store_of:(string -> Tensor.store) ->
   ?bindings:(string * int) list ->
   ?trace:(string -> int -> unit) ->
+  ?trace_store:(string -> int -> float -> unit) ->
   Ir.stmt list ->
   unit
 (** Execute the statements against the given buffer environment.
@@ -21,4 +23,12 @@ val run :
     [Invalid_argument] on out-of-bounds accesses. [trace] is called
     with (buffer, flattened index) for every element access {e before}
     the bounds check — the dynamic-oracle hook the fuzz tests use to
-    cross-check {!Ir_bounds} verdicts against observed indices. *)
+    cross-check {!Ir_bounds} verdicts against observed indices.
+
+    [store_of] resolves buffers precision-aware (defaults to wrapping
+    [lookup] as f32); packed buffers decode on load and encode on
+    store, and GEMMs over them use the same {!Qblas} dispatch as the
+    compiled path. [trace_store] is called with (buffer, index, value)
+    for every Store/Accum result before encoding — the dynamic-range
+    oracle behind quantization calibration and
+    [latte analyze --ranges]. *)

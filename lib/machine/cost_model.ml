@@ -49,8 +49,8 @@ let max_gemm_rows stmts =
   List.iter go stmts;
   !best
 
-let section_estimate ?(vectorized = true) ?(replicate = 1.0) (m : Machine.cpu)
-    ~buf_bytes (s : Program.section) =
+let section_estimate ?(vectorized = true) ?(replicate = 1.0) ?width_of
+    (m : Machine.cpu) ~buf_bytes (s : Program.section) =
   let scale (c : Ir_analysis.cost) =
     {
       Ir_analysis.flops = c.flops *. replicate;
@@ -64,11 +64,12 @@ let section_estimate ?(vectorized = true) ?(replicate = 1.0) (m : Machine.cpu)
      streaming their operand buffers once; erase_gemm keeps Extern, so
      the charge lands in [loops] and the GEMM delta is unaffected. *)
   let total =
-    scale (Ir_analysis.cost_of_stmts ~bytes_of:buf_bytes s.Program.stmts)
+    scale
+      (Ir_analysis.cost_of_stmts ~bytes_of:buf_bytes ?width_of s.Program.stmts)
   in
   let loops =
     scale
-      (Ir_analysis.cost_of_stmts ~bytes_of:buf_bytes
+      (Ir_analysis.cost_of_stmts ~bytes_of:buf_bytes ?width_of
          (List.filter_map erase_gemm s.Program.stmts))
   in
   let gemm_flops = Float.max 0.0 (total.flops -. loops.flops) in
@@ -121,9 +122,11 @@ let section_estimate ?(vectorized = true) ?(replicate = 1.0) (m : Machine.cpu)
     seconds;
   }
 
-let estimate_sections ?vectorized ?replicate m ~buf_bytes sections =
+let estimate_sections ?vectorized ?replicate ?width_of m ~buf_bytes sections =
   let sections =
-    List.map (section_estimate ?vectorized ?replicate m ~buf_bytes) sections
+    List.map
+      (section_estimate ?vectorized ?replicate ?width_of m ~buf_bytes)
+      sections
   in
   {
     sections;
@@ -131,11 +134,18 @@ let estimate_sections ?vectorized ?replicate m ~buf_bytes sections =
   }
 
 let buf_bytes_of (p : Program.t) name =
-  float_of_int (4 * Tensor.numel (Buffer_pool.lookup p.Program.buffers name))
+  (* Real storage bytes at the buffer's declared width, so packed (int8
+     / f16) buffers cost a quarter / half of the f32 traffic. *)
+  float_of_int
+    (Buffer_pool.elem_bytes p.Program.buffers name
+    * Shape.numel (Buffer_pool.shape p.Program.buffers name))
 
 let program_time ?vectorized m (p : Program.t) dir =
   let buf_bytes = buf_bytes_of p in
-  let of_sections ss = (estimate_sections ?vectorized m ~buf_bytes ss).total_seconds in
+  let width_of = Program.width_of p in
+  let of_sections ss =
+    (estimate_sections ?vectorized ~width_of m ~buf_bytes ss).total_seconds
+  in
   match dir with
   | `Forward -> of_sections p.forward
   | `Backward -> of_sections p.backward

@@ -26,16 +26,21 @@ type estimate = {
 val estimate_sections :
   ?vectorized:bool ->
   ?replicate:float ->
+  ?width_of:(string -> float) ->
   Machine.cpu ->
   buf_bytes:(string -> float) ->
   Program.section list ->
   estimate
 (** [replicate] scales per-batch work (flops, bytes, available parallel
     iterations) by a factor, so a program compiled at batch 1 can be
-    costed for any local batch without allocating its buffers. *)
+    costed for any local batch without allocating its buffers.
+    [width_of] gives per-buffer element widths (default 4.0), so a
+    quantized program's loads and stores cost their narrow storage —
+    {!Program.width_of} supplies it from the buffer pool. *)
 
 val buf_bytes_of : Program.t -> string -> float
-(** Byte size of a named buffer in the program's pool. *)
+(** Byte size of a named buffer in the program's pool, at its declared
+    storage width (int8 buffers report a quarter of their f32 size). *)
 
 val program_time :
   ?vectorized:bool ->

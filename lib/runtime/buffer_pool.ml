@@ -1,4 +1,4 @@
-type entry = { tensor : Tensor.t; physical : string }
+type entry = { store : Tensor.store; physical : string }
 
 type t = { tbl : (string, entry) Hashtbl.t; mutable order : string list }
 
@@ -12,10 +12,17 @@ let register t name entry =
 
 let alloc t name shape =
   let tensor = Tensor.create shape in
-  register t name { tensor; physical = name };
+  register t name { store = Tensor.store_of_f32 tensor; physical = name };
   tensor
 
-let adopt t name tensor = register t name { tensor; physical = name }
+let alloc_store t name store =
+  register t name { store; physical = name };
+  store
+
+let adopt t name tensor =
+  register t name { store = Tensor.store_of_f32 tensor; physical = name }
+
+let adopt_store t name store = register t name { store; physical = name }
 
 let find t name =
   match Hashtbl.find_opt t.tbl name with
@@ -24,13 +31,40 @@ let find t name =
 
 let alias t name ~target ~shape =
   let e = find t target in
-  let tensor = Tensor.reshape e.tensor shape in
-  register t name { tensor; physical = e.physical };
-  tensor
+  let store = Tensor.store_reshape e.store shape in
+  register t name { store; physical = e.physical };
+  match Tensor.store_f32_opt store with
+  | Some tensor -> tensor
+  | None ->
+      failwith
+        (Printf.sprintf "Buffer_pool: alias %s of packed buffer %s" name target)
 
-let lookup t name = (find t name).tensor
+let store t name = (find t name).store
+
+let lookup t name =
+  let e = find t name in
+  match Tensor.store_f32_opt e.store with
+  | Some tensor -> tensor
+  | None ->
+      failwith
+        (Printf.sprintf
+           "Buffer_pool: %s is stored as %s, not f32 (use Buffer_pool.store)"
+           name
+           (Precision.any_name (Tensor.store_kind e.store)))
 
 let mem t name = Hashtbl.mem t.tbl name
+
+let is_f32 t name =
+  match Tensor.store_f32_opt (find t name).store with
+  | Some _ -> true
+  | None -> false
+
+let precision t name = Tensor.store_kind (find t name).store
+let qparams t name = Tensor.store_qparams (find t name).store
+let elem_bytes t name = Tensor.store_elem_bytes (find t name).store
+let shape t name = Tensor.store_shape (find t name).store
+
+let read_f32 t name = Tensor.store_to_f32 (find t name).store
 
 let names t = List.rev t.order
 
@@ -40,6 +74,31 @@ let total_bytes t =
   List.fold_left
     (fun acc name ->
       let e = find t name in
-      if String.equal e.physical name then acc + (4 * Tensor.numel e.tensor)
+      if String.equal e.physical name then acc + Tensor.store_bytes e.store
       else acc)
     0 (names t)
+
+(* Rebuild [name] (and every alias of its physical block) at a new
+   precision, re-encoding the current f32 contents. Raises [Failure]
+   when the buffer is already packed. *)
+let repack t name ~kind ~qparams =
+  let e = find t name in
+  let phys = e.physical in
+  let phys_entry = find t phys in
+  let src =
+    match Tensor.store_f32_opt phys_entry.store with
+    | Some tensor -> tensor
+    | None ->
+        failwith (Printf.sprintf "Buffer_pool.repack: %s is already packed" name)
+  in
+  let packed = Tensor.store_create ~qparams kind (Tensor.shape src) in
+  Tensor.store_blit_from_f32 ~src ~dst:packed;
+  List.iter
+    (fun n ->
+      let e' = find t n in
+      if String.equal e'.physical phys then
+        Hashtbl.replace t.tbl n
+          { e' with
+            store = Tensor.store_reshape packed (Tensor.store_shape e'.store)
+          })
+    (names t)

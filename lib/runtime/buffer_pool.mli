@@ -5,26 +5,53 @@
     plan. Aliases implement the shared-buffer optimizations: an
     ActivationEnsemble's value buffer aliasing its source, or a
     fully-connected layer's input vector aliasing the flattened source
-    values. *)
+    values.
+
+    Every buffer carries a storage precision ({!Tensor.store}). The
+    default pipeline allocates f32 and the classic {!lookup}/{!alloc}
+    API is unchanged for it; quantized executions repack selected
+    physical blocks to int8/f16 ({!repack}) and access them through
+    {!store}. *)
 
 type t
 
 val create : unit -> t
 
 val alloc : t -> string -> Shape.t -> Tensor.t
-(** Allocate a zero-filled buffer. Raises on duplicates. *)
+(** Allocate a zero-filled f32 buffer. Raises on duplicates. *)
+
+val alloc_store : t -> string -> Tensor.store -> Tensor.store
+(** Register a packed allocation under its own name. *)
 
 val adopt : t -> string -> Tensor.t -> unit
-(** Register an externally created tensor under [name]. *)
+(** Register an externally created f32 tensor under [name]. *)
+
+val adopt_store : t -> string -> Tensor.store -> unit
 
 val alias : t -> string -> target:string -> shape:Shape.t -> Tensor.t
 (** Register [name] as a reshaped view of [target]'s storage; element
-    counts must agree. *)
+    counts must agree. Raises [Failure] when the target is packed (the
+    compiler only aliases f32 plans). *)
 
 val lookup : t -> string -> Tensor.t
-(** Raises [Failure] with the buffer name when missing. *)
+(** The f32 tensor under [name]. Raises [Failure] with the buffer name
+    when missing, or when the buffer is packed at another precision
+    (use {!store}). *)
+
+val store : t -> string -> Tensor.store
+(** Precision-agnostic lookup; never fails on a registered name. *)
 
 val mem : t -> string -> bool
+
+val is_f32 : t -> string -> bool
+
+val precision : t -> string -> Precision.any
+val qparams : t -> string -> Precision.qparams
+val elem_bytes : t -> string -> int
+val shape : t -> string -> Shape.t
+
+val read_f32 : t -> string -> Tensor.t
+(** Decoded copy of any buffer (the f32 contents for f32 buffers). *)
 
 val names : t -> string list
 (** All registered names, allocation order. *)
@@ -33,4 +60,10 @@ val physical : t -> string -> string
 (** Follow alias links to the owning allocation. *)
 
 val total_bytes : t -> int
-(** Bytes of real storage (aliases not double-counted). *)
+(** Bytes of real storage at declared widths (aliases not
+    double-counted). *)
+
+val repack : t -> string -> kind:Precision.any -> qparams:Precision.qparams -> unit
+(** Re-register [name]'s physical block (and every alias of it) at a
+    new precision, re-encoding the current f32 contents. Raises
+    [Failure] when already packed. *)

@@ -34,8 +34,8 @@ let compile_section safety runner buffers (s : Program.section) =
   {
     label = s.Program.label;
     code =
-      Ir_compile.compile ~lookup:(Buffer_pool.lookup buffers) ~safety ?runner
-        s.Program.stmts;
+      Ir_compile.compile ~lookup:(Buffer_pool.lookup buffers)
+        ~store_of:(Buffer_pool.store buffers) ~safety ?runner s.Program.stmts;
   }
 
 let prepare ?safety ?(opts = Run_opts.default) (prog : Program.t) =
@@ -110,17 +110,26 @@ let time_backward ?warmup ?iters t =
 
 let lookup_opt t name =
   let pool = t.prog.Program.buffers in
-  if Buffer_pool.mem pool name then Some (Buffer_pool.lookup pool name)
+  if Buffer_pool.mem pool name && Buffer_pool.is_f32 pool name then
+    Some (Buffer_pool.lookup pool name)
   else None
 
 let lookup t name =
-  match lookup_opt t name with
-  | Some tensor -> tensor
-  | None ->
-      invalid_arg
-        (Printf.sprintf "Executor.lookup: unknown buffer %s (available: %s)"
-           name
-           (String.concat ", " (Buffer_pool.names t.prog.Program.buffers)))
+  let pool = t.prog.Program.buffers in
+  if Buffer_pool.mem pool name then
+    (* Fails with the precision-aware message when the buffer is packed. *)
+    Buffer_pool.lookup pool name
+  else
+    invalid_arg
+      (Printf.sprintf "Executor.lookup: unknown buffer %s (available: %s)" name
+         (String.concat ", " (Buffer_pool.names pool)))
+
+let read_f32 t name =
+  let pool = t.prog.Program.buffers in
+  if Buffer_pool.mem pool name then Buffer_pool.read_f32 pool name
+  else
+    invalid_arg
+      (Printf.sprintf "Executor.read_f32: unknown buffer %s" name)
 
 let kernel_stats t =
   let tbl = Hashtbl.create 16 in

@@ -62,10 +62,16 @@ val time_backward : ?warmup:int -> ?iters:int -> t -> float
 val lookup : t -> string -> Tensor.t
 (** Access a buffer by name (for data layers, tests, solvers). Raises
     [Invalid_argument] naming the missing buffer and listing the
-    available buffer names when [name] is unknown. *)
+    available buffer names when [name] is unknown, or [Failure] when
+    the buffer is packed at another precision (use {!read_f32}). *)
 
 val lookup_opt : t -> string -> Tensor.t option
-(** [lookup] without the exception: [None] for an unknown buffer. *)
+(** [lookup] without the exception: [None] for an unknown buffer or one
+    packed at a non-f32 precision. *)
+
+val read_f32 : t -> string -> Tensor.t
+(** Decoded copy of any buffer at any storage precision (the f32
+    contents themselves for f32 buffers). *)
 
 val kernel_stats : t -> (string * int) list
 (** Aggregated code-generation kernel statistics over all sections. *)

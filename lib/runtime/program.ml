@@ -23,7 +23,13 @@ type t = {
 
 let section ~label ~ensembles stmts = { label; ensembles; stmts }
 
-let section_cost ?bytes_of s = Ir_analysis.cost_of_stmts ?bytes_of s.stmts
+let section_cost ?bytes_of ?width_of s =
+  Ir_analysis.cost_of_stmts ?bytes_of ?width_of s.stmts
+
+let width_of t buf =
+  if Buffer_pool.mem t.buffers buf then
+    float_of_int (Buffer_pool.elem_bytes t.buffers buf)
+  else 4.0
 
 let flops t dir =
   let sections = match dir with `Forward -> t.forward | `Backward -> t.backward in
@@ -34,7 +40,11 @@ let flops t dir =
 let analyze ?(live_out = []) t =
   let pool = t.buffers in
   let shape_of buf =
-    if Buffer_pool.mem pool buf then Some (Tensor.shape (Buffer_pool.lookup pool buf))
+    if Buffer_pool.mem pool buf then Some (Buffer_pool.shape pool buf)
+    else None
+  in
+  let storage_of buf =
+    if Buffer_pool.mem pool buf then Some (Buffer_pool.precision pool buf)
     else None
   in
   let regions =
@@ -64,4 +74,4 @@ let analyze ?(live_out = []) t =
       live_out = List.map phys (param_bufs @ live_out);
     }
   in
-  Ir_bounds.analyze ~shape_of ~flow regions
+  Ir_bounds.analyze ~shape_of ~flow ~storage_of regions

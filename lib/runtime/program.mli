@@ -40,9 +40,20 @@ val section : label:string -> ensembles:string list -> Ir.stmt list -> section
 val flops : t -> [ `Forward | `Backward ] -> float
 (** Static flop count of one execution, from {!Ir_analysis}. *)
 
-val section_cost : ?bytes_of:(string -> float) -> section -> Ir_analysis.cost
+val section_cost :
+  ?bytes_of:(string -> float) ->
+  ?width_of:(string -> float) ->
+  section ->
+  Ir_analysis.cost
 (** [bytes_of] charges [Extern] calls for streaming their declared
-    buffers once (see {!Ir_analysis.cost_of_stmts}). *)
+    buffers once; [width_of] gives per-buffer element widths so packed
+    buffers are charged their narrow storage (see
+    {!Ir_analysis.cost_of_stmts}). *)
+
+val width_of : t -> string -> float
+(** Element width in bytes of a named buffer from the program's own
+    pool (4.0 for unknown names) — the [width_of] argument to
+    {!section_cost} for precision-aware byte accounting. *)
 
 val analyze : ?live_out:string list -> t -> Ir_bounds.report
 (** Run the interval bounds / safety analyzer over every section of the

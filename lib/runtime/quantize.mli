@@ -1,0 +1,58 @@
+(** Post-training quantization over a compiled program's buffer pool.
+
+    The flow is plan → calibrate → apply → re-prepare:
+
+    {ol
+    {- {!int8_candidates} / {!f16_candidates} pick the buffers whose
+       storage may narrow: matrix/tensor-shaped parameter values (int8
+       only) and activations written by forward sections — excluding
+       anything an [Extern] touches (externs need the raw f32 view),
+       anything sum-accumulated into (packed [Acc_sum] re-rounds every
+       partial update), gradient buffers, biases (rank < 2, or [n; 1]
+       columns), and the caller's [keep] list (inputs, labels, loss,
+       logits).}
+    {- {!calibrate} runs forward passes over calibration batches and
+       records each candidate's absolute-maximum value.}
+    {- {!apply} repacks the physical blocks in place — int8 with the
+       symmetric scale [absmax/127], f16 with identity qparams.}
+    {- The caller re-prepares the executor: compiled sections resolve
+       buffer stores eagerly, so code generated before the repack still
+       targets the old f32 storage.}} *)
+
+val int8_candidates : ?keep:string list -> Program.t -> string list
+(** Buffers eligible for int8 packing, physically deduplicated, in
+    (parameters, forward-written) order. *)
+
+val f16_candidates : ?keep:string list -> Program.t -> string list
+(** Buffers eligible for f16 packing: forward-written activations only
+    (parameters stay f32 in the mixed-precision preset). *)
+
+val calibrate :
+  exec:Executor.t ->
+  feed:(int -> unit) ->
+  ?batches:int ->
+  string list ->
+  (string * float) list
+(** [calibrate ~exec ~feed bufs] runs [batches] (default 4) forward
+    passes — [feed i] loads batch [i] — and returns each buffer's
+    observed absmax across all batches. Must run before {!apply} (the
+    scan reads the still-f32 contents). *)
+
+val apply : Program.t -> kind:Precision.any -> (string * float) list -> int
+(** Repack each [(buf, absmax)] at [kind]; int8 gets the symmetric
+    scale from its absmax, other kinds identity qparams. Buffers whose
+    physical block is already packed are skipped. Returns the number of
+    physical blocks repacked. *)
+
+val quantize :
+  exec:Executor.t ->
+  feed:(int -> unit) ->
+  ?batches:int ->
+  ?keep:string list ->
+  preset:Precision.preset ->
+  Program.t ->
+  int
+(** Plan, calibrate (int8 only) and apply in one step; [`F32] is a
+    no-op returning 0. The executor passed in is only used to run
+    calibration forwards — re-prepare it (or a fresh one) afterwards to
+    pick up the packed stores. *)

@@ -355,7 +355,13 @@ let try_fast t (vs : version_state) (e : Registry.entry) ~n_live =
   | () ->
       t.clock <- t.clock +. simulated_cost t vs e.Registry.fast_costs;
       List.iter
-        (fun buf -> Tensor.fill (Executor.lookup e.Registry.fast buf) Float.nan)
+        (fun buf ->
+          (* Store-level fill survives packed targets (f16 encodes NaN
+             as a NaN bit pattern; serving input/output stay f32). *)
+          Tensor.store_fill
+            (Buffer_pool.store
+               (Executor.program e.Registry.fast).Program.buffers buf)
+            Float.nan)
         (Fault.poison_outputs_at t.faults ~forward:fleet_ix
         @ Fault.poison_outputs_at vs.faults ~forward:version_ix);
       if output_finite e e.Registry.fast ~n_live then Ok ()
@@ -374,8 +380,10 @@ let respond t ~degraded (vs : version_state) (e : Registry.entry) exec reqs =
       Hashtbl.replace t.statuses r.Router.id
         (Done { output; degraded; latency; tenant = r.Router.tenant;
                 model = r.Router.model; version = vs.version });
-      Serve_metrics.record_done t.metrics ~degraded ~latency;
-      Serve_metrics.record_done (tenant_metric t r.Router.tenant) ~degraded ~latency)
+      let quantized = (not degraded) && e.Registry.quantized in
+      Serve_metrics.record_done t.metrics ~quantized ~degraded ~latency ();
+      Serve_metrics.record_done (tenant_metric t r.Router.tenant) ~quantized
+        ~degraded ~latency ())
     reqs
 
 let run_reference t (vs : version_state) (e : Registry.entry) reqs =

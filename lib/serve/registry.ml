@@ -15,6 +15,7 @@ type entry = {
   output_buf : string;
   fast : Executor.t;
   reference : Executor.t;
+  quantized : bool;  (* fast path serves from reduced-precision storage *)
   fast_costs : (string * float) list;
   ref_costs : (string * float) list;
   batch : int;
@@ -127,7 +128,8 @@ let evict_lru t =
 let section_costs_of machine (prog : Program.t) =
   let est =
     Cost_model.estimate_sections machine
-      ~buf_bytes:(Cost_model.buf_bytes_of prog) prog.Program.forward
+      ~buf_bytes:(Cost_model.buf_bytes_of prog)
+      ~width_of:(Program.width_of prog) prog.Program.forward
   in
   List.map
     (fun (s : Cost_model.section_estimate) -> (s.Cost_model.label, s.Cost_model.seconds))
@@ -161,9 +163,32 @@ let compile t m ~version ~key =
         acc +. (4.0 *. float_of_int (Tensor.numel (Executor.lookup fast p.Program.value_buf))))
       0.0 fast_prog.Program.params
   in
+  (* The int8 preset quantizes each compiled version's fast program:
+     calibrate on synthetic uniform-[0,1) batches (the load-generator
+     feature distribution), repack, re-prepare. The reference stays
+     f32 — it is the rollback/degraded path. *)
+  let fast =
+    match m.config.Config.precision with
+    | `I8 ->
+        let rng = Rng.create (m.seed + version + 0x517) in
+        let feed _ = Tensor.fill_uniform rng input ~lo:0.0 ~hi:1.0 in
+        let n =
+          Quantize.quantize ~exec:fast ~feed
+            ~keep:[ m.input_buf; m.output_buf ]
+            ~preset:`I8 fast_prog
+        in
+        if n > 0 then Executor.prepare ~opts:t.opts fast_prog else fast
+    | `F32 | `F16 -> fast
+  in
+  let quantized =
+    let pool = fast_prog.Program.buffers in
+    List.exists
+      (fun b -> not (Buffer_pool.is_f32 pool b))
+      (Buffer_pool.names pool)
+  in
   t.compiles <- t.compiles + 1;
   { key; model = m.model_name; version; input_buf = m.input_buf;
-    output_buf = m.output_buf; fast; reference;
+    output_buf = m.output_buf; fast; reference; quantized;
     fast_costs = section_costs_of t.machine fast_prog;
     ref_costs = section_costs_of t.machine (Executor.program reference);
     batch; item_numel = Tensor.numel input / batch; param_bytes;

@@ -2,6 +2,7 @@ type t = {
   mutable submitted : int;
   mutable done_fast : int;
   mutable done_degraded : int;
+  mutable done_quantized : int;
   mutable timeout : int;
   mutable shed : int;
   mutable throttled : int;
@@ -14,18 +15,19 @@ type t = {
 }
 
 let create () =
-  { submitted = 0; done_fast = 0; done_degraded = 0; timeout = 0; shed = 0;
-    throttled = 0; batches = 0; fast_failures = 0; retries = 0;
-    degraded_batches = 0; latencies = []; n_latencies = 0 }
+  { submitted = 0; done_fast = 0; done_degraded = 0; done_quantized = 0;
+    timeout = 0; shed = 0; throttled = 0; batches = 0; fast_failures = 0;
+    retries = 0; degraded_batches = 0; latencies = []; n_latencies = 0 }
 
 let record_submitted t = t.submitted <- t.submitted + 1
 let record_shed t = t.shed <- t.shed + 1
 let record_throttled t = t.throttled <- t.throttled + 1
 let record_timeout t = t.timeout <- t.timeout + 1
 
-let record_done t ~degraded ~latency =
+let record_done t ?(quantized = false) ~degraded ~latency () =
   if degraded then t.done_degraded <- t.done_degraded + 1
   else t.done_fast <- t.done_fast + 1;
+  if quantized then t.done_quantized <- t.done_quantized + 1;
   t.latencies <- latency :: t.latencies;
   t.n_latencies <- t.n_latencies + 1
 
@@ -37,6 +39,7 @@ let record_degraded_batch t = t.degraded_batches <- t.degraded_batches + 1
 let submitted t = t.submitted
 let done_fast t = t.done_fast
 let done_degraded t = t.done_degraded
+let done_quantized t = t.done_quantized
 let timeout t = t.timeout
 let shed t = t.shed
 let throttled t = t.throttled
@@ -77,6 +80,12 @@ let report t =
     (if t.throttled > 0 then Printf.sprintf " + %d throttled" t.throttled else "");
   line "batches:  %d dispatched (%d degraded), %d fast failure(s), %d retry(ies)"
     t.batches t.degraded_batches t.fast_failures t.retries;
+  (* Printed only for reduced-precision serving so f32 reports stay
+     byte-identical to what existing transcripts pin. *)
+  if t.done_quantized > 0 then
+    line "precision: %d quantized response(s) + %d f32"
+      t.done_quantized
+      (t.done_fast + t.done_degraded - t.done_quantized);
   if t.n_latencies > 0 then
     line
       "latency:  mean %.3f ms   p50 %.3f ms   p95 %.3f ms   p99 %.3f ms   \

@@ -15,7 +15,12 @@ val record_submitted : t -> unit
 val record_shed : t -> unit
 val record_throttled : t -> unit
 val record_timeout : t -> unit
-val record_done : t -> degraded:bool -> latency:float -> unit
+val record_done :
+  t -> ?quantized:bool -> degraded:bool -> latency:float -> unit -> unit
+(** [quantized] (default false) marks a response computed by a
+    reduced-precision (int8/f16) fast path — counted alongside
+    fast/degraded, not instead of them. *)
+
 val record_batch : t -> unit
 val record_fast_failure : t -> unit
 val record_retry : t -> unit
@@ -28,6 +33,11 @@ val submitted : t -> int
 
 val done_fast : t -> int
 val done_degraded : t -> int
+
+val done_quantized : t -> int
+(** Responses served by a reduced-precision fast path; the report line
+    naming it appears only when nonzero. *)
+
 val timeout : t -> int
 val shed : t -> int
 val throttled : t -> int

@@ -17,6 +17,9 @@ type pending = { id : int; features : float array; arrival : float; deadline : f
 type t = {
   fast : Executor.t;
   reference : Executor.t;
+  quantized : bool;
+      (* The fast path serves from reduced-precision (int8/f16) storage;
+         the reference path is always full f32. *)
   input_buf : string;
   output_buf : string;
   item_numel : int;
@@ -38,7 +41,8 @@ type t = {
 let section_costs_of machine (prog : Program.t) sections =
   let est =
     Cost_model.estimate_sections machine
-      ~buf_bytes:(Cost_model.buf_bytes_of prog) sections
+      ~buf_bytes:(Cost_model.buf_bytes_of prog)
+      ~width_of:(Program.width_of prog) sections
   in
   List.map
     (fun (s : Cost_model.section_estimate) -> (s.Cost_model.label, s.Cost_model.seconds))
@@ -72,12 +76,38 @@ let create ?(queue_capacity = 64) ?(failure_threshold = 1) ?(cooldown = 5e-3)
   ignore (Executor.lookup reference input_buf);
   ignore (Executor.lookup reference output_buf);
   List.iter
-    (fun buf -> ignore (Executor.lookup fast buf))
+    (fun buf -> ignore (Executor.read_f32 fast buf))
     (Fault.poison_output_bufs faults);
   let batch = fast_prog.Program.batch_size in
+  (* The int8 serving preset post-training-quantizes the fast program
+     here: calibrate dynamic ranges on synthetic uniform-[0,1) batches
+     (the Load_gen feature distribution), repack, re-prepare. The
+     reference executor stays full f32 — it is the breaker's degraded
+     path and the numeric ground truth. Poisoned buffers are kept f32 so
+     NaN injection survives encoding. *)
+  let fast =
+    match config.Config.precision with
+    | `I8 ->
+        let rng = Rng.create (seed + 0x517) in
+        let feed _ = Tensor.fill_uniform rng input ~lo:0.0 ~hi:1.0 in
+        let keep =
+          input_buf :: output_buf :: Fault.poison_output_bufs faults
+        in
+        let n =
+          Quantize.quantize ~exec:fast ~feed ~keep ~preset:`I8 fast_prog
+        in
+        if n > 0 then Executor.prepare ~opts:(Executor.run_opts fast) fast_prog
+        else fast
+    | `F32 | `F16 -> fast
+  in
+  let pool = fast_prog.Program.buffers in
+  let quantized =
+    List.exists (fun b -> not (Buffer_pool.is_f32 pool b)) (Buffer_pool.names pool)
+  in
   {
     fast;
     reference;
+    quantized;
     input_buf;
     output_buf;
     item_numel = Tensor.numel input / batch;
@@ -166,7 +196,12 @@ let try_fast t ~n_live =
   | () ->
       t.clock <- t.clock +. simulated_cost t t.fast_costs;
       List.iter
-        (fun buf -> Tensor.fill (Executor.lookup t.fast buf) Float.nan)
+        (fun buf ->
+          (* Store-level fill survives packed targets (f16 encodes NaN
+             as a NaN bit pattern); int8 poison bufs are kept f32. *)
+          Tensor.store_fill
+            (Buffer_pool.store (Executor.program t.fast).Program.buffers buf)
+            Float.nan)
         (Fault.poison_outputs_at t.faults ~forward:fwd_ix);
       if output_finite t t.fast ~n_live then Ok ()
       else Error (Printf.sprintf "non-finite output in %s" t.output_buf)
@@ -182,7 +217,9 @@ let respond t ~degraded exec reqs =
       let output = Array.init (Tensor.numel row) (Tensor.get1 row) in
       let latency = t.clock -. r.arrival in
       Hashtbl.replace t.statuses r.id (Done { output; degraded; latency });
-      Serve_metrics.record_done t.metrics ~degraded ~latency)
+      Serve_metrics.record_done t.metrics
+        ~quantized:((not degraded) && t.quantized)
+        ~degraded ~latency ())
     reqs
 
 let run_reference t reqs =
@@ -265,4 +302,5 @@ let breaker t = t.breaker
 let faults t = t.faults
 let fast_executor t = t.fast
 let reference_executor t = t.reference
+let is_quantized t = t.quantized
 let section_costs t = t.fast_costs

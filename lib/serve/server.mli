@@ -115,6 +115,11 @@ val faults : t -> Fault.t
 val fast_executor : t -> Executor.t
 val reference_executor : t -> Executor.t
 
+val is_quantized : t -> bool
+(** Whether the fast path serves from reduced-precision (int8/f16)
+    storage — [config.precision] other than [`F32]. The reference
+    (degraded) path is always full f32. *)
+
 val section_costs : t -> (string * float) list
 (** Modeled simulated seconds per fast-path forward section, before
     slow-section inflation. *)

@@ -1,0 +1,203 @@
+(* GEMM over packed stores: the quantized counterpart of {!Blas}.
+
+   Fast kernels exist for the combinations the int8 serving preset
+   actually produces — int8 x int8 (integer accumulation, one
+   rescale per output), and weight-only int8 against f32 activations —
+   with a decoded-closure fallback covering every other kind mix (f16
+   operands, packed C, ...). All kernels handle both transpose flags
+   through row/column strides, so they accept exactly the calls
+   {!Blas.gemm} does.
+
+   op(A) is m x k and op(B) is k x n as in {!Blas}; [transa] means A is
+   stored k x m. C is always m x n at [off_c]. *)
+
+let ug = Bigarray.Array1.unsafe_get
+let us = Bigarray.Array1.unsafe_set
+
+(* Strides of op(A)[i,p]: (per-i, per-p). *)
+let strides_a ~transa ~m ~k = if transa then (1, m) else (k, 1)
+
+(* Strides of op(B)[p,j]: (per-p, per-j). *)
+let strides_b ~transb ~n ~k = if transb then (1, k) else (n, 1)
+
+let scale_c_f32 ~beta ~m ~n ~(c : Tensor.buffer) ~off_c =
+  if beta = 0.0 then
+    for i = off_c to off_c + (m * n) - 1 do
+      us c i 0.0
+    done
+  else if beta <> 1.0 then
+    for i = off_c to off_c + (m * n) - 1 do
+      us c i (beta *. ug c i)
+    done
+
+let kernel_name a b c =
+  match (a, b, c) with
+  | Tensor.Store (Precision.F32, _, _), Tensor.Store (Precision.F32, _, _),
+    Tensor.Store (Precision.F32, _, _) ->
+      "gemm"
+  | Tensor.Store (Precision.I8, _, _), Tensor.Store (Precision.I8, _, _),
+    Tensor.Store (Precision.F32, _, _) ->
+      "gemm_i8i8"
+  | Tensor.Store (Precision.F32, _, _), Tensor.Store (Precision.I8, _, _),
+    Tensor.Store (Precision.F32, _, _) ->
+      "gemm_f32i8"
+  | Tensor.Store (Precision.I8, _, _), Tensor.Store (Precision.F32, _, _),
+    Tensor.Store (Precision.F32, _, _) ->
+      "gemm_i8f32"
+  | _ -> "gemm_mixed"
+
+(* int8 x int8 -> f32: integer dot products (native int subsumes the
+   int32 accumulator), one float rescale per C element. *)
+let gemm_i8i8 ~alpha ~transa ~transb ~m ~n ~k ~qa ~(a : (int, Bigarray.int8_signed_elt, Bigarray.c_layout) Bigarray.Array1.t)
+    ~off_a ~qb ~(b : (int, Bigarray.int8_signed_elt, Bigarray.c_layout) Bigarray.Array1.t) ~off_b
+    ~(c : Tensor.buffer) ~off_c =
+  let as_i, as_p = strides_a ~transa ~m ~k in
+  let bs_p, bs_j = strides_b ~transb ~n ~k in
+  let za = qa.Precision.zero_point and zb = qb.Precision.zero_point in
+  let rescale = alpha *. qa.Precision.scale *. qb.Precision.scale in
+  for i = 0 to m - 1 do
+    let row_a = off_a + (i * as_i) in
+    let row_c = off_c + (i * n) in
+    for j = 0 to n - 1 do
+      let col_b = off_b + (j * bs_j) in
+      let acc = ref 0 in
+      let ia = ref row_a and ib = ref col_b in
+      let p = ref 0 in
+      while !p + 3 < k do
+        let a0 = ug a !ia - za and b0 = ug b !ib - zb in
+        let a1 = ug a (!ia + as_p) - za and b1 = ug b (!ib + bs_p) - zb in
+        let a2 = ug a (!ia + (2 * as_p)) - za
+        and b2 = ug b (!ib + (2 * bs_p)) - zb in
+        let a3 = ug a (!ia + (3 * as_p)) - za
+        and b3 = ug b (!ib + (3 * bs_p)) - zb in
+        acc := !acc + (a0 * b0) + (a1 * b1) + (a2 * b2) + (a3 * b3);
+        ia := !ia + (4 * as_p);
+        ib := !ib + (4 * bs_p);
+        p := !p + 4
+      done;
+      while !p < k do
+        acc := !acc + ((ug a !ia - za) * (ug b !ib - zb));
+        ia := !ia + as_p;
+        ib := !ib + bs_p;
+        incr p
+      done;
+      let ci = row_c + j in
+      us c ci (ug c ci +. (rescale *. float_of_int !acc))
+    done
+  done
+
+(* Weight-only int8: f32 activations against int8 weights (B). *)
+let gemm_f32i8 ~alpha ~transa ~transb ~m ~n ~k ~(a : Tensor.buffer) ~off_a ~qb
+    ~(b : (int, Bigarray.int8_signed_elt, Bigarray.c_layout) Bigarray.Array1.t) ~off_b
+    ~(c : Tensor.buffer) ~off_c =
+  let as_i, as_p = strides_a ~transa ~m ~k in
+  let bs_p, bs_j = strides_b ~transb ~n ~k in
+  let zb = qb.Precision.zero_point in
+  let rescale = alpha *. qb.Precision.scale in
+  for i = 0 to m - 1 do
+    let row_a = off_a + (i * as_i) in
+    let row_c = off_c + (i * n) in
+    for j = 0 to n - 1 do
+      let col_b = off_b + (j * bs_j) in
+      let acc = ref 0.0 in
+      let ia = ref row_a and ib = ref col_b in
+      let p = ref 0 in
+      while !p + 3 < k do
+        acc :=
+          !acc
+          +. (ug a !ia *. float_of_int (ug b !ib - zb))
+          +. (ug a (!ia + as_p) *. float_of_int (ug b (!ib + bs_p) - zb))
+          +. (ug a (!ia + (2 * as_p))
+             *. float_of_int (ug b (!ib + (2 * bs_p)) - zb))
+          +. (ug a (!ia + (3 * as_p))
+             *. float_of_int (ug b (!ib + (3 * bs_p)) - zb));
+        ia := !ia + (4 * as_p);
+        ib := !ib + (4 * bs_p);
+        p := !p + 4
+      done;
+      while !p < k do
+        acc := !acc +. (ug a !ia *. float_of_int (ug b !ib - zb));
+        ia := !ia + as_p;
+        ib := !ib + bs_p;
+        incr p
+      done;
+      let ci = row_c + j in
+      us c ci (ug c ci +. (rescale *. !acc))
+    done
+  done
+
+(* Activation-only int8: int8 A against f32 B. *)
+let gemm_i8f32 ~alpha ~transa ~transb ~m ~n ~k ~qa
+    ~(a : (int, Bigarray.int8_signed_elt, Bigarray.c_layout) Bigarray.Array1.t) ~off_a
+    ~(b : Tensor.buffer) ~off_b ~(c : Tensor.buffer) ~off_c =
+  let as_i, as_p = strides_a ~transa ~m ~k in
+  let bs_p, bs_j = strides_b ~transb ~n ~k in
+  let za = qa.Precision.zero_point in
+  let rescale = alpha *. qa.Precision.scale in
+  for i = 0 to m - 1 do
+    let row_a = off_a + (i * as_i) in
+    let row_c = off_c + (i * n) in
+    for j = 0 to n - 1 do
+      let col_b = off_b + (j * bs_j) in
+      let acc = ref 0.0 in
+      let ia = ref row_a and ib = ref col_b in
+      for _p = 0 to k - 1 do
+        acc := !acc +. (float_of_int (ug a !ia - za) *. ug b !ib);
+        ia := !ia + as_p;
+        ib := !ib + bs_p
+      done;
+      let ci = row_c + j in
+      us c ci (ug c ci +. (rescale *. !acc))
+    done
+  done
+
+(* Decoded fallback: any kind combination, including packed C. *)
+let gemm_mixed ~alpha ~beta ~transa ~transb ~m ~n ~k ~a ~off_a ~b ~off_b ~c
+    ~off_c =
+  let ra = Tensor.store_reader a in
+  let rb = Tensor.store_reader b in
+  let rc = Tensor.store_reader c in
+  let wc = Tensor.store_writer c in
+  let as_i, as_p = strides_a ~transa ~m ~k in
+  let bs_p, bs_j = strides_b ~transb ~n ~k in
+  for i = 0 to m - 1 do
+    let row_a = off_a + (i * as_i) in
+    let row_c = off_c + (i * n) in
+    for j = 0 to n - 1 do
+      let col_b = off_b + (j * bs_j) in
+      let acc = ref 0.0 in
+      let ia = ref row_a and ib = ref col_b in
+      for _p = 0 to k - 1 do
+        acc := !acc +. (ra !ia *. rb !ib);
+        ia := !ia + as_p;
+        ib := !ib + bs_p
+      done;
+      let ci = row_c + j in
+      let prev = if beta = 0.0 then 0.0 else beta *. rc ci in
+      wc ci (prev +. (alpha *. !acc))
+    done
+  done
+
+let gemm ?(alpha = 1.0) ?(beta = 1.0) ~transa ~transb ~m ~n ~k ~a ?(off_a = 0)
+    ~b ?(off_b = 0) ~c ?(off_c = 0) () =
+  match (a, b, c) with
+  | Tensor.Store (Precision.F32, _, ga), Tensor.Store (Precision.F32, _, gb),
+    Tensor.Store (Precision.F32, _, gc) ->
+      Blas.gemm ~alpha ~beta ~transa ~transb ~m ~n ~k ~a:ga.Tensor.data ~off_a
+        ~b:gb.Tensor.data ~off_b ~c:gc.Tensor.data ~off_c ()
+  | Tensor.Store (Precision.I8, qa, ga), Tensor.Store (Precision.I8, qb, gb),
+    Tensor.Store (Precision.F32, _, gc) ->
+      scale_c_f32 ~beta ~m ~n ~c:gc.Tensor.data ~off_c;
+      gemm_i8i8 ~alpha ~transa ~transb ~m ~n ~k ~qa ~a:ga.Tensor.data ~off_a
+        ~qb ~b:gb.Tensor.data ~off_b ~c:gc.Tensor.data ~off_c
+  | Tensor.Store (Precision.F32, _, ga), Tensor.Store (Precision.I8, qb, gb),
+    Tensor.Store (Precision.F32, _, gc) ->
+      scale_c_f32 ~beta ~m ~n ~c:gc.Tensor.data ~off_c;
+      gemm_f32i8 ~alpha ~transa ~transb ~m ~n ~k ~a:ga.Tensor.data ~off_a ~qb
+        ~b:gb.Tensor.data ~off_b ~c:gc.Tensor.data ~off_c
+  | Tensor.Store (Precision.I8, qa, ga), Tensor.Store (Precision.F32, _, gb),
+    Tensor.Store (Precision.F32, _, gc) ->
+      scale_c_f32 ~beta ~m ~n ~c:gc.Tensor.data ~off_c;
+      gemm_i8f32 ~alpha ~transa ~transb ~m ~n ~k ~qa ~a:ga.Tensor.data ~off_a
+        ~b:gb.Tensor.data ~off_b ~c:gc.Tensor.data ~off_c
+  | _ -> gemm_mixed ~alpha ~beta ~transa ~transb ~m ~n ~k ~a ~off_a ~b ~off_b ~c ~off_c

@@ -1,0 +1,30 @@
+(** GEMM over packed stores — the quantized counterpart of {!Blas}.
+
+    [gemm] computes [C := alpha * op(A) * op(B) + beta * C] with the
+    same conventions as {!Blas.gemm}, but the operands are
+    {!Tensor.store}s of any precision. Integer operands are decoded
+    through their {!Precision.qparams}; specialized kernels cover the
+    int8 x int8 (integer accumulation) and weight-only int8 cases, a
+    decoded fallback handles every other combination. All-f32 calls
+    delegate to {!Blas.gemm} and are bit-identical to it. *)
+
+val kernel_name : Tensor.store -> Tensor.store -> Tensor.store -> string
+(** Which kernel a (A, B, C) kind combination dispatches to: ["gemm"],
+    ["gemm_i8i8"], ["gemm_f32i8"], ["gemm_i8f32"] or ["gemm_mixed"]. *)
+
+val gemm :
+  ?alpha:float ->
+  ?beta:float ->
+  transa:bool ->
+  transb:bool ->
+  m:int ->
+  n:int ->
+  k:int ->
+  a:Tensor.store ->
+  ?off_a:int ->
+  b:Tensor.store ->
+  ?off_b:int ->
+  c:Tensor.store ->
+  ?off_c:int ->
+  unit ->
+  unit

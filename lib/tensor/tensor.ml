@@ -1,7 +1,17 @@
+(* The representation is kind-polymorphic: ['a] is the OCaml element
+   type, ['b] the Bigarray element representation (see
+   {!Precision.kind}). [t] pins the historical f32 case so the rest of
+   the codebase reads exactly as before; packed precisions travel as
+   {!store} values. *)
+type ('a, 'b) gen = {
+  data : ('a, 'b, Bigarray.c_layout) Bigarray.Array1.t;
+  shape : Shape.t;
+}
+
 type buffer =
   (float, Bigarray.float32_elt, Bigarray.c_layout) Bigarray.Array1.t
 
-type t = { data : buffer; shape : Shape.t }
+type t = (float, Bigarray.float32_elt) gen
 
 let create shape =
   let n = Shape.numel shape in
@@ -211,3 +221,127 @@ let pp fmt t =
   done;
   if n > shown then Format.fprintf fmt "; ...";
   Format.fprintf fmt "]"
+
+(* ------------------------------------------------------------------ *)
+(* Packed stores: a tensor of any storage precision                    *)
+(* ------------------------------------------------------------------ *)
+
+type store =
+  | Store : ('a, 'b) Precision.kind * Precision.qparams * ('a, 'b) gen -> store
+
+let encode : type a b. (a, b) Precision.kind -> Precision.qparams -> float -> a
+    =
+ fun k qp v ->
+  match k with
+  | Precision.F64 -> v
+  | Precision.F32 -> v
+  | Precision.F16 -> Precision.f16_encode v
+  | Precision.I8 -> Precision.quantize qp v
+
+let gen_create : type a b. (a, b) Precision.kind -> Shape.t -> (a, b) gen =
+ fun k shape ->
+  let n = Shape.numel shape in
+  let data =
+    Bigarray.Array1.create (Precision.bigarray_kind k) Bigarray.c_layout n
+  in
+  let zero : a =
+    match k with
+    | Precision.F64 -> 0.0
+    | Precision.F32 -> 0.0
+    | Precision.F16 -> 0
+    | Precision.I8 -> 0
+  in
+  Bigarray.Array1.fill data zero;
+  { data; shape }
+
+let store_of_f32 t = Store (Precision.F32, Precision.qid, t)
+
+let store_fill (Store (k, qp, g)) v =
+  Bigarray.Array1.fill g.data (encode k qp v)
+
+let store_create ?(qparams = Precision.qid) (Precision.Any k) shape =
+  let st = Store (k, qparams, gen_create k shape) in
+  (* Raw zero is the encoded zero for every symmetric code we build,
+     but re-fill under the qparams so asymmetric codes start at 0.0. *)
+  if qparams.Precision.zero_point <> 0 then store_fill st 0.0;
+  st
+
+let store_shape (Store (_, _, g)) = g.shape
+let store_numel (Store (_, _, g)) = Shape.numel g.shape
+let store_kind (Store (k, _, _)) = Precision.Any k
+let store_qparams (Store (_, qp, _)) = qp
+let store_elem_bytes st = Precision.any_bytes (store_kind st)
+let store_bytes st = store_elem_bytes st * store_numel st
+
+let store_f32_data (Store (k, _, g)) : buffer option =
+  match k with Precision.F32 -> Some g.data | _ -> None
+
+let store_f32_opt (Store (k, _, g)) : t option =
+  match k with Precision.F32 -> Some g | _ -> None
+
+(* Identity of the backing storage, for aliasing analyses: two stores
+   alias iff their data blocks are the same value. *)
+let store_data_id (Store (_, _, g)) = Obj.repr g.data
+
+(* Unsafe decoded accessors, specialized per kind once so the per-
+   element work is a load (plus a table read or scale multiply). *)
+let store_reader (Store (k, qp, g)) : int -> float =
+  let data = g.data in
+  match k with
+  | Precision.F64 -> fun i -> Bigarray.Array1.unsafe_get data i
+  | Precision.F32 -> fun i -> Bigarray.Array1.unsafe_get data i
+  | Precision.F16 ->
+      fun i -> Precision.f16_decode (Bigarray.Array1.unsafe_get data i)
+  | Precision.I8 ->
+      let s = qp.Precision.scale and z = qp.Precision.zero_point in
+      fun i -> s *. float_of_int (Bigarray.Array1.unsafe_get data i - z)
+
+let store_writer (Store (k, qp, g)) : int -> float -> unit =
+  let data = g.data in
+  match k with
+  | Precision.F64 -> fun i v -> Bigarray.Array1.unsafe_set data i v
+  | Precision.F32 -> fun i v -> Bigarray.Array1.unsafe_set data i v
+  | Precision.F16 ->
+      fun i v -> Bigarray.Array1.unsafe_set data i (Precision.f16_encode v)
+  | Precision.I8 ->
+      fun i v -> Bigarray.Array1.unsafe_set data i (Precision.quantize qp v)
+
+let store_get1 st i =
+  if i < 0 || i >= store_numel st then invalid_arg "Tensor.store_get1: out of bounds";
+  store_reader st i
+
+let store_set1 st i v =
+  if i < 0 || i >= store_numel st then invalid_arg "Tensor.store_set1: out of bounds";
+  store_writer st i v
+
+let store_reshape (Store (k, qp, g)) shape =
+  if Shape.numel shape <> Shape.numel g.shape then
+    invalid_arg
+      (Printf.sprintf "Tensor.store_reshape: %s -> %s changes element count"
+         (Shape.to_string g.shape) (Shape.to_string shape));
+  Store (k, qp, { g with shape })
+
+let store_to_f32 st =
+  let t = create (store_shape st) in
+  let rd = store_reader st in
+  for i = 0 to numel t - 1 do
+    unsafe_set t i (rd i)
+  done;
+  t
+
+let store_blit_from_f32 ~src ~dst =
+  if not (Shape.equal src.shape (store_shape dst)) then
+    invalid_arg "Tensor.store_blit_from_f32: shape mismatch";
+  let wr = store_writer dst in
+  for i = 0 to numel src - 1 do
+    wr i (unsafe_get src i)
+  done
+
+let store_absmax st =
+  let rd = store_reader st in
+  let m = ref 0.0 in
+  for i = 0 to store_numel st - 1 do
+    let a = Float.abs (rd i) in
+    if a > !m then m := a
+  done;
+  !m

@@ -1,13 +1,25 @@
-(** Dense Float32 tensors backed by [Bigarray].
+(** Dense tensors backed by [Bigarray].
 
     The data buffer is a flat, C-layout [Bigarray.Array1]; [shape] gives
     its logical n-dimensional extents in row-major order. Views created
-    by {!reshape} and {!sub_left} share storage with their parent. *)
+    by {!reshape} and {!sub_left} share storage with their parent.
+
+    The representation is polymorphic in the storage precision
+    ({!Precision.kind}): ['a] is the OCaml element type, ['b] the
+    Bigarray representation. {!t} pins the default f32 case — the type
+    the numeric API below operates on — while {!store} packs a tensor
+    of any precision together with its kind and quantization
+    parameters. *)
+
+type ('a, 'b) gen = private {
+  data : ('a, 'b, Bigarray.c_layout) Bigarray.Array1.t;
+  shape : Shape.t;
+}
 
 type buffer =
   (float, Bigarray.float32_elt, Bigarray.c_layout) Bigarray.Array1.t
 
-type t = private { data : buffer; shape : Shape.t }
+type t = (float, Bigarray.float32_elt) gen
 
 val create : Shape.t -> t
 (** Zero-initialized tensor. *)
@@ -83,3 +95,65 @@ val fill_xavier : Rng.t -> t -> fan_in:int -> fan_out:int -> unit
 
 val pp : Format.formatter -> t -> unit
 (** Prints the shape and first few elements; for debugging and tests. *)
+
+(** {1 Packed stores}
+
+    A [store] is a tensor of {e any} storage precision, packed with its
+    kind and quantization parameters. Integer-coded stores decode to
+    floats through their {!Precision.qparams} (f16 through the binary16
+    tables); f32 stores expose their raw buffer via {!store_f32_data}
+    so hot paths can keep the untyped-float fast path. *)
+
+type store =
+  | Store : ('a, 'b) Precision.kind * Precision.qparams * ('a, 'b) gen -> store
+
+val store_of_f32 : t -> store
+(** Wrap without copying ([F32], identity qparams). *)
+
+val store_create : ?qparams:Precision.qparams -> Precision.any -> Shape.t -> store
+(** Fresh store holding encoded zeros. [qparams] defaults to
+    {!Precision.qid} and is ignored by float kinds. *)
+
+val store_shape : store -> Shape.t
+val store_numel : store -> int
+val store_kind : store -> Precision.any
+val store_qparams : store -> Precision.qparams
+val store_elem_bytes : store -> int
+val store_bytes : store -> int
+
+val store_f32_data : store -> buffer option
+(** [Some] exactly when the store is f32 — the raw buffer, no copy. *)
+
+val store_f32_opt : store -> t option
+
+val store_data_id : store -> Obj.t
+(** Identity of the backing storage block: two stores alias iff their
+    ids are physically equal. *)
+
+val store_reader : store -> int -> float
+(** Unsafe flat read, decoded to float; partial application specializes
+    the decode once per store. *)
+
+val store_writer : store -> int -> float -> unit
+(** Unsafe flat write, encoding the float (round-to-nearest, clamped
+    for int8). *)
+
+val store_get1 : store -> int -> float
+(** Bounds-checked {!store_reader}. *)
+
+val store_set1 : store -> int -> float -> unit
+
+val store_fill : store -> float -> unit
+(** Fill with the encoded value. *)
+
+val store_reshape : store -> Shape.t -> store
+(** Shares storage; element count must match. *)
+
+val store_to_f32 : store -> t
+(** Decoded copy. *)
+
+val store_blit_from_f32 : src:t -> dst:store -> unit
+(** Encode [src] elementwise into [dst]; shapes must match. *)
+
+val store_absmax : store -> float
+(** Max absolute decoded value (0 for an empty store). *)

@@ -32,4 +32,5 @@ let () =
       ("concat", Test_concat.suite);
       ("extensions", Test_extensions.suite);
       ("domains", Test_domains.suite);
+      ("precision", Test_precision.suite);
     ]

@@ -1,0 +1,371 @@
+(* The precision dimension: quantize/dequantize laws (QCheck), packed
+   buffer-pool stores, the compiled-vs-interpreter differential on a
+   quantized program, int8 serving fidelity across every stock model,
+   the Narrow_accum lint, and a golden dump of an int8-packed program's
+   buffer table. *)
+
+(* ---- quantize/dequantize laws ------------------------------------- *)
+
+(* |dequantize (quantize v) - v| <= scale/2 for v inside the calibrated
+   range — the round-to-nearest bound the int8 preset's accuracy story
+   rests on. *)
+let prop_qparams_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"int8 roundtrip error <= scale/2"
+    (QCheck.make
+       QCheck.Gen.(
+         let* absmax = map (fun n -> float_of_int (n + 1) /. 7.0) (int_bound 9999) in
+         let* num = int_bound 20_000 in
+         let v = absmax *. ((float_of_int num /. 10_000.0) -. 1.0) in
+         return (absmax, v)))
+    (fun (absmax, v) ->
+      let qp = Precision.qparams_of_absmax absmax in
+      let err = Float.abs (Precision.dequantize qp (Precision.quantize qp v) -. v) in
+      err <= (qp.Precision.scale /. 2.0) +. 1e-12)
+
+(* Encode/decode through binary16: error bounded by half an ulp
+   (2^-11 relative) for normal magnitudes. *)
+let prop_f16_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"f16 roundtrip error <= half ulp"
+    (QCheck.make
+       QCheck.Gen.(map (fun n -> (float_of_int n /. 1000.0) -. 10.0) (int_bound 20_000)))
+    (fun v ->
+      let r = Precision.f16_decode (Precision.f16_encode v) in
+      Float.abs (r -. v) <= Float.max (2.0 ** -24.0) (Float.abs v *. (2.0 ** -11.0)))
+
+let test_quantize_clamps () =
+  let qp = Precision.qparams_of_absmax 1.0 in
+  Alcotest.(check int) "overflow clamps high" 127 (Precision.quantize qp 50.0);
+  Alcotest.(check int) "overflow clamps low" (-128) (Precision.quantize qp (-50.0));
+  Alcotest.(check int) "zero is exact" 0 (Precision.quantize qp 0.0)
+
+(* ---- packed buffer-pool stores ------------------------------------ *)
+
+let test_pool_repack () =
+  let pool = Buffer_pool.create () in
+  let t = Buffer_pool.alloc pool "w" (Shape.create [ 4; 4 ]) in
+  for i = 0 to 15 do
+    Tensor.set1 t i ((float_of_int i /. 15.0) -. 0.5)
+  done;
+  Alcotest.(check bool) "starts f32" true (Buffer_pool.is_f32 pool "w");
+  let absmax = Tensor.store_absmax (Buffer_pool.store pool "w") in
+  let qp = Precision.qparams_of_absmax absmax in
+  Buffer_pool.repack pool "w" ~kind:(Precision.Any Precision.I8) ~qparams:qp;
+  Alcotest.(check bool) "packed" false (Buffer_pool.is_f32 pool "w");
+  Alcotest.(check int) "1 byte/elem" 1 (Buffer_pool.elem_bytes pool "w");
+  let back = Buffer_pool.read_f32 pool "w" in
+  for i = 0 to 15 do
+    let orig = (float_of_int i /. 15.0) -. 0.5 in
+    if Float.abs (Tensor.get1 back i -. orig) > qp.Precision.scale /. 2.0 then
+      Alcotest.failf "element %d: %g vs %g" i (Tensor.get1 back i) orig
+  done;
+  (* Precision-blind lookup must refuse a packed block... *)
+  (match Buffer_pool.lookup pool "w" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "lookup of packed buffer should raise");
+  (* ...and store-level fill survives it. *)
+  Tensor.store_fill (Buffer_pool.store pool "w") 0.25;
+  let v = Tensor.store_get1 (Buffer_pool.store pool "w") 0 in
+  if Float.abs (v -. 0.25) > qp.Precision.scale /. 2.0 then
+    Alcotest.failf "store_fill roundtrip: %g" v
+
+let test_pool_repack_shrinks () =
+  let pool = Buffer_pool.create () in
+  ignore (Buffer_pool.alloc pool "a" (Shape.create [ 64 ]));
+  let before = Buffer_pool.total_bytes pool in
+  Buffer_pool.repack pool "a" ~kind:(Precision.Any Precision.I8)
+    ~qparams:(Precision.qparams_of_absmax 1.0);
+  Alcotest.(check int) "quarter footprint" (before / 4)
+    (Buffer_pool.total_bytes pool)
+
+(* ---- candidates policy -------------------------------------------- *)
+
+let compile_mlp () =
+  let spec = Models.mlp ~batch:4 ~n_inputs:64 ~hidden:[ 16 ] ~n_classes:10 in
+  (spec, Pipeline.compile ~seed:5 Config.default spec.Models.net)
+
+let test_int8_candidates_policy () =
+  let _spec, prog = compile_mlp () in
+  let cands = Quantize.int8_candidates prog in
+  Alcotest.(check bool) "weights eligible" true
+    (List.mem "ip1.weights" cands && List.mem "ip_out.weights" cands);
+  Alcotest.(check bool) "biases stay f32" false
+    (List.exists (fun b -> List.mem b cands) [ "ip1.bias"; "ip_out.bias" ]);
+  Alcotest.(check bool) "extern-touched loss stays f32" false
+    (List.mem "loss" cands);
+  (* FC activations are sum-accumulated into (bias add), so the
+     Narrow_accum policy keeps them f32 too. *)
+  Alcotest.(check bool) "Acc_sum targets stay f32" false
+    (List.mem "ip1.value" cands)
+
+(* ---- compiled vs interpreter on a quantized program --------------- *)
+
+(* Two identical compiles of one net; quantize both with the SAME
+   absmaxes; run one through the compiled executor and the other
+   through Ir_eval's store-aware interpreter; every buffer must match
+   exactly (both paths dispatch the same Qblas kernels and the same
+   encode/decode, so quantized execution stays bit-deterministic). *)
+let test_quantized_compiled_vs_eval () =
+  let build () =
+    (Models.lenet ~batch:2 ~image:16 ~n_classes:4 ()).Models.net
+  in
+  let spec = Models.lenet ~batch:2 ~image:16 ~n_classes:4 () in
+  let prog_a = Pipeline.compile ~seed:5 Config.default (build ()) in
+  let prog_b = Pipeline.compile ~seed:5 Config.default (build ()) in
+  let exec_a = Executor.prepare prog_a in
+  let data_buf = spec.Models.data_ens ^ ".value" in
+  let fill pool =
+    Tensor.fill_uniform (Rng.create 23) (Buffer_pool.lookup pool data_buf)
+      ~lo:0.0 ~hi:1.0;
+    Tensor.fill (Buffer_pool.lookup pool spec.Models.label_buf) 0.0
+  in
+  fill prog_a.Program.buffers;
+  let keep =
+    [ spec.Models.label_buf; spec.Models.loss_buf;
+      spec.Models.output_ens ^ ".value" ]
+  in
+  let cands = Quantize.int8_candidates ~keep prog_a in
+  Alcotest.(check bool) "lenet has int8 candidates" true (cands <> []);
+  let absmax =
+    Quantize.calibrate ~exec:exec_a ~feed:(fun _ -> ()) ~batches:1 cands
+  in
+  let packed_a = Quantize.apply prog_a ~kind:(Precision.Any Precision.I8) absmax in
+  let packed_b = Quantize.apply prog_b ~kind:(Precision.Any Precision.I8) absmax in
+  Alcotest.(check int) "identical packing" packed_a packed_b;
+  let exec_a = Executor.prepare prog_a in
+  fill prog_a.Program.buffers;
+  fill prog_b.Program.buffers;
+  Executor.forward exec_a;
+  let pool_b = prog_b.Program.buffers in
+  List.iter
+    (fun (s : Program.section) ->
+      Ir_eval.run
+        ~lookup:(Buffer_pool.lookup pool_b)
+        ~store_of:(Buffer_pool.store pool_b) s.Program.stmts)
+    prog_b.Program.forward;
+  let pool_a = prog_a.Program.buffers in
+  List.iter
+    (fun name ->
+      let a = Buffer_pool.read_f32 pool_a name
+      and b = Buffer_pool.read_f32 pool_b name in
+      for i = 0 to Tensor.numel a - 1 do
+        if not (Float.equal (Tensor.get1 a i) (Tensor.get1 b i)) then
+          Alcotest.failf "%s[%d]: compiled %h vs eval %h" name i
+            (Tensor.get1 a i) (Tensor.get1 b i)
+      done)
+    (Buffer_pool.names pool_a)
+
+(* ---- int8 fidelity across the stock models ------------------------ *)
+
+let stock_models : (string * (unit -> Models.spec)) list =
+  let scale = { Models.image = 32; width_div = 8; fc_div = 32 } in
+  [
+    ("mlp", fun () -> Models.mlp ~batch:8 ~n_inputs:64 ~hidden:[ 16 ] ~n_classes:10);
+    ("lenet", fun () -> Models.lenet ~batch:4 ~image:16 ~n_classes:10 ());
+    ( "vgg-block",
+      fun () ->
+        Models.vgg_first_block ~batch:4 ~scale:{ scale with Models.image = 16 } );
+    ("alexnet", fun () -> Models.alexnet ~batch:2 ~scale ());
+    ("vgg", fun () -> Models.vgg ~batch:1 ~scale);
+    ("overfeat", fun () -> Models.overfeat ~batch:1 ~scale);
+  ]
+
+(* End-to-end post-training quantization per stock model: train briefly
+   on a separable synthetic problem (an untrained net's softmax is
+   near-uniform, so its argmax is decided by noise below the
+   quantization step), copy the trained parameters into a second
+   identical compile, quantize that one on training batches, and
+   require >= 99% top-1 agreement with the f32 executor on held-out
+   inputs. *)
+let test_int8_stock_fidelity () =
+  List.iter
+    (fun (name, build) ->
+      let spec = build () in
+      let prog32 = Pipeline.compile ~seed:1 Config.default spec.Models.net in
+      let exec32 = Executor.prepare prog32 in
+      let out_buf = spec.Models.output_ens ^ ".value" in
+      let data_buf = spec.Models.data_ens ^ ".value" in
+      let batch = prog32.Program.batch_size in
+      let data32 = Executor.lookup exec32 data_buf in
+      let labels32 = Executor.lookup exec32 spec.Models.label_buf in
+      let classes = Tensor.numel (Executor.lookup exec32 out_buf) / batch in
+      let item_shape = List.tl (Array.to_list (Tensor.shape data32)) in
+      let ds =
+        Synthetic.gaussian_classes ~seed:7 ~n:(batch * 24) ~n_classes:classes
+          ~item_shape ~separation:4.0
+      in
+      let train_set, eval_set = Synthetic.split ds ~at:(batch * 16) in
+      let params =
+        { Solver.lr_policy = Lr_policy.Fixed 0.01; momentum = 0.9;
+          weight_decay = 0.0 }
+      in
+      (* Clipping keeps the deeper nets from diverging at this lr; a
+         diverged net has huge dynamic ranges, which makes the int8
+         step coarse and the comparison meaningless. *)
+      let solver = Solver.create ~clip_norm:1.0 ~params Solver.Sgd exec32 in
+      ignore
+        (Training.fit ~log_every:1_000_000 ~solver ~exec:exec32
+           ~data:train_set ~data_buf ~label_buf:spec.Models.label_buf
+           ~loss_buf:spec.Models.loss_buf ~iters:80 ());
+      (* Same seed => bit-identical init; blit carries the training. *)
+      let spec8 = build () in
+      let prog8 = Pipeline.compile ~seed:1 Config.default spec8.Models.net in
+      let exec8 = Executor.prepare prog8 in
+      List.iter
+        (fun (p : Program.param) ->
+          Tensor.blit
+            ~src:(Executor.lookup exec32 p.Program.value_buf)
+            ~dst:(Executor.lookup exec8 p.Program.value_buf))
+        prog32.Program.params;
+      let data8 = Executor.lookup exec8 data_buf in
+      let labels8 = Executor.lookup exec8 spec.Models.label_buf in
+      let feed i =
+        Synthetic.fill_batch train_set ~batch_index:i ~data:data8
+          ~labels:labels8
+      in
+      let keep = [ spec.Models.label_buf; spec.Models.loss_buf; out_buf ] in
+      let packed =
+        Quantize.quantize ~exec:exec8 ~feed ~batches:2 ~keep ~preset:`I8 prog8
+      in
+      Alcotest.(check bool) (name ^ " packs buffers") true (packed > 0);
+      let exec8 = Executor.prepare prog8 in
+      let batches = 8 in
+      let agree = ref 0 and total = ref 0 in
+      for i = 0 to batches - 1 do
+        Synthetic.fill_batch eval_set ~batch_index:i ~data:data32
+          ~labels:labels32;
+        Synthetic.fill_batch eval_set ~batch_index:i ~data:data8
+          ~labels:labels8;
+        Executor.forward exec32;
+        Executor.forward exec8;
+        let o32 = Executor.read_f32 exec32 out_buf
+        and o8 = Executor.read_f32 exec8 out_buf in
+        for b = 0 to batch - 1 do
+          let top t =
+            let best = ref 0 and bv = ref neg_infinity in
+            for c = 0 to classes - 1 do
+              let v = Tensor.get1 t ((b * classes) + c) in
+              if v > !bv then begin
+                bv := v;
+                best := c
+              end
+            done;
+            !best
+          in
+          if top o32 = top o8 then incr agree;
+          incr total
+        done
+      done;
+      let pct = float_of_int !agree /. float_of_int !total in
+      if pct < 0.99 then
+        Alcotest.failf "%s: int8 top-1 agreement %.1f%% (%d/%d) < 99%%" name
+          (pct *. 100.0) !agree !total)
+    stock_models
+
+(* ---- Narrow_accum lint -------------------------------------------- *)
+
+let test_narrow_accum_lint () =
+  let open Ir in
+  let pool = Buffer_pool.create () in
+  ignore (Buffer_pool.alloc pool "acc" (Shape.create [ 8 ]));
+  ignore (Buffer_pool.alloc pool "src" (Shape.create [ 8 ]));
+  let stmts =
+    [ loop "i" (int_ 0) (int_ 8)
+        [ Accum
+            { op = Acc_sum; buf = "acc"; idx = [ var "i" ];
+              value = Load ("src", [ var "i" ]) } ] ]
+  in
+  let shape_of b =
+    if Buffer_pool.mem pool b then Some (Buffer_pool.shape pool b) else None
+  in
+  let storage_of b =
+    if Buffer_pool.mem pool b then Some (Buffer_pool.precision pool b) else None
+  in
+  let regions = [ ("sec", [], stmts) ] in
+  (* f32 accumulation target: clean. *)
+  let rep = Ir_bounds.analyze ~shape_of ~storage_of regions in
+  Alcotest.(check bool) "f32 accum not flagged" false
+    (List.exists
+       (fun (f : Ir_bounds.finding) -> f.Ir_bounds.kind = Ir_bounds.Narrow_accum)
+       (Ir_bounds.all_findings rep));
+  (* Packed target: flagged, but non-fatal (a lint, not a refusal). *)
+  Buffer_pool.repack pool "acc" ~kind:(Precision.Any Precision.I8)
+    ~qparams:(Precision.qparams_of_absmax 1.0);
+  let rep = Ir_bounds.analyze ~shape_of ~storage_of regions in
+  let narrow =
+    List.filter
+      (fun (f : Ir_bounds.finding) -> f.Ir_bounds.kind = Ir_bounds.Narrow_accum)
+      (Ir_bounds.all_findings rep)
+  in
+  Alcotest.(check int) "packed accum flagged once" 1 (List.length narrow);
+  Alcotest.(check bool) "lint is not fatal" true
+    (Ir_bounds.fatal_findings rep = [])
+
+(* ---- golden dump of a quantized program --------------------------- *)
+
+let golden_path =
+  if Sys.file_exists "golden" then "golden/mlp_int8_buffers.txt"
+  else "test/golden/mlp_int8_buffers.txt"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Pin the buffer-table section of the dump after int8 packing: the
+   [int8] storage markers and shrunken byte counts are the user-visible
+   contract of quantized compilation (the IR text itself is unchanged —
+   quantization is a storage-level decision). *)
+let test_int8_dump_golden () =
+  let spec = Models.mlp ~batch:4 ~n_inputs:16 ~hidden:[ 8 ] ~n_classes:4 in
+  let prog = Pipeline.compile ~seed:3 Config.default spec.Models.net in
+  let exec = Executor.prepare prog in
+  Tensor.fill_uniform (Rng.create 3)
+    (Executor.lookup exec (spec.Models.data_ens ^ ".value"))
+    ~lo:0.0 ~hi:1.0;
+  Tensor.fill (Executor.lookup exec spec.Models.label_buf) 0.0;
+  let keep =
+    [ spec.Models.label_buf; spec.Models.loss_buf;
+      spec.Models.output_ens ^ ".value" ]
+  in
+  ignore
+    (Quantize.quantize ~exec ~feed:(fun _ -> ()) ~batches:1 ~keep ~preset:`I8
+       prog);
+  let dump = Pipeline.dump prog in
+  (* Keep only the buffer table: byte counts and [int8] markers, no IR
+     text to churn. *)
+  let table =
+    let rec skip = function
+      | "=== buffers ===" :: rest -> keep rest []
+      | _ :: rest -> skip rest
+      | [] -> Alcotest.fail "dump has no buffer table"
+    and keep lines acc =
+      match lines with
+      | "=== parameters ===" :: _ | [] -> List.rev acc
+      | line :: rest -> keep rest (line :: acc)
+    in
+    String.concat "\n" (skip (String.split_on_char '\n' dump)) ^ "\n"
+  in
+  match Sys.getenv_opt "LATTE_UPDATE_GOLDEN" with
+  | Some _ ->
+      let oc = open_out_bin golden_path in
+      output_string oc table;
+      close_out oc
+  | None ->
+      let expected = read_file golden_path in
+      Alcotest.(check string) "int8 buffer table" expected table
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_qparams_roundtrip;
+    QCheck_alcotest.to_alcotest prop_f16_roundtrip;
+    Alcotest.test_case "quantize clamps" `Quick test_quantize_clamps;
+    Alcotest.test_case "pool repack roundtrip" `Quick test_pool_repack;
+    Alcotest.test_case "repack shrinks footprint" `Quick test_pool_repack_shrinks;
+    Alcotest.test_case "int8 candidate policy" `Quick test_int8_candidates_policy;
+    Alcotest.test_case "quantized compiled = interpreter" `Quick
+      test_quantized_compiled_vs_eval;
+    Alcotest.test_case "int8 stock-model fidelity" `Slow test_int8_stock_fidelity;
+    Alcotest.test_case "narrow-accum lint" `Quick test_narrow_accum_lint;
+    Alcotest.test_case "int8 dump golden" `Quick test_int8_dump_golden;
+  ]

@@ -11,10 +11,10 @@ let n_classes = 3
 let mlp_spec () = Models.mlp ~batch ~n_inputs ~hidden:[ 5 ] ~n_classes
 
 let make_server ?(queue_capacity = 16) ?(failure_threshold = 1) ?(cooldown = 1e-3)
-    ?(max_retries = 0) ?faults () =
+    ?(max_retries = 0) ?faults ?(config = Config.default) () =
   let spec = mlp_spec () in
   Server.create ~queue_capacity ~failure_threshold ~cooldown ~max_retries ?faults
-    ~seed:5 ~config:Config.default
+    ~seed:5 ~config
     ~input_buf:(spec.Models.data_ens ^ ".value")
     ~output_buf:(spec.Models.output_ens ^ ".value")
     (fun () -> (mlp_spec ()).Models.net)
@@ -213,12 +213,16 @@ let test_degraded_matches_fast_within_tol () =
       Alcotest.(check bool) "faulted answer is degraded" true
         (is_done ~degraded:true degraded d))
     h_ids d_ids;
+  (* Under a reduced-precision preset (LATTE_PRECISION) the fast path
+     is quantized while degraded answers stay f32, so the contract
+     widens from float-rounding to the quantization step. *)
+  let tol = if Server.is_quantized healthy then 2e-2 else 1e-4 in
   List.iter2
     (fun fast_out deg_out ->
       let diff = max_abs_diff fast_out deg_out in
       Alcotest.(check bool)
-        (Printf.sprintf "degraded matches fast within 1e-4 (diff %g)" diff)
-        true (diff <= 1e-4))
+        (Printf.sprintf "degraded matches fast within %g (diff %g)" tol diff)
+        true (diff <= tol))
     (outputs_of healthy h_ids) (outputs_of degraded d_ids);
   (* And directly against an independently prepared unoptimized
      executor: the reference the differential tests trust. *)
@@ -285,6 +289,73 @@ let test_load_gen_answers_everything () =
   Alcotest.(check bool) "some requests degraded" true
     (Serve_metrics.done_degraded m > 0)
 
+(* Int8 serving: healthy batches are answered by the quantized fast
+   path and counted as quantized responses; a breaker degradation
+   falls back to the f32 reference, whose answers must NOT be counted
+   quantized. The report line makes the split visible. *)
+let test_quantized_counter_tracks_degradation () =
+  let spec = mlp_spec () in
+  let out_buf = spec.Models.output_ens ^ ".value" in
+  (* Forward #1 (the second pump) is poisoned; threshold 2 keeps the
+     breaker Closed so only that batch degrades. *)
+  let faults =
+    Fault.plan [ Fault.Poison_output { buf = out_buf; at_forward = 1 } ]
+  in
+  let config = Config.with_flags ~precision:`I8 Config.default in
+  let server = make_server ~failure_threshold:2 ~faults ~config () in
+  Alcotest.(check bool) "fast path is quantized" true
+    (Server.is_quantized server);
+  let b1 = submit_batch server ~seed0:700 in
+  ignore (Server.pump server);
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) "healthy batch served fast" true
+        (is_done ~degraded:false server id))
+    b1;
+  let m = Server.metrics server in
+  Alcotest.(check int) "healthy batch counted quantized" batch
+    (Serve_metrics.done_quantized m);
+  let b2 = submit_batch server ~seed0:800 in
+  ignore (Server.pump server);
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) "poisoned batch degraded to f32" true
+        (is_done ~degraded:true server id))
+    b2;
+  Alcotest.(check int) "degraded answers not counted quantized" batch
+    (Serve_metrics.done_quantized m);
+  Alcotest.(check int) "degraded answers counted" batch
+    (Serve_metrics.done_degraded m);
+  let f32_responses =
+    Serve_metrics.done_fast m + Serve_metrics.done_degraded m
+    - Serve_metrics.done_quantized m
+  in
+  Alcotest.(check int) "f32 responses = the degraded batch" batch
+    f32_responses;
+  let report = Serve_metrics.report m in
+  Alcotest.(check bool) "report names the precision split" true
+    (Test_util.contains report
+       (Printf.sprintf "precision: %d quantized response(s) + %d f32" batch
+          batch));
+  (* An f32 server never reports a precision line — pinned explicitly
+     so the assertion holds under a LATTE_PRECISION sweep too. *)
+  let plain =
+    make_server ~config:(Config.with_flags ~precision:`F32 Config.default) ()
+  in
+  ignore (Server.pump server);
+  let p1 = submit_batch plain ~seed0:900 in
+  ignore (Server.pump plain);
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) "f32 server serves fast" true
+        (is_done ~degraded:false plain id))
+    p1;
+  Alcotest.(check int) "f32 server counts zero quantized" 0
+    (Serve_metrics.done_quantized (Server.metrics plain));
+  Alcotest.(check bool) "f32 report has no precision line" false
+    (Test_util.contains (Serve_metrics.report (Server.metrics plain))
+       "precision:")
+
 let test_lookup_unknown_buffer_diagnostic () =
   let exec = (make_server () |> Server.fast_executor) in
   Alcotest.(check bool) "Invalid_argument with names" true
@@ -317,7 +388,7 @@ let test_percentile_interpolation () =
   Alcotest.(check (float 0.0)) "no latencies -> 0" 0.0
     (Serve_metrics.percentile m 95.0);
   List.iter
-    (fun l -> Serve_metrics.record_done m ~degraded:false ~latency:l)
+    (fun l -> Serve_metrics.record_done m ~degraded:false ~latency:l ())
     [ 0.003; 0.001; 0.004; 0.002 ];
   let check name want p =
     Alcotest.(check (float 1e-12)) name want (Serve_metrics.percentile m p)
@@ -338,7 +409,7 @@ let test_percentile_interpolation () =
        false
      with Invalid_argument _ -> true);
   let one = Serve_metrics.create () in
-  Serve_metrics.record_done one ~degraded:false ~latency:0.042;
+  Serve_metrics.record_done one ~degraded:false ~latency:0.042 ();
   Alcotest.(check (float 1e-12)) "single sample at every p" 0.042
     (Serve_metrics.percentile one 99.9)
 
@@ -359,6 +430,8 @@ let suite =
       test_slow_section_inflates_clock;
     Alcotest.test_case "load generator answers everything" `Quick
       test_load_gen_answers_everything;
+    Alcotest.test_case "quantized counter tracks degradation" `Quick
+      test_quantized_counter_tracks_degradation;
     Alcotest.test_case "lookup diagnostic names the missing buffer" `Quick
       test_lookup_unknown_buffer_diagnostic;
     Alcotest.test_case "create rejects unknown poison buffer" `Quick

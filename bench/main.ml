@@ -18,6 +18,7 @@ let all =
     ("fleet", Fleet_bench.run);
     ("scaling", Micro.scaling);
     ("precision", Precision_bench.run);
+    ("cancel", Cancel_bench.run);
   ]
 
 let () =

@@ -491,8 +491,8 @@ let train_cmd =
 (* ------------------------------------------------------------------ *)
 
 let serve_sim model batch image width_div fc_div config requests rate deadline_ms
-    queue_cap max_wait_ms breaker_k cooldown_ms retries backoff_ms faults_spec
-    seed =
+    queue_cap max_wait_ms breaker_k cooldown_ms retries backoff_ms
+    watchdog_slack faults_spec seed =
   let faults =
     match faults_spec with
     | None -> Fault.none
@@ -507,7 +507,7 @@ let serve_sim model batch image width_div fc_div config requests rate deadline_m
     try
       Server.create ~queue_capacity:queue_cap ~failure_threshold:breaker_k
         ~cooldown:(cooldown_ms /. 1e3) ~max_retries:retries
-        ~backoff:(backoff_ms /. 1e3) ~faults ~seed ~config
+        ~backoff:(backoff_ms /. 1e3) ~watchdog_slack ~faults ~seed ~config
         ~input_buf:(spec.Models.data_ens ^ ".value")
         ~output_buf:(spec.Models.output_ens ^ ".value")
         (fun () -> (build_model model ~batch ~image ~width_div ~fc_div).Models.net)
@@ -536,6 +536,9 @@ let serve_sim model batch image width_div fc_div config requests rate deadline_m
   Printf.printf "simulated %d requests over %.3f ms\n" requests
     (Server.now server *. 1e3);
   print_string (Serve_metrics.report (Server.metrics server));
+  (match Serve_metrics.slack_report (Server.metrics server) with
+  | Some line -> print_string (line ^ "\n")
+  | None -> ());
   (match Breaker.transitions (Server.breaker server) with
   | [] ->
       Printf.printf "breaker: no transitions (stayed %s)\n"
@@ -597,14 +600,25 @@ let serve_sim_cmd =
     Arg.(value & opt float 0.1 & info [ "backoff-ms" ] ~docv:"MS"
            ~doc:"Base retry backoff (doubles per attempt), simulated ms.")
   in
+  let watchdog_slack =
+    Arg.(value & opt float 8.0 & info [ "watchdog-slack" ] ~docv:"X"
+           ~doc:"Hang-watchdog threshold: a section whose simulated run time \
+                 exceeds its cost-model estimate by more than this factor \
+                 cancels the batch mid-run and recycles the worker domains.")
+  in
   let faults =
     Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC"
            ~doc:"Arm a serving-time fault plan: poison-out:BUF@K (corrupt \
                  output buffer BUF with NaN on the Kth fast forward), \
                  slow-section:LABEL@F (multiply the simulated cost of every \
-                 section whose label contains LABEL by F); the training-time \
-                 forms (crash-save@N, nan:BUF@K, inf:BUF@K, kill:W@S, \
-                 slow:NODE@F) parse but do not fire here.")
+                 section whose label contains LABEL by F), \
+                 hang-section:LABEL@S (stall the first matching section S \
+                 simulated seconds, once — trips the watchdog), \
+                 kill-domain:K@T (kill worker domain K at the pool's Tth \
+                 dispatch; the pool respawns it), alloc-spike:BYTES (charge \
+                 an external allocation against the memory budget); the \
+                 training-time forms (crash-save@N, nan:BUF@K, inf:BUF@K, \
+                 kill:W@S, slow:NODE@F) parse but do not fire here.")
   in
   let seed =
     Arg.(value & opt int 7 & info [ "seed" ] ~docv:"S"
@@ -620,7 +634,7 @@ let serve_sim_cmd =
     Term.(const serve_sim $ model_arg $ batch_arg $ image_arg $ width_div_arg
           $ fc_div_arg $ config_term $ requests $ rate $ deadline_ms $ queue_cap
           $ max_wait_ms $ breaker_k $ cooldown_ms $ retries $ backoff_ms
-          $ faults $ seed)
+          $ watchdog_slack $ faults $ seed)
 
 (* ------------------------------------------------------------------ *)
 (* fleet-sim                                                           *)
@@ -630,7 +644,8 @@ let split_csv s =
   List.filter (fun x -> x <> "") (String.split_on_char ',' (String.trim s))
 
 let fleet_sim scenario_name list_scenarios mix_csv batch image width_div fc_div
-    domains capacity duration seed nodes_csv precision =
+    domains capacity duration seed nodes_csv precision watchdog_slack
+    mem_budget_mb =
   if list_scenarios then begin
     let models = List.map (fun m -> (m, m)) model_names in
     List.iter
@@ -653,6 +668,12 @@ let fleet_sim scenario_name list_scenarios mix_csv batch image width_div fc_div
     Printf.eprintf "latte: --models must name at least one model\n";
     exit 2
   end;
+  (match mem_budget_mb with
+  | None -> ()
+  | Some mb when mb > 0 -> Buffer_pool.set_budget (Some (mb * 1024 * 1024))
+  | Some mb ->
+      Printf.eprintf "latte: --mem-budget %d must be positive\n" mb;
+      exit 2);
   let registry =
     Registry.create ~capacity
       ~opts:(Executor.Run_opts.with_domains domains Executor.Run_opts.default)
@@ -680,7 +701,7 @@ let fleet_sim scenario_name list_scenarios mix_csv batch image width_div fc_div
       exit 2
   in
   let fleet =
-    Fleet.create ~faults:sc.Scenario.fleet_faults ~registry
+    Fleet.create ~faults:sc.Scenario.fleet_faults ~watchdog_slack ~registry
       ~tenants:sc.Scenario.tenants ()
   in
   Printf.printf "fleet-sim scenario %s: %s\n" sc.Scenario.name sc.Scenario.descr;
@@ -689,6 +710,11 @@ let fleet_sim scenario_name list_scenarios mix_csv batch image width_div fc_div
     (String.concat ", " mix);
   Printf.printf "domains %d, registry capacity %d, seed %d, horizon %.0f ms\n"
     domains capacity seed (sc.Scenario.duration *. 1e3);
+  (match Buffer_pool.budget () with
+  | Some b ->
+      Printf.printf "memory budget: %d MB (admission-controlled)\n"
+        (b / (1024 * 1024))
+  | None -> ());
   (match model_config.Config.precision with
   | `F32 -> ()
   | p ->
@@ -698,6 +724,9 @@ let fleet_sim scenario_name list_scenarios mix_csv batch image width_div fc_div
   print_newline ();
   let summary = Scenario.run ~seed fleet sc in
   print_string (Fleet.report fleet);
+  (match Serve_metrics.slack_report (Fleet.metrics fleet) with
+  | Some line -> print_string (line ^ "\n")
+  | None -> ());
   Printf.printf "\n%s\n" (Scenario.summary_to_string summary);
   (* Multi-node extrapolation: independent serving replicas, rolling
      updates broadcast the hot model's parameters over the NIC. *)
@@ -778,6 +807,19 @@ let fleet_sim_cmd =
     Arg.(value & opt string "1,2,4,8,16" & info [ "nodes" ] ~docv:"LIST"
            ~doc:"Node counts for the multi-node extrapolation table.")
   in
+  let watchdog_slack =
+    Arg.(value & opt float 8.0 & info [ "watchdog-slack" ] ~docv:"X"
+           ~doc:"Hang-watchdog threshold: a section whose simulated run time \
+                 exceeds its cost-model estimate by more than this factor \
+                 cancels the batch mid-run and recycles the worker domains.")
+  in
+  let mem_budget =
+    Arg.(value & opt (some int) None & info [ "mem-budget" ] ~docv:"MB"
+           ~doc:"Process memory budget in megabytes: model admission is \
+                 checked against projected buffer-pool footprints, LRU \
+                 entries are evicted under pressure and requests whose model \
+                 cannot fit are shed instead of over-allocating.")
+  in
   Cmd.v
     (Cmd.info "fleet-sim"
        ~doc:"Serve a scripted multi-tenant chaos scenario against a model \
@@ -788,7 +830,8 @@ let fleet_sim_cmd =
              extrapolation. Exits non-zero if any request goes unanswered.")
     Term.(const fleet_sim $ scenario $ list_scenarios $ mix $ batch_arg
           $ image_arg $ width_div_arg $ fc_div_arg $ domains $ capacity
-          $ duration $ seed $ nodes $ precision_arg)
+          $ duration $ seed $ nodes $ precision_arg $ watchdog_slack
+          $ mem_budget)
 
 (* ------------------------------------------------------------------ *)
 (* bench                                                               *)

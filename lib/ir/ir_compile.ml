@@ -16,6 +16,33 @@ type safety = Unsafe | Guard_unproven | Checked
    the runtime layer sits above the IR layer). *)
 type par_runner = { workers : int; run : (int -> unit) -> unit }
 
+(* Cooperative cancellation: a token is a single mutable cell polled by
+   the compiled code at section entry (see [run]) and at every iteration
+   of outermost loops — including each worker's stride loop inside a
+   parallel dispatch. Checks are only emitted at those points, so the
+   amortized cost is one load + compare per outer (batch / feature-map)
+   iteration; inner loops run unchecked. Cancelling mid-run makes the
+   next polled point raise [Cancelled], unwinding out of the compiled
+   closures with partial writes left in the buffers (the caller is
+   responsible for discarding them — see Executor.scrub). *)
+type token = { mutable cancel_reason : string option }
+
+exception Cancelled of string
+
+let token () = { cancel_reason = None }
+
+let cancel tok ~reason =
+  (* First cancellation wins: a watchdog and a deadline racing for the
+     same run should report one coherent reason. *)
+  if tok.cancel_reason = None then tok.cancel_reason <- Some reason
+
+let cancelled tok = tok.cancel_reason <> None
+let cancel_reason tok = tok.cancel_reason
+let reset_token tok = tok.cancel_reason <- None
+
+let check_token tok =
+  match tok.cancel_reason with Some r -> raise (Cancelled r) | None -> ()
+
 type par_entry = {
   par_var : string;  (** Loop variable of the parallel loop. *)
   par_workers : int;  (** Chunks dispatched; 1 when the loop fell back. *)
@@ -39,6 +66,8 @@ type ctx = {
   runner : par_runner option;
   in_par : bool;  (* Inside a parallelized loop: nested loops stay sequential. *)
   schedule : par_entry list ref;  (* Newest first; reversed by [schedule]. *)
+  token : token option;  (* Cancellation cell polled by outer loops. *)
+  top : bool;  (* At statement-list top level: outermost loops poll the token. *)
 }
 
 type compiled = { entry : unit -> unit; ctx : ctx }
@@ -1150,18 +1179,30 @@ and compile_seq_for ctx benv (l : loop) =
     if not whole_nest_ok then raise Not_fast;
     try compile_fast_loop ctx l
     with Not_fast -> compile_q_fast_loop ctx l
-  with Not_fast ->
+  with Not_fast -> (
     let clo = compile_i ctx l.lo and chi = compile_i ctx l.hi in
     let benv' = Ir_bounds.bind_range l.var ~lo:l.lo ~hi:l.hi benv in
-    let body = compile_stmts ctx benv' l.body in
+    let body = compile_stmts { ctx with top = false } benv' l.body in
     let vslot = slot ctx l.var in
     let regs = ctx.regs in
-    fun () ->
-      let lo = clo () and hi = chi () in
-      for i = lo to hi - 1 do
-        Array.unsafe_set regs vslot i;
-        body ()
-      done
+    match (if ctx.top then ctx.token else None) with
+    | Some tok ->
+        fun () ->
+          let lo = clo () and hi = chi () in
+          for i = lo to hi - 1 do
+            (match tok.cancel_reason with
+            | Some r -> raise (Cancelled r)
+            | None -> ());
+            Array.unsafe_set regs vslot i;
+            body ()
+          done
+    | None ->
+        fun () ->
+          let lo = clo () and hi = chi () in
+          for i = lo to hi - 1 do
+            Array.unsafe_set regs vslot i;
+            body ()
+          done)
 
 (* Static interleaved chunking (§5.4.3): worker [w] of [k] executes
    iterations [lo + w, lo + w + k, ...]. The parallel body is compiled
@@ -1200,7 +1241,7 @@ and compile_par_for ctx benv (l : loop) (r : par_runner) =
       let clo = compile_i ctx l.lo and chi = compile_i ctx l.hi in
       let benv' = Ir_bounds.bind_range l.var ~lo:l.lo ~hi:l.hi benv in
       let vslot = slot ctx l.var in
-      let ctx0 = { ctx with in_par = true } in
+      let ctx0 = { ctx with in_par = true; top = false } in
       let body0 = compile_stmts ctx0 benv' split_par in
       let others =
         Array.init (k - 1) (fun _ ->
@@ -1226,11 +1267,25 @@ and compile_par_for ctx benv (l : loop) (r : par_runner) =
       in
       let parent_regs = ctx.regs in
       let nregs = Array.length parent_regs in
+      (* Outermost parallel loops poll the cancellation token once per
+         stride iteration, on every worker; the first worker to observe
+         a cancel raises [Cancelled], which the pool re-raises on the
+         caller after the barrier. *)
+      let poll =
+        match (if ctx.top then ctx.token else None) with
+        | Some tok ->
+            fun () ->
+              (match tok.cancel_reason with
+              | Some r -> raise (Cancelled r)
+              | None -> ())
+        | None -> fun () -> ()
+      in
       fun () ->
         let lo = clo () and hi = chi () in
         let n = hi - lo in
         if n = 1 then begin
           (* No point waking the pool for a single iteration. *)
+          poll ();
           Array.unsafe_set parent_regs vslot lo;
           body0 ()
         end
@@ -1244,6 +1299,7 @@ and compile_par_for ctx benv (l : loop) (r : par_runner) =
               if w = 0 then begin
                 let i = ref lo in
                 while !i < hi do
+                  poll ();
                   Array.unsafe_set parent_regs vslot !i;
                   body0 ();
                   i := !i + k
@@ -1253,6 +1309,7 @@ and compile_par_for ctx benv (l : loop) (r : par_runner) =
                 let regs, body = others.(w - 1) in
                 let i = ref (lo + w) in
                 while !i < hi do
+                  poll ();
                   Array.unsafe_set regs vslot !i;
                   body ();
                   i := !i + k
@@ -1285,7 +1342,7 @@ let count_loops stmts =
   !n
 
 let compile ~lookup ?store_of ?(free_vars = []) ?(safety = Guard_unproven)
-    ?runner stmts =
+    ?runner ?token stmts =
   let stmts = simplify_stmts stmts in
   let slots = collect_vars free_vars stmts in
   (* Loop collapsing allocates one fresh register per merged pair, at
@@ -1317,12 +1374,19 @@ let compile ~lookup ?store_of ?(free_vars = []) ?(safety = Guard_unproven)
       runner;
       in_par = false;
       schedule = ref [];
+      token;
+      top = true;
     }
   in
   let entry = compile_stmts ctx Ir_bounds.empty_env stmts in
   { entry; ctx }
 
 let run c ?(bindings = []) () =
+  (* Section-boundary check: entering a compiled section with an already
+     cancelled token raises immediately, before any statement runs. *)
+  (match c.ctx.token with
+  | Some tok -> check_token tok
+  | None -> ());
   List.iter
     (fun (v, n) -> c.ctx.regs.(slot c.ctx v) <- n)
     bindings;

@@ -29,6 +29,38 @@ type par_runner = { workers : int; run : (int -> unit) -> unit }
     lives here (rather than in the runtime layer) because the runtime
     depends on the IR layer, not the reverse. *)
 
+type token
+(** Cooperative cancellation cell shared between a controller (the
+    serving layer) and compiled code. Compiled sections poll it at entry
+    ({!run}) and at every iteration of outermost loops — including each
+    worker's stride loop inside a parallel dispatch — so a cancel takes
+    effect within one outer-loop iteration, at the cost of one load and
+    compare per outer iteration (inner loops run unchecked). *)
+
+exception Cancelled of string
+(** Raised out of compiled code (and by {!check_token}) once the token
+    has been cancelled; carries the reason given to {!cancel}. Partial
+    writes stay in the buffers — discarding them is the caller's job
+    (see [Executor.scrub]). *)
+
+val token : unit -> token
+(** A fresh, un-cancelled token. *)
+
+val cancel : token -> reason:string -> unit
+(** Request cancellation. The first call wins; later calls (e.g. a
+    deadline racing a watchdog) keep the original reason. *)
+
+val cancelled : token -> bool
+
+val cancel_reason : token -> string option
+(** [Some reason] once cancelled. *)
+
+val reset_token : token -> unit
+(** Re-arm the token for the next run. *)
+
+val check_token : token -> unit
+(** Raise {!Cancelled} if the token is cancelled, else return. *)
+
 type par_entry = {
   par_var : string;  (** Loop variable of the parallel loop. *)
   par_workers : int;  (** Chunks dispatched; 1 when the loop fell back. *)
@@ -47,6 +79,7 @@ val compile :
   ?free_vars:string list ->
   ?safety:safety ->
   ?runner:par_runner ->
+  ?token:token ->
   Ir.stmt list ->
   compiled
 (** Buffers are resolved eagerly: every buffer named in the program must
@@ -76,7 +109,10 @@ val compile :
     to sequential execution, recorded in {!schedule}. *)
 
 val run : compiled -> ?bindings:(string * int) list -> unit -> unit
-(** Execute. [bindings] gives values for the [free_vars]. *)
+(** Execute. [bindings] gives values for the [free_vars]. When the code
+    was compiled with a [token], entry checks it (raising {!Cancelled}
+    immediately if already cancelled) and outermost loops poll it per
+    iteration. *)
 
 val kernel_stats : compiled -> (string * int) list
 (** How many innermost loops were emitted as each specialized kernel

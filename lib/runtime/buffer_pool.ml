@@ -102,3 +102,46 @@ let repack t name ~kind ~qparams =
             store = Tensor.store_reshape packed (Tensor.store_shape e'.store)
           })
     (names t)
+
+(* ------------------------------------------------------------------ *)
+(* Process-level memory ledger                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Pools whose storage should count against the process memory budget
+   are registered explicitly with [track] (the serving registry tracks
+   every pool it compiles); [charge_external] accounts allocation that
+   lives outside any pool (or injected alloc-spike faults). Admission
+   control (Registry) compares [live_bytes] + a projected footprint
+   against [budget] and evicts or sheds instead of over-allocating. *)
+
+let tracked_pools : t list ref = ref []
+let external_bytes_r = ref 0
+let budget_r : int option ref = ref None
+
+let track pool =
+  if not (List.memq pool !tracked_pools) then
+    tracked_pools := pool :: !tracked_pools
+
+let release pool = tracked_pools := List.filter (fun p -> p != pool) !tracked_pools
+let tracked_count () = List.length !tracked_pools
+
+let charge_external bytes =
+  external_bytes_r := max 0 (!external_bytes_r + bytes)
+
+let external_bytes () = !external_bytes_r
+
+let live_bytes () =
+  List.fold_left (fun acc p -> acc + total_bytes p) !external_bytes_r
+    !tracked_pools
+
+let set_budget b =
+  (match b with
+  | Some n when n <= 0 ->
+      invalid_arg (Printf.sprintf "Buffer_pool.set_budget: %d bytes <= 0" n)
+  | _ -> ());
+  budget_r := b
+
+let budget () = !budget_r
+
+let over_budget () =
+  match !budget_r with None -> 0 | Some b -> max 0 (live_bytes () - b)

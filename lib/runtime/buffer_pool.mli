@@ -67,3 +67,41 @@ val repack : t -> string -> kind:Precision.any -> qparams:Precision.qparams -> u
 (** Re-register [name]'s physical block (and every alias of it) at a
     new precision, re-encoding the current f32 contents. Raises
     [Failure] when already packed. *)
+
+(** {1 Process-level memory ledger}
+
+    A single process-wide account of live tensor storage, used by the
+    serving registry for memory-pressure-aware admission: pools opt in
+    with {!track}, non-pool allocation (and injected alloc-spike faults)
+    is charged with {!charge_external}, and admission compares
+    {!live_bytes} + the projected footprint against {!budget}, evicting
+    or shedding instead of over-allocating. *)
+
+val track : t -> unit
+(** Count this pool's {!total_bytes} in {!live_bytes} until
+    {!release}d. Idempotent. *)
+
+val release : t -> unit
+(** Stop counting this pool (e.g. on LRU eviction). Idempotent. *)
+
+val tracked_count : unit -> int
+(** How many pools are currently tracked. *)
+
+val charge_external : int -> unit
+(** Add [bytes] (may be negative to credit back; the balance clamps at
+    0) of non-pool allocation to the ledger. *)
+
+val external_bytes : unit -> int
+
+val live_bytes : unit -> int
+(** External bytes + the {!total_bytes} of every tracked pool. *)
+
+val set_budget : int option -> unit
+(** Set or clear the process memory budget in bytes. Raises
+    [Invalid_argument] on a non-positive budget. *)
+
+val budget : unit -> int option
+
+val over_budget : unit -> int
+(** How many bytes {!live_bytes} currently exceeds the budget by
+    (0 when under budget or no budget is set). *)

@@ -21,14 +21,22 @@ module Run_opts : sig
         (** Worker domains for parallel loops; clamped to [>= 1].
             [1] is pure sequential execution. *)
     warmup : int;  (** Default warmup runs for [time_forward]/[time_backward]. *)
+    token : Ir_compile.token option;
+        (** Cooperative cancellation cell compiled into every section:
+            section entry and outermost loop iterations poll it, so a
+            {!Ir_compile.cancel} unwinds the run as
+            [Ir_compile.Cancelled] within one outer iteration. [None]
+            (the default) compiles without any checks. *)
   }
 
   val default : t
   (** [safety = None], [domains] from the [LATTE_DOMAINS] environment
-      variable (malformed or missing means 1), [warmup = 1]. *)
+      variable (malformed or missing means 1), [warmup = 1],
+      [token = None]. *)
 
   val with_domains : int -> t -> t
   val with_safety : Ir_compile.safety -> t -> t
+  val with_token : Ir_compile.token -> t -> t
 end
 
 val prepare : ?safety:Ir_compile.safety -> ?opts:Run_opts.t -> Program.t -> t
@@ -45,8 +53,36 @@ val run_opts : t -> Run_opts.t
 
 val domains : t -> int
 
+val token : t -> Ir_compile.token option
+(** The cancellation token compiled into this executor, if any. *)
+
+val pool : t -> Domain_pool.t option
+(** The shared domain pool parallel loops dispatch on ([None] when
+    prepared with [domains = 1]). *)
+
+val respawns : t -> int
+(** Worker-domain respawns on the executor's pool (0 without a pool). *)
+
 val forward : t -> unit
 val backward : t -> unit
+(** Self-healing: when a worker domain dies mid-run
+    ([Domain_pool.Worker_died]), the pool has already respawned it; the
+    direction is transparently re-run from its first section, which is
+    bit-identical to a clean run. *)
+
+val forward_sections : ?on_section:(int -> string -> unit) -> t -> unit
+(** Forward, one section at a time, for the serving layer: each
+    section's entry checks the cancellation token (raising
+    [Ir_compile.Cancelled]), [on_section index label] runs after each
+    completed section (this is where the serving clock advances and
+    cancel decisions happen), and the token is checked once more after
+    the last section. Does NOT self-heal on [Domain_pool.Worker_died] —
+    the caller owns the retry so it can account time and metrics. *)
+
+val scrub : t -> unit
+(** Discard partial work after a cancellation: zero every non-parameter
+    physical buffer (activations, inputs, outputs, gradients).
+    Parameter values are preserved. *)
 
 val forward_timed : t -> (string * float) list
 (** Runs forward once, returning (section label, seconds) pairs. *)

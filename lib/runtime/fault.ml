@@ -7,6 +7,9 @@ type spec =
   | Straggler of { node : int; factor : float }
   | Slow_section of { label : string; factor : float }
   | Poison_output of { buf : string; at_forward : int }
+  | Hang_section of { label : string; seconds : float }
+  | Kill_domain of { worker : int; at_dispatch : int }
+  | Alloc_spike of { bytes : int }
 
 type event = { at : int; what : string }
 
@@ -137,6 +140,70 @@ let poison_outputs_at t ~forward =
       | _ -> None)
     t.armed
 
+(* One-shot simulated hang: the first section whose label matches each
+   armed [Hang_section] absorbs its stall (in simulated seconds, on top
+   of the cost-model estimate) exactly once. *)
+let hang_seconds t ~forward ~label =
+  List.fold_left
+    (fun acc a ->
+      match a.spec with
+      | Hang_section { label = spec; seconds }
+        when (not a.fired) && label_matches ~spec ~label ->
+          a.fired <- true;
+          record t ~at:forward
+            (Printf.sprintf "section %s hung for %gs on forward #%d (hang-section:%s)"
+               label seconds forward spec);
+          acc +. seconds
+      | _ -> acc)
+    0.0 t.armed
+
+let hang_specs t =
+  List.filter_map
+    (fun a ->
+      match a.spec with
+      | Hang_section { label; seconds } -> Some (label, seconds)
+      | _ -> None)
+    t.armed
+
+(* Armed worker-domain deaths, as (worker, dispatch) pairs for
+   Domain_pool.arm_kill. Firing is recorded by [note_domain_kill] when
+   the serving layer observes the resulting [Worker_died]. *)
+let domain_kills t =
+  List.filter_map
+    (fun a ->
+      match a.spec with
+      | Kill_domain { worker; at_dispatch } -> Some (worker, at_dispatch)
+      | _ -> None)
+    t.armed
+
+let note_domain_kill t ~worker ~at =
+  let rec mark = function
+    | [] -> ()
+    | a :: rest -> (
+        match a.spec with
+        | Kill_domain _ when not a.fired ->
+            a.fired <- true;
+            record t ~at
+              (Printf.sprintf
+                 "worker domain %d died on forward #%d; pool respawned it" worker at)
+        | _ -> mark rest)
+  in
+  mark t.armed
+
+let alloc_spike_due t =
+  List.fold_left
+    (fun acc a ->
+      match a.spec with
+      | Alloc_spike { bytes } when not a.fired ->
+          a.fired <- true;
+          record t ~at:0
+            (Printf.sprintf
+               "allocation spike of %d bytes charged against the memory budget"
+               bytes);
+          acc + bytes
+      | _ -> acc)
+    0 t.armed
+
 let poison_output_bufs t =
   List.filter_map
     (fun a ->
@@ -151,7 +218,8 @@ let poison_output_bufs t =
 
 let usage =
   "fault spec: comma-separated crash-save@N | nan:BUF@K | inf:BUF@K | \
-   kill:W@S | slow:NODE@F | slow-section:LABEL@F | poison-out:BUF@K"
+   kill:W@S | slow:NODE@F | slow-section:LABEL@F | poison-out:BUF@K | \
+   hang-section:LABEL@S | kill-domain:K@T | alloc-spike:BYTES"
 
 let parse_item item =
   let fail () =
@@ -166,7 +234,17 @@ let parse_item item =
     | None -> fail ()
   in
   match String.index_opt item '@' with
-  | None -> fail ()
+  | None -> (
+      (* The only '@'-less form: alloc-spike:BYTES (a one-shot event
+         with no target/trigger split to separate). *)
+      match String.index_opt item ':' with
+      | Some colon when String.sub item 0 colon = "alloc-spike" ->
+          let arg = String.sub item (colon + 1) (String.length item - colon - 1) in
+          if String.length arg = 0 then fail ();
+          let bytes = int_of arg in
+          if bytes <= 0 then fail ();
+          Alloc_spike { bytes }
+      | _ -> fail ())
   | Some at ->
       let head = String.sub item 0 at in
       let arg = String.sub item (at + 1) (String.length item - at - 1) in
@@ -187,6 +265,13 @@ let parse_item item =
           | "slow" -> Straggler { node = int_of target; factor = float_of arg }
           | "slow-section" -> Slow_section { label = target; factor = float_of arg }
           | "poison-out" -> Poison_output { buf = target; at_forward = int_of arg }
+          | "hang-section" ->
+              Hang_section { label = target; seconds = float_of arg }
+          | "kill-domain" ->
+              let worker = int_of target in
+              if worker < 1 then fail ();
+              Kill_domain { worker; at_dispatch = int_of arg }
+          | "alloc-spike" -> fail ()  (* alloc-spike takes no '@' trigger *)
           | _ -> fail ()))
 
 let parse s =
@@ -206,5 +291,10 @@ let spec_to_string = function
   | Straggler { node; factor } -> Printf.sprintf "slow:%d@%g" node factor
   | Slow_section { label; factor } -> Printf.sprintf "slow-section:%s@%g" label factor
   | Poison_output { buf; at_forward } -> Printf.sprintf "poison-out:%s@%d" buf at_forward
+  | Hang_section { label; seconds } ->
+      Printf.sprintf "hang-section:%s@%g" label seconds
+  | Kill_domain { worker; at_dispatch } ->
+      Printf.sprintf "kill-domain:%d@%d" worker at_dispatch
+  | Alloc_spike { bytes } -> Printf.sprintf "alloc-spike:%d" bytes
 
 let to_string t = String.concat "," (List.map spec_to_string (specs t))

@@ -38,6 +38,23 @@ type spec =
       (** Serving: corrupt output buffer [buf] with NaN right after the
           [at_forward]-th fast-path forward (0-based, counted over the
           plan's lifetime, retries included). One-shot. *)
+  | Hang_section of { label : string; seconds : float }
+      (** Serving: the first compiled section whose label contains
+          [label] stalls for [seconds] simulated seconds on top of its
+          cost-model estimate — far past any deadline, so the hang
+          watchdog (not the deadline check) must catch it. One-shot. *)
+  | Kill_domain of { worker : int; at_dispatch : int }
+      (** Serving: worker domain [worker] (1-based; clamped into the
+          pool's range) of the executing {!Domain_pool} dies at the
+          start of pool dispatch [at_dispatch] (0-based, counted over
+          the pool's lifetime). One-shot; armed into the pool via
+          {!domain_kills} + [Domain_pool.arm_kill], recorded when the
+          serving layer observes the death ({!note_domain_kill}). *)
+  | Alloc_spike of { bytes : int }
+      (** Serving: a one-shot surge of [bytes] external allocation
+          charged against the process memory budget
+          ([Buffer_pool.charge_external]) at the next pump, forcing
+          eviction/shedding under pressure. *)
 
 type event = { at : int; what : string }
 (** A fault that actually fired: the iteration/step/save index it fired
@@ -59,9 +76,12 @@ val is_empty : t -> bool
 val parse : string -> t
 (** Parse the CLI fault spec: comma-separated items of the forms
     [crash-save@N], [nan:BUF@K], [inf:BUF@K], [kill:W@S], [slow:NODE@F],
-    [slow-section:LABEL@F], and [poison-out:BUF@K]
+    [slow-section:LABEL@F], [poison-out:BUF@K], [hang-section:LABEL@S],
+    [kill-domain:K@T], and [alloc-spike:BYTES]
     (e.g. ["crash-save@1,nan:fc1.weights@40,kill:1@30"]).
-    Raises [Invalid_argument] with a usage message on bad syntax. *)
+    Raises [Invalid_argument] with a usage message on bad syntax
+    (including [kill-domain] with worker < 1 and [alloc-spike] with a
+    non-positive byte count). *)
 
 val to_string : t -> string
 (** Render back into the {!parse} syntax (empty string for {!none}). *)
@@ -102,6 +122,31 @@ val poison_outputs_at : t -> forward:int -> string list
 val poison_output_bufs : t -> string list
 (** Every buffer named by an armed [Poison_output] (fired or not) — for
     early validation against the program's buffer plan. *)
+
+val hang_seconds : t -> forward:int -> label:string -> float
+(** Total simulated stall due on section [label] during fast-path
+    forward [forward] from armed, un-fired [Hang_section]s whose label
+    occurs as a substring of [label]; one-shot (marks them fired and
+    records events). 0.0 when none match. *)
+
+val hang_specs : t -> (string * float) list
+(** All armed [(label, seconds)] hang-section entries (fired or not). *)
+
+val domain_kills : t -> (int * int) list
+(** All armed [(worker, at_dispatch)] domain-kill entries, for arming
+    into the executing pool with [Domain_pool.arm_kill]. Does not mark
+    them fired — see {!note_domain_kill}. *)
+
+val note_domain_kill : t -> worker:int -> at:int -> unit
+(** Record that an armed [Kill_domain] actually fired: the serving layer
+    calls this once per dead worker it observes via
+    [Domain_pool.Worker_died]. Marks the first un-fired [Kill_domain]
+    fired (the pool clamps worker indices, so specs are matched in
+    order, not by index) and records an event. *)
+
+val alloc_spike_due : t -> int
+(** Total bytes of one-shot [Alloc_spike]s not yet fired; marks them
+    fired and records events. 0 when none are due. *)
 
 val events : t -> event list
 (** Every fault fired so far, in firing order. *)

@@ -69,6 +69,14 @@ type event =
       version : int;
       transition : Breaker.transition;
     }
+  | Cancelled_batch of {
+      model : string;
+      at : float;
+      requests : int;
+      reason : string;
+    }
+  | Respawned of { model : string; at : float; workers : int; reason : string }
+  | Mem_pressure of { at : float; bytes : int; evicted : int }
 
 let event_time = function
   | Compiled e -> e.at
@@ -77,6 +85,9 @@ let event_time = function
   | Rolled_back e -> e.at
   | Committed e -> e.at
   | Breaker_moved e -> e.transition.Breaker.at
+  | Cancelled_batch e -> e.at
+  | Respawned e -> e.at
+  | Mem_pressure e -> e.at
 
 let event_to_string = function
   | Compiled { model; version; key; at; wall_seconds } ->
@@ -100,6 +111,16 @@ let event_to_string = function
         (Breaker.state_name transition.Breaker.from_state)
         (Breaker.state_name transition.Breaker.to_state)
         transition.Breaker.reason
+  | Cancelled_batch { model; at; requests; reason } ->
+      Printf.sprintf "t=%.6fs  %s: cancelled batch of %d request(s) mid-run (%s)"
+        at model requests reason
+  | Respawned { model; at; workers; reason } ->
+      Printf.sprintf "t=%.6fs  %s: respawned %d worker domain(s) (%s)" at model
+        workers reason
+  | Mem_pressure { at; bytes; evicted } ->
+      Printf.sprintf
+        "t=%.6fs  memory pressure: %d byte(s) charged, %d entry(ies) evicted"
+        at bytes evicted
 
 type t = {
   registry : Registry.t;
@@ -114,6 +135,10 @@ type t = {
   max_retries : int;
   backoff : float;
   settle_forwards : int;
+  watchdog_slack : float;
+  mutable kills_armed : bool;
+      (* Fleet-plan kill-domain faults are armed onto the shared pool
+         the first time an executor (and thus the pool) exists. *)
   mutable events : event list;  (* newest first *)
   mutable clock : float;
   mutable forwards : int;
@@ -122,14 +147,22 @@ type t = {
   mutable rollbacks : int;
 }
 
+let token t = (Registry.opts t.registry).Executor.Run_opts.token
+
+let reset_token t =
+  match token t with Some tok -> Ir_compile.reset_token tok | None -> ()
+
+let cancel_run t ~reason =
+  match token t with Some tok -> Ir_compile.cancel tok ~reason | None -> ()
+
 let fresh_version t ~version ~faults =
   { version;
     breaker = Breaker.create ~threshold:t.failure_threshold ~cooldown:t.cooldown ();
     faults; forwards = 0; seen_transitions = 0 }
 
 let create ?(failure_threshold = 1) ?(cooldown = 5e-3) ?(max_retries = 1)
-    ?(backoff = 1e-4) ?(settle_forwards = 8) ?(faults = Fault.none) ~registry
-    ~tenants () =
+    ?(backoff = 1e-4) ?(settle_forwards = 8) ?(watchdog_slack = 8.0)
+    ?(faults = Fault.none) ~registry ~tenants () =
   if max_retries < 0 then
     invalid_arg (Printf.sprintf "Fleet.create: max_retries %d < 0" max_retries);
   if backoff < 0.0 then
@@ -137,12 +170,16 @@ let create ?(failure_threshold = 1) ?(cooldown = 5e-3) ?(max_retries = 1)
   if settle_forwards <= 0 then
     invalid_arg
       (Printf.sprintf "Fleet.create: settle_forwards %d <= 0" settle_forwards);
+  if watchdog_slack < 1.0 then
+    invalid_arg
+      (Printf.sprintf "Fleet.create: watchdog_slack %g < 1" watchdog_slack);
   let router = Router.create tenants in
   let t =
     { registry; router; metrics = Serve_metrics.create ();
       tenant_metrics = Hashtbl.create 8; model_states = Hashtbl.create 8;
       statuses = Hashtbl.create 256; faults; failure_threshold; cooldown;
-      max_retries; backoff; settle_forwards; events = []; clock = 0.0;
+      max_retries; backoff; settle_forwards; watchdog_slack;
+      kills_armed = false; events = []; clock = 0.0;
       forwards = 0; next_id = 0; swaps = 0; rollbacks = 0 }
   in
   List.iter
@@ -176,6 +213,11 @@ let tenant_metric t name =
 
 let push_event t e = t.events <- e :: t.events
 
+let arm_kills pool plan =
+  List.iter
+    (fun (worker, at_dispatch) -> Domain_pool.arm_kill pool ~worker ~at_dispatch)
+    (Fault.domain_kills plan)
+
 (* Registry.get with a Compiled event the first time a (model, version)
    is actually built — the observable trace of lazy compilation. *)
 let entry t name ~version =
@@ -186,6 +228,14 @@ let entry t name ~version =
       (Compiled
          { model = name; version; key = e.Registry.key; at = t.clock;
            wall_seconds = e.Registry.compile_wall_seconds });
+  (* Every executor in the fleet multiplexes one shared domain pool, so
+     the fleet plan's kill-domain faults arm once, as soon as any
+     prepared executor gives us a handle on it. *)
+  (match Executor.pool e.Registry.fast with
+  | Some p when not t.kills_armed ->
+      arm_kills p t.faults;
+      t.kills_armed <- true
+  | _ -> ());
   e
 
 let drain_breaker_events t ms vs =
@@ -215,34 +265,51 @@ let advance_to t time = if time > t.clock then t.clock <- time
 
 let submit t ~tenant ~model ?deadline features =
   let ms = model_state t model in
-  let e = entry t model ~version:ms.active.version in
-  if Array.length features <> e.Registry.item_numel then
-    invalid_arg
-      (Printf.sprintf "Fleet.submit: %d features for %s, expected %d"
-         (Array.length features) model e.Registry.item_numel);
   let tm = tenant_metric t tenant in
   let cfg = Router.tenant t.router tenant in
-  let id = t.next_id in
-  t.next_id <- id + 1;
-  Serve_metrics.record_submitted t.metrics;
-  Serve_metrics.record_submitted tm;
-  let deadline =
-    t.clock +. (match deadline with Some d -> d | None -> cfg.Router.deadline)
-  in
-  let r =
-    { Router.id; tenant; model; features; arrival = t.clock; deadline }
-  in
-  (match Router.admit t.router ~now:t.clock r with
-  | `Admitted -> Hashtbl.replace t.statuses id Queued
-  | `Throttled ->
-      Hashtbl.replace t.statuses id Throttled;
-      Serve_metrics.record_throttled t.metrics;
-      Serve_metrics.record_throttled tm
-  | `Shed ->
+  match entry t model ~version:ms.active.version with
+  | exception Registry.Over_budget _ ->
+      (* Memory-pressure admission control: the model cannot be made
+         resident under the process budget, so the request is refused
+         up front rather than queued against an executor that will
+         never fit. *)
+      let id = t.next_id in
+      t.next_id <- id + 1;
+      Serve_metrics.record_submitted t.metrics;
+      Serve_metrics.record_submitted tm;
       Hashtbl.replace t.statuses id Shed;
       Serve_metrics.record_shed t.metrics;
-      Serve_metrics.record_shed tm);
-  id
+      Serve_metrics.record_shed tm;
+      Serve_metrics.record_mem_shed t.metrics;
+      Serve_metrics.record_mem_shed tm;
+      id
+  | e ->
+      if Array.length features <> e.Registry.item_numel then
+        invalid_arg
+          (Printf.sprintf "Fleet.submit: %d features for %s, expected %d"
+             (Array.length features) model e.Registry.item_numel);
+      let id = t.next_id in
+      t.next_id <- id + 1;
+      Serve_metrics.record_submitted t.metrics;
+      Serve_metrics.record_submitted tm;
+      let deadline =
+        t.clock
+        +. (match deadline with Some d -> d | None -> cfg.Router.deadline)
+      in
+      let r =
+        { Router.id; tenant; model; features; arrival = t.clock; deadline }
+      in
+      (match Router.admit t.router ~now:t.clock r with
+      | `Admitted -> Hashtbl.replace t.statuses id Queued
+      | `Throttled ->
+          Hashtbl.replace t.statuses id Throttled;
+          Serve_metrics.record_throttled t.metrics;
+          Serve_metrics.record_throttled tm
+      | `Shed ->
+          Hashtbl.replace t.statuses id Shed;
+          Serve_metrics.record_shed t.metrics;
+          Serve_metrics.record_shed tm);
+      id
 
 (* ------------------------------------------------------------------ *)
 (* Rolling updates                                                     *)
@@ -264,6 +331,11 @@ let begin_update t ~model ?(faults = Fault.none) ?(compile_seconds = 0.05) () =
   List.iter
     (fun buf -> ignore (Executor.lookup e.Registry.fast buf))
     (Fault.poison_output_bufs faults);
+  (* The new version's own plan may inject worker-domain deaths (its
+     dispatch indices count on the shared pool, like the fleet plan's). *)
+  (match Executor.pool e.Registry.fast with
+  | Some p -> arm_kills p faults
+  | None -> ());
   Registry.pin t.registry model ~version;
   Registry.pin t.registry model ~version:ms.active.version;
   let vs = fresh_version t ~version ~faults in
@@ -341,57 +413,166 @@ let output_finite (e : Registry.entry) exec ~n_live =
   done;
   !ok
 
-(* One fast forward of the model's active version: advance the clock by
-   the (slow-section-inflated) modeled cost, apply output poisonings due
-   from both the fleet-wide plan (fleet-global forward index) and the
+(* One fast forward of the model's active version, section by section:
+   the simulated clock advances per section by the modeled cost inflated
+   by both the fleet-wide plan (fleet-global forward index) and the
    version's own plan (per-version index — how a chaos scenario targets
-   a freshly-swapped version), then guard the live rows. *)
-let try_fast t (vs : version_state) (e : Registry.entry) ~n_live =
+   a freshly-swapped version) and stalled by either plan's armed hangs.
+   Cancellation decisions happen at section boundaries — the watchdog
+   when a section overran its estimate by more than [watchdog_slack],
+   the runtime deadline once every request in the batch is past due.
+   Output poisonings apply after a completed forward, then the guard
+   runs over the live rows. Injected worker-domain deaths surface as
+   [Domain_pool.Worker_died] with the pool already healed; the forward
+   re-runs transparently and bit-identically. *)
+let try_fast t (vs : version_state) (e : Registry.entry) ~max_deadline ~n_live =
   let fleet_ix = t.forwards in
   t.forwards <- fleet_ix + 1;
   let version_ix = vs.forwards in
   vs.forwards <- version_ix + 1;
-  match Executor.forward e.Registry.fast with
-  | () ->
-      t.clock <- t.clock +. simulated_cost t vs e.Registry.fast_costs;
-      List.iter
-        (fun buf ->
-          (* Store-level fill survives packed targets (f16 encodes NaN
-             as a NaN bit pattern; serving input/output stay f32). *)
-          Tensor.store_fill
-            (Buffer_pool.store
-               (Executor.program e.Registry.fast).Program.buffers buf)
-            Float.nan)
-        (Fault.poison_outputs_at t.faults ~forward:fleet_ix
-        @ Fault.poison_outputs_at vs.faults ~forward:version_ix);
-      if output_finite e e.Registry.fast ~n_live then Ok ()
-      else Error (Printf.sprintf "non-finite output in %s" e.Registry.output_buf)
-  | exception Fault.Injected_crash msg ->
-      t.clock <- t.clock +. simulated_cost t vs e.Registry.fast_costs;
-      Error msg
+  let costs = Array.of_list e.Registry.fast_costs in
+  let predicted =
+    List.fold_left (fun acc (_, s) -> acc +. s) 0.0 e.Registry.fast_costs
+  in
+  let t_start = t.clock in
+  let watchdog_hit = ref false in
+  let on_section i label =
+    let base = snd costs.(i) in
+    let dt =
+      (base
+      *. Fault.section_factor t.faults ~label
+      *. Fault.section_factor vs.faults ~label)
+      +. Fault.hang_seconds t.faults ~forward:fleet_ix ~label
+      +. Fault.hang_seconds vs.faults ~forward:version_ix ~label
+    in
+    t.clock <- t.clock +. dt;
+    if dt > base *. t.watchdog_slack then begin
+      watchdog_hit := true;
+      Serve_metrics.record_watchdog t.metrics;
+      cancel_run t
+        ~reason:
+          (Printf.sprintf "watchdog: section %s ran %.3gms against a %.3gms \
+                           estimate (slack %gx)"
+             label (dt *. 1e3) (base *. 1e3) t.watchdog_slack)
+    end
+    else if t.clock > max_deadline then
+      cancel_run t ~reason:"every deadline in the batch expired mid-run"
+  in
+  let record_slack () =
+    Serve_metrics.record_slack t.metrics ~predicted
+      ~actual:(t.clock -. t_start)
+  in
+  reset_token t;
+  let rec go attempts =
+    match Executor.forward_sections ~on_section e.Registry.fast with
+    | () ->
+        record_slack ();
+        List.iter
+          (fun buf ->
+            (* Store-level fill survives packed targets (f16 encodes NaN
+               as a NaN bit pattern; serving input/output stay f32). *)
+            Tensor.store_fill
+              (Buffer_pool.store
+                 (Executor.program e.Registry.fast).Program.buffers buf)
+              Float.nan)
+          (Fault.poison_outputs_at t.faults ~forward:fleet_ix
+          @ Fault.poison_outputs_at vs.faults ~forward:version_ix);
+        if output_finite e e.Registry.fast ~n_live then `Ok
+        else
+          `Error (Printf.sprintf "non-finite output in %s" e.Registry.output_buf)
+    | exception Ir_compile.Cancelled reason ->
+        record_slack ();
+        `Cancelled (reason, !watchdog_hit)
+    | exception Domain_pool.Worker_died workers ->
+        List.iter
+          (fun w ->
+            Serve_metrics.record_respawn t.metrics;
+            Fault.note_domain_kill t.faults ~worker:w ~at:fleet_ix;
+            Fault.note_domain_kill vs.faults ~worker:w ~at:version_ix)
+          workers;
+        push_event t
+          (Respawned
+             { model = e.Registry.model; at = t.clock;
+               workers = List.length workers;
+               reason = "worker domain(s) died mid-forward" });
+        if attempts < 4 then begin
+          reset_token t;
+          go (attempts + 1)
+        end
+        else begin
+          record_slack ();
+          `Error "worker domains kept dying"
+        end
+    | exception Fault.Injected_crash msg ->
+        record_slack ();
+        `Error msg
+  in
+  go 0
 
 let respond t ~degraded (vs : version_state) (e : Registry.entry) exec reqs =
   let out = Executor.lookup exec e.Registry.output_buf in
   List.iteri
     (fun i (r : Router.request) ->
-      let row = Tensor.sub_left out i in
-      let output = Array.init (Tensor.numel row) (Tensor.get1 row) in
-      let latency = t.clock -. r.Router.arrival in
-      Hashtbl.replace t.statuses r.Router.id
-        (Done { output; degraded; latency; tenant = r.Router.tenant;
-                model = r.Router.model; version = vs.version });
-      let quantized = (not degraded) && e.Registry.quantized in
-      Serve_metrics.record_done t.metrics ~quantized ~degraded ~latency ();
-      Serve_metrics.record_done (tenant_metric t r.Router.tenant) ~quantized
-        ~degraded ~latency ())
+      (* A request whose deadline passed while the batch ran gets the
+         runtime timeout: the answer exists but is stale by contract. *)
+      if t.clock > r.Router.deadline then begin
+        Hashtbl.replace t.statuses r.Router.id Timeout;
+        Serve_metrics.record_cancelled t.metrics;
+        Serve_metrics.record_cancelled (tenant_metric t r.Router.tenant)
+      end
+      else begin
+        let row = Tensor.sub_left out i in
+        let output = Array.init (Tensor.numel row) (Tensor.get1 row) in
+        let latency = t.clock -. r.Router.arrival in
+        Hashtbl.replace t.statuses r.Router.id
+          (Done { output; degraded; latency; tenant = r.Router.tenant;
+                  model = r.Router.model; version = vs.version });
+        let quantized = (not degraded) && e.Registry.quantized in
+        Serve_metrics.record_done t.metrics ~quantized ~degraded ~latency ();
+        Serve_metrics.record_done (tenant_metric t r.Router.tenant) ~quantized
+          ~degraded ~latency ()
+      end)
     reqs
 
 let run_reference t (vs : version_state) (e : Registry.entry) reqs =
   Serve_metrics.record_degraded_batch t.metrics;
+  (* A previous batch may have left the shared token cancelled; every
+     executor in the fleet checks it. *)
+  reset_token t;
   fill_inputs e e.Registry.reference reqs;
   Executor.forward e.Registry.reference;
   t.clock <- t.clock +. simulated_cost t vs e.Registry.ref_costs;
   respond t ~degraded:true vs e e.Registry.reference reqs
+
+(* A cancelled batch discards its partial work: the fast program's
+   non-parameter buffers are repacked clean, and after a watchdog firing
+   the shared pool's workers are preemptively recycled — a real hang
+   would have left them wedged. The whole batch is answered [Timeout]. *)
+let cancel_batch t (e : Registry.entry) ~watchdog ~reason reqs =
+  Executor.scrub e.Registry.fast;
+  push_event t
+    (Cancelled_batch
+       { model = e.Registry.model; at = t.clock;
+         requests = List.length reqs; reason });
+  if watchdog then begin
+    match Executor.pool e.Registry.fast with
+    | Some p ->
+        let n = Domain_pool.respawn_workers p in
+        if n > 0 then begin
+          for _ = 1 to n do Serve_metrics.record_respawn t.metrics done;
+          push_event t
+            (Respawned
+               { model = e.Registry.model; at = t.clock; workers = n;
+                 reason = "post-watchdog worker recycle" })
+        end
+    | None -> ()
+  end;
+  List.iter
+    (fun (r : Router.request) ->
+      Hashtbl.replace t.statuses r.Router.id Timeout;
+      Serve_metrics.record_cancelled t.metrics;
+      Serve_metrics.record_cancelled (tenant_metric t r.Router.tenant))
+    reqs
 
 (* Run one batch against the model's active version. A fast failure
    inside an update's settle window (prior version still pinned) rolls
@@ -404,6 +585,11 @@ let rec run_on_active t ms reqs =
   let vs = ms.active in
   let e = entry t ms.m_name ~version:vs.version in
   let n_live = List.length reqs in
+  let max_deadline =
+    List.fold_left
+      (fun acc (r : Router.request) -> Float.max acc r.Router.deadline)
+      Float.neg_infinity reqs
+  in
   if not (Breaker.allow_fast vs.breaker ~now:t.clock) then
     run_reference t vs e reqs
   else begin
@@ -411,8 +597,8 @@ let rec run_on_active t ms reqs =
     let probing = Breaker.state vs.breaker = `Half_open in
     fill_inputs e e.Registry.fast reqs;
     let rec attempt k =
-      match try_fast t vs e ~n_live with
-      | Ok () ->
+      match try_fast t vs e ~max_deadline ~n_live with
+      | `Ok ->
           Breaker.on_success vs.breaker ~now:t.clock;
           drain_breaker_events t ms vs;
           (match ms.prior with
@@ -421,7 +607,11 @@ let rec run_on_active t ms reqs =
               if ms.settle_left <= 0 then commit t ms prior_vs
           | None -> ());
           respond t ~degraded:false vs e e.Registry.fast reqs
-      | Error reason ->
+      | `Cancelled (reason, watchdog) ->
+          (* Not a correctness failure: the breaker state is untouched
+             and there is no retry — the batch is already past due. *)
+          cancel_batch t e ~watchdog ~reason reqs
+      | `Error reason ->
           Serve_metrics.record_fast_failure t.metrics;
           Breaker.on_failure vs.breaker ~now:t.clock ~reason;
           drain_breaker_events t ms vs;
@@ -457,13 +647,41 @@ let expire_due t =
       Serve_metrics.record_timeout (tenant_metric t r.Router.tenant))
     (Router.expire t.router ~now:t.clock)
 
+(* An armed alloc-spike fault lands here: the external allocation is
+   charged to the process ledger and the registry immediately evicts
+   LRU entries to get back under the budget — observable memory
+   pressure, not silent over-commit. *)
+let apply_alloc_spikes t =
+  let bytes = Fault.alloc_spike_due t.faults in
+  if bytes > 0 then begin
+    Buffer_pool.charge_external bytes;
+    let evicted = Registry.enforce_budget t.registry in
+    push_event t (Mem_pressure { at = t.clock; bytes; evicted })
+  end
+
+let shed_batch t reqs =
+  List.iter
+    (fun (r : Router.request) ->
+      Hashtbl.replace t.statuses r.Router.id Shed;
+      Serve_metrics.record_shed t.metrics;
+      Serve_metrics.record_mem_shed t.metrics;
+      let tm = tenant_metric t r.Router.tenant in
+      Serve_metrics.record_shed tm;
+      Serve_metrics.record_mem_shed tm)
+    reqs
+
 let pump t =
+  apply_alloc_spikes t;
   List.iter
     (fun name -> swap_due t (model_state t name))
     (Registry.models t.registry);
   expire_due t;
   let batch_of model =
-    (entry t model ~version:(model_state t model).active.version).Registry.batch
+    (* Under extreme memory pressure the model may not be admissible at
+       all; 1 is a safe batch floor — the batch is shed below. *)
+    match entry t model ~version:(model_state t model).active.version with
+    | e -> e.Registry.batch
+    | exception Registry.Over_budget _ -> 1
   in
   match Router.select t.router ~batch_of with
   | None -> false
@@ -472,7 +690,8 @@ let pump t =
         (fun (r : Router.request) -> Hashtbl.replace t.statuses r.Router.id Batched)
         reqs;
       Serve_metrics.record_batch t.metrics;
-      run_on_active t (model_state t model) reqs;
+      (try run_on_active t (model_state t model) reqs
+       with Registry.Over_budget _ -> shed_batch t reqs);
       true
 
 let drain t =
@@ -500,6 +719,7 @@ let registry t = t.registry
 let router t = t.router
 let faults t = t.faults
 let forwards t = t.forwards
+let watchdog_slack t = t.watchdog_slack
 let swaps t = t.swaps
 let rollbacks t = t.rollbacks
 let events t = List.rev t.events

@@ -69,6 +69,21 @@ type event =
       version : int;
       transition : Breaker.transition;
     }
+  | Cancelled_batch of {
+      model : string;
+      at : float;
+      requests : int;
+      reason : string;  (** Watchdog firing or runtime deadline. *)
+    }
+      (** A batch was cancelled mid-run: partial work discarded, every
+          request answered [Timeout] (counted [cancelled_midrun]). *)
+  | Respawned of { model : string; at : float; workers : int; reason : string }
+      (** Worker domains were recycled — either dead ones healed at the
+          barrier, or a post-watchdog preemptive recycle. *)
+  | Mem_pressure of { at : float; bytes : int; evicted : int }
+      (** An external allocation spike was charged to the process
+          ledger; [evicted] registry entries were dropped to get back
+          under the budget. *)
 
 val event_time : event -> float
 val event_to_string : event -> string
@@ -81,6 +96,7 @@ val create :
   ?max_retries:int ->
   ?backoff:float ->
   ?settle_forwards:int ->
+  ?watchdog_slack:float ->
   ?faults:Fault.t ->
   registry:Registry.t ->
   tenants:Router.tenant list ->
@@ -91,8 +107,11 @@ val create :
     [cooldown] parameterize every version's breaker; [settle_forwards]
     (default 8) is how many consecutive successful fast forwards a
     freshly-swapped version must serve before its update commits;
-    [faults] is the fleet-wide plan ([slow-section] factors and
-    [poison-out] against the fleet-global forward counter). *)
+    [watchdog_slack] (default 8.0) is the per-section overrun factor
+    past which the hang watchdog cancels the batch (raises
+    [Invalid_argument] below 1); [faults] is the fleet-wide plan
+    ([slow-section] factors, [hang-section] stalls, [poison-out] and
+    [kill-domain] against the fleet-global counters). *)
 
 (** {1 Clock} *)
 
@@ -107,7 +126,9 @@ val submit :
 (** Admit a request (compiling the model's active version lazily if this
     is its first touch). [deadline] is relative seconds (default: the
     tenant's configured deadline). The verdict is immediate:
-    queued, [Throttled], or [Shed]. Raises [Invalid_argument] for an
+    queued, [Throttled], or [Shed]. A model that cannot be made resident
+    under the process memory budget ({!Registry.Over_budget}) sheds the
+    request (counted [mem_shed]). Raises [Invalid_argument] for an
     unknown tenant/model or a wrong feature count. *)
 
 (** {1 Rolling updates} *)
@@ -131,10 +152,13 @@ val update_in_flight : t -> string -> bool
 (** {1 Scheduling} *)
 
 val pump : t -> bool
-(** One scheduling step: land any due swaps, answer deadline-expired
-    requests [Timeout], then weighted-fair-select one model batch and
-    run it through the breaker-guarded fast/rollback/degraded path.
-    [false] when no live request was available. *)
+(** One scheduling step: charge any due [alloc-spike] faults (evicting
+    registry entries back under the budget), land any due swaps, answer
+    deadline-expired requests [Timeout], then weighted-fair-select one
+    model batch and run it through the breaker-guarded
+    fast/rollback/degraded path — cancelling it mid-run on a watchdog
+    firing or once every deadline in it has expired. [false] when no
+    live request was available. *)
 
 val drain : t -> unit
 (** Pump until every queue is empty. *)
@@ -160,6 +184,7 @@ val faults : t -> Fault.t
 val forwards : t -> int
 (** Fleet-global fast forwards executed (all models, retries included). *)
 
+val watchdog_slack : t -> float
 val swaps : t -> int
 val rollbacks : t -> int
 

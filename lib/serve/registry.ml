@@ -34,6 +34,9 @@ type stats = {
   capacity : int;
 }
 
+exception
+  Over_budget of { model : string; projected : int; live : int; budget : int }
+
 type t = {
   capacity : int;
   machine : Machine.cpu;
@@ -41,6 +44,10 @@ type t = {
   models : (string, model) Hashtbl.t;
   mutable order : string list;  (* model registration order, for listings *)
   entries : (string, entry) Hashtbl.t;  (* key -> prepared pair *)
+  footprints : (string, int) Hashtbl.t;
+      (* Model name -> measured bytes of one compiled entry (fast +
+         reference pools). Versions share the architecture, so the first
+         compile's footprint projects every later admission. *)
   mutable tick : int;
   mutable compiles : int;
   mutable hits : int;
@@ -52,9 +59,17 @@ let create ?(capacity = 8) ?(machine = Machine.xeon_e5_2699v3)
     ?(opts = Executor.Run_opts.default) () =
   if capacity <= 0 then
     invalid_arg (Printf.sprintf "Registry.create: capacity %d <= 0" capacity);
+  (* Every registry carries a cancellation token: the executors it
+     compiles share it, which is what lets the fleet cancel a batch
+     mid-run. An explicitly provided token is kept. *)
+  let opts =
+    match opts.Executor.Run_opts.token with
+    | Some _ -> opts
+    | None -> Executor.Run_opts.with_token (Ir_compile.token ()) opts
+  in
   { capacity; machine; opts; models = Hashtbl.create 16; order = [];
-    entries = Hashtbl.create 16; tick = 0; compiles = 0; hits = 0;
-    evictions = 0; evicted_keys = [] }
+    entries = Hashtbl.create 16; footprints = Hashtbl.create 16; tick = 0;
+    compiles = 0; hits = 0; evictions = 0; evicted_keys = [] }
 
 let opts t = t.opts
 
@@ -106,6 +121,15 @@ let touch t e =
 
 let resident t = Hashtbl.length t.entries
 
+let entry_pools e =
+  [ (Executor.program e.fast).Program.buffers;
+    (Executor.program e.reference).Program.buffers ]
+
+let entry_bytes e =
+  List.fold_left (fun acc p -> acc + Buffer_pool.total_bytes p) 0 (entry_pools e)
+
+let release_entry e = List.iter Buffer_pool.release (entry_pools e)
+
 let evict_lru t =
   let victim =
     Hashtbl.fold
@@ -121,6 +145,7 @@ let evict_lru t =
   | None -> false  (* everything pinned: over-commit rather than fail *)
   | Some e ->
       Hashtbl.remove t.entries e.key;
+      release_entry e;
       t.evictions <- t.evictions + 1;
       t.evicted_keys <- e.key :: t.evicted_keys;
       true
@@ -195,6 +220,21 @@ let compile t m ~version ~key =
     compile_wall_seconds = Unix.gettimeofday () -. t0; last_used = 0;
     pinned = false }
 
+let projected_bytes t name =
+  ignore (find_model t name);
+  Hashtbl.find_opt t.footprints name
+
+(* Evict LRU entries until live bytes fit under the process budget.
+   Returns how many entries were evicted; stops when everything left is
+   pinned (over-commit, like capacity eviction). *)
+let enforce_budget t =
+  match Buffer_pool.budget () with
+  | None -> 0
+  | Some b ->
+      let n = ref 0 in
+      while Buffer_pool.live_bytes () > b && evict_lru t do incr n done;
+      !n
+
 let get t name ~version =
   let k = key t name ~version in
   match Hashtbl.find_opt t.entries k with
@@ -204,9 +244,41 @@ let get t name ~version =
       e
   | None ->
       let m = find_model t name in
+      (* Memory-pressure admission: with a process budget set and this
+         model's footprint known from an earlier compile, evict LRU
+         entries until the projection fits, and refuse (the caller sheds
+         the request) rather than over-allocate when it cannot. *)
+      (match (Buffer_pool.budget (), Hashtbl.find_opt t.footprints name) with
+      | Some b, Some projected ->
+          while Buffer_pool.live_bytes () + projected > b && evict_lru t do
+            ()
+          done;
+          let live = Buffer_pool.live_bytes () in
+          if live + projected > b then
+            raise (Over_budget { model = name; projected; live; budget = b })
+      | _ -> ());
       let e = compile t m ~version ~key:k in
+      List.iter Buffer_pool.track (entry_pools e);
+      let bytes = entry_bytes e in
+      if not (Hashtbl.mem t.footprints name) then
+        Hashtbl.replace t.footprints name bytes;
       touch t e;
       while resident t >= t.capacity && evict_lru t do () done;
+      (* First compile of an architecture under a budget: the projection
+         was unknown, so the allocation may only now reveal the
+         overshoot. Evict what we can; if this entry alone still does
+         not fit, release it and refuse. *)
+      (match Buffer_pool.budget () with
+      | Some b ->
+          ignore (enforce_budget t);
+          if Buffer_pool.live_bytes () > b then begin
+            release_entry e;
+            raise
+              (Over_budget
+                 { model = name; projected = bytes;
+                   live = Buffer_pool.live_bytes (); budget = b })
+          end
+      | None -> ());
       Hashtbl.replace t.entries k e;
       e
 

@@ -51,6 +51,12 @@ type stats = {
 
 type t
 
+exception
+  Over_budget of { model : string; projected : int; live : int; budget : int }
+(** Raised by {!get} when admitting the model would exceed the process
+    memory budget ([Buffer_pool.set_budget]) even after LRU eviction:
+    the fleet sheds the request instead of over-allocating. *)
+
 val create :
   ?capacity:int ->
   ?machine:Machine.cpu ->
@@ -60,8 +66,10 @@ val create :
 (** [capacity] (default 8) is the resident-pair high-water mark;
     [machine] (default {!Machine.xeon_e5_2699v3}) prices the simulated
     section costs; [opts] (default {!Executor.Run_opts.default}) is
-    shared by every prepared executor. Raises [Invalid_argument] when
-    [capacity <= 0]. *)
+    shared by every prepared executor. When [opts] carries no
+    cancellation token, a fresh one is installed so every compiled
+    executor in the fleet can be cancelled mid-run. Raises
+    [Invalid_argument] when [capacity <= 0]. *)
 
 val opts : t -> Executor.Run_opts.t
 
@@ -91,7 +99,25 @@ val get : t -> string -> version:int -> entry
     LRU tick; a miss compiles (recording the wall time in the entry),
     evicting least-recently-used unpinned entries while more than
     [capacity] would be resident. Raises [Invalid_argument] for an
-    unregistered model. *)
+    unregistered model.
+
+    Under a process memory budget ([Buffer_pool.set_budget]), a miss is
+    admission-controlled: the model's projected footprint (measured on
+    its first compile; versions share the architecture) is checked
+    against [Buffer_pool.live_bytes], LRU entries are evicted to make
+    room, and {!Over_budget} is raised when it still cannot fit. The
+    compiled pools are tracked in the process ledger and released on
+    eviction. *)
+
+val projected_bytes : t -> string -> int option
+(** The model's measured per-entry footprint in bytes (fast + reference
+    pools at their declared storage widths); [None] before its first
+    compile. Raises [Invalid_argument] for an unregistered model. *)
+
+val enforce_budget : t -> int
+(** Evict LRU entries until [Buffer_pool.live_bytes] fits the process
+    budget (no-op without one); returns the number evicted. Called by
+    the fleet after an external allocation spike. *)
 
 val peek : t -> string -> version:int -> entry option
 (** Resident lookup without compiling or touching LRU state. *)

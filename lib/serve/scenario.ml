@@ -309,7 +309,8 @@ let stock_tenants =
   ]
 
 let names =
-  [ "steady"; "diurnal"; "hot-skew"; "burst"; "rolling-update"; "chaos-rollback" ]
+  [ "steady"; "diurnal"; "hot-skew"; "burst"; "rolling-update";
+    "chaos-rollback"; "chaos-hang" ]
 
 let base ~duration ~models name descr =
   let model_names = List.map fst models in
@@ -393,6 +394,22 @@ let stock ?(duration = 0.25) ~models name =
         updates =
           [ { u_model = hot; at = sc.duration *. 0.3; compile_seconds = 0.01;
               u_faults = Fault.parse (Printf.sprintf "poison-out:%s@2" hot_out) } ] }
+  | "chaos-hang" ->
+      ignore hot_out;
+      let sc =
+        base ~models "chaos-hang"
+          (Printf.sprintf
+             "a section of %s stalls mid-run (the watchdog must cancel the \
+              batch and recycle the workers) and a worker domain is killed \
+              (the pool must respawn it); every request must still be \
+              answered"
+             hot)
+      in
+      (* The 50ms stall dwarfs every section estimate, so the watchdog
+         fires at any slack; the kill lands on the shared pool's 25th
+         dispatch (inert on single-domain runs, where there is no pool). *)
+      { sc with
+        fleet_faults = Fault.parse "hang-section:ip@0.05,kill-domain:1@25" }
   | other ->
       invalid_arg
         (Printf.sprintf "Scenario.stock: unknown scenario %s (try: %s)" other

@@ -1,9 +1,11 @@
 (** Counters and latency statistics for a serving run.
 
     Latencies are simulated seconds (admission to response). Every
-    admitted request ends in exactly one of [done_fast], [done_degraded]
-    or [timeout]; refused requests count as [shed] (queue full) or
-    [throttled] (per-tenant token bucket empty — fleet serving only). *)
+    admitted request ends in exactly one of [done_fast], [done_degraded],
+    [timeout] (deadline expired before it ran) or [cancelled_midrun]
+    (cancelled in flight, also answered [Timeout]); refused requests
+    count as [shed] (queue full or memory pressure) or [throttled]
+    (per-tenant token bucket empty — fleet serving only). *)
 
 type t
 
@@ -20,6 +22,25 @@ val record_done :
 (** [quantized] (default false) marks a response computed by a
     reduced-precision (int8/f16) fast path — counted alongside
     fast/degraded, not instead of them. *)
+
+val record_cancelled : t -> unit
+(** A request whose run was cancelled in flight (runtime deadline
+    exceeded or watchdog) — answered [Timeout], but counted separately
+    from the queue-side [timeout] of requests that never ran. *)
+
+val record_watchdog : t -> unit
+(** The hang watchdog fired (per firing, not per affected request). *)
+
+val record_mem_shed : t -> unit
+(** A request shed specifically because of memory pressure; also
+    counted in [shed]. *)
+
+val record_respawn : t -> unit
+(** A worker domain was respawned while serving. *)
+
+val record_slack : t -> predicted:float -> actual:float -> unit
+(** One fast-path run's cost-model prediction vs its actual (simulated)
+    run time, feeding the deadline-slack distribution. *)
 
 val record_batch : t -> unit
 val record_fast_failure : t -> unit
@@ -39,10 +60,21 @@ val done_quantized : t -> int
     naming it appears only when nonzero. *)
 
 val timeout : t -> int
+(** Queue-side timeouts: requests whose deadline expired before they
+    ran. In-flight cancellations are {!cancelled_midrun}. *)
+
 val shed : t -> int
 val throttled : t -> int
+
+val cancelled_midrun : t -> int
+val watchdog_fired : t -> int
+val mem_shed : t -> int
+val respawns : t -> int
+val slack_samples : t -> int
+
 val answered : t -> int
-(** [done_fast + done_degraded + timeout + shed + throttled]. *)
+(** [done_fast + done_degraded + timeout + shed + throttled +
+    cancelled_midrun]. *)
 
 val batches : t -> int
 (** Batches dispatched (fast attempts and degraded runs count once). *)
@@ -61,4 +93,12 @@ val mean_latency : t -> float
 
 val report : t -> string
 (** Multi-line human-readable summary: counts, latency percentiles
-    (p50/p95/p99/p99.9). *)
+    (p50/p95/p99/p99.9). Cancellation/respawn/memory-pressure lines
+    appear only when those events occurred, so healthy-run transcripts
+    are unchanged. *)
+
+val slack_report : t -> string option
+(** One-line deadline-slack distribution (actual/predicted run-time
+    ratios: p50/p95/max and overrun count); [None] when no slack samples
+    were recorded. Kept separate from {!report} so pinned transcripts do
+    not change. *)

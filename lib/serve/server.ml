@@ -33,6 +33,11 @@ type t = {
   ref_costs : (string * float) list;
   max_retries : int;
   backoff : float;
+  watchdog_slack : float;
+      (* A section whose simulated run time exceeds its cost-model
+         estimate by more than this factor trips the hang watchdog. *)
+  token : Ir_compile.token option;
+      (* The cancellation cell compiled into both executors. *)
   mutable clock : float;
   mutable forwards : int;
   mutable next_id : int;
@@ -60,14 +65,32 @@ let sync_params ~from_exec ~to_exec =
     (Executor.program from_exec).Program.params
 
 let create ?(queue_capacity = 64) ?(failure_threshold = 1) ?(cooldown = 5e-3)
-    ?(max_retries = 1) ?(backoff = 1e-4) ?(machine = Machine.xeon_e5_2699v3)
-    ?(faults = Fault.none) ?(seed = 42) ?opts ~config ~input_buf ~output_buf
-    build =
+    ?(max_retries = 1) ?(backoff = 1e-4) ?(watchdog_slack = 8.0)
+    ?(machine = Machine.xeon_e5_2699v3) ?(faults = Fault.none) ?(seed = 42)
+    ?opts ~config ~input_buf ~output_buf build =
   if max_retries < 0 then
     invalid_arg (Printf.sprintf "Server.create: max_retries %d < 0" max_retries);
   if backoff < 0.0 then
     invalid_arg (Printf.sprintf "Server.create: backoff %g < 0" backoff);
-  let fast, reference = Pipeline.compile_pair ~seed ?opts config build in
+  if watchdog_slack < 1.0 then
+    invalid_arg
+      (Printf.sprintf "Server.create: watchdog_slack %g < 1" watchdog_slack);
+  (* Both executors compile against one cancellation token, which is
+     what lets the pump cancel a batch mid-run. An explicitly provided
+     token (shared with a registry, say) is kept. *)
+  let opts =
+    let base =
+      match opts with
+      | Some o -> o
+      | None ->
+          Executor.Run_opts.with_domains config.Config.num_domains
+            Executor.Run_opts.default
+    in
+    match base.Executor.Run_opts.token with
+    | Some _ -> base
+    | None -> Executor.Run_opts.with_token (Ir_compile.token ()) base
+  in
+  let fast, reference = Pipeline.compile_pair ~seed ~opts config build in
   let fast_prog = Executor.program fast
   and ref_prog = Executor.program reference in
   sync_params ~from_exec:fast ~to_exec:reference;
@@ -104,6 +127,16 @@ let create ?(queue_capacity = 64) ?(failure_threshold = 1) ?(cooldown = 5e-3)
   let quantized =
     List.exists (fun b -> not (Buffer_pool.is_f32 pool b)) (Buffer_pool.names pool)
   in
+  (* Arm injected worker-domain deaths on the pool the fast executor
+     actually runs on; a single-domain run has no pool and the kills are
+     inert (the fault plan's one-shot flags simply never fire). *)
+  (match Executor.pool fast with
+  | Some p ->
+      List.iter
+        (fun (worker, at_dispatch) ->
+          Domain_pool.arm_kill p ~worker ~at_dispatch)
+        (Fault.domain_kills faults)
+  | None -> ());
   {
     fast;
     reference;
@@ -121,6 +154,8 @@ let create ?(queue_capacity = 64) ?(failure_threshold = 1) ?(cooldown = 5e-3)
     ref_costs = section_costs_of machine ref_prog ref_prog.Program.forward;
     max_retries;
     backoff;
+    watchdog_slack;
+    token = opts.Executor.Run_opts.token;
     clock = 0.0;
     forwards = 0;
     next_id = 0;
@@ -186,62 +221,160 @@ let output_finite t exec ~n_live =
   done;
   !ok
 
-(* One fast forward: advance the simulated clock by the (possibly
-   slow-section-inflated) modeled cost, apply due output poisonings,
-   then run the post-forward guard over the live rows. *)
-let try_fast t ~n_live =
+let reset_token t =
+  match t.token with Some tok -> Ir_compile.reset_token tok | None -> ()
+
+let cancel_run t ~reason =
+  match t.token with Some tok -> Ir_compile.cancel tok ~reason | None -> ()
+
+(* One fast forward, section by section: the simulated clock advances
+   per section by the (slow-section-inflated, hang-stalled) modeled
+   cost, and cancellation decisions happen at section boundaries — the
+   watchdog when a section overran its cost-model estimate by more than
+   [watchdog_slack], the runtime deadline once every request in the
+   batch is already past due. Injected worker-domain deaths surface
+   here as [Domain_pool.Worker_died]; the pool has already respawned
+   the workers, so the whole forward re-runs (bit-identical: every
+   section recomputes from the same parameters). *)
+let try_fast t ~max_deadline ~n_live =
   let fwd_ix = t.forwards in
   t.forwards <- fwd_ix + 1;
-  match Executor.forward t.fast with
-  | () ->
-      t.clock <- t.clock +. simulated_cost t t.fast_costs;
-      List.iter
-        (fun buf ->
-          (* Store-level fill survives packed targets (f16 encodes NaN
-             as a NaN bit pattern); int8 poison bufs are kept f32. *)
-          Tensor.store_fill
-            (Buffer_pool.store (Executor.program t.fast).Program.buffers buf)
-            Float.nan)
-        (Fault.poison_outputs_at t.faults ~forward:fwd_ix);
-      if output_finite t t.fast ~n_live then Ok ()
-      else Error (Printf.sprintf "non-finite output in %s" t.output_buf)
-  | exception Fault.Injected_crash msg ->
-      t.clock <- t.clock +. simulated_cost t t.fast_costs;
-      Error msg
+  let costs = Array.of_list t.fast_costs in
+  let predicted = List.fold_left (fun acc (_, s) -> acc +. s) 0.0 t.fast_costs in
+  let t_start = t.clock in
+  let watchdog_hit = ref false in
+  let on_section i label =
+    let base = snd costs.(i) in
+    let dt =
+      (base *. Fault.section_factor t.faults ~label)
+      +. Fault.hang_seconds t.faults ~forward:fwd_ix ~label
+    in
+    t.clock <- t.clock +. dt;
+    if dt > base *. t.watchdog_slack then begin
+      watchdog_hit := true;
+      Serve_metrics.record_watchdog t.metrics;
+      cancel_run t
+        ~reason:
+          (Printf.sprintf "watchdog: section %s ran %.3gms against a %.3gms \
+                           estimate (slack %gx)"
+             label (dt *. 1e3) (base *. 1e3) t.watchdog_slack)
+    end
+    else if t.clock > max_deadline then
+      cancel_run t ~reason:"every deadline in the batch expired mid-run"
+  in
+  let record_slack () =
+    Serve_metrics.record_slack t.metrics ~predicted
+      ~actual:(t.clock -. t_start)
+  in
+  reset_token t;
+  let rec go attempts =
+    match Executor.forward_sections ~on_section t.fast with
+    | () ->
+        record_slack ();
+        List.iter
+          (fun buf ->
+            (* Store-level fill survives packed targets (f16 encodes NaN
+               as a NaN bit pattern); int8 poison bufs are kept f32. *)
+            Tensor.store_fill
+              (Buffer_pool.store (Executor.program t.fast).Program.buffers buf)
+              Float.nan)
+          (Fault.poison_outputs_at t.faults ~forward:fwd_ix);
+        if output_finite t t.fast ~n_live then `Ok
+        else `Error (Printf.sprintf "non-finite output in %s" t.output_buf)
+    | exception Ir_compile.Cancelled reason ->
+        record_slack ();
+        `Cancelled (reason, !watchdog_hit)
+    | exception Domain_pool.Worker_died workers ->
+        List.iter
+          (fun w ->
+            Serve_metrics.record_respawn t.metrics;
+            Fault.note_domain_kill t.faults ~worker:w ~at:fwd_ix)
+          workers;
+        if attempts < 4 then begin
+          reset_token t;
+          go (attempts + 1)
+        end
+        else begin
+          record_slack ();
+          `Error "worker domains kept dying"
+        end
+    | exception Fault.Injected_crash msg ->
+        record_slack ();
+        `Error msg
+  in
+  go 0
 
 let respond t ~degraded exec reqs =
   let out = Executor.lookup exec t.output_buf in
   List.iteri
     (fun i r ->
-      let row = Tensor.sub_left out i in
-      let output = Array.init (Tensor.numel row) (Tensor.get1 row) in
-      let latency = t.clock -. r.arrival in
-      Hashtbl.replace t.statuses r.id (Done { output; degraded; latency });
-      Serve_metrics.record_done t.metrics
-        ~quantized:((not degraded) && t.quantized)
-        ~degraded ~latency ())
+      (* A request whose deadline passed while the batch ran gets the
+         runtime timeout: the answer exists but is stale by contract. *)
+      if t.clock > r.deadline then begin
+        Hashtbl.replace t.statuses r.id Timeout;
+        Serve_metrics.record_cancelled t.metrics
+      end
+      else begin
+        let row = Tensor.sub_left out i in
+        let output = Array.init (Tensor.numel row) (Tensor.get1 row) in
+        let latency = t.clock -. r.arrival in
+        Hashtbl.replace t.statuses r.id (Done { output; degraded; latency });
+        Serve_metrics.record_done t.metrics
+          ~quantized:((not degraded) && t.quantized)
+          ~degraded ~latency ()
+      end)
     reqs
 
 let run_reference t reqs =
   Serve_metrics.record_degraded_batch t.metrics;
+  (* A previous batch may have left the shared token cancelled; the
+     reference executor checks it too. *)
+  reset_token t;
   fill_inputs t t.reference reqs;
   Executor.forward t.reference;
   t.clock <- t.clock +. simulated_cost t t.ref_costs;
   respond t ~degraded:true t.reference reqs
 
+(* A cancelled batch discards its partial work: every non-parameter
+   buffer is repacked clean so the next run starts from zeroed scratch
+   state, and (after a watchdog firing) the worker domains are
+   preemptively recycled — a real hang would have left them wedged. *)
+let cancel_batch t ~watchdog reqs =
+  Executor.scrub t.fast;
+  if watchdog then begin
+    match Executor.pool t.fast with
+    | Some p ->
+        let n = Domain_pool.respawn_workers p in
+        for _ = 1 to n do Serve_metrics.record_respawn t.metrics done
+    | None -> ()
+  end;
+  List.iter
+    (fun r ->
+      Hashtbl.replace t.statuses r.id Timeout;
+      Serve_metrics.record_cancelled t.metrics)
+    reqs
+
 let run_batch t reqs =
   let n_live = List.length reqs in
+  let max_deadline =
+    List.fold_left (fun acc r -> Float.max acc r.deadline) Float.neg_infinity
+      reqs
+  in
   Serve_metrics.record_batch t.metrics;
   if not (Breaker.allow_fast t.breaker ~now:t.clock) then run_reference t reqs
   else begin
     let probing = Breaker.state t.breaker = `Half_open in
     fill_inputs t t.fast reqs;
     let rec attempt k =
-      match try_fast t ~n_live with
-      | Ok () ->
+      match try_fast t ~max_deadline ~n_live with
+      | `Ok ->
           Breaker.on_success t.breaker ~now:t.clock;
           respond t ~degraded:false t.fast reqs
-      | Error reason ->
+      | `Cancelled (_reason, watchdog) ->
+          (* Not a correctness failure: the breaker state is untouched
+             and there is no retry — the batch is already past due. *)
+          cancel_batch t ~watchdog reqs
+      | `Error reason ->
           Serve_metrics.record_fast_failure t.metrics;
           Breaker.on_failure t.breaker ~now:t.clock ~reason;
           (* Retry only while the breaker still trusts the fast path; a
@@ -297,6 +430,8 @@ let unanswered t =
     t.statuses 0
 
 let forwards t = t.forwards
+let watchdog_slack t = t.watchdog_slack
+let cancellation_token t = t.token
 let metrics t = t.metrics
 let breaker t = t.breaker
 let faults t = t.faults

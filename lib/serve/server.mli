@@ -19,12 +19,26 @@
     - {b a circuit breaker} ({!Breaker}): after [failure_threshold]
       consecutive fast-path failures the breaker opens and batches are
       served by the reference executor (answers marked [degraded]) until
-      a cooldown elapses and a half-open probe restores the fast path.
+      a cooldown elapses and a half-open probe restores the fast path;
+    - {b mid-run cancellation}: both executors compile against one
+      {!Ir_compile.token}, and the fast path runs section by section
+      ({!Executor.forward_sections}) with the simulated clock advancing
+      per section. A section overrunning its cost-model estimate by more
+      than [watchdog_slack] trips the hang watchdog; a batch whose every
+      deadline has expired mid-run is cancelled. Either way the partial
+      work is discarded ({!Executor.scrub}), the batch is answered
+      [Timeout] (counted as [cancelled_midrun]), and after a watchdog
+      firing the worker domains are preemptively respawned;
+    - {b self-healing workers}: an injected worker-domain death
+      ([kill-domain:K@T] fault) surfaces as {!Domain_pool.Worker_died}
+      with the pool already healed; the forward re-runs transparently
+      and bit-identically.
 
     Every admitted request resolves to exactly one of [Done], [Timeout]
     or [Shed]; time is simulated (batch cost from the {!Cost_model},
-    inflated by armed [Fault.Slow_section] specs), so runs are
-    deterministic and independent of wall clock. *)
+    inflated by armed [Fault.Slow_section] specs and stalled by
+    [Fault.Hang_section]), so runs are deterministic and independent of
+    wall clock. *)
 
 type status =
   | Queued  (** Admitted, waiting for a batch slot. *)
@@ -33,7 +47,9 @@ type status =
       (** Answered: the request's slice of the output buffer, whether it
           was produced by the reference (degraded) path, and simulated
           seconds from admission to response. *)
-  | Timeout  (** Deadline expired before the request was executed. *)
+  | Timeout
+      (** Deadline expired — before the request ran (queue-side), or
+          while it ran (mid-run cancellation / runtime deadline). *)
   | Shed  (** Refused at admission: queue full. *)
 
 val status_name : status -> string
@@ -46,6 +62,7 @@ val create :
   ?cooldown:float ->
   ?max_retries:int ->
   ?backoff:float ->
+  ?watchdog_slack:float ->
   ?machine:Machine.cpu ->
   ?faults:Fault.t ->
   ?seed:int ->
@@ -63,9 +80,14 @@ val create :
     per-section simulated costs from [machine] (default
     {!Machine.xeon_e5_2699v3}). Defaults: [queue_capacity 64],
     [failure_threshold 1], [cooldown 5e-3]s, [max_retries 1],
-    [backoff 1e-4]s base (doubling per retry), [faults Fault.none],
-    [seed 42]. Raises [Invalid_argument] when [input_buf]/[output_buf]
-    or a buffer named by an armed [poison-out] fault does not exist. *)
+    [backoff 1e-4]s base (doubling per retry), [watchdog_slack 8.0]
+    (sections may overrun their estimate up to 8x before the hang
+    watchdog fires), [faults Fault.none], [seed 42]. When [opts] carries
+    no cancellation token a fresh one is installed; armed
+    [kill-domain:K@T] faults are translated to {!Domain_pool.arm_kill}
+    on the fast executor's pool. Raises [Invalid_argument] when
+    [input_buf]/[output_buf] or a buffer named by an armed [poison-out]
+    fault does not exist, or when [watchdog_slack < 1]. *)
 
 val batch_size : t -> int
 val item_numel : t -> int
@@ -107,6 +129,12 @@ val unanswered : t -> int
 
 val forwards : t -> int
 (** Fast-path forwards executed so far (retries and probes included). *)
+
+val watchdog_slack : t -> float
+
+val cancellation_token : t -> Ir_compile.token option
+(** The token both executors poll; [None] only when an explicit [opts]
+    without a token was somehow forced (never under {!create}). *)
 
 val metrics : t -> Serve_metrics.t
 val breaker : t -> Breaker.t

@@ -59,6 +59,76 @@ let pool_propagates_exceptions () =
   | () -> Alcotest.fail "expected Invalid_argument"
   | exception Invalid_argument _ -> ())
 
+(* An armed worker death is detected at the barrier, the slot is
+   respawned before [Worker_died] reaches the caller, and the healed
+   pool runs the next job on every worker. *)
+let pool_heals_armed_kill () =
+  let pool = Domain_pool.create 3 in
+  Fun.protect ~finally:(fun () -> Domain_pool.shutdown pool) @@ fun () ->
+  Domain_pool.arm_kill pool ~worker:2
+    ~at_dispatch:(Domain_pool.dispatches pool);
+  let r0 = Domain_pool.respawns pool in
+  (match Domain_pool.run pool (fun _ -> ()) with
+  | () -> Alcotest.fail "expected Worker_died"
+  | exception Domain_pool.Worker_died ws ->
+      Alcotest.(check (list int)) "dead worker named" [ 2 ] ws);
+  check_int "slot respawned before raise" (r0 + 1) (Domain_pool.respawns pool);
+  let hits = Array.make 3 0 in
+  Domain_pool.run pool (fun w -> hits.(w) <- hits.(w) + 1);
+  Array.iteri (fun i h -> check_int (Printf.sprintf "worker %d ran" i) 1 h) hits;
+  (match Domain_pool.arm_kill pool ~worker:0 ~at_dispatch:0 with
+  | () -> Alcotest.fail "worker 0 cannot be killed"
+  | exception Invalid_argument _ -> ())
+
+(* A worker that never reaches the barrier trips the [run] deadline: the
+   stuck slot is abandoned (the incarnation finishes later as a zombie)
+   and replaced, and the pool keeps working. *)
+let pool_watchdog_replaces_stuck_worker () =
+  let pool = Domain_pool.create 2 in
+  let release = Atomic.make false in
+  Fun.protect ~finally:(fun () ->
+      Atomic.set release true;
+      Domain_pool.shutdown pool (* joins the zombie *))
+  @@ fun () ->
+  (match
+     Domain_pool.run ~deadline_s:0.05 pool (fun w ->
+         if w = 1 then
+           while not (Atomic.get release) do
+             Domain.cpu_relax ()
+           done)
+   with
+  | () -> Alcotest.fail "expected Hung"
+  | exception Domain_pool.Hung { workers; waited_s } ->
+      Alcotest.(check (list int)) "stuck worker named" [ 1 ] workers;
+      check "waited at least the deadline" true (waited_s >= 0.05));
+  check "abandonment counted as respawn" true (Domain_pool.respawns pool >= 1);
+  let seen = Atomic.make 0 in
+  Domain_pool.run pool (fun w -> if w = 1 then Atomic.set seen 1);
+  check_int "replacement worker runs" 1 (Atomic.get seen)
+
+(* Proactive recycling (the serving layer's post-watchdog move): every
+   worker slot is joined and respawned, heartbeats reset, and the fresh
+   incarnations run the next job. Teardown stays idempotent around it. *)
+let pool_respawn_workers_recycles_all () =
+  let pool = Domain_pool.create 3 in
+  Domain_pool.run pool (fun _ -> ());
+  let r0 = Domain_pool.respawns pool in
+  check_int "both workers recycled" 2 (Domain_pool.respawn_workers pool);
+  check_int "respawns counted" (r0 + 2) (Domain_pool.respawns pool);
+  check "heartbeats reset" true
+    (Array.for_all (fun h -> h = 0) (Domain_pool.heartbeats pool));
+  let total = Atomic.make 0 in
+  Domain_pool.run pool (fun w -> ignore (Atomic.fetch_and_add total (w + 1)));
+  check_int "fresh workers run" 6 (Atomic.get total);
+  Domain_pool.shutdown pool;
+  Domain_pool.shutdown pool;
+  check_int "respawn after shutdown is a no-op" 0
+    (Domain_pool.respawn_workers pool);
+  let one = Domain_pool.create 1 in
+  check_int "size-1 pool has nothing to recycle" 0
+    (Domain_pool.respawn_workers one);
+  Domain_pool.shutdown one
+
 let pool_size_one_inlines () =
   let pool = Domain_pool.create 1 in
   let seen = ref (-1) in
@@ -155,6 +225,47 @@ let determinism_case (name, specf) =
       [ 2; 4 ]
   in
   Alcotest.test_case (Printf.sprintf "%s bit-identical at 1/2/4" name) `Slow test
+
+(* Forced worker respawn must not change a single bit: arm an injected
+   worker death mid-run and compare every buffer against a clean run at
+   the same domain count. [Executor.forward]/[backward] self-heal by
+   re-running the interrupted job on the recovered pool, so the images
+   must match exactly. At domains=1 there is no pool and the plan is
+   inert — the comparison degenerates to plain determinism. *)
+let respawn_determinism_case (name, specf) =
+  let test () =
+    List.iter
+      (fun domains ->
+        let spec = specf () in
+        let clean = run_rounds (run_with ~domains (fun () -> spec)) spec in
+        let spec = specf () in
+        let exec = run_with ~domains (fun () -> spec) in
+        let pool = Executor.pool exec in
+        Fun.protect ~finally:(fun () ->
+            match pool with Some p -> Domain_pool.clear_kills p | None -> ())
+        @@ fun () ->
+        let d0, r0 =
+          match pool with
+          | Some p ->
+              Domain_pool.arm_kill p ~worker:1
+                ~at_dispatch:(Domain_pool.dispatches p + 1);
+              (Domain_pool.dispatches p, Domain_pool.respawns p)
+          | None -> (0, 0)
+        in
+        let img = run_rounds exec spec in
+        (match pool with
+        | Some p when Domain_pool.dispatches p > d0 + 1 ->
+            (* The armed dispatch number was passed, so the kill fired
+               and the slot was respawned. *)
+            check (name ^ ": worker respawned") true
+              (Domain_pool.respawns p > r0)
+        | _ -> ());
+        compare_images (Printf.sprintf "%s@%d+kill" name domains) clean img)
+      [ 1; 2; 4 ]
+  in
+  Alcotest.test_case
+    (Printf.sprintf "%s bit-identical across respawn" name)
+    `Slow test
 
 (* The pre-existing entrypoint (no opts at all) must agree bitwise with
    an explicit domains=1 run — whatever LATTE_DOMAINS says. *)
@@ -263,6 +374,61 @@ let lookup_opt_cases () =
       in
       check "error names the buffer" true (contains ~sub:"no-such-buffer" msg)
 
+(* ------------------------------------------------------------------ *)
+(* Cooperative cancellation                                            *)
+(* ------------------------------------------------------------------ *)
+
+let token_exec ~domains =
+  let _, prog = mlp_prog () in
+  let tok = Ir_compile.token () in
+  let opts =
+    Executor.Run_opts.with_token tok
+      (Executor.Run_opts.with_domains domains Executor.Run_opts.default)
+  in
+  (tok, Executor.prepare ~opts prog)
+
+let token_cancellation_roundtrip () =
+  let tok, exec = token_exec ~domains:2 in
+  check "token installed" true
+    (match Executor.token exec with Some t -> t == tok | None -> false);
+  Executor.forward exec;
+  (* A pre-cancelled token stops the run at entry, before any section. *)
+  Ir_compile.cancel tok ~reason:"unit test";
+  (match Executor.forward exec with
+  | () -> Alcotest.fail "expected Cancelled"
+  | exception Ir_compile.Cancelled reason ->
+      check "carries the reason" true (String.equal reason "unit test"));
+  (* The first cancel wins; later reasons are dropped. *)
+  Ir_compile.cancel tok ~reason:"too late";
+  check "first reason kept" true
+    (Ir_compile.cancel_reason tok = Some "unit test");
+  (* Re-arming restores normal execution. *)
+  Ir_compile.reset_token tok;
+  check "reset clears" false (Ir_compile.cancelled tok);
+  Executor.forward exec;
+  Executor.backward exec
+
+(* Mid-run cancellation through the serving layer's hook: cancelling
+   from [on_section] aborts before the next section runs, and after
+   [scrub] + [reset_token] the executor produces a clean run again. *)
+let on_section_cancels_midrun () =
+  let tok, exec = token_exec ~domains:2 in
+  let sections = ref 0 in
+  (match
+     Executor.forward_sections
+       ~on_section:(fun _ _ ->
+         incr sections;
+         Ir_compile.cancel tok ~reason:"watchdog")
+       exec
+   with
+  | () -> Alcotest.fail "expected Cancelled"
+  | exception Ir_compile.Cancelled reason ->
+      check "watchdog reason" true (String.equal reason "watchdog"));
+  check_int "stopped after the cancelling section" 1 !sections;
+  Executor.scrub exec;
+  Ir_compile.reset_token tok;
+  Executor.forward_sections exec
+
 let suite =
   [
     Alcotest.test_case "pool covers all indices" `Quick pool_covers_all_indices;
@@ -270,10 +436,16 @@ let suite =
       pool_runs_on_distinct_domains;
     Alcotest.test_case "pool propagates exceptions" `Quick
       pool_propagates_exceptions;
+    Alcotest.test_case "pool heals armed kill" `Quick pool_heals_armed_kill;
+    Alcotest.test_case "pool watchdog replaces stuck worker" `Quick
+      pool_watchdog_replaces_stuck_worker;
+    Alcotest.test_case "respawn_workers recycles all" `Quick
+      pool_respawn_workers_recycles_all;
     Alcotest.test_case "pool of one inlines" `Quick pool_size_one_inlines;
     Alcotest.test_case "shared pools cached" `Quick shared_pools_are_cached;
   ]
   @ List.map determinism_case stock_models
+  @ List.map respawn_determinism_case stock_models
   @ [
       Alcotest.test_case "default prepare matches sequential" `Quick
         default_prepare_matches_sequential;
@@ -281,4 +453,8 @@ let suite =
         schedule_reports_parallel_loops;
       Alcotest.test_case "Run_opts resolution" `Quick run_opts_resolution;
       Alcotest.test_case "lookup_opt" `Quick lookup_opt_cases;
+      Alcotest.test_case "token cancellation roundtrip" `Quick
+        token_cancellation_roundtrip;
+      Alcotest.test_case "on_section cancels mid-run" `Quick
+        on_section_cancels_midrun;
     ]

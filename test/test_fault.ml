@@ -56,6 +56,9 @@ let test_roundtrip_all_forms () =
       Fault.Straggler { node = 2; factor = 3.5 };
       Fault.Slow_section { label = "conv1+relu1"; factor = 4.0 };
       Fault.Poison_output { buf = "softmax_loss.value"; at_forward = 3 };
+      Fault.Hang_section { label = "ip1"; seconds = 0.125 };
+      Fault.Kill_domain { worker = 2; at_dispatch = 17 };
+      Fault.Alloc_spike { bytes = 1 lsl 20 };
     ]
   in
   let s = Fault.to_string (Fault.plan all) in
@@ -85,7 +88,10 @@ let test_parse_rejects_garbage () =
            Test_util.contains msg bad && Test_util.contains msg "fault spec"))
     [ "nonsense"; "nan:@3"; "kill:x@2"; "crash-save@"; "boom:1@2";
       "slow-section:@4"; "slow-section:ip1@x"; "poison-out:out@";
-      "poison-out:@3" ]
+      "poison-out:@3"; "hang-section:@0.05"; "hang-section:ip1@x";
+      "kill-domain:0@2" (* workers count from 1 *); "kill-domain:x@2";
+      "kill-domain:1@" ; "alloc-spike:0"; "alloc-spike:-64";
+      "alloc-spike:abc"; "alloc-spike:"; "alloc-spike:4096@2" ]
 
 let test_serving_hooks () =
   let plan =
@@ -116,11 +122,12 @@ let test_poison_is_one_shot () =
   Alcotest.(check int) "one event recorded" 1 (List.length (Fault.events plan))
 
 (* Property: every generated serving-time spec (slow-section:LABEL@F,
-   poison-out:BUF@K) survives plan -> to_string -> parse exactly, and
+   poison-out:BUF@K, hang-section:LABEL@S, kill-domain:K@T,
+   alloc-spike:BYTES) survives plan -> to_string -> parse exactly, and
    every generated malformed item is rejected with a diagnostic naming
    the parser. Labels draw from the identifier alphabet section labels
-   and buffer names actually use; factors are eighths so %g prints them
-   exactly. *)
+   and buffer names actually use; factors and hang durations are eighths
+   so %g prints them exactly. *)
 let label_gen =
   let chars = "abcdefghijklmnopqrstuvwxyz0123456789_.+-" in
   QCheck.Gen.(
@@ -137,6 +144,13 @@ let serving_spec_gen =
           factor_gen;
         map2 (fun buf at_forward -> Fault.Poison_output { buf; at_forward })
           label_gen (int_bound 50);
+        map2 (fun label seconds -> Fault.Hang_section { label; seconds })
+          label_gen factor_gen;
+        map2
+          (fun worker at_dispatch -> Fault.Kill_domain { worker; at_dispatch })
+          (int_range 1 8) (int_bound 50);
+        map (fun bytes -> Fault.Alloc_spike { bytes = bytes + 1 })
+          (int_bound 1_000_000_000);
       ])
 
 let prop_serving_specs_roundtrip =
@@ -159,8 +173,15 @@ let invalid_spec_gen =
         | 2 -> Printf.sprintf "slow-section:%s@x" label (* bad factor *)
         | 3 -> Printf.sprintf "poison-out:%s@" label (* missing index *)
         | 4 -> Printf.sprintf "poison-out:@%g" factor (* empty buffer *)
+        | 5 -> Printf.sprintf "hang-section:@%g" factor (* empty label *)
+        | 6 -> Printf.sprintf "hang-section:%s@x" label (* bad duration *)
+        | 7 -> Printf.sprintf "kill-domain:0@%g" factor (* worker < 1 *)
+        | 8 -> Printf.sprintf "kill-domain:x%s@3" label (* non-numeric worker *)
+        | 9 -> Printf.sprintf "alloc-spike:-%g" factor (* non-positive bytes *)
+        | 10 -> Printf.sprintf "alloc-spike:x%s" label (* non-numeric bytes *)
+        | 11 -> Printf.sprintf "alloc-spike:4096@%g" factor (* stray trigger *)
         | _ -> Printf.sprintf "zap-section:%s@%g" label factor (* unknown kind *))
-      (pair label_gen factor_gen) (int_bound 5))
+      (pair label_gen factor_gen) (int_bound 11))
 
 let prop_invalid_specs_rejected =
   QCheck.Test.make ~count:200 ~name:"generated malformed specs rejected"

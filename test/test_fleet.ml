@@ -539,6 +539,124 @@ let test_scenario_validate_rejects_bad_specs () =
               u_faults = Fault.none } ] })
 
 (* ------------------------------------------------------------------ *)
+(* Mid-run cancellation, self-healing, memory pressure                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The chaos-hang acceptance scenario on a 2-domain pool: a hung section
+   trips the watchdog (batch cancelled mid-run, workers recycled) and a
+   worker domain is killed (slot respawned, batch re-run) — and every
+   request is still answered. *)
+let test_scenario_chaos_hang_end_to_end () =
+  let registry =
+    Registry.create ~capacity:4
+      ~opts:(Executor.Run_opts.with_domains 2 Executor.Run_opts.default)
+      ()
+  in
+  let out_a = register_mlp registry "model-a" in
+  let out_b = register_mlp ~hidden:[ 4 ] registry "model-b" in
+  let models = [ ("model-a", out_a); ("model-b", out_b) ] in
+  let sc = Scenario.stock ~models "chaos-hang" in
+  (* The stock plan kills worker 1 at a fixed pool dispatch number; the
+     suite shares pools across tests, so re-anchor the kill to the
+     current dispatch count to keep it meaningful here. *)
+  let sc =
+    { sc with
+      Scenario.fleet_faults =
+        Fault.parse
+          (Printf.sprintf "hang-section:ip@0.05,kill-domain:1@%d"
+             (Domain_pool.dispatches (Domain_pool.shared 2) + 40)) }
+  in
+  let fleet =
+    Fleet.create ~faults:sc.Scenario.fleet_faults ~registry
+      ~tenants:sc.Scenario.tenants ()
+  in
+  let s = Scenario.run ~seed:7 fleet sc in
+  Alcotest.(check int) "zero unanswered" 0 s.Scenario.unanswered;
+  let m = Fleet.metrics fleet in
+  Alcotest.(check bool) "watchdog fired" true
+    (Serve_metrics.watchdog_fired m >= 1);
+  Alcotest.(check bool) "a batch was cancelled mid-run" true
+    (Serve_metrics.cancelled_midrun m >= 1);
+  Alcotest.(check bool) "workers respawned" true (Serve_metrics.respawns m >= 1);
+  Alcotest.(check bool) "cancellation on the timeline" true
+    (List.exists
+       (function Fleet.Cancelled_batch _ -> true | _ -> false)
+       (Fleet.events fleet));
+  Alcotest.(check bool) "respawn on the timeline" true
+    (List.exists
+       (function Fleet.Respawned _ -> true | _ -> false)
+       (Fleet.events fleet));
+  Alcotest.(check bool) "slack distribution collected" true
+    (Serve_metrics.slack_samples m >= 1)
+
+(* Admission under a process memory budget: a model whose footprint
+   cannot fit is refused at submit (shed, counted as a memory shed and
+   charged to its tenant), resident models keep serving, and lifting the
+   budget lets the refused model compile and serve. *)
+let test_memory_budget_sheds_oversized_model () =
+  Fun.protect ~finally:(fun () -> Buffer_pool.set_budget None) @@ fun () ->
+  let registry = Registry.create ~capacity:4 () in
+  ignore (register_mlp registry "m");
+  ignore (register_mlp ~hidden:[ 64 ] registry "big");
+  let fleet = Fleet.create ~registry ~tenants:[ tenant () ] () in
+  let ids =
+    List.init batch (fun i ->
+        Fleet.submit fleet ~tenant:"acme" ~model:"m" (features i))
+  in
+  Fleet.drain fleet;
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) "resident model serves" true (is_done_fast fleet id))
+    ids;
+  Buffer_pool.set_budget (Some (Buffer_pool.live_bytes () + 1024));
+  let refused = Fleet.submit fleet ~tenant:"acme" ~model:"big" (features 99) in
+  Alcotest.(check bool) "oversized model shed at admission" true
+    (Fleet.status fleet refused = Fleet.Shed);
+  Alcotest.(check bool) "counted as a memory shed" true
+    (Serve_metrics.mem_shed (Fleet.metrics fleet) >= 1);
+  Alcotest.(check bool) "charged to the tenant" true
+    (Serve_metrics.mem_shed (Fleet.tenant_metrics fleet "acme") >= 1);
+  let still = Fleet.submit fleet ~tenant:"acme" ~model:"m" (features 100) in
+  Fleet.drain fleet;
+  Alcotest.(check bool) "resident model still serves under budget" true
+    (is_done_fast fleet still);
+  Buffer_pool.set_budget None;
+  let fits = Fleet.submit fleet ~tenant:"acme" ~model:"big" (features 101) in
+  Fleet.drain fleet;
+  Alcotest.(check bool) "served once the budget lifts" true
+    (is_done_fast fleet fits);
+  Alcotest.(check int) "every request answered" 0 (Fleet.unanswered fleet)
+
+(* An injected allocation spike is charged to the process ledger on the
+   next pump and lands on the event timeline as memory pressure. *)
+let test_alloc_spike_emits_memory_pressure () =
+  let registry = Registry.create ~capacity:4 () in
+  ignore (register_mlp registry "m");
+  let fleet =
+    Fleet.create ~faults:(Fault.parse "alloc-spike:4096") ~registry
+      ~tenants:[ tenant () ] ()
+  in
+  let before = Buffer_pool.live_bytes () in
+  let ids =
+    List.init batch (fun i ->
+        Fleet.submit fleet ~tenant:"acme" ~model:"m" (features i))
+  in
+  Fleet.drain fleet;
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) "spike does not fail requests" true
+        (is_done_fast fleet id))
+    ids;
+  Alcotest.(check bool) "spike charged to the ledger" true
+    (Buffer_pool.live_bytes () >= before + 4096);
+  Alcotest.(check bool) "pressure event on the timeline" true
+    (List.exists
+       (function
+         | Fleet.Mem_pressure { bytes; _ } -> bytes = 4096
+         | _ -> false)
+       (Fleet.events fleet))
+
+(* ------------------------------------------------------------------ *)
 (* Fleet extrapolation                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -602,6 +720,12 @@ let suite =
       test_scenario_chaos_rollback_end_to_end;
     Alcotest.test_case "scenario: validation" `Quick
       test_scenario_validate_rejects_bad_specs;
+    Alcotest.test_case "scenario: chaos-hang end to end" `Quick
+      test_scenario_chaos_hang_end_to_end;
+    Alcotest.test_case "memory budget sheds oversized model" `Quick
+      test_memory_budget_sheds_oversized_model;
+    Alcotest.test_case "alloc spike emits memory pressure" `Quick
+      test_alloc_spike_emits_memory_pressure;
     Alcotest.test_case "cluster: fleet projection" `Quick
       test_project_fleet_extrapolation;
   ]

@@ -11,10 +11,10 @@ let n_classes = 3
 let mlp_spec () = Models.mlp ~batch ~n_inputs ~hidden:[ 5 ] ~n_classes
 
 let make_server ?(queue_capacity = 16) ?(failure_threshold = 1) ?(cooldown = 1e-3)
-    ?(max_retries = 0) ?faults ?(config = Config.default) () =
+    ?(max_retries = 0) ?faults ?watchdog_slack ?(config = Config.default) () =
   let spec = mlp_spec () in
   Server.create ~queue_capacity ~failure_threshold ~cooldown ~max_retries ?faults
-    ~seed:5 ~config
+    ?watchdog_slack ~seed:5 ~config
     ~input_buf:(spec.Models.data_ens ^ ".value")
     ~output_buf:(spec.Models.output_ens ^ ".value")
     (fun () -> (mlp_spec ()).Models.net)
@@ -266,6 +266,116 @@ let test_slow_section_inflates_clock () =
     true
     (Server.now slowed > Server.now healthy)
 
+(* ------------------------------------------------------------------ *)
+(* Mid-run cancellation and self-healing                                *)
+(* ------------------------------------------------------------------ *)
+
+(* A hung section blows past cost × slack: the watchdog cancels the
+   batch mid-run, every request in it is answered Timeout, the count
+   lands in cancelled-midrun (not queue timeout), and — the hang being
+   one-shot — the next batch runs clean on the same server. *)
+let test_watchdog_cancels_hung_section () =
+  let server = make_server ~faults:(Fault.parse "hang-section:ip1@0.05") () in
+  Alcotest.(check (float 1e-9)) "default slack" 8.0
+    (Server.watchdog_slack server);
+  Alcotest.(check bool) "token installed at create" true
+    (Server.cancellation_token server <> None);
+  let ids = submit_batch server ~seed0:1 ~deadline:10.0 in
+  Alcotest.(check bool) "pump ran the batch" true (Server.pump server);
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) "cancelled request -> Timeout" true
+        (Server.status server id = Server.Timeout))
+    ids;
+  let m = Server.metrics server in
+  Alcotest.(check int) "watchdog fired once" 1 (Serve_metrics.watchdog_fired m);
+  Alcotest.(check int) "whole batch counted cancelled-midrun" batch
+    (Serve_metrics.cancelled_midrun m);
+  Alcotest.(check int) "queue-side timeouts stay distinct" 0
+    (Serve_metrics.timeout m);
+  Alcotest.(check bool) "slack sample recorded" true
+    (Serve_metrics.slack_samples m >= 1);
+  Alcotest.(check bool) "slack report rendered" true
+    (Serve_metrics.slack_report m <> None);
+  (* Discarded partial work must not leak into the next answer. *)
+  let ids = submit_batch server ~seed0:20 ~deadline:10.0 in
+  Alcotest.(check bool) "next pump runs clean" true (Server.pump server);
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) "clean batch Done" true (is_done server id))
+    ids;
+  Alcotest.(check int) "every request answered" 0 (Server.unanswered server)
+
+(* The same hang with the watchdog effectively disabled: the batch is
+   cancelled because every deadline in it expired mid-run — counted
+   cancelled-midrun with no watchdog firing. *)
+let test_deadline_expiry_cancels_midrun () =
+  let server =
+    make_server ~faults:(Fault.parse "hang-section:ip1@0.05")
+      ~watchdog_slack:1e9 ()
+  in
+  let ids = submit_batch server ~seed0:1 ~deadline:0.01 in
+  Alcotest.(check bool) "pump ran the batch" true (Server.pump server);
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) "expired mid-run -> Timeout" true
+        (Server.status server id = Server.Timeout))
+    ids;
+  let m = Server.metrics server in
+  Alcotest.(check int) "no watchdog" 0 (Serve_metrics.watchdog_fired m);
+  Alcotest.(check int) "counted cancelled-midrun" batch
+    (Serve_metrics.cancelled_midrun m);
+  Alcotest.(check int) "unanswered drained" 0 (Server.unanswered server)
+
+(* A short stall that trips nothing fleet-wide but outlives one
+   request's deadline: the run completes, the stale request alone is
+   answered Timeout and counted cancelled-midrun, the rest are Done. *)
+let test_stale_request_after_completed_run () =
+  let server =
+    make_server ~faults:(Fault.parse "hang-section:ip1@0.002")
+      ~watchdog_slack:1e9 ()
+  in
+  let stale = Server.submit server ~deadline:1e-3 (features 1) in
+  let live = Server.submit server ~deadline:10.0 (features 2) in
+  Alcotest.(check bool) "pump ran" true (Server.pump server);
+  Alcotest.(check bool) "stale -> Timeout" true
+    (Server.status server stale = Server.Timeout);
+  Alcotest.(check bool) "live -> Done" true (is_done server live);
+  let m = Server.metrics server in
+  Alcotest.(check int) "stale counted cancelled-midrun" 1
+    (Serve_metrics.cancelled_midrun m);
+  Alcotest.(check int) "not a queue timeout" 0 (Serve_metrics.timeout m)
+
+(* An injected worker-domain death mid-forward: the pool respawns the
+   slot, the server re-runs the batch, and every request is answered
+   fast — the death shows up only in the respawn counter. *)
+let test_worker_death_heals_and_answers () =
+  let config = { Config.default with Config.num_domains = 2 } in
+  let server = make_server ~config () in
+  (match Executor.pool (Server.fast_executor server) with
+  | None -> Alcotest.fail "expected a pool at domains 2"
+  | Some p ->
+      Domain_pool.arm_kill p ~worker:1
+        ~at_dispatch:(Domain_pool.dispatches p));
+  let ids = submit_batch server ~seed0:1 ~deadline:10.0 in
+  Alcotest.(check bool) "pump ran" true (Server.pump server);
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) "answered fast despite the death" true
+        (is_done ~degraded:false server id))
+    ids;
+  let m = Server.metrics server in
+  Alcotest.(check bool) "respawn recorded" true (Serve_metrics.respawns m >= 1);
+  Alcotest.(check int) "nothing cancelled" 0 (Serve_metrics.cancelled_midrun m);
+  Alcotest.(check int) "every request answered" 0 (Server.unanswered server)
+
+let test_create_rejects_bad_watchdog_slack () =
+  Alcotest.(check bool) "slack < 1 rejected" true
+    (try
+       ignore (make_server ~watchdog_slack:0.5 ());
+       false
+     with Invalid_argument _ -> true)
+
 let test_load_gen_answers_everything () =
   let spec = mlp_spec () in
   let faults =
@@ -426,6 +536,16 @@ let suite =
       test_retry_recovers_transient_failure;
     Alcotest.test_case "degraded matches fast within 1e-4" `Quick
       test_degraded_matches_fast_within_tol;
+    Alcotest.test_case "watchdog cancels hung section" `Quick
+      test_watchdog_cancels_hung_section;
+    Alcotest.test_case "deadline expiry cancels mid-run" `Quick
+      test_deadline_expiry_cancels_midrun;
+    Alcotest.test_case "stale request after completed run" `Quick
+      test_stale_request_after_completed_run;
+    Alcotest.test_case "worker death heals and answers" `Quick
+      test_worker_death_heals_and_answers;
+    Alcotest.test_case "create rejects bad watchdog slack" `Quick
+      test_create_rejects_bad_watchdog_slack;
     Alcotest.test_case "slow section inflates the simulated clock" `Quick
       test_slow_section_inflates_clock;
     Alcotest.test_case "load generator answers everything" `Quick

@@ -102,19 +102,39 @@ let scaling () =
         let opts =
           Executor.Run_opts.with_domains domains Executor.Run_opts.default
         in
-        let m, _exec = Bench_common.measure_latte ~opts ~iters:5 (build ()) in
-        m.Bench_common.fwd
+        let m, exec = Bench_common.measure_latte ~opts ~iters:5 (build ()) in
+        (* Parallel-schedule census: how many loops actually dispatch
+           across workers, and how many buffers the §5.4.3 splitter had
+           to keep in the sequential replay (fewer = the Ir_deps
+           analyzer proved more of the program race-free). *)
+        let entries = List.map snd (Executor.schedule exec) in
+        let parallel_loops =
+          List.length
+            (List.filter
+               (fun (e : Ir_compile.par_entry) -> e.Ir_compile.par_fallback = None)
+               entries)
+        in
+        let replayed =
+          List.fold_left
+            (fun acc (e : Ir_compile.par_entry) ->
+              acc + List.length e.Ir_compile.par_replayed)
+            0 entries
+        in
+        (m.Bench_common.fwd, parallel_loops, replayed)
       in
-      let t1 = fwd_at 1 and t2 = fwd_at 2 and t4 = fwd_at 4 in
+      let t1, pl1, rb1 = fwd_at 1
+      and t2, pl2, rb2 = fwd_at 2
+      and t4, pl4, rb4 = fwd_at 4 in
       Printf.printf "  %-8s %12.3f %12.3f %12.3f %8.2f %8.2f\n" name
         (t1 *. 1e3) (t2 *. 1e3) (t4 *. 1e3) (t1 /. t2) (t1 /. t4);
       List.iter
-        (fun (domains, t) ->
+        (fun (domains, t, parallel_loops, replayed) ->
           Printf.printf
             "  {\"bench\":\"scaling\",\"model\":%S,\"domains\":%d,\
-             \"forward_ms\":%.6f,\"speedup\":%.4f}\n"
-            name domains (t *. 1e3) (t1 /. t))
-        [ (1, t1); (2, t2); (4, t4) ])
+             \"forward_ms\":%.6f,\"speedup\":%.4f,\
+             \"parallel_loops\":%d,\"replayed_buffers\":%d}\n"
+            name domains (t *. 1e3) (t1 /. t) parallel_loops replayed)
+        [ (1, t1, pl1, rb1); (2, t2, pl2, rb2); (4, t4, pl4, rb4) ])
     models
 
 let run () =

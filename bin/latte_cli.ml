@@ -178,11 +178,17 @@ let dump_ir model batch image width_div fc_div config passes verify dump_after
         | None ->
             Printf.printf "%-40s loop %-8s %d workers%s\n" sect
               e.Ir_compile.par_var e.Ir_compile.par_workers
-              (match e.Ir_compile.par_replayed with
+              ((match e.Ir_compile.par_replayed with
+               | [] -> ""
+               | rs ->
+                   Printf.sprintf ", sequential replay of %s"
+                     (String.concat ", " rs))
+              ^
+              match e.Ir_compile.par_private with
               | [] -> ""
-              | rs ->
-                  Printf.sprintf ", sequential replay of %s"
-                    (String.concat ", " rs)))
+              | ps ->
+                  Printf.sprintf ", privatized max-reduction of %s"
+                    (String.concat ", " ps)))
       (Executor.schedule exec)
   end;
   if pass_stats then begin
@@ -283,7 +289,28 @@ let print_ranges spec config prog =
          else "-"))
     canon
 
-let analyze model batch image width_div fc_div config passes verify ranges =
+(* Per-parallel-loop dependence verdicts from Ir_deps. Returns [true]
+   when any buffer is proven Conflicting — a real race — so the caller
+   can fail the run; Unknown verdicts print but don't fail (the
+   compiler handles them with sequential replay). *)
+let print_races prog =
+  let races = Program.races prog in
+  print_string (Ir_deps.report_table races);
+  List.exists
+    (fun (_, reports) ->
+      List.exists
+        (fun (r : Ir_deps.loop_report) ->
+          List.exists
+            (fun (bv : Ir_deps.buffer_verdict) ->
+              match bv.Ir_deps.bv_verdict with
+              | Ir_deps.Conflicting _ -> true
+              | _ -> false)
+            r.Ir_deps.lr_verdicts)
+        reports)
+    races
+
+let analyze model batch image width_div fc_div config passes verify ranges
+    races =
   let spec = build_model model ~batch ~image ~width_div ~fc_div in
   let prog, report = compile_with ?passes ~verify config spec.Models.net in
   let rep =
@@ -320,7 +347,8 @@ let analyze model batch image width_div fc_div config passes verify ranges =
         anns);
   Printf.printf "%s\n" (summary rep);
   if ranges then print_ranges spec config prog;
-  if fatal_findings rep <> [] then exit 1
+  let conflicting = if races then print_races prog else false in
+  if fatal_findings rep <> [] || conflicting then exit 1
 
 let analyze_cmd =
   let ranges_arg =
@@ -330,6 +358,15 @@ let analyze_cmd =
                    (min/max/absmax over a few synthetic forward batches) and \
                    whether the int8 post-training quantizer would pack it.")
   in
+  let races_arg =
+    Arg.(value & flag
+         & info [ "races" ]
+             ~doc:"Also print the Ir_deps dependence table: for every \
+                   parallel loop, each touched buffer's verdict \
+                   (independent, reduction, conflict with a concrete \
+                   two-iteration witness, or unknown). Exits 1 when any \
+                   buffer is proven Conflicting.")
+  in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Compile a model and print the interval bounds / safety analysis: \
@@ -337,9 +374,11 @@ let analyze_cmd =
              get a runtime guard, and flagged accesses, plus \
              division-by-zero, use-before-initialization and dead-store \
              findings. Exits 1 when any finding is fatal (a proven \
-             out-of-bounds access or a read of never-initialized data).")
+             out-of-bounds access or a read of never-initialized data), or \
+             when $(b,--races) finds a proven race.")
     Term.(const analyze $ model_arg $ batch_arg $ image_arg $ width_div_arg
-          $ fc_div_arg $ config_term $ passes_arg $ verify_arg $ ranges_arg)
+          $ fc_div_arg $ config_term $ passes_arg $ verify_arg $ ranges_arg
+          $ races_arg)
 
 (* ------------------------------------------------------------------ *)
 (* train                                                               *)

@@ -19,6 +19,9 @@ type state = {
   par_annotated : (string * string list) list;
       (* Set by the parallelize pass: region name -> loop variables it
          annotated for parallel execution, in program order. *)
+  par_verdicts : (string * Ir_deps.loop_report list) list;
+      (* Set by the parallelize pass: region name -> per-parallel-loop
+         dependence verdicts from Ir_deps, in program order. *)
 }
 
 type info = {
@@ -42,6 +45,7 @@ let initial ?seed config net =
     fwd_sections = None;
     bwd_sections = None;
     par_annotated = [];
+    par_verdicts = [];
   }
 
 let map_units f st =

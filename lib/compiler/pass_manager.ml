@@ -152,6 +152,57 @@ let parallelize st =
       (fun (s : Program.section) -> { s with Program.stmts = annotate s.Program.stmts })
       st
   in
+  (* Second, dependence-driven sweep: annotate loops the syntactic rule
+     skips when Ir_deps proves every buffer's footprint Independent
+     across iterations. The runtime partitions only the outermost
+     parallel loop of a section; inner annotations record legal
+     parallelism for the cost model and the scheduler. *)
+  let shape_of buf =
+    Option.map (fun (s : Shape.t) -> (s :> int array)) (Pass.shape_of st buf)
+  in
+  let const_trip l =
+    match
+      ( Ir_analysis.const_value l.Ir.lo,
+        Ir_analysis.const_value l.Ir.hi )
+    with
+    | Some lo, Some hi -> Some (hi - lo)
+    | _ -> None
+  in
+  let deps_annotate stmts =
+    let rec go env s =
+      match s with
+      | Ir.For l ->
+          let body = List.map (go (Ir_bounds.bind_range l.var ~lo:l.lo ~hi:l.hi env)) l.body in
+          let l = { l with Ir.body } in
+          let provably_independent () =
+            List.for_all
+              (fun (bv : Ir_deps.buffer_verdict) ->
+                bv.bv_verdict = Ir_deps.Independent)
+              (Ir_deps.analyze_loop ~env ~shape_of l)
+          in
+          if
+            (not l.Ir.parallel)
+            && (match const_trip l with Some t -> t > 1 | None -> true)
+            && provably_independent ()
+          then Ir.For { l with Ir.parallel = true }
+          else Ir.For l
+      | Ir.If (c, t, e) ->
+          Ir.If
+            ( c,
+              List.map (go (Ir_bounds.assume c env)) t,
+              List.map (go (Ir_bounds.assume_not c env)) e )
+      | Ir.Store _ | Ir.Accum _ | Ir.Memset _ | Ir.Gemm _
+      | Ir.Fusion_barrier _ | Ir.Extern _ ->
+          s
+    in
+    List.map (go Ir_bounds.empty_env) stmts
+  in
+  let st =
+    Pass.map_sections
+      (fun (s : Program.section) ->
+        { s with Program.stmts = deps_annotate s.Program.stmts })
+      st
+  in
   (* Record what was scheduled so dump-ir/analyze can report it. *)
   let parallel_vars stmts =
     let vars = ref [] in
@@ -178,7 +229,15 @@ let parallelize st =
         | vars -> Some (region, vars))
       (Pass.regions st)
   in
-  { st with Pass.par_annotated }
+  let par_verdicts =
+    List.filter_map
+      (fun (region, _, stmts) ->
+        match Ir_deps.analyze_stmts ~shape_of stmts with
+        | [] -> None
+        | reports -> Some (region, reports))
+      (Pass.regions st)
+  in
+  { st with Pass.par_annotated; Pass.par_verdicts }
 
 (* ------------------------------------------------------------------ *)
 (* Registry                                                            *)
@@ -373,6 +432,7 @@ type report = {
   verified : bool;
   total_seconds : float;
   parallel_annotated : (string * string list) list;
+  parallel_verdicts : (string * Ir_deps.loop_report list) list;
 }
 
 exception Verification_failed of string * Ir_verify.error list
@@ -443,4 +503,5 @@ let run ?seed ?passes ?(verify = false) ?(dump_after = []) config net =
       verified = verify;
       total_seconds = Unix.gettimeofday () -. t_start;
       parallel_annotated = st.Pass.par_annotated;
+      parallel_verdicts = st.Pass.par_verdicts;
     } )

@@ -46,6 +46,10 @@ type report = {
       (** What the parallelize pass scheduled: region name → loop
           variables annotated for parallel execution. Empty when the
           pass did not run. *)
+  parallel_verdicts : (string * Ir_deps.loop_report list) list;
+      (** The {!Ir_deps} dependence verdicts behind the schedule:
+          region name → per-parallel-loop buffer classification.
+          Empty when the parallelize pass did not run. *)
 }
 
 exception Verification_failed of string * Ir_verify.error list

@@ -134,16 +134,9 @@ let interval_to_string iv =
 
 module Smap = Map.Make (String)
 
-module Emap = Map.Make (struct
-  type t = Ir.iexpr
-
-  (* iexpr is a pure first-order tree; structural compare is sound and
-     gives exactly the equality the guard refinement needs (the
-     synthesizer builds guard operands and index coordinates from the
-     same expressions, and every later substitution/simplification
-     applies to both identically). *)
-  let compare = Stdlib.compare
-end)
+(* Guard facts are keyed on (simplified) expressions with the same
+   structural comparison the linear form uses, so lookups line up. *)
+module Emap = Ir_linear.Emap
 
 type env = {
   vars : interval Smap.t;
@@ -162,45 +155,19 @@ let bind v iv env =
   { env with vars = Smap.add v iv env.vars; sym = Smap.remove v env.sym }
 
 (* ------------------------------------------------------------------ *)
-(* Linear normal form: k + Σ coeff·atom, atoms compared structurally.
+(* Linear normal form: k + Σ coeff·atom, from the shared {!Ir_linear}.
    This is what proves tiled GEMM extents: the tiling pass emits row
    counts like ((t+1)·r − t·r)·rows_per_y whose naive interval widens
    with the tile variable, while linear cancellation reduces them to
    the exact constant. *)
 (* ------------------------------------------------------------------ *)
 
-type lin = { k : int; terms : int Emap.t }
+type lin = Ir_linear.t = { k : int; terms : int Emap.t }
 
-let lconst k = { k; terms = Emap.empty }
-let lterm e = { k = 0; terms = Emap.singleton e 1 }
-
-let ladd a b =
-  {
-    k = a.k + b.k;
-    terms =
-      Emap.union
-        (fun _ x y -> if x + y = 0 then None else Some (x + y))
-        a.terms b.terms;
-  }
-
-let lscale c l =
-  if c = 0 then lconst 0
-  else { k = c * l.k; terms = Emap.map (fun x -> c * x) l.terms }
-
-let lconst_of l = if Emap.is_empty l.terms then Some l.k else None
-
-let rec linearize e =
-  match e with
-  | Iconst n -> lconst n
-  | Iadd (a, b) -> ladd (linearize a) (linearize b)
-  | Isub (a, b) -> ladd (linearize a) (lscale (-1) (linearize b))
-  | Imul (a, b) -> (
-      let la = linearize a and lb = linearize b in
-      match (lconst_of la, lconst_of lb) with
-      | Some c, _ -> lscale c lb
-      | _, Some c -> lscale c la
-      | None, None -> lterm e)
-  | Ivar _ | Idiv _ | Imod _ | Imin _ | Imax _ -> lterm e
+let lconst = Ir_linear.const
+let ladd = Ir_linear.add
+let lscale = Ir_linear.scale
+let linearize = Ir_linear.of_iexpr
 
 let refine env e iv =
   match Emap.find_opt e env.facts with Some f -> inter iv f | None -> iv

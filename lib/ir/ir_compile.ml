@@ -48,6 +48,8 @@ type par_entry = {
   par_workers : int;  (** Chunks dispatched; 1 when the loop fell back. *)
   par_replayed : string list;
       (** Buffers whose conflicting writes are replayed sequentially. *)
+  par_private : string list;
+      (** Max-reduction buffers privatized per worker and merged. *)
   par_fallback : string option;
       (** Why the loop stayed sequential, when it did. *)
 }
@@ -863,11 +865,50 @@ type par_split = {
   split_par : stmt list;
   split_seq : stmt list;
   split_replayed : string list;
+  split_private : string list;
 }
 
-let partition_parallel ctx (l : loop) =
+let partition_parallel ctx benv (l : loop) =
   let v = l.var in
+  (* Per-buffer dependence verdicts under the enclosing-loop
+     environment. Independent admits accesses the syntactic stride
+     rules cannot see (clamped tile bounds, scaled offsets);
+     Reduction(max) marks privatization candidates. The verdicts are
+     name-based, so every use below re-checks physical storage
+     identity before acting on one. *)
+  let verdicts =
+    Ir_deps.analyze_loop ~env:benv
+      ~shape_of:(fun buf -> Some (Tensor.store_shape (ctx.store_of buf)))
+      l
+  in
+  let verdict_of buf =
+    match
+      List.find_opt (fun bv -> bv.Ir_deps.bv_buf = buf) verdicts
+    with
+    | Some bv -> bv.Ir_deps.bv_verdict
+    | None -> Ir_deps.Unknown "buffer not analyzed"
+  in
+  let independent buf = verdict_of buf = Ir_deps.Independent in
+  (* A buffer is privatizable when it is a proven max-reduction held in
+     plain f32 storage whose block no other name in the body can reach:
+     each worker then folds into a private copy and the copies are
+     merged with the same Float.max join after the barrier. *)
+  let body_names =
+    List.sort_uniq String.compare
+      (Ir.buffers_read l.body @ Ir.buffers_written l.body)
+  in
+  let privatizable buf =
+    verdict_of buf = Ir_deps.Reduction Acc_max
+    && Tensor.store_f32_data (ctx.store_of buf) <> None
+    && (let id = Tensor.store_data_id (ctx.store_of buf) in
+        List.for_all
+          (fun b ->
+            String.equal b buf
+            || Tensor.store_data_id (ctx.store_of b) != id)
+          body_names)
+  in
   let pos = ref 0 in
+  let priv_used = ref SS.empty in
   let par_reads = ref []
   and par_writes = ref []
   and seq_reads = ref []
@@ -895,7 +936,7 @@ let partition_parallel ctx (l : loop) =
     incr pos;
     match s with
     | Store { buf; idx; value } ->
-        if List.exists (par_varies ~v ~dep) idx then begin
+        if List.exists (par_varies ~v ~dep) idx || independent buf then begin
           record par_writes buf true;
           record_value_loads par_reads ~dep value;
           (Some s, None)
@@ -905,10 +946,19 @@ let partition_parallel ctx (l : loop) =
           record_value_loads seq_reads ~dep value;
           (None, Some s)
         end
-    | Accum { buf; idx; value; _ } ->
-        if List.exists (par_strides ~v) idx then begin
+    | Accum { op; buf; idx; value } ->
+        if List.exists (par_strides ~v) idx || independent buf then begin
           record par_writes buf true;
           record par_reads buf true;
+          record_value_loads par_reads ~dep value;
+          (Some s, None)
+        end
+        else if op = Acc_max && privatizable buf then begin
+          (* Runs in the parallel part against a per-worker private
+             copy; merged after the barrier. Not recorded as a parallel
+             write: the shared block is untouched until the merge, and
+             [privatizable] proved no other name reaches it. *)
+          priv_used := SS.add buf !priv_used;
           record_value_loads par_reads ~dep value;
           (Some s, None)
         end
@@ -929,8 +979,9 @@ let partition_parallel ctx (l : loop) =
           if g.beta <> 0.0 then record set g.c (par_varies ~v ~dep g.off_c)
         in
         let disjoint =
-          if g.beta = 0.0 then par_varies ~v ~dep g.off_c
-          else par_strides ~v g.off_c
+          (if g.beta = 0.0 then par_varies ~v ~dep g.off_c
+           else par_strides ~v g.off_c)
+          || independent g.c
         in
         if disjoint then begin
           record par_writes g.c true;
@@ -1018,7 +1069,7 @@ let partition_parallel ctx (l : loop) =
   let split_replayed =
     List.sort_uniq String.compare (List.map (fun a -> a.a_buf) !seq_writes)
   in
-  { split_par; split_seq; split_replayed }
+  { split_par; split_seq; split_replayed; split_private = SS.elements !priv_used }
 
 (* ------------------------------------------------------------------ *)
 (* Statement compilation                                               *)
@@ -1212,7 +1263,7 @@ and compile_seq_for ctx benv (l : loop) =
    domain. Conflicting writes identified by [partition_parallel] are
    replayed sequentially after the barrier. *)
 and compile_par_for ctx benv (l : loop) (r : par_runner) =
-  match partition_parallel ctx l with
+  match partition_parallel ctx benv l with
   | exception Par_fallback reason ->
       bump_stat ctx "par_fallback";
       ctx.schedule :=
@@ -1220,31 +1271,62 @@ and compile_par_for ctx benv (l : loop) (r : par_runner) =
           par_var = l.var;
           par_workers = 1;
           par_replayed = [];
+          par_private = [];
           par_fallback = Some reason;
         }
         :: !(ctx.schedule);
       (* Same [ctx]: an inner parallel loop may still be schedulable
          (e.g. the tile loop when the batch loop carries an extern). *)
       compile_seq_for ctx benv l
-  | { split_par; split_seq; split_replayed } ->
+  | { split_par; split_seq; split_replayed; split_private } ->
       let k = r.workers in
       bump_stat ctx "par_loop";
       if split_seq <> [] then bump_stat ctx "par_replay";
+      if split_private <> [] then bump_stat ctx "par_private";
       ctx.schedule :=
         {
           par_var = l.var;
           par_workers = k;
           par_replayed = split_replayed;
+          par_private = split_private;
           par_fallback = None;
         }
         :: !(ctx.schedule);
       let clo = compile_i ctx l.lo and chi = compile_i ctx l.hi in
       let benv' = Ir_bounds.bind_range l.var ~lo:l.lo ~hi:l.hi benv in
       let vslot = slot ctx l.var in
-      let ctx0 = { ctx with in_par = true; top = false } in
+      (* Max-reduction privatization: worker [w] folds each buffer in
+         [split_private] into its own f32 copy (same shape, so the
+         compiled flat indexing is unchanged); after the barrier the
+         copies are merged into the shared store with [Float.max], an
+         associative and commutative join, so the merged result is
+         bit-identical to sequential accumulation in any worker
+         order. Copies are re-armed to -inf (the join's identity) at
+         every invocation. *)
+      let privates =
+        Array.init k (fun _ ->
+            List.map
+              (fun buf ->
+                ( buf,
+                  Tensor.store_create
+                    (Precision.Any Precision.F32)
+                    (Tensor.store_shape (ctx.store_of buf)) ))
+              split_private)
+      in
+      let store_override w =
+        if split_private = [] then ctx.store_of
+        else
+          fun buf ->
+            match List.assoc_opt buf privates.(w) with
+            | Some st -> st
+            | None -> ctx.store_of buf
+      in
+      let ctx0 =
+        { ctx with in_par = true; top = false; store_of = store_override 0 }
+      in
       let body0 = compile_stmts ctx0 benv' split_par in
       let others =
-        Array.init (k - 1) (fun _ ->
+        Array.init (k - 1) (fun i ->
             (* Throwaway stats and schedule: these are recompilations of
                the same statements, already accounted for by worker 0. *)
             let sub =
@@ -1253,16 +1335,55 @@ and compile_par_for ctx benv (l : loop) (r : par_runner) =
                 regs = Array.make (Array.length ctx.regs) 0;
                 stats = Hashtbl.create 4;
                 schedule = ref [];
+                store_of = store_override (i + 1);
               }
             in
             (sub.regs, compile_stmts sub benv' split_par))
+      in
+      let prep_privates, merge_privates =
+        if split_private = [] then ((fun () -> ()), fun () -> ())
+        else begin
+          let merges =
+            List.map
+              (fun buf ->
+                let st = ctx.store_of buf in
+                let dst = Option.get (Tensor.store_f32_data st) in
+                let parts =
+                  Array.init k (fun w ->
+                      Option.get
+                        (Tensor.store_f32_data (List.assoc buf privates.(w))))
+                in
+                (dst, Tensor.store_numel st, parts))
+              split_private
+          in
+          ( (fun () ->
+              List.iter
+                (fun (_, _, parts) ->
+                  Array.iter
+                    (fun p -> Bigarray.Array1.fill p neg_infinity)
+                    parts)
+                merges),
+            fun () ->
+              List.iter
+                (fun (dst, numel, parts) ->
+                  for i = 0 to numel - 1 do
+                    let m = ref (ug dst i) in
+                    for w = 0 to k - 1 do
+                      m := Float.max !m (ug (Array.unsafe_get parts w) i)
+                    done;
+                    us dst i !m
+                  done)
+                merges )
+        end
       in
       let replay =
         match split_seq with
         | [] -> None
         | seq ->
             Some
-              (compile_seq_for ctx0 benv
+              (compile_seq_for
+                 { ctx with in_par = true; top = false }
+                 benv
                  { l with body = seq; parallel = false })
       in
       let parent_regs = ctx.regs in
@@ -1283,6 +1404,7 @@ and compile_par_for ctx benv (l : loop) (r : par_runner) =
       fun () ->
         let lo = clo () and hi = chi () in
         let n = hi - lo in
+        if n > 0 then prep_privates ();
         if n = 1 then begin
           (* No point waking the pool for a single iteration. *)
           poll ();
@@ -1316,6 +1438,7 @@ and compile_par_for ctx benv (l : loop) (r : par_runner) =
                 done
               end)
         end;
+        if n > 0 then merge_privates ();
         match replay with Some f -> f () | None -> ()
 
 and compile_stmts ctx benv ss =

@@ -68,6 +68,14 @@ type par_entry = {
       (** Buffers whose conflicting writes (weight-gradient
           accumulations, whole-buffer fills) are replayed sequentially
           in iteration order after the barrier. *)
+  par_private : string list;
+      (** Buffers proven max-reductions by {!Ir_deps} and privatized:
+          each worker accumulates into its own copy, and the copies are
+          merged with [Float.max] (an associative, commutative join, so
+          the merge is bit-identical to sequential accumulation) after
+          the barrier. Sum reductions are never privatized — float
+          addition does not reassociate bit-identically — and stay in
+          [par_replayed]. *)
   par_fallback : string option;
       (** Why the loop stayed sequential, when it did (extern in the
           body, a dependence the splitter cannot prove safe, ...). *)

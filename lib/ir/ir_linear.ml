@@ -1,0 +1,62 @@
+open Ir
+
+module Emap = Map.Make (struct
+  type t = Ir.iexpr
+
+  (* iexpr is a pure first-order tree; structural compare is sound and
+     gives exactly the equality the consumers need: the synthesizer
+     builds guard operands and index coordinates from the same
+     expressions, and every later substitution/simplification applies
+     to both identically. *)
+  let compare = Stdlib.compare
+end)
+
+type t = { k : int; terms : int Emap.t }
+
+let const k = { k; terms = Emap.empty }
+let term e = { k = 0; terms = Emap.singleton e 1 }
+
+let add a b =
+  {
+    k = a.k + b.k;
+    terms =
+      Emap.union
+        (fun _ x y -> if x + y = 0 then None else Some (x + y))
+        a.terms b.terms;
+  }
+
+let scale c l =
+  if c = 0 then const 0
+  else { k = c * l.k; terms = Emap.map (fun x -> c * x) l.terms }
+
+let sub a b = add a (scale (-1) b)
+let const_of l = if Emap.is_empty l.terms then Some l.k else None
+
+let coeff e l =
+  match Emap.find_opt e l.terms with Some c -> c | None -> 0
+
+let remove e l = { l with terms = Emap.remove e l.terms }
+let equal a b = a.k = b.k && Emap.equal Int.equal a.terms b.terms
+
+let rec of_iexpr e =
+  match e with
+  | Iconst n -> const n
+  | Iadd (a, b) -> add (of_iexpr a) (of_iexpr b)
+  | Isub (a, b) -> sub (of_iexpr a) (of_iexpr b)
+  | Imul (a, b) -> (
+      let la = of_iexpr a and lb = of_iexpr b in
+      match (const_of la, const_of lb) with
+      | Some c, _ -> scale c lb
+      | _, Some c -> scale c la
+      | None, None -> term e)
+  | Ivar _ | Idiv _ | Imod _ | Imin _ | Imax _ -> term e
+
+let to_iexpr l =
+  let term_expr (e, c) = if c = 1 then e else Imul (Iconst c, e) in
+  match Emap.bindings l.terms with
+  | [] -> Iconst l.k
+  | t0 :: rest ->
+      let sum =
+        List.fold_left (fun acc t -> Iadd (acc, term_expr t)) (term_expr t0) rest
+      in
+      if l.k = 0 then sum else Iadd (sum, Iconst l.k)

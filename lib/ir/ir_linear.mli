@@ -1,0 +1,49 @@
+(** Linear normal form over {!Ir.iexpr}: [k + Σ coeff·atom], with atoms
+    (loop variables and the non-affine operators — div, mod, min, max,
+    variable products) compared structurally.
+
+    Shared by {!Ir_bounds} (interval tightening: correlated terms
+    cancel exactly, so tiled extents like [((t+1)·r − t·r)·rows_per_y]
+    reduce to the constant [r·rows_per_y]) and {!Ir_deps} (dependence
+    testing: the stride of a candidate parallel variable is its
+    coefficient in the normal form of an access index).
+
+    Normalization is value-exact: [of_iexpr] only decomposes [+], [−]
+    and multiplication by a constant, all of which are exact over [int],
+    so [to_iexpr (of_iexpr e)] evaluates to the same value as [e] in
+    every environment, and [of_iexpr] is idempotent across the
+    round-trip — both properties are pinned by QCheck in the test
+    suite. *)
+
+module Emap : Map.S with type key = Ir.iexpr
+
+type t = { k : int; terms : int Emap.t }
+
+val const : int -> t
+val term : Ir.iexpr -> t
+(** A single atom with coefficient 1. Callers must not pass [Iconst],
+    [Iadd] or [Isub] nodes (use [const]/[add]); [of_iexpr] never
+    produces such atoms. *)
+
+val add : t -> t -> t
+(** Coefficient-wise sum; terms cancelling to 0 are dropped. *)
+
+val sub : t -> t -> t
+val scale : int -> t -> t
+
+val const_of : t -> int option
+(** [Some k] when the form has no atoms. *)
+
+val coeff : Ir.iexpr -> t -> int
+(** Coefficient of an atom (0 when absent). *)
+
+val remove : Ir.iexpr -> t -> t
+val equal : t -> t -> bool
+
+val of_iexpr : Ir.iexpr -> t
+(** Normalize. Distributes [+]/[−] and multiplication by a constant;
+    everything else becomes an atom. *)
+
+val to_iexpr : t -> Ir.iexpr
+(** Rebuild an expression ([k + Σ coeff·atom] in atom order);
+    evaluation-equivalent to what was normalized. *)

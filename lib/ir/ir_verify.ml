@@ -58,16 +58,6 @@ let stmt_head s =
   in
   if String.length line > 120 then String.sub line 0 117 ^ "..." else line
 
-(* Evidence that [e] takes distinct values in distinct iterations of the
-   parallel loop over [v]: a known nonzero affine stride in [v], or a
-   mention of an inner loop variable whose bounds depend on [v] (tiling
-   restriction encodes disjointness through loop bounds, not indices). *)
-let varies_with ~v ~dep e =
-  (match Ir_analysis.stride_of ~var:v e with
-  | Some n when n <> 0 -> true
-  | _ -> false)
-  || SS.exists (fun x -> SS.mem x dep) (ivars SS.empty e)
-
 let verify_stmts ?(bound = []) ~shape_of ~region stmts =
   let errors = ref [] in
   let err ?stmt fmt =
@@ -113,53 +103,31 @@ let verify_stmts ?(bound = []) ~shape_of ~region stmts =
                 dim_name n (gt.rows_per_y * gt.y_extent)
           | _ -> ())
   in
-  (* Cross-iteration dependence check for a parallel loop over [v]:
-     plain stores and overwriting GEMMs must provably hit disjoint
-     locations per iteration; accumulations are reductions
-     (privatizable, §5.4.3); externs must declare [v] as their item
-     axis; whole-buffer memsets are never legal under a parallel loop. *)
-  let check_parallel (l : loop) =
-    let v = l.var in
-    let rec go dep s =
-      match s with
-      | Store { buf; idx; _ } ->
-          if not (List.exists (varies_with ~v ~dep) idx) then
-            err ~stmt:s
-              "store to `%s' may write the same element in every iteration of parallel loop `%s'"
-              buf v
-      | Accum _ -> ()
-      | Memset { buf; _ } ->
-          err ~stmt:s
-            "memset(%s) under parallel loop `%s' overwrites the whole buffer in every iteration"
-            buf v
-      | Gemm g ->
-          if g.beta = 0.0 && not (varies_with ~v ~dep g.off_c) then
-            err ~stmt:s
-              "gemm overwriting `%s' (beta=0) is not partitioned by parallel loop `%s'"
-              g.c v
-      | Extern e -> (
-          match e.item_var with
-          | Some iv when String.equal iv v -> ()
-          | _ ->
-              err ~stmt:s
-                "extern `%s' under parallel loop `%s' is not partitioned by it"
-                e.name v)
-      | Fusion_barrier _ -> ()
-      | If (_, t, e) ->
-          List.iter (go dep) t;
-          List.iter (go dep) e
-      | For inner ->
-          let bvars = ivars (ivars SS.empty inner.lo) inner.hi in
-          let dep =
-            if SS.mem v bvars || SS.exists (fun x -> SS.mem x dep) bvars then
-              SS.add inner.var dep
-            else dep
-          in
-          List.iter (go dep) inner.body
-    in
-    List.iter (go SS.empty) l.body
+  (* Cross-iteration dependence check for a parallel loop over [v],
+     delegated to the {!Ir_deps} analyzer under the interval
+     environment of the enclosing loops. Accepts only buffers proven
+     Independent (disjoint footprints per iteration) or Reduction
+     (associative accumulates, privatizable per §5.4.3); Conflicting
+     verdicts carry a concrete witness iteration pair. *)
+  let check_parallel benv (l : loop) =
+    let dims buf = Option.map (fun (s : Shape.t) -> (s :> int array)) (shape_of buf) in
+    List.iter
+      (fun (bv : Ir_deps.buffer_verdict) ->
+        match bv.bv_verdict with
+        | Ir_deps.Independent | Ir_deps.Reduction _ -> ()
+        | Ir_deps.Conflicting w ->
+            err ~stmt:(For l)
+              "parallel loop `%s' may write the same element of `%s' from \
+               distinct iterations: %s (between `%s' and `%s')"
+              l.var bv.bv_buf (Ir_deps.witness_to_string w) w.wit_stmt_a
+              w.wit_stmt_b
+        | Ir_deps.Unknown reason ->
+            err ~stmt:(For l)
+              "cannot prove buffer `%s' race-free under parallel loop `%s': %s"
+              bv.bv_buf l.var reason)
+      (Ir_deps.analyze_loop ~env:benv ~shape_of:dims l)
   in
-  let rec go env s =
+  let rec go env benv s =
     match s with
     | Store { buf; idx; value } | Accum { buf; idx; value; _ } ->
         check_bound ~stmt:s env (List.fold_left ivars (fvars SS.empty value) idx);
@@ -184,8 +152,8 @@ let verify_stmts ?(bound = []) ~shape_of ~region stmts =
     | If (c, t, e) ->
         check_bound ~stmt:s env (cvars SS.empty c);
         check_loads ~stmt:s (Select (c, Fconst 0.0, Fconst 0.0));
-        List.iter (go env) t;
-        List.iter (go env) e
+        List.iter (go env (Ir_bounds.assume c benv)) t;
+        List.iter (go env (Ir_bounds.assume_not c benv)) e
     | For l ->
         check_bound ~stmt:s env (ivars (ivars SS.empty l.lo) l.hi);
         (match l.tile with
@@ -201,8 +169,11 @@ let verify_stmts ?(bound = []) ~shape_of ~region stmts =
             then
               err ~stmt:s "tiled loop `%s' must have constant bounds" l.var
         | None -> ());
-        if l.parallel then check_parallel l;
-        List.iter (go (SS.add l.var env)) l.body
+        if l.parallel then check_parallel benv l;
+        List.iter
+          (go (SS.add l.var env)
+             (Ir_bounds.bind_range l.var ~lo:l.lo ~hi:l.hi benv))
+          l.body
   in
-  List.iter (go (SS.of_list bound)) stmts;
+  List.iter (go (SS.of_list bound) Ir_bounds.empty_env) stmts;
   List.rev !errors

@@ -37,6 +37,23 @@ let flops t dir =
     (fun acc s -> acc +. (section_cost s).Ir_analysis.flops)
     0.0 sections
 
+let races t =
+  let pool = t.buffers in
+  let shape_of buf =
+    if Buffer_pool.mem pool buf then Some (Buffer_pool.shape pool buf)
+    else None
+  in
+  let regions =
+    List.map (fun s -> ("forward/" ^ s.label, s.stmts)) t.forward
+    @ List.map (fun s -> ("backward/" ^ s.label, s.stmts)) t.backward
+  in
+  List.filter_map
+    (fun (label, stmts) ->
+      match Ir_deps.analyze_stmts ~shape_of stmts with
+      | [] -> None
+      | reports -> Some (label, reports))
+    regions
+
 let analyze ?(live_out = []) t =
   let pool = t.buffers in
   let shape_of buf =

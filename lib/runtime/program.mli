@@ -55,6 +55,11 @@ val width_of : t -> string -> float
     pool (4.0 for unknown names) — the [width_of] argument to
     {!section_cost} for precision-aware byte accounting. *)
 
+val races : t -> (string * Ir_deps.loop_report list) list
+(** Run the {!Ir_deps} dependence analyzer over every parallel loop of
+    every section (forward first, then backward); sections with no
+    parallel loops are omitted. Feeds [latte analyze --races]. *)
+
 val analyze : ?live_out:string list -> t -> Ir_bounds.report
 (** Run the interval bounds / safety analyzer over every section of the
     program (forward sections first, then backward, in execution order).

@@ -375,6 +375,131 @@ let lookup_opt_cases () =
       check "error names the buffer" true (contains ~sub:"no-such-buffer" msg)
 
 (* ------------------------------------------------------------------ *)
+(* Max-reduction privatization (§5.4.3 + Ir_deps)                      *)
+(* ------------------------------------------------------------------ *)
+
+(* m[j] = max over i of src[i, j]: the accumulation does not stride in
+   the parallel variable, so the old splitter replayed it; Ir_deps
+   classifies m as Reduction(max), and the partitioner gives each
+   worker a private copy merged with Float.max after the barrier.
+   Float.max is an associative commutative join, so the parallel result
+   must be bit-identical to sequential at any domain count. *)
+let privatization_rows = 37
+let privatization_cols = 8
+
+let privatization_stmts =
+  [
+    Ir.loop ~parallel:true "i" (Ir.int_ 0) (Ir.int_ privatization_rows)
+      [
+        Ir.loop "j" (Ir.int_ 0) (Ir.int_ privatization_cols)
+          [
+            Ir.accum_max "m" [ Ir.var "j" ]
+              (Ir.load "src" [ Ir.var "i"; Ir.var "j" ]);
+          ];
+      ];
+  ]
+
+let privatization_pool seed =
+  let pool = Buffer_pool.create () in
+  let rng = Rng.create seed in
+  let src =
+    Buffer_pool.alloc pool "src"
+      (Shape.create [ privatization_rows; privatization_cols ])
+  in
+  Tensor.fill_uniform rng src ~lo:(-3.0) ~hi:3.0;
+  let m = Buffer_pool.alloc pool "m" (Shape.create [ privatization_cols ]) in
+  (* Non-trivial initial contents: the merge must fold them in. *)
+  Tensor.fill_uniform rng m ~lo:(-1.0) ~hi:1.0;
+  pool
+
+let image_of pool buf =
+  let t = Buffer_pool.lookup pool buf in
+  Array.init (Tensor.numel t) (fun idx -> Int64.bits_of_float (Tensor.get1 t idx))
+
+let privatized_max_reduction_bitwise () =
+  let round2 pool compiled =
+    (* Two rounds with fresh data: the private copies must be re-armed
+       to -inf on every invocation, or round two would leak round one's
+       maxima through the merge. *)
+    Ir_compile.run compiled ();
+    let first = image_of pool "m" in
+    let rng = Rng.create 99 in
+    Tensor.fill_uniform rng (Buffer_pool.lookup pool "src") ~lo:(-9.0) ~hi:(-4.0);
+    Tensor.fill (Buffer_pool.lookup pool "m") (-5.0);
+    Ir_compile.run compiled ();
+    (first, image_of pool "m")
+  in
+  let seq =
+    let pool = privatization_pool 7 in
+    round2 pool (Ir_compile.compile ~lookup:(Buffer_pool.lookup pool) privatization_stmts)
+  in
+  List.iter
+    (fun domains ->
+      let pool = privatization_pool 7 in
+      let compiled =
+        Ir_compile.compile ~lookup:(Buffer_pool.lookup pool)
+          ~runner:(Domain_pool.runner (Domain_pool.shared domains))
+          privatization_stmts
+      in
+      (match Ir_compile.schedule compiled with
+      | [ e ] ->
+          check
+            (Printf.sprintf "no fallback @%d" domains)
+            true
+            (e.Ir_compile.par_fallback = None);
+          Alcotest.(check (list string))
+            (Printf.sprintf "privatized @%d" domains)
+            [ "m" ] e.Ir_compile.par_private;
+          Alcotest.(check (list string))
+            (Printf.sprintf "no replay @%d" domains)
+            [] e.Ir_compile.par_replayed
+      | entries ->
+          Alcotest.failf "expected one scheduled loop, got %d"
+            (List.length entries));
+      let par = round2 pool compiled in
+      List.iter2
+        (fun (a : Int64.t array) b ->
+          Array.iteri
+            (fun idx bits ->
+              if not (Int64.equal bits b.(idx)) then
+                Alcotest.failf "m[%d] differs at %d domains: %h vs %h" idx
+                  domains
+                  (Int64.float_of_bits bits)
+                  (Int64.float_of_bits b.(idx)))
+            a)
+        [ fst seq; snd seq ]
+        [ fst par; snd par ])
+    [ 2; 4 ]
+
+(* The same shape with a sum accumulation must NOT privatize: float
+   addition does not reassociate bit-identically, so Reduction(+) stays
+   in the sequential replay. *)
+let sum_reduction_still_replays () =
+  let pool = privatization_pool 11 in
+  let stmts =
+    [
+      Ir.loop ~parallel:true "i" (Ir.int_ 0) (Ir.int_ privatization_rows)
+        [
+          Ir.loop "j" (Ir.int_ 0) (Ir.int_ privatization_cols)
+            [
+              Ir.accum "m" [ Ir.var "j" ]
+                (Ir.load "src" [ Ir.var "i"; Ir.var "j" ]);
+            ];
+        ];
+    ]
+  in
+  let compiled =
+    Ir_compile.compile ~lookup:(Buffer_pool.lookup pool)
+      ~runner:(Domain_pool.runner (Domain_pool.shared 2))
+      stmts
+  in
+  match Ir_compile.schedule compiled with
+  | [ e ] ->
+      Alcotest.(check (list string)) "sum replayed" [ "m" ] e.Ir_compile.par_replayed;
+      Alcotest.(check (list string)) "sum not privatized" [] e.Ir_compile.par_private
+  | entries -> Alcotest.failf "expected one entry, got %d" (List.length entries)
+
+(* ------------------------------------------------------------------ *)
 (* Cooperative cancellation                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -443,6 +568,10 @@ let suite =
       pool_respawn_workers_recycles_all;
     Alcotest.test_case "pool of one inlines" `Quick pool_size_one_inlines;
     Alcotest.test_case "shared pools cached" `Quick shared_pools_are_cached;
+    Alcotest.test_case "privatized max reduction bit-identical" `Quick
+      privatized_max_reduction_bitwise;
+    Alcotest.test_case "sum reduction still replays" `Quick
+      sum_reduction_still_replays;
   ]
   @ List.map determinism_case stock_models
   @ List.map respawn_determinism_case stock_models

@@ -1,19 +1,29 @@
-(* Golden-file test: the dumped IR of a small compiled MLP is pinned in
-   golden/mlp_ir.txt. A pass changing the synthesized or optimized IR
-   shows up as a readable diff here rather than only as a numeric drift
-   elsewhere. Regenerate with
+(* Golden-file tests: human-readable compiler output pinned in
+   golden/*.txt. A pass changing the synthesized or optimized IR (or a
+   dependence-analyzer change reclassifying a buffer) shows up as a
+   readable diff here rather than only as a numeric drift elsewhere.
+   Regenerate with
      cd test && LATTE_UPDATE_GOLDEN=1 ../_build/default/test/test_main.exe test golden *)
 
 (* dune runtest runs with cwd at the test build dir (where the (deps
    (glob_files golden/*.txt)) copies land); a directly-invoked exe may
    run from the repo root. *)
-let golden_path =
-  if Sys.file_exists "golden" then "golden/mlp_ir.txt"
-  else "test/golden/mlp_ir.txt"
+let golden_path name =
+  if Sys.file_exists "golden" then "golden/" ^ name else "test/golden/" ^ name
 
-let current_dump () =
+let mlp_dump () =
   let spec = Models.mlp ~batch:4 ~n_inputs:16 ~hidden:[ 8 ] ~n_classes:4 in
   Pipeline.dump (Pipeline.compile ~seed:3 Config.default spec.Models.net)
+
+(* The `latte analyze --races` table for lenet under the default
+   preset: every parallel loop's per-buffer dependence verdict. Pins
+   both the set of parallel loops (including the ones the Ir_deps sweep
+   annotates beyond the syntactic batch-loop rule) and their proofs —
+   a Conflicting appearing here is a miscompile, not a style drift. *)
+let lenet_races () =
+  let spec = Models.lenet ~batch:2 ~image:16 ~n_classes:4 () in
+  let prog = Pipeline.compile ~seed:3 Config.default spec.Models.net in
+  Ir_deps.report_table (Program.races prog)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -21,15 +31,16 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let test_mlp_dump_golden () =
-  let dump = current_dump () in
+let check_golden name current () =
+  let path = golden_path name in
+  let dump = current () in
   match Sys.getenv_opt "LATTE_UPDATE_GOLDEN" with
   | Some _ ->
-      let oc = open_out_bin golden_path in
+      let oc = open_out_bin path in
       output_string oc dump;
       close_out oc
   | None ->
-      let expected = read_file golden_path in
+      let expected = read_file path in
       if String.equal expected dump then ()
       else begin
         (* Point at the first differing line instead of dumping both
@@ -47,14 +58,20 @@ let test_mlp_dump_golden () =
         match first_diff 1 (el, dl) with
         | Some (n, e, d) ->
             Alcotest.failf
-              "IR dump deviates from golden/mlp_ir.txt at line %d:\n\
+              "output deviates from golden/%s at line %d:\n\
               \  golden: %s\n\
               \  dump:   %s\n\
                (regenerate with LATTE_UPDATE_GOLDEN=1 if intended)"
-              n e d
+              name n e d
         | None ->
-            Alcotest.fail "IR dump differs from golden only in line endings"
+            Alcotest.failf "output differs from golden/%s only in line endings"
+              name
       end
 
 let suite =
-  [ Alcotest.test_case "mlp IR dump matches golden" `Quick test_mlp_dump_golden ]
+  [
+    Alcotest.test_case "mlp IR dump matches golden" `Quick
+      (check_golden "mlp_ir.txt" mlp_dump);
+    Alcotest.test_case "lenet races table matches golden" `Quick
+      (check_golden "lenet_races.txt" lenet_races);
+  ]

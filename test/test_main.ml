@@ -13,6 +13,7 @@ let () =
       ("passes", Test_passes.suite);
       ("ir-verify", Test_ir_verify.suite);
       ("ir-bounds", Test_ir_bounds.suite);
+      ("ir-deps", Test_ir_deps.suite);
       ("golden", Test_golden.suite);
       ("network", Test_network.suite);
       ("baselines", Test_baselines.suite);

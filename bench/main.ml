@@ -19,6 +19,7 @@ let all =
     ("scaling", Micro.scaling);
     ("precision", Precision_bench.run);
     ("cancel", Cancel_bench.run);
+    ("tuned", Tuned_bench.run);
   ]
 
 let () =

@@ -9,6 +9,8 @@
      fleet-sim — run a multi-tenant fleet chaos scenario: lazy registry,
                  weighted-fair routing, rolling updates with rollback
      bench     — time one model against the Caffe-like baseline
+     tune      — search-based schedule autotuning with a persisted
+                 per-(model, machine) tuning cache
      models    — list available model architectures
      machines  — list the machine models used by the cost model *)
 
@@ -971,6 +973,117 @@ let bench_cmd =
           $ fc_div_arg $ config_term $ passes_arg $ verify_arg)
 
 (* ------------------------------------------------------------------ *)
+(* tune                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let tune_run model batch image width_div fc_div config budget seed max_domains
+    no_cache cache_dir force quiet =
+  let budget =
+    match Tuner.budget_of_string budget with
+    | Some b -> b
+    | None ->
+        Printf.eprintf "latte: unknown budget `%s' (small, medium, large)\n"
+          budget;
+        exit 2
+  in
+  let build () = (build_model model ~batch ~image ~width_div ~fc_div).Models.net in
+  let log = if quiet then fun _ -> () else print_endline in
+  let r =
+    try
+      Tuner.tune ~budget ~seed ?max_domains ~use_cache:(not no_cache)
+        ?cache_dir ~force ~log ~config ~build ()
+    with Failure msg | Invalid_argument msg ->
+      Printf.eprintf "latte: %s\n" msg;
+      exit 2
+  in
+  Printf.printf "\n=== %s: winner vs default ===\n" model;
+  Printf.printf "  %-36s %8s %8s %8s\n" "group" "extent" "default" "tuned";
+  List.iter
+    (fun (label, extent, default_rows) ->
+      let tuned =
+        match Schedule.tile_for r.Tuner.winner label with
+        | Some t -> string_of_int t
+        | None ->
+            if Schedule.fused r.Tuner.winner label then string_of_int default_rows
+            else "unfused"
+      in
+      Printf.printf "  %-36s %8d %8d %8s\n" label extent default_rows tuned)
+    r.Tuner.groups;
+  (match r.Tuner.winner.Schedule.domains with
+  | Some d -> Printf.printf "  %-36s %8s %8d %8d\n" "worker domains" "" 1 d
+  | None -> ());
+  Printf.printf "\n  schedule: %s\n" (Schedule.describe r.Tuner.winner);
+  if r.Tuner.from_cache then
+    Printf.printf "  resolved from tuning cache (key %s)\n"
+      (Option.value ~default:"-" r.Tuner.cache_key)
+  else begin
+    Printf.printf "  default: %.3f ms/forward   tuned: %.3f ms/forward   speedup: %.2fx\n"
+      (r.Tuner.default_seconds *. 1e3)
+      (r.Tuner.tuned_seconds *. 1e3)
+      (if r.Tuner.tuned_seconds > 0.0 then
+         r.Tuner.default_seconds /. r.Tuner.tuned_seconds
+       else 1.0);
+    match r.Tuner.cache_key with
+    | Some key -> Printf.printf "  cached as %s\n" key
+    | None -> Printf.printf "  tuning cache disabled; winner not persisted\n"
+  end
+
+let tune_cmd =
+  let model_pos =
+    let doc = "Model architecture: " ^ String.concat ", " model_names ^ "." in
+    Arg.(value & pos 0 string "lenet" & info [] ~docv:"MODEL" ~doc)
+  in
+  let budget_arg =
+    Arg.(value & opt string "medium"
+         & info [ "budget" ] ~docv:"B"
+             ~doc:"Search budget: $(b,small), $(b,medium) or $(b,large) — \
+                   scales the measured frontier, tile targets per group and \
+                   median-of-k iterations.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1
+         & info [ "seed" ] ~docv:"K"
+             ~doc:"Seed for parameter initialization and the input fill; the \
+                   same seed makes repeat searches comparable.")
+  in
+  let max_domains_arg =
+    Arg.(value & opt (some int) None
+         & info [ "max-domains" ] ~docv:"N"
+             ~doc:"Cap the worker-domain search (default: the host's \
+                   recommended domain count; 1 skips the stage).")
+  in
+  let no_cache_arg =
+    Arg.(value & flag
+         & info [ "no-cache" ]
+             ~doc:"Neither consult nor write the tuning cache.")
+  in
+  let cache_arg =
+    Arg.(value & opt (some string) None
+         & info [ "cache" ] ~docv:"DIR"
+             ~doc:"Tuning-cache directory (default: LATTE_TUNE_CACHE, else \
+                   the per-machine directory under the system temp dir).")
+  in
+  let force_arg =
+    Arg.(value & flag
+         & info [ "force" ]
+             ~doc:"Re-tune even when a cached entry exists, overwriting it.")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress the search trace.")
+  in
+  Cmd.v
+    (Cmd.info "tune"
+       ~doc:"Search for the best schedule (per-group tile sizes, fusion \
+             toggles, worker domains) by cost-model-pruned measurement, and \
+             persist the winner in the per-(model, machine) tuning cache \
+             where compile_pair and the serving registry pick it up \
+             automatically. Tuned outputs are bit-identical to the default \
+             schedule's.")
+    Term.(const tune_run $ model_pos $ batch_arg $ image_arg $ width_div_arg
+          $ fc_div_arg $ config_term $ budget_arg $ seed_arg $ max_domains_arg
+          $ no_cache_arg $ cache_arg $ force_arg $ quiet_arg)
+
+(* ------------------------------------------------------------------ *)
 (* models / machines                                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -1038,4 +1151,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ dump_ir_cmd; analyze_cmd; train_cmd; serve_sim_cmd; fleet_sim_cmd;
-            bench_cmd; graph_cmd; models_cmd; passes_cmd; machines_cmd ]))
+            bench_cmd; tune_cmd; graph_cmd; models_cmd; passes_cmd;
+            machines_cmd ]))

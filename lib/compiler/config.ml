@@ -9,31 +9,31 @@ type t = {
   bounds_checks : bool;
   num_domains : int;
   precision : Precision.preset;
+  schedule : Schedule.t option;
 }
 
-(* The runtime worker-domain count defaults from the environment so an
-   entire run (tests included) can be switched to parallel execution
-   with LATTE_DOMAINS=N and no code changes. *)
-let env_domains () =
-  match Sys.getenv_opt "LATTE_DOMAINS" with
-  | Some s -> (
-      match int_of_string_opt (String.trim s) with
-      | Some n when n >= 1 -> n
-      | _ -> 1)
-  | None -> 1
+(* The one env-parsing seam (the actual parsers live in Latte_env, one
+   library below, so Executor.Run_opts — which cannot see this module —
+   shares the same implementations). An entire run (tests included) can
+   be switched to parallel execution with LATTE_DOMAINS=N, to another
+   precision with LATTE_PRECISION=int8, or pointed at a different tuning
+   cache with LATTE_TUNE_CACHE=DIR (or `off'), with no code changes.
+   Malformed values always mean the default. *)
+type env = {
+  env_domains : int;
+  env_precision : Precision.preset;
+  env_tune_cache : Latte_env.tune_cache;
+}
 
-(* Likewise the execution precision: LATTE_PRECISION=int8 switches every
-   default-config run (the CI quantized-serving job) without code
-   changes. Malformed or missing means f32. *)
-let env_precision () =
-  match Sys.getenv_opt "LATTE_PRECISION" with
-  | Some s -> (
-      match Precision.preset_of_string (String.trim s) with
-      | Some p -> p
-      | None -> `F32)
-  | None -> `F32
+let of_env () =
+  {
+    env_domains = Latte_env.domains ();
+    env_precision = Latte_env.precision ();
+    env_tune_cache = Latte_env.tune_cache ();
+  }
 
 let default =
+  let env = of_env () in
   {
     pattern_match = true;
     tiling = true;
@@ -43,8 +43,9 @@ let default =
     batch_gemm = true;
     inplace_activation = true;
     bounds_checks = true;
-    num_domains = env_domains ();
-    precision = env_precision ();
+    num_domains = env.env_domains;
+    precision = env.env_precision;
+    schedule = None;
   }
 
 let unoptimized =
@@ -59,10 +60,11 @@ let unoptimized =
     bounds_checks = true;
     num_domains = 1;
     precision = `F32;
+    schedule = None;
   }
 
 let with_flags ?pattern_match ?tiling ?fusion ?parallelize ?tile_size ?batch_gemm
-    ?inplace_activation ?bounds_checks ?num_domains ?precision t =
+    ?inplace_activation ?bounds_checks ?num_domains ?precision ?schedule t =
   {
     pattern_match = Option.value ~default:t.pattern_match pattern_match;
     tiling = Option.value ~default:t.tiling tiling;
@@ -74,11 +76,35 @@ let with_flags ?pattern_match ?tiling ?fusion ?parallelize ?tile_size ?batch_gem
     bounds_checks = Option.value ~default:t.bounds_checks bounds_checks;
     num_domains = Option.value ~default:t.num_domains num_domains;
     precision = Option.value ~default:t.precision precision;
+    schedule = (match schedule with Some s -> Some s | None -> t.schedule);
   }
 
 let normalize t =
   let warnings = ref [] in
   let warn w = warnings := w :: !warnings in
+  (* The schedule's domains/precision entries fold into the matching
+     scalar fields (silently — they are the same decision spelled at a
+     finer grain, not a conflict), its tile entries are sanity-checked,
+     and tile targets under disabled tiling get a warning mirroring the
+     fusion-without-tiling repair. Idempotent: a second normalize sees
+     fields already equal to the schedule's values. *)
+  let t =
+    match t.schedule with
+    | None -> t
+    | Some s ->
+        let s, sched_warns = Schedule.sanitize s in
+        List.iter warn sched_warns;
+        if s.Schedule.tiles <> [] && not t.tiling then
+          warn
+            "config: schedule tile targets are ignored while tiling is \
+             disabled (pass `tile')";
+        {
+          t with
+          schedule = Some s;
+          num_domains = Option.value ~default:t.num_domains s.Schedule.domains;
+          precision = Option.value ~default:t.precision s.Schedule.precision;
+        }
+  in
   let t =
     if t.fusion && not t.tiling then begin
       warn
@@ -121,6 +147,15 @@ let describe t =
   (* Precision enters the description (and thus every compile-cache key
      built from it) only when it departs from f32, keeping the f32
      spelling byte-identical to what tools and tests already pin. *)
-  match t.precision with
-  | `F32 -> base
-  | p -> base ^ "+" ^ Precision.preset_to_string p
+  let base =
+    match t.precision with
+    | `F32 -> base
+    | p -> base ^ "+" ^ Precision.preset_to_string p
+  in
+  (* Likewise the schedule: absent (the common case) changes nothing;
+     present, its canonical digest distinguishes every distinct
+     schedule in compile-cache keys and report rows. *)
+  match t.schedule with
+  | None -> base
+  | Some s when Schedule.is_empty s -> base
+  | Some s -> base ^ "+sched@" ^ Schedule.digest s

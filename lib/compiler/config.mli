@@ -7,7 +7,11 @@ type t = {
   tiling : bool;  (** Loop tiling with dependence metadata (§5.4.1). *)
   fusion : bool;  (** Cross-layer fusion of tiled loops (§5.4.2). *)
   parallelize : bool;  (** Batch × tile parallel annotations (§5.4.3). *)
-  tile_size : int;  (** Target rows of the *last* layer per tile. *)
+  tile_size : int;
+      (** Target rows of the *last* layer per tile — the uniform
+          fallback for every group a [schedule] does not name (and for
+          all groups when [schedule = None]). Per-group targets come
+          from {!Schedule.t}. *)
   batch_gemm : bool;
       (** Hoist per-item GEMV/rank-1 calls to whole-batch GEMMs. *)
   inplace_activation : bool;
@@ -30,10 +34,30 @@ type t = {
           and activations to int8 after calibration. [default] reads
           [LATTE_PRECISION] (missing or malformed means [`F32]);
           [unoptimized] is always [`F32]. *)
+  schedule : Schedule.t option;
+      (** Per-section schedule override ([latte tune]'s output). When
+          set, the tile/fuse/parallelize passes consult it first and the
+          scalar knobs above become fallbacks: [tile_size] applies only
+          to groups the schedule does not name, and {!normalize} folds
+          the schedule's [domains]/[precision] entries into
+          [num_domains]/[precision]. [None] (both presets) means the
+          static heuristics decide everything. *)
 }
 
 val default : t
 val unoptimized : t
+
+(** What the environment contributes to {!default}: the one seam through
+    which [LATTE_DOMAINS], [LATTE_PRECISION] and [LATTE_TUNE_CACHE] are
+    read (parsers shared with [Executor.Run_opts] via {!Latte_env}).
+    Malformed values always mean the default, never an error. *)
+type env = {
+  env_domains : int;
+  env_precision : Precision.preset;
+  env_tune_cache : Latte_env.tune_cache;
+}
+
+val of_env : unit -> env
 
 val with_flags :
   ?pattern_match:bool ->
@@ -46,6 +70,7 @@ val with_flags :
   ?bounds_checks:bool ->
   ?num_domains:int ->
   ?precision:Precision.preset ->
+  ?schedule:Schedule.t ->
   t ->
   t
 
@@ -54,6 +79,15 @@ val normalize : t -> t * string list
     a human-readable warning per adjustment: [fusion] without [tiling]
     is dropped (fusion schedules tiles), [batch_gemm] without
     [pattern_match] is dropped (there are no GEMV calls to stack), and
-    [num_domains < 1] is clamped to 1. *)
+    [num_domains < 1] is clamped to 1. A [schedule] is sanitized
+    ({!Schedule.sanitize}: tile targets < 1 dropped with a warning),
+    warned about when its tile entries are dead under disabled tiling,
+    and its [domains]/[precision] entries folded into the scalar fields
+    (silently — same decision, finer grain; tile targets that divide no
+    section are diagnosed later by the tile pass, which knows the
+    extents). *)
 
 val describe : t -> string
+(** The flag summary (["gemm+tiling+..."]); appends
+    ["+sched@<digest>"] when a non-empty [schedule] is set, so every
+    distinct schedule yields a distinct compile-cache key. *)

@@ -29,6 +29,11 @@ val rows_per_unit :
     downstream unit's [tile_rows] and scaled through the dependence
     distances. *)
 
+val anchor_extent : direction -> Synthesis.unit_code list -> int option
+(** The y extent of the group's anchor (most downstream) unit — the
+    divisor lattice [latte tune] enumerates tile targets from. [None]
+    when the anchor has no spatial metadata. *)
+
 type tile_plan = {
   tile_rows : int;  (** Anchor-unit rows per tile. *)
   n_tiles : int;

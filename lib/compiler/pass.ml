@@ -22,6 +22,11 @@ type state = {
   par_verdicts : (string * Ir_deps.loop_report list) list;
       (* Set by the parallelize pass: region name -> per-parallel-loop
          dependence verdicts from Ir_deps, in program order. *)
+  tile_groups : (string * int * int) list;
+      (* Set by the tile pass: (group label, anchor extent, tile rows)
+         for every group it planned a tile for, forward then backward —
+         the divisor lattice the tuner searches and the winner-vs-default
+         rows the CLI prints. *)
 }
 
 type info = {
@@ -46,6 +51,7 @@ let initial ?seed config net =
     bwd_sections = None;
     par_annotated = [];
     par_verdicts = [];
+    tile_groups = [];
   }
 
 let map_units f st =
@@ -198,6 +204,12 @@ let analyze st =
 let finish st =
   match (st.plan, st.fwd_sections, st.bwd_sections) with
   | Some plan, Some fwd, Some bwd ->
+      let schedule_descr =
+        match st.config.Config.schedule with
+        | Some s when not (Schedule.is_empty s) ->
+            Some (Schedule.source_name s ^ ": " ^ Schedule.describe s)
+        | _ -> None
+      in
       {
         Program.batch_size = st.batch;
         buffers = plan.Synthesis.buffers;
@@ -206,6 +218,7 @@ let finish st =
         params = plan.Synthesis.params;
         grad_sizes = plan.Synthesis.grad_sizes;
         bounds_checks = st.config.Config.bounds_checks;
+        schedule_descr;
       }
   | _ ->
       invalid_arg

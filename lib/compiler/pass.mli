@@ -34,6 +34,11 @@ type state = {
       (** Set by the parallelize pass: region name → {!Ir_deps}
           dependence verdicts for every parallel loop, in program
           order. Surfaced through {!Pass_manager.report}. *)
+  tile_groups : (string * int * int) list;
+      (** Set by the tile pass: (group label, anchor y extent, chosen
+          tile rows) per tiled group, forward then backward — the
+          divisor lattice [latte tune] searches, surfaced through
+          {!Pass_manager.report}. *)
 }
 
 type info = {

@@ -48,7 +48,25 @@ let batch_gemm st =
       | p -> p)
     st
 
+let group_label units =
+  String.concat "+" (List.map (fun (u : Synthesis.unit_code) -> u.Synthesis.ens) units)
+
 let fuse st =
+  let sched = st.config.Config.schedule in
+  (* Schedule consult: groups the schedule names in [fuse_off] are split
+     back into singleton units — the tuner's "is this fusion actually
+     paying?" toggle. The heuristic grouping runs first so labels are
+     the same strings either way. *)
+  let split_off groups =
+    match sched with
+    | None -> groups
+    | Some s ->
+        List.concat_map
+          (fun us ->
+            if Schedule.fused s (group_label us) then [ us ]
+            else List.map (fun u -> [ u ]) us)
+          groups
+  in
   let fuse_dir dir pieces =
     (* Merge adjacent Group pieces; hoisted units break runs exactly as
        batch-GEMM sections did in the monolithic driver. *)
@@ -59,7 +77,8 @@ let fuse st =
           let units = List.concat (List.rev run) in
           List.fold_left
             (fun acc us -> Group { units = us; tile = None } :: acc)
-            acc (Fusion.make_groups dir units)
+            acc
+            (split_off (Fusion.make_groups dir units))
     in
     let rec go run acc = function
       | [] -> List.rev (flush run acc)
@@ -71,20 +90,47 @@ let fuse st =
   { st with fwd = fuse_dir Fusion.Fwd st.fwd; bwd = fuse_dir Fusion.Bwd st.bwd }
 
 let tile st =
+  let sched = st.config.Config.schedule in
+  let groups = ref [] in
+  let matched = Hashtbl.create 8 in
   let tile_dir dir =
     List.map (fun p ->
         match p with
         | Group g ->
-            Group
-              {
-                g with
-                tile =
-                  Fusion.plan_tile ~tile_size:st.config.Config.tile_size dir
-                    g.units;
-              }
+            let label = group_label g.units in
+            (* Schedule consult: a per-group tile target wins over the
+               global Config.tile_size fallback. Either way the chosen
+               rows come from the divisor lattice of the anchor extent
+               (Tiling.choose_tile_rows), so any target is safe. *)
+            let target =
+              match Option.bind sched (fun s -> Schedule.tile_for s label) with
+              | Some n ->
+                  Hashtbl.replace matched label ();
+                  n
+              | None -> st.config.Config.tile_size
+            in
+            let tile = Fusion.plan_tile ~tile_size:target dir g.units in
+            (match (tile, Fusion.anchor_extent dir g.units) with
+            | Some t, Some extent ->
+                groups := (label, extent, t.Fusion.tile_rows) :: !groups
+            | _ -> ());
+            Group { g with tile }
         | p -> p)
   in
-  { st with fwd = tile_dir Fusion.Fwd st.fwd; bwd = tile_dir Fusion.Bwd st.bwd }
+  let fwd = tile_dir Fusion.Fwd st.fwd in
+  let bwd = tile_dir Fusion.Bwd st.bwd in
+  (match sched with
+  | Some s ->
+      List.iter
+        (fun l ->
+          if not (Hashtbl.mem matched l) then
+            Printf.eprintf
+              "latte: warning: schedule names tile group `%s' but this \
+               compilation has no such group; entry ignored\n%!"
+              l)
+        (Schedule.tile_labels s)
+  | None -> ());
+  { st with fwd; bwd; tile_groups = List.rev !groups }
 
 let assemble st =
   let plan = Option.get st.plan in
@@ -197,11 +243,22 @@ let parallelize st =
     in
     List.map (go Ir_bounds.empty_env) stmts
   in
+  (* Schedule consult: when the schedule pins execution to a single
+     domain, the dependence-driven sweep buys nothing at runtime (the
+     executor partitions nothing) — skip it and keep only the free
+     syntactic annotation. Outputs are bit-identical either way. *)
+  let single_domain =
+    match st.config.Config.schedule with
+    | Some s -> s.Schedule.domains = Some 1
+    | None -> false
+  in
   let st =
-    Pass.map_sections
-      (fun (s : Program.section) ->
-        { s with Program.stmts = deps_annotate s.Program.stmts })
-      st
+    if single_domain then st
+    else
+      Pass.map_sections
+        (fun (s : Program.section) ->
+          { s with Program.stmts = deps_annotate s.Program.stmts })
+        st
   in
   (* Record what was scheduled so dump-ir/analyze can report it. *)
   let parallel_vars stmts =
@@ -424,6 +481,10 @@ type outcome = {
   dump : string option;  (** IR listing, when requested via [dump_after]. *)
   bounds : Ir_bounds.report option;
       (** Bounds/safety analysis after the pass, under [~verify:true]. *)
+  sched_source : string option;
+      (** For the schedule-consulting passes (fuse/tile/parallelize)
+          when enabled: which schedule source drove the decisions —
+          "static" | "cache" | "explicit". *)
 }
 
 type report = {
@@ -433,6 +494,12 @@ type report = {
   total_seconds : float;
   parallel_annotated : (string * string list) list;
   parallel_verdicts : (string * Ir_deps.loop_report list) list;
+  schedule_source : string;
+      (** "static" (no schedule), "cache" or "explicit". *)
+  tile_groups : (string * int * int) list;
+      (** (group label, anchor extent, tile rows) per tiled group,
+          forward then backward — empty when the tile pass did not
+          run. *)
 }
 
 exception Verification_failed of string * Ir_verify.error list
@@ -455,6 +522,15 @@ let run ?seed ?passes ?(verify = false) ?(dump_after = []) config net =
   List.iter validate (List.filter (( <> ) "all") dump_after);
   let enabled, config, warnings = resolve ?passes config in
   List.iter (fun w -> Printf.eprintf "latte: warning: %s\n%!" w) warnings;
+  let sched_src =
+    match config.Config.schedule with
+    | None -> "static"
+    | Some s when Schedule.is_empty s -> "static"
+    | Some s -> Schedule.source_name s
+  in
+  let consults_schedule name =
+    List.mem name [ "fuse"; "tile"; "parallelize" ]
+  in
   let want_dump name = List.mem "all" dump_after || List.mem name dump_after in
   let t_start = Unix.gettimeofday () in
   let st, outcomes_rev =
@@ -477,8 +553,19 @@ let run ?seed ?passes ?(verify = false) ?(dump_after = []) config net =
             | fatal -> raise (Analysis_failed (p.name, fatal)))
         | None -> ());
         let dump = if on && want_dump p.name then Some (Pass.dump st) else None in
+        let sched_source =
+          if on && consults_schedule p.name then Some sched_src else None
+        in
         ( st,
-          { info = p; enabled = on; seconds; stats = Pass.stats st; dump; bounds }
+          {
+            info = p;
+            enabled = on;
+            seconds;
+            stats = Pass.stats st;
+            dump;
+            bounds;
+            sched_source;
+          }
           :: acc ))
       (Pass.initial ?seed config net, [])
       registry
@@ -504,4 +591,6 @@ let run ?seed ?passes ?(verify = false) ?(dump_after = []) config net =
       total_seconds = Unix.gettimeofday () -. t_start;
       parallel_annotated = st.Pass.par_annotated;
       parallel_verdicts = st.Pass.par_verdicts;
+      schedule_source = sched_src;
+      tile_groups = st.Pass.tile_groups;
     } )

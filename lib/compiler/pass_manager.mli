@@ -35,6 +35,11 @@ type outcome = {
   bounds : Ir_bounds.report option;
       (** {!Ir_bounds} analysis after the pass, populated under
           [~verify:true] once the synthesize pass has run. *)
+  sched_source : string option;
+      (** For the schedule-consulting passes (fuse/tile/parallelize)
+          when enabled: ["static"] (heuristics), ["cache"] (tuned
+          schedule from the tuning cache) or ["explicit"]
+          (caller-provided {!Schedule.t}). [None] for other passes. *)
 }
 
 type report = {
@@ -50,6 +55,14 @@ type report = {
       (** The {!Ir_deps} dependence verdicts behind the schedule:
           region name → per-parallel-loop buffer classification.
           Empty when the parallelize pass did not run. *)
+  schedule_source : string;
+      (** What drove the schedule-consulting passes: ["static"],
+          ["cache"] or ["explicit"]. *)
+  tile_groups : (string * int * int) list;
+      (** (group label, anchor y extent, chosen tile rows) per tiled
+          group, forward then backward — the divisor lattice
+          [latte tune] enumerates. Empty when the tile pass did not
+          run. *)
 }
 
 exception Verification_failed of string * Ir_verify.error list

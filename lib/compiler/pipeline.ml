@@ -7,20 +7,54 @@ let compile ?seed config net = fst (Pass_manager.run ?seed config net)
    (required, config-independent) synthesize pass, so compiling the same
    network description twice with one seed yields bit-identical
    parameter values under any two configs — which is what lets the
-   reference program stand in for the optimized one at serving time. *)
-let compile_pair_programs ?seed config build =
-  let fast = compile ?seed config (build ()) in
-  let reference = compile ?seed Config.unoptimized (build ()) in
-  (fast, reference)
+   reference program stand in for the optimized one at serving time.
 
+   The reference is compiled first because its fingerprint (config- and
+   schedule-invariant) keys the tuning-cache consult: when the caller
+   did not pin a schedule and the cache holds a tuned one for this
+   (network, machine, safety, precision), the fast program is compiled
+   under it — which is how Registry.compile and every serving fleet
+   pick up `latte tune' winners for free. *)
 let compile_pair ?seed ?opts config build =
-  let fast_prog, ref_prog = compile_pair_programs ?seed config build in
+  let ref_prog = compile ?seed Config.unoptimized (build ()) in
+  let config =
+    match config.Config.schedule with
+    | Some _ -> config (* an explicit schedule always wins *)
+    | None -> (
+        match Tune_cache.dir () with
+        | None -> config
+        | Some dir -> (
+            let key =
+              Tune_cache.key
+                ~fingerprint:(Program.fingerprint ref_prog)
+                ~machine:(Tune_cache.machine_id ())
+                ~safety:
+                  (if config.Config.bounds_checks then "guard" else "unsafe")
+                ~precision:(Precision.preset_to_string config.Config.precision)
+            in
+            match Tune_cache.lookup ~dir ~key with
+            | Some payload ->
+                let s = Schedule.of_payload payload in
+                if Schedule.is_empty s then config
+                else { config with Config.schedule = Some s }
+            | None -> config))
+  in
+  let fast_prog = compile ?seed config (build ()) in
   let opts =
     match opts with
     | Some o -> o
     | None ->
-        Executor.Run_opts.with_domains config.Config.num_domains
-          Executor.Run_opts.default
+        (* A cached schedule's domain count must reach the executor even
+           though normalization (which folds it into num_domains) only
+           happens inside the pass manager. *)
+        let domains =
+          match config.Config.schedule with
+          | Some s ->
+              Option.value ~default:config.Config.num_domains
+                s.Schedule.domains
+          | None -> config.Config.num_domains
+        in
+        Executor.Run_opts.with_domains domains Executor.Run_opts.default
   in
   (Executor.prepare ~opts fast_prog, Executor.prepare ~opts ref_prog)
 

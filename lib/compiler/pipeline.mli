@@ -32,13 +32,15 @@ val compile_pair :
     config-independent synthesis pass), so the reference is a
     numerically trusted stand-in for the optimized one — the degradation
     target of the serving runtime. [build] must return a fresh,
-    structurally identical net on each call. *)
+    structurally identical net on each call.
 
-val compile_pair_programs :
-  ?seed:int -> Config.t -> (unit -> Net.t) -> Program.t * Program.t
-(** Deprecated spelling of {!compile_pair} returning unprepared
-    programs, for callers that want to run {!Executor.prepare}
-    themselves. *)
+    Tuned-schedule pickup: when [config.schedule] is [None] and the
+    tuning cache ({!Tune_cache}) holds an entry for this exact
+    (network, machine, safety, precision), the fast program is compiled
+    under the cached schedule (report rows show source ["cache"]) and
+    its domain count reaches the default [opts]. An explicit
+    [config.schedule] always wins; [LATTE_TUNE_CACHE=off] disables the
+    consult. *)
 
 val dump : Program.t -> string
 (** Human-readable listing of every section's IR, followed by the

@@ -12,34 +12,9 @@ let max_name_len = 4096
 let max_count = 1_000_000
 let max_rank = 8
 
-(* ------------------------------------------------------------------ *)
-(* CRC-32 (IEEE 802.3, table-driven)                                   *)
-(* ------------------------------------------------------------------ *)
-
-let crc_table =
-  lazy
-    (Array.init 256 (fun n ->
-         let c = ref (Int32.of_int n) in
-         for _ = 0 to 7 do
-           c :=
-             if Int32.logand !c 1l <> 0l then
-               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
-             else Int32.shift_right_logical !c 1
-         done;
-         !c))
-
-let crc32 bytes =
-  let table = Lazy.force crc_table in
-  let c = ref 0xFFFFFFFFl in
-  Bytes.iter
-    (fun b ->
-      let i =
-        Int32.to_int
-          (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code b))) 0xFFl)
-      in
-      c := Int32.logxor table.(i) (Int32.shift_right_logical !c 8))
-    bytes;
-  Int32.logxor !c 0xFFFFFFFFl
+(* CRC-32 lives in the shared Crc32 module (the tuning cache validates
+   its payloads with the same checksum). *)
+let crc32 = Crc32.bytes
 
 (* ------------------------------------------------------------------ *)
 (* Writing                                                             *)

@@ -1,0 +1,30 @@
+(* CRC-32 (IEEE 802.3, table-driven). Shared by the checkpoint and
+   tuning-cache file formats; extracted from Checkpoint so modules below
+   it in the dependency order can validate payloads the same way. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let bytes b =
+  let table = Lazy.force table in
+  let c = ref 0xFFFFFFFFl in
+  Bytes.iter
+    (fun ch ->
+      let i =
+        Int32.to_int
+          (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xFFl)
+      in
+      c := Int32.logxor table.(i) (Int32.shift_right_logical !c 8))
+    b;
+  Int32.logxor !c 0xFFFFFFFFl
+
+let string s = bytes (Bytes.unsafe_of_string s)

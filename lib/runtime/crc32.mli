@@ -1,0 +1,5 @@
+(** CRC-32 (IEEE 802.3, table-driven) over byte payloads — the checksum
+    behind the {!Checkpoint} v2 and {!Tune_cache} file formats. *)
+
+val bytes : bytes -> int32
+val string : string -> int32

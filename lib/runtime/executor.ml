@@ -10,20 +10,24 @@ module Run_opts = struct
     warmup : int;
     token : Ir_compile.token option;
         (* Cancellation cell baked into the compiled sections. *)
+    auto_tune : bool;
+        (* Consult the tuning cache at prepare time for a tuned domain
+           count. On in [default]; any explicit [with_domains] turns it
+           off — a caller who chose a count meant it. *)
   }
 
-  let env_domains () =
-    match Sys.getenv_opt "LATTE_DOMAINS" with
-    | Some s -> (
-        match int_of_string_opt (String.trim s) with
-        | Some n when n >= 1 -> n
-        | _ -> 1)
-    | None -> 1
-
+  (* Env parsing lives in Latte_env, the one seam shared with
+     Config.of_env (which this library cannot see). *)
   let default =
-    { safety = None; domains = env_domains (); warmup = 1; token = None }
+    {
+      safety = None;
+      domains = Latte_env.domains ();
+      warmup = 1;
+      token = None;
+      auto_tune = true;
+    }
 
-  let with_domains domains t = { t with domains }
+  let with_domains domains t = { t with domains; auto_tune = false }
   let with_safety safety t = { t with safety = Some safety }
   let with_token token t = { t with token = Some token }
 end
@@ -56,6 +60,38 @@ let prepare ?safety ?(opts = Run_opts.default) (prog : Program.t) =
         else Ir_compile.Unsafe
   in
   let domains = max 1 opts.Run_opts.domains in
+  (* Tuned-schedule pickup: when the caller left the domain count at its
+     sequential default and did not pin one explicitly, a persisted
+     tuning-cache entry for this exact (network, machine, safety,
+     precision) may carry a measured-better count. Outputs are
+     bit-identical at any count, so this is purely a performance
+     consult; any cache problem silently means "no entry". *)
+  let domains =
+    if not (opts.Run_opts.auto_tune && domains = 1) then domains
+    else
+      match Tune_cache.dir () with
+      | None -> domains
+      | Some dir -> (
+          let key =
+            Tune_cache.key
+              ~fingerprint:(Program.fingerprint prog)
+              ~machine:(Tune_cache.machine_id ())
+              ~safety:
+                (match safety with
+                | Ir_compile.Unsafe -> "unsafe"
+                | Ir_compile.Guard_unproven -> "guard"
+                | Ir_compile.Checked -> "checked")
+              ~precision:(Program.precision_tag prog)
+          in
+          match Tune_cache.lookup ~dir ~key with
+          | Some payload -> (
+              match
+                Option.bind (List.assoc_opt "domains" payload) int_of_string_opt
+              with
+              | Some n when n >= 1 -> n
+              | _ -> domains)
+          | None -> domains)
+  in
   let pool = if domains > 1 then Some (Domain_pool.shared domains) else None in
   let runner = Option.map Domain_pool.runner pool in
   let cs = compile_section safety runner opts.Run_opts.token prog.buffers in

@@ -27,14 +27,24 @@ module Run_opts : sig
             {!Ir_compile.cancel} unwinds the run as
             [Ir_compile.Cancelled] within one outer iteration. [None]
             (the default) compiles without any checks. *)
+    auto_tune : bool;
+        (** Consult the persisted tuning cache ({!Tune_cache}) at
+            {!prepare} time: when [true] and [domains] resolves to 1, a
+            cached entry for this exact (network, machine, safety,
+            precision) may raise the worker-domain count to its
+            measured-best value. Outputs are bit-identical at any
+            count. On in {!default}; {!with_domains} turns it off. *)
   }
 
   val default : t
   (** [safety = None], [domains] from the [LATTE_DOMAINS] environment
-      variable (malformed or missing means 1), [warmup = 1],
-      [token = None]. *)
+      variable (malformed or missing means 1, via {!Latte_env.domains}),
+      [warmup = 1], [token = None], [auto_tune = true]. *)
 
   val with_domains : int -> t -> t
+  (** Pins the worker-domain count and sets [auto_tune = false] — a
+      caller who chose a count meant it. *)
+
   val with_safety : Ir_compile.safety -> t -> t
   val with_token : Ir_compile.token -> t -> t
 end

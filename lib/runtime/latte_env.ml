@@ -1,0 +1,35 @@
+(* The single environment-parsing seam for the runtime knobs. Every
+   LATTE_* read in the codebase funnels through here (Config.of_env is
+   the compiler-level re-export), so "what does a malformed value mean"
+   is decided exactly once: malformed or missing always degrades to the
+   documented default, never to an error. *)
+
+type tune_cache = Default | Off | Path of string
+
+let parse_domains s =
+  match s with
+  | None -> 1
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ -> 1)
+
+let parse_precision s =
+  match s with
+  | None -> `F32
+  | Some s -> (
+      match Precision.preset_of_string (String.trim s) with
+      | Some p -> p
+      | None -> `F32)
+
+let parse_tune_cache s =
+  match s with
+  | None -> Default
+  | Some s -> (
+      match String.trim s with
+      | "" -> Default
+      | t -> if String.lowercase_ascii t = "off" then Off else Path t)
+
+let domains () = parse_domains (Sys.getenv_opt "LATTE_DOMAINS")
+let precision () = parse_precision (Sys.getenv_opt "LATTE_PRECISION")
+let tune_cache () = parse_tune_cache (Sys.getenv_opt "LATTE_TUNE_CACHE")

@@ -19,9 +19,54 @@ type t = {
   params : param list;
   grad_sizes : (string * int) list;
   bounds_checks : bool;
+  schedule_descr : string option;
 }
 
 let section ~label ~ensembles stmts = { label; ensembles; stmts }
+
+(* The identity of the *network* this program was compiled from, not of
+   this particular compilation: ensembles, parameters (with shapes),
+   gradient sizes and batch size are fixed by the network description,
+   while section structure, buffer aliasing and storage widths vary with
+   the optimization config. Keying the tuning cache on this digest is
+   what lets a schedule tuned against one compilation be found when the
+   same network is compiled again under any config. *)
+let fingerprint t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (string_of_int t.batch_size);
+  (* As a set: how many sections mention an ensemble is a scheduling
+     artifact (fusion, GEMM stacking), not network identity. *)
+  let ens =
+    List.sort_uniq compare (List.concat_map (fun s -> s.ensembles) t.forward)
+  in
+  List.iter (fun e -> Buffer.add_string b ("\ne:" ^ e)) ens;
+  List.iter
+    (fun p ->
+      Buffer.add_string b
+        (Printf.sprintf "\np:%s:%s:%s:%g" p.param_name p.value_buf p.grad_buf
+           p.lr_mult);
+      if Buffer_pool.mem t.buffers p.value_buf then
+        Buffer.add_string b
+          (":" ^ Shape.to_string (Buffer_pool.shape t.buffers p.value_buf)))
+    t.params;
+  List.iter
+    (fun (n, k) -> Buffer.add_string b (Printf.sprintf "\ng:%s:%d" n k))
+    t.grad_sizes;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+(* The execution precision this program's buffers are packed at, in
+   Precision.preset_to_string spelling: "int8" when any buffer is int8,
+   else "f16" when any is half, else "f32". Part of the tuning-cache
+   key so schedules tuned at one precision never leak into another. *)
+let precision_tag t =
+  List.fold_left
+    (fun tag name ->
+      match Buffer_pool.precision t.buffers name with
+      | Precision.Any Precision.I8 -> "int8"
+      | Precision.Any Precision.F16 -> if tag = "int8" then tag else "f16"
+      | _ -> tag)
+    "f32"
+    (Buffer_pool.names t.buffers)
 
 let section_cost ?bytes_of ?width_of s =
   Ir_analysis.cost_of_stmts ?bytes_of ?width_of s.stmts

@@ -33,9 +33,26 @@ type t = {
   bounds_checks : bool;
       (** Whether the executor should guard accesses {!Ir_bounds} cannot
           prove in-bounds (from {!Config.t.bounds_checks}). *)
+  schedule_descr : string option;
+      (** When an explicit or cached schedule override drove the
+          tile/fuse/parallelize passes: its canonical description
+          prefixed with its source, e.g. ["cache: tile(ip1)=8"]. [None]
+          for purely heuristic (static) compilations. *)
 }
 
 val section : label:string -> ensembles:string list -> Ir.stmt list -> section
+
+val fingerprint : t -> string
+(** A hex digest of the *network* identity behind this program — batch
+    size, contributing ensembles, parameters with shapes, gradient
+    sizes — deliberately invariant across optimization configs,
+    schedules and storage precisions, so it can anchor the tuning-cache
+    key ({!Tune_cache.key}) for any compilation of the same network. *)
+
+val precision_tag : t -> string
+(** The execution precision the program's buffers are packed at
+    (["f32"], ["f16"] or ["int8"]), matching
+    [Precision.preset_to_string]. *)
 
 val flops : t -> [ `Forward | `Backward ] -> float
 (** Static flop count of one execution, from {!Ir_analysis}. *)

@@ -171,7 +171,15 @@ let sync_params ~from_exec ~to_exec =
 let compile t m ~version ~key =
   let t0 = Unix.gettimeofday () in
   (* Version k re-initializes parameters under seed + k: a model update
-     is the same architecture with new (retrained) weights. *)
+     is the same architecture with new (retrained) weights.
+
+     compile_pair consults the persisted tuning cache when the config
+     carries no explicit schedule, so a fleet member that was `latte
+     tune`d on this machine serves its tuned schedule automatically.
+     The registry key stays schedule-independent on purpose: a tuned
+     schedule is bit-identical to the default by construction, so tuned
+     and untuned compiles of one (model, version) are interchangeable
+     and must not double-occupy the admission budget. *)
   let fast, reference =
     Pipeline.compile_pair ~seed:(m.seed + version) ~opts:t.opts m.config m.build
   in

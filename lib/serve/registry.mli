@@ -14,7 +14,14 @@
     updates, which must stay resident for instant rollback.
 
     Version [k] of a model compiles with [seed + k]: an update is the
-    same architecture carrying new (retrained) parameter values. *)
+    same architecture carrying new (retrained) parameter values.
+
+    Tuned schedules from {!Tune_cache} flow in transparently:
+    {!Pipeline.compile_pair} consults the cache whenever the model's
+    config has no explicit schedule, so a previously [latte tune]d
+    model serves its measured-best schedule. The registry key does NOT
+    include the schedule — tuned output is bit-identical to default
+    output, so the two compiles are interchangeable. *)
 
 type entry = {
   key : string;  (** The cache key — [model#vN@<hex12>]. *)

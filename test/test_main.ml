@@ -34,4 +34,5 @@ let () =
       ("extensions", Test_extensions.suite);
       ("domains", Test_domains.suite);
       ("precision", Test_precision.suite);
+      ("tune", Test_tuner.suite);
     ]
